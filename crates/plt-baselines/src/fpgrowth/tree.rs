@@ -1,0 +1,228 @@
+//! The FP-tree (Han, Pei & Yin, SIGMOD'00 §2).
+//!
+//! A prefix tree over transactions whose items are reordered by descending
+//! frequency, with a header table threading same-item nodes into linked
+//! lists ("node links"). Items are represented by their **order index**
+//! (0 = most frequent); the miner maps back to real items at output time.
+//!
+//! Arena-based: nodes live in one `Vec`, links are `u32` indices — the
+//! ownership-friendly encoding of a multi-parent-pointer tree in Rust.
+
+use plt_core::item::Support;
+
+/// Sentinel index for "no node".
+pub const NIL: u32 = u32::MAX;
+
+/// One FP-tree node.
+#[derive(Debug, Clone)]
+pub struct FpNode {
+    /// Order index of the item (`NIL_ITEM` for the root).
+    pub item: u32,
+    /// Count of transactions through this node.
+    pub count: Support,
+    /// Parent node index (`NIL` for the root).
+    pub parent: u32,
+    /// Next node carrying the same item (header chain).
+    pub next: u32,
+    /// Children as `(item, node)` pairs sorted by item.
+    children: Vec<(u32, u32)>,
+}
+
+/// Item value carried by the root node.
+pub const NIL_ITEM: u32 = u32::MAX;
+
+/// Header-table entry.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Total support of the item within this (conditional) tree.
+    pub count: Support,
+    /// First node of the item's node-link chain.
+    pub head: u32,
+}
+
+/// An FP-tree with its header table.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// `headers[order_index]`; entries with `count == 0` are absent items.
+    headers: Vec<Header>,
+}
+
+impl FpTree {
+    /// Creates a tree with `num_items` header slots and just the root.
+    pub fn new(num_items: usize) -> FpTree {
+        FpTree {
+            nodes: vec![FpNode {
+                item: NIL_ITEM,
+                count: 0,
+                parent: NIL,
+                next: NIL,
+                children: Vec::new(),
+            }],
+            headers: vec![Header { count: 0, head: NIL }; num_items],
+        }
+    }
+
+    /// Number of nodes including the root (the FP-tree size metric of
+    /// experiment X6).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of header slots.
+    pub fn num_items(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Header of an item.
+    pub fn header(&self, item: u32) -> Header {
+        self.headers[item as usize]
+    }
+
+    /// Borrows a node.
+    pub fn node(&self, idx: u32) -> &FpNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Inserts a transaction whose items are **strictly increasing order
+    /// indices** (i.e. already reordered by descending frequency), with a
+    /// multiplicity (conditional pattern bases insert with counts).
+    pub fn insert(&mut self, path: &[u32], count: Support) {
+        debug_assert!(path.windows(2).all(|w| w[0] < w[1]));
+        let mut cur = 0u32; // root
+        for &item in path {
+            let next = match self.nodes[cur as usize]
+                .children
+                .binary_search_by_key(&item, |&(i, _)| i)
+            {
+                Ok(pos) => self.nodes[cur as usize].children[pos].1,
+                Err(pos) => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(FpNode {
+                        item,
+                        count: 0,
+                        parent: cur,
+                        next: self.headers[item as usize].head,
+                        children: Vec::new(),
+                    });
+                    self.headers[item as usize].head = idx;
+                    self.nodes[cur as usize].children.insert(pos, (item, idx));
+                    idx
+                }
+            };
+            self.nodes[next as usize].count += count;
+            self.headers[item as usize].count += count;
+            cur = next;
+        }
+    }
+
+    /// Walks `item`'s node-link chain, yielding `(node_index, count)`.
+    pub fn chain(&self, item: u32) -> impl Iterator<Item = (u32, Support)> + '_ {
+        let mut cur = self.headers[item as usize].head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let idx = cur;
+            let node = &self.nodes[idx as usize];
+            cur = node.next;
+            Some((idx, node.count))
+        })
+    }
+
+    /// The path of items from `node` up to (excluding) the root, returned
+    /// root-first (strictly increasing order indices).
+    pub fn prefix_path(&self, mut node: u32) -> Vec<u32> {
+        let mut path = Vec::new();
+        while node != NIL && self.nodes[node as usize].item != NIL_ITEM {
+            path.push(self.nodes[node as usize].item);
+            node = self.nodes[node as usize].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// If the tree consists of a single path from the root, returns it as
+    /// `(item, count)` pairs root-first; otherwise `None`. Triggers the
+    /// FP-growth single-path shortcut.
+    pub fn single_path(&self) -> Option<Vec<(u32, Support)>> {
+        let mut path = Vec::new();
+        let mut cur = &self.nodes[0];
+        loop {
+            match cur.children.len() {
+                0 => return Some(path),
+                1 => {
+                    let child = &self.nodes[cur.children[0].1 as usize];
+                    path.push((child.item, child.count));
+                    cur = child;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_shares_prefixes() {
+        let mut t = FpTree::new(4);
+        t.insert(&[0, 1, 2], 1);
+        t.insert(&[0, 1, 3], 1);
+        t.insert(&[0, 1], 1);
+        // root + 0 + 1 + 2 + 3 = 5 nodes.
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.header(0).count, 3);
+        assert_eq!(t.header(1).count, 3);
+        assert_eq!(t.header(2).count, 1);
+    }
+
+    #[test]
+    fn chains_link_same_item_nodes() {
+        let mut t = FpTree::new(3);
+        t.insert(&[0, 2], 1);
+        t.insert(&[1, 2], 1);
+        t.insert(&[2], 2);
+        let chain: Vec<(u32, Support)> = t.chain(2).collect();
+        assert_eq!(chain.len(), 3);
+        let total: Support = chain.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert_eq!(t.header(2).count, 4);
+    }
+
+    #[test]
+    fn prefix_paths_walk_to_root() {
+        let mut t = FpTree::new(4);
+        t.insert(&[0, 1, 3], 5);
+        let (leaf, count) = t.chain(3).next().unwrap();
+        assert_eq!(count, 5);
+        assert_eq!(t.prefix_path(leaf), vec![0, 1, 3]);
+        // Prefix path of the node for item 0 is just [0].
+        let (n0, _) = t.chain(0).next().unwrap();
+        assert_eq!(t.prefix_path(n0), vec![0]);
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let mut t = FpTree::new(4);
+        assert_eq!(t.single_path(), Some(vec![]));
+        t.insert(&[0, 1, 2], 3);
+        assert_eq!(
+            t.single_path(),
+            Some(vec![(0, 3), (1, 3), (2, 3)])
+        );
+        t.insert(&[0, 3], 1);
+        assert_eq!(t.single_path(), None);
+    }
+
+    #[test]
+    fn counts_accumulate_with_multiplicity() {
+        let mut t = FpTree::new(2);
+        t.insert(&[0], 2);
+        t.insert(&[0, 1], 3);
+        assert_eq!(t.header(0).count, 5);
+        assert_eq!(t.header(1).count, 3);
+    }
+}

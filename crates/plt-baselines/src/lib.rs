@@ -1,0 +1,48 @@
+//! # plt-baselines — comparator miners
+//!
+//! Full re-implementations of the algorithms the paper's related-work
+//! section (§3) positions PLT against, each behind the common
+//! [`plt_core::Miner`] trait so the benchmark harness can swap them freely:
+//!
+//! * [`apriori`] — the candidate-generation archetype (Agrawal & Srikant,
+//!   VLDB'94; the paper's reference \[2\]): level-wise candidate join, prune
+//!   by the anti-monotone property, support counting with a hash tree.
+//!   Optionally uses a PLT [`SubsetChecker`](plt_core::subset::SubsetChecker)
+//!   for the prune step (the paper's "promising tool for most of the
+//!   existing data mining approaches" claim; experiment X7).
+//! * [`fpgrowth`] — the pattern-growth archetype (Han, Pei & Yin,
+//!   SIGMOD'00; reference \[3\]): FP-tree with header table and node links,
+//!   conditional pattern bases, single-path shortcut.
+//! * [`eclat`] — vertical mining by TID-set intersection, with the diffset
+//!   optimisation of Zaki & Gouda (KDD'03; reference \[16\]).
+//! * [`hmine`] — hyper-structure mining with pseudo-projections in the
+//!   spirit of H-Mine (Pei et al., ICDM'01; reference \[7\]/\[8\] — the paper
+//!   cites it as the sparse-data answer to FP-growth's overhead).
+//! * [`ais`] — the original AIS algorithm (reference \[1\]): candidates
+//!   generated during the scan by extending frontier itemsets.
+//! * [`partition`] — the two-pass Partition algorithm (VLDB'95): local
+//!   mining per memory-sized chunk, exact recount of the candidate union.
+//! * [`dic`] — Dynamic Itemset Counting (SIGMOD'97): block-circular scan
+//!   that starts counting an itemset as soon as its subsets look
+//!   frequent.
+//! * [`sampling`] — Toivonen's sampling algorithm (VLDB'96): mine a
+//!   sample at lowered support, verify through the negative border,
+//!   retry/fall back on a miss — always exact.
+
+pub mod ais;
+pub mod apriori;
+pub mod dic;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod hmine;
+pub mod partition;
+pub mod sampling;
+
+pub use ais::AisMiner;
+pub use apriori::{AprioriMiner, CountingStrategy, PruneStrategy};
+pub use dic::DicMiner;
+pub use eclat::EclatMiner;
+pub use fpgrowth::FpGrowthMiner;
+pub use hmine::HMineMiner;
+pub use partition::PartitionMiner;
+pub use sampling::SamplingMiner;

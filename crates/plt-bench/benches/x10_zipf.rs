@@ -1,0 +1,36 @@
+//! X10 — power-law (retail/click-log) sweep over the skew exponent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_baselines::{EclatMiner, FpGrowthMiner, HMineMiner};
+use plt_core::miner::Miner;
+use plt_core::{ConditionalMiner, HybridMiner};
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let min_sup = ((0.01 * n as f64).ceil() as u64).max(1);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(HybridMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(HMineMiner),
+    ];
+    for exponent in [0.8f64, 1.1, 1.5] {
+        let db = datasets::zipf(n, exponent);
+        let mut group = c.benchmark_group(format!("x10/zipf{exponent:.1}"));
+        group.sample_size(10);
+        for miner in &miners {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(miner.name()),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, min_sup)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

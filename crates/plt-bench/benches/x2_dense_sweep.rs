@@ -1,0 +1,39 @@
+//! X2 — runtime vs minimum support on dense data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_baselines::{AprioriMiner, EclatMiner, FpGrowthMiner, HMineMiner};
+use plt_bench::datasets;
+use plt_core::miner::Miner;
+use plt_core::ConditionalMiner;
+use plt_parallel::ParallelPltMiner;
+
+fn bench(c: &mut Criterion) {
+    let n = 600usize;
+    let db = datasets::dense(n, 16);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(ParallelPltMiner::default()),
+        Box::new(AprioriMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(EclatMiner::with_diffsets()),
+        Box::new(HMineMiner),
+    ];
+    for rel in [0.9, 0.7, 0.5] {
+        let min_sup = ((rel * n as f64).ceil() as u64).max(1);
+        let mut group = c.benchmark_group(format!("x2/minsup_{:.0}pct", rel * 100.0));
+        group.sample_size(10);
+        for miner in &miners {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(miner.name()),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, min_sup)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! X3 — scalability with database size at fixed relative support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use plt_baselines::{AprioriMiner, FpGrowthMiner};
+use plt_bench::datasets;
+use plt_core::miner::Miner;
+use plt_core::ConditionalMiner;
+use plt_parallel::ParallelPltMiner;
+
+fn bench(c: &mut Criterion) {
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(ParallelPltMiner::default()),
+        Box::new(AprioriMiner::default()),
+        Box::new(FpGrowthMiner),
+    ];
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let db = datasets::sparse(n);
+        let min_sup = ((0.01 * n as f64).ceil() as u64).max(1);
+        let mut group = c.benchmark_group(format!("x3/d{n}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for miner in &miners {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(miner.name()),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, min_sup)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! X4 — top-down vs conditional on dense short transactions, plus the
+//! canonical-vs-naive propagation ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::miner::Miner;
+use plt_core::topdown::{all_subset_supports, all_subset_supports_naive};
+use plt_core::{ConditionalMiner, TopDownMiner};
+
+fn bench(c: &mut Criterion) {
+    let n = 600usize;
+    let db = datasets::dense(n, 12);
+    for rel in [0.5, 0.1, 0.01] {
+        let min_sup = ((rel * n as f64).ceil() as u64).max(1);
+        let mut group = c.benchmark_group(format!("x4/minsup_{:.0}pct", rel * 100.0));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("conditional"), &db, |b, db| {
+            b.iter(|| ConditionalMiner::default().mine(db, min_sup))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("top-down"), &db, |b, db| {
+            b.iter(|| TopDownMiner::default().mine(db, min_sup))
+        });
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter("propagation-canonical"),
+            &plt,
+            |b, plt| b.iter(|| all_subset_supports(plt)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter("propagation-naive"),
+            &plt,
+            |b, plt| b.iter(|| all_subset_supports_naive(plt)),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

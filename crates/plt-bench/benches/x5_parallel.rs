@@ -1,0 +1,35 @@
+//! X5 — parallel speedup vs thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::miner::Miner;
+use plt_parallel::{run_with_threads, ParallelEclatMiner, ParallelPltMiner};
+
+fn bench(c: &mut Criterion) {
+    let n = 5_000usize;
+    let db = datasets::sparse(n);
+    let min_sup = ((0.005 * n as f64).ceil() as u64).max(1);
+    let thread_counts = plt_bench::thread_sweep();
+
+    let mut group = c.benchmark_group("x5/plt-parallel");
+    group.sample_size(10);
+    for &threads in &thread_counts {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &db, |b, db| {
+            b.iter(|| run_with_threads(threads, || ParallelPltMiner::default().mine(db, min_sup)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("x5/eclat-parallel");
+    group.sample_size(10);
+    for &threads in &thread_counts {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &db, |b, db| {
+            b.iter(|| run_with_threads(threads, || ParallelEclatMiner.mine(db, min_sup)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

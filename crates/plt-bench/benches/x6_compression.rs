@@ -1,0 +1,40 @@
+//! X6 — compression/decompression throughput and indexed conditional
+//! extraction (the size comparison itself is in `experiments --exp x6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_compress::CompressedPlt;
+use plt_core::construct::{construct, ConstructOptions};
+
+fn bench(c: &mut Criterion) {
+    let workloads = [
+        ("sparse", datasets::sparse(2_000), 20u64),
+        ("dense", datasets::dense(1_000, 16), 300u64),
+    ];
+    for (name, db, min_sup) in &workloads {
+        let plt = construct(db, *min_sup, ConstructOptions::conditional()).unwrap();
+        let compressed = CompressedPlt::from_plt(&plt);
+        let top_rank = plt.ranking().len() as u32;
+
+        let mut group = c.benchmark_group(format!("x6/{name}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("compress"), &plt, |b, plt| {
+            b.iter(|| CompressedPlt::from_plt(plt))
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("decompress"),
+            &compressed,
+            |b, compressed| b.iter(|| compressed.to_plt()),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter("indexed-conditional"),
+            &compressed,
+            |b, compressed| b.iter(|| compressed.vectors_with_sum(top_rank)),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! X7 — subset checking: PLT position-vector probes (Lemma 4.1.3) vs a
+//! plain itemset hash set, on an Apriori-style prune workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_baselines::FpGrowthMiner;
+use plt_bench::datasets;
+use plt_core::miner::Miner;
+use plt_core::posvec::PositionVector;
+use plt_core::ranking::{ItemRanking, RankPolicy};
+use plt_core::subset::{NaiveChecker, SubsetChecker};
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000usize;
+    let db = datasets::baskets(n);
+    let min_sup = ((0.02 * n as f64).ceil() as u64).max(1);
+    let result = FpGrowthMiner.mine(&db, min_sup);
+    let ranking = ItemRanking::scan(&db, min_sup, RankPolicy::Lexicographic);
+
+    // Candidate workload: every frequent itemset extended by every
+    // frequent item.
+    let singletons: Vec<u32> = result.of_size(1).map(|(s, _)| s.items()[0]).collect();
+    let mut candidates: Vec<Vec<u32>> = Vec::new();
+    for (itemset, _) in result.iter() {
+        for &x in &singletons {
+            if !itemset.contains(x) {
+                let mut c = itemset.items().to_vec();
+                c.push(x);
+                c.sort_unstable();
+                candidates.push(c);
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+    let vectors: Vec<PositionVector> = candidates
+        .iter()
+        .map(|c| {
+            let ranks: Vec<u32> = c.iter().map(|&i| ranking.rank(i).unwrap()).collect();
+            PositionVector::from_ranks(&ranks).unwrap()
+        })
+        .collect();
+
+    let naive = NaiveChecker::from_result(&result);
+    let plt = SubsetChecker::from_result(&result, &ranking);
+
+    let mut group = c.benchmark_group("x7/prune");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter("naive-hash-set"), &candidates, |b, cands| {
+        b.iter(|| {
+            cands
+                .iter()
+                .filter(|c| naive.all_level_down_subsets_present(c))
+                .count()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("plt-vectors"), &vectors, |b, vecs| {
+        b.iter(|| {
+            vecs.iter()
+                .filter(|v| plt.all_level_down_subsets_present(v))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

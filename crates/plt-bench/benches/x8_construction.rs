@@ -1,0 +1,39 @@
+//! X8 — construction cost of each structure on the same database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_baselines::fpgrowth::build_fp_tree;
+use plt_bench::datasets;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_data::vertical::VerticalDb;
+use plt_data::TransactionDb;
+use plt_parallel::par_construct;
+
+fn bench(c: &mut Criterion) {
+    let n = 5_000usize;
+    let db = datasets::sparse(n);
+    let min_sup = ((0.01 * n as f64).ceil() as u64).max(1);
+    let tdb = TransactionDb::from_sorted(db.clone());
+
+    let mut group = c.benchmark_group("x8/construction");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("plt-sequential"), &db, |b, db| {
+        b.iter(|| construct(db, min_sup, ConstructOptions::conditional()).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("plt-parallel"), &db, |b, db| {
+        b.iter(|| par_construct(db, min_sup, ConstructOptions::conditional()).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("plt-with-prefixes"), &db, |b, db| {
+        b.iter(|| construct(db, min_sup, ConstructOptions::top_down()).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("fp-tree"), &db, |b, db| {
+        b.iter(|| build_fp_tree(db, min_sup))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("vertical"), &tdb, |b, tdb| {
+        b.iter(|| VerticalDb::from_horizontal(tdb))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! X9 — rank-policy ablation: conditional mining under the three item
+//! orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::miner::Miner;
+use plt_core::{ConditionalMiner, RankPolicy};
+
+fn bench(c: &mut Criterion) {
+    let workloads = [
+        ("sparse", datasets::sparse(2_000), 20u64),
+        ("dense", datasets::dense(800, 16), 320u64),
+    ];
+    for (name, db, min_sup) in &workloads {
+        let mut group = c.benchmark_group(format!("x9/{name}"));
+        group.sample_size(10);
+        for (label, policy) in [
+            ("lexicographic", RankPolicy::Lexicographic),
+            ("freq-descending", RankPolicy::FrequencyDescending),
+            ("freq-ascending", RankPolicy::FrequencyAscending),
+        ] {
+            let miner = ConditionalMiner::with_policy(policy);
+            group.bench_with_input(BenchmarkId::from_parameter(label), db, |b, db| {
+                b.iter(|| miner.mine(db, *min_sup))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

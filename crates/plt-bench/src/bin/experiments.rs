@@ -1,0 +1,113 @@
+//! `experiments` — regenerates every paper exhibit and every extended
+//! experiment as evaluation-section-style tables.
+//!
+//! ```text
+//! experiments [--exp <id>[,<id>…]] [--full]
+//!
+//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 paper all
+//!        (default: paper — the exhibits that come straight from the text)
+//!   --full: evaluation-scale workloads instead of the quick ones
+//! ```
+
+use std::io::Write;
+
+use plt_bench::experiments::{self, Scale};
+use plt_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage("missing --exp value"));
+                ids.extend(list.split(',').map(str::to_owned));
+            }
+            "--full" => scale = Scale::Full,
+            "--help" | "-h" => {
+                usage("");
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.push("paper".into());
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut expanded: Vec<String> = Vec::new();
+    for id in ids {
+        match id.as_str() {
+            "paper" => expanded.extend(
+                ["t1", "f1", "f2", "f3", "f4", "f5"].map(str::to_owned),
+            ),
+            "all" => expanded.extend(
+                [
+                    "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6",
+                    "x7", "x8", "x9", "x10",
+                ]
+                .map(str::to_owned),
+            ),
+            _ => expanded.push(id),
+        }
+    }
+
+    for id in expanded {
+        run_one(&mut out, &id, scale);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments [--exp t1|f1..f5|x1..x9|paper|all[,..]] [--full]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn run_one(out: &mut impl Write, id: &str, scale: Scale) {
+    match id {
+        "t1" => {
+            writeln!(out, "--- E-T1 (paper Table 1 scan) ---").unwrap();
+            writeln!(out, "{}", figures::exp_t1()).unwrap();
+        }
+        "f1" => {
+            writeln!(out, "--- E-F1 (paper Figure 1) ---").unwrap();
+            writeln!(out, "{}", figures::exp_f1().1).unwrap();
+        }
+        "f2" => {
+            writeln!(out, "--- E-F2 (paper Figure 2) ---").unwrap();
+            writeln!(out, "{}", figures::exp_f2().1).unwrap();
+        }
+        "f3" => {
+            writeln!(out, "--- E-F3 (paper Figure 3) ---").unwrap();
+            writeln!(out, "{}", figures::exp_f3().1).unwrap();
+        }
+        "f4" => {
+            writeln!(out, "--- E-F4 (paper Figure 4) ---").unwrap();
+            writeln!(out, "{}", figures::exp_f4().1).unwrap();
+        }
+        "f5" => {
+            writeln!(out, "--- E-F5 (paper Figure 5) ---").unwrap();
+            writeln!(out, "{}", figures::exp_f5().3).unwrap();
+        }
+        "x1" => writeln!(out, "{}", experiments::x1_sparse_sweep(scale)).unwrap(),
+        "x2" => writeln!(out, "{}", experiments::x2_dense_sweep(scale)).unwrap(),
+        "x3" => writeln!(out, "{}", experiments::x3_scalability(scale)).unwrap(),
+        "x4" => writeln!(out, "{}", experiments::x4_topdown_crossover(scale)).unwrap(),
+        "x5" => writeln!(out, "{}", experiments::x5_parallel(scale)).unwrap(),
+        "x6" => writeln!(out, "{}", experiments::x6_compression(scale)).unwrap(),
+        "x7" => writeln!(out, "{}", experiments::x7_subset_check(scale)).unwrap(),
+        "x8" => writeln!(out, "{}", experiments::x8_construction(scale)).unwrap(),
+        "x9" => writeln!(out, "{}", experiments::x9_rank_policy(scale)).unwrap(),
+        "x10" => writeln!(out, "{}", experiments::x10_zipf_sweep(scale)).unwrap(),
+        other => usage(&format!("unknown experiment {other:?}")),
+    }
+}

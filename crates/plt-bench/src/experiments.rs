@@ -1,0 +1,616 @@
+//! The extended quantitative experiments X1..X8 (see `DESIGN.md` §3).
+//!
+//! Each experiment is a pure function from a [`Scale`] to a [`Table`];
+//! the `experiments` binary prints them and `EXPERIMENTS.md` records a
+//! run. The Criterion benches in `benches/` measure the same code paths
+//! with statistical rigour; these functions exist to produce the
+//! evaluation-section-style tables in one shot.
+
+use std::time::Duration;
+
+use plt_baselines::apriori::AprioriMiner;
+use plt_baselines::fpgrowth::{build_fp_tree, FpGrowthMiner};
+use plt_baselines::{AisMiner, DicMiner, EclatMiner, HMineMiner, PartitionMiner};
+use plt_compress::CompressedPlt;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::item::{Item, Support};
+use plt_core::miner::{Miner, MiningResult};
+use plt_core::posvec::PositionVector;
+use plt_core::ranking::{ItemRanking, RankPolicy};
+use plt_core::subset::{NaiveChecker, SubsetChecker};
+use plt_core::topdown::{all_subset_supports, all_subset_supports_naive};
+use plt_core::{ConditionalMiner, HybridMiner, TopDownMiner};
+use plt_data::vertical::VerticalDb;
+use plt_data::TransactionDb;
+use plt_parallel::{par_construct, run_with_threads, ParallelEclatMiner, ParallelPltMiner};
+
+use crate::{datasets, fmt_duration, time_best, Table};
+
+/// Workload scale: `Quick` finishes in seconds (CI / laptops); `Full`
+/// approximates evaluation-section sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale run.
+    Quick,
+    /// Minutes-scale run.
+    Full,
+}
+
+impl Scale {
+    fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    fn runs(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 3,
+        }
+    }
+}
+
+/// The miner roster shared by the sweep experiments.
+fn roster() -> Vec<Box<dyn Miner>> {
+    vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(ParallelPltMiner::default()),
+        Box::new(AprioriMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(EclatMiner::with_diffsets()),
+        Box::new(HMineMiner),
+        Box::new(AisMiner),
+        Box::new(PartitionMiner::default()),
+        Box::new(DicMiner { block_size: 500 }),
+    ]
+}
+
+/// Runs every miner over one `(db, min_sup)` cell, appending a row per
+/// miner and asserting that all miners agree on the number of frequent
+/// itemsets (a live correctness check inside the benchmark).
+fn sweep_cell(
+    table: &mut Table,
+    label: &str,
+    db: &[Vec<Item>],
+    min_sup: Support,
+    runs: usize,
+    miners: &[Box<dyn Miner>],
+) {
+    let mut expected_len: Option<usize> = None;
+    for miner in miners {
+        let (result, elapsed) = time_best(runs, || miner.mine(db, min_sup));
+        match expected_len {
+            None => expected_len = Some(result.len()),
+            Some(n) => assert_eq!(
+                n,
+                result.len(),
+                "{} disagrees on |F| at {label}",
+                miner.name()
+            ),
+        }
+        table.row(vec![
+            label.to_string(),
+            miner.name().to_string(),
+            result.len().to_string(),
+            fmt_duration(elapsed),
+        ]);
+    }
+}
+
+/// X1 — runtime vs minimum support on sparse Quest data.
+pub fn x1_sparse_sweep(scale: Scale) -> Table {
+    let n = scale.pick(2_000, 10_000);
+    let db = datasets::sparse(n);
+    let mut table = Table::new(
+        format!("X1: sparse sweep, T10.I4.D{n}"),
+        &["min_sup", "miner", "|F|", "time"],
+    );
+    for rel in [0.02, 0.01, 0.005, 0.0025] {
+        let min_sup = ((rel * n as f64).ceil() as Support).max(1);
+        sweep_cell(
+            &mut table,
+            &format!("{:.2}%", rel * 100.0),
+            &db,
+            min_sup,
+            scale.runs(),
+            &roster(),
+        );
+    }
+    table
+}
+
+/// X2 — runtime vs minimum support on dense data.
+pub fn x2_dense_sweep(scale: Scale) -> Table {
+    let n = scale.pick(600, 3_000);
+    let db = datasets::dense(n, 16);
+    let mut table = Table::new(
+        format!("X2: dense sweep, DENSE16.D{n}"),
+        &["min_sup", "miner", "|F|", "time"],
+    );
+    for rel in [0.9, 0.7, 0.5, 0.3] {
+        let min_sup = ((rel * n as f64).ceil() as Support).max(1);
+        sweep_cell(
+            &mut table,
+            &format!("{:.0}%", rel * 100.0),
+            &db,
+            min_sup,
+            scale.runs(),
+            &roster(),
+        );
+    }
+    table
+}
+
+/// X3 — scalability with database size at fixed 1% support.
+pub fn x3_scalability(scale: Scale) -> Table {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[500, 1_000, 2_000, 4_000],
+        Scale::Full => &[2_000, 4_000, 8_000, 16_000, 32_000],
+    };
+    let mut table = Table::new(
+        "X3: scalability, T10.I4, min_sup = 1%",
+        &["|D|", "miner", "|F|", "time"],
+    );
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(ParallelPltMiner::default()),
+        Box::new(AprioriMiner::default()),
+        Box::new(FpGrowthMiner),
+    ];
+    for &n in sizes {
+        let db = datasets::sparse(n);
+        let min_sup = ((0.01 * n as f64).ceil() as Support).max(1);
+        sweep_cell(&mut table, &n.to_string(), &db, min_sup, scale.runs(), &miners);
+    }
+    table
+}
+
+/// X4 — top-down vs conditional crossover on dense short transactions,
+/// including the canonical-vs-naive propagation ablation.
+pub fn x4_topdown_crossover(scale: Scale) -> Table {
+    let n = scale.pick(600, 2_000);
+    let db = datasets::dense(n, 12);
+    let mut table = Table::new(
+        format!("X4: top-down crossover, DENSE12.D{n}"),
+        &["min_sup", "method", "|F|", "time"],
+    );
+    for rel in [0.5, 0.2, 0.1, 0.05, 0.01] {
+        let min_sup = ((rel * n as f64).ceil() as Support).max(1);
+        let label = format!("{:.0}%", rel * 100.0);
+        let runs = scale.runs();
+
+        let (cond, t_cond) =
+            time_best(runs, || ConditionalMiner::default().mine(&db, min_sup));
+        table.row(vec![
+            label.clone(),
+            "conditional".into(),
+            cond.len().to_string(),
+            fmt_duration(t_cond),
+        ]);
+
+        let (top, t_top) = time_best(runs, || TopDownMiner::default().mine(&db, min_sup));
+        assert_eq!(cond.len(), top.len(), "miners disagree at {label}");
+        table.row(vec![
+            label.clone(),
+            "top-down".into(),
+            top.len().to_string(),
+            fmt_duration(t_top),
+        ]);
+
+        let (hybrid, t_hybrid) =
+            time_best(runs, || HybridMiner::default().mine(&db, min_sup));
+        assert_eq!(cond.len(), hybrid.len(), "hybrid disagrees at {label}");
+        table.row(vec![
+            label.clone(),
+            "hybrid".into(),
+            hybrid.len().to_string(),
+            fmt_duration(t_hybrid),
+        ]);
+
+        // Ablation: canonical DP propagation vs naive per-vector subset
+        // enumeration (same all-subsets table, different cost).
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        let (_, t_canon) = time_best(runs, || all_subset_supports(&plt));
+        let (_, t_naive) = time_best(runs, || all_subset_supports_naive(&plt));
+        table.row(vec![
+            label.clone(),
+            "  propagation:canonical".into(),
+            "-".into(),
+            fmt_duration(t_canon),
+        ]);
+        table.row(vec![
+            label,
+            "  propagation:naive".into(),
+            "-".into(),
+            fmt_duration(t_naive),
+        ]);
+    }
+    table
+}
+
+/// X5 — parallel speedup vs thread count.
+pub fn x5_parallel(scale: Scale) -> Table {
+    let n = scale.pick(5_000, 50_000);
+    let db = datasets::sparse(n);
+    let min_sup = ((0.005 * n as f64).ceil() as Support).max(1);
+    let mut table = Table::new(
+        format!("X5: parallel speedup, T10.I4.D{n}, min_sup = 0.5%"),
+        &["threads", "miner", "|F|", "time", "speedup"],
+    );
+    let thread_counts = crate::thread_sweep();
+    type MineFn = Box<dyn Fn(&[Vec<Item>], Support) -> MiningResult + Sync>;
+    let miners: Vec<(&str, MineFn)> = vec![
+        (
+            "plt-parallel",
+            Box::new(|db: &[Vec<Item>], ms| ParallelPltMiner::default().mine(db, ms)),
+        ),
+        (
+            "eclat-parallel",
+            Box::new(|db: &[Vec<Item>], ms| ParallelEclatMiner.mine(db, ms)),
+        ),
+    ];
+    for (name, mine) in &miners {
+        let mut base: Option<Duration> = None;
+        for &threads in &thread_counts {
+            let (result, elapsed) =
+                run_with_threads(threads, || time_best(scale.runs(), || mine(&db, min_sup)));
+            let baseline = *base.get_or_insert(elapsed);
+            table.row(vec![
+                threads.to_string(),
+                name.to_string(),
+                result.len().to_string(),
+                fmt_duration(elapsed),
+                format!("{:.2}x", baseline.as_secs_f64() / elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    table
+}
+
+/// X6 — structure sizes: raw DB vs PLT table vs compressed PLT vs FP-tree.
+pub fn x6_compression(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "X6: structure sizes",
+        &["dataset", "metric", "value"],
+    );
+    let workloads: Vec<(String, Vec<Vec<Item>>, Support)> = vec![
+        {
+            let n = scale.pick(2_000, 10_000);
+            let db = datasets::sparse(n);
+            let ms = ((0.01 * n as f64).ceil() as Support).max(1);
+            (format!("T10.I4.D{n}"), db, ms)
+        },
+        {
+            let n = scale.pick(1_000, 5_000);
+            let db = datasets::dense(n, 16);
+            let ms = ((0.3 * n as f64).ceil() as Support).max(1);
+            (format!("DENSE16.D{n}"), db, ms)
+        },
+    ];
+    for (name, db, min_sup) in workloads {
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        let raw_items: usize = db.iter().map(Vec::len).sum();
+        let report = CompressedPlt::report(&plt, raw_items);
+        let (fp, _) = build_fp_tree(&db, min_sup);
+        for (metric, value) in [
+            ("raw DB bytes", report.raw_db_bytes.to_string()),
+            ("PLT table bytes", report.plt_table_bytes.to_string()),
+            (
+                "compressed PLT bytes",
+                report.compressed_data_bytes.to_string(),
+            ),
+            ("index bytes", report.compressed_index_bytes.to_string()),
+            (
+                "ratio vs raw",
+                format!("{:.3}", report.ratio_vs_raw()),
+            ),
+            (
+                "ratio vs table",
+                format!("{:.3}", report.ratio_vs_table()),
+            ),
+            ("distinct PLT vectors", report.num_vectors.to_string()),
+            ("FP-tree nodes", fp.node_count().to_string()),
+        ] {
+            table.row(vec![name.clone(), metric.to_string(), value]);
+        }
+    }
+    table
+}
+
+/// X7 — subset-checking micro-benchmark: PLT position-vector probes vs a
+/// plain itemset hash set, on a real Apriori prune workload.
+pub fn x7_subset_check(scale: Scale) -> Table {
+    let n = scale.pick(2_000, 10_000);
+    let db = datasets::baskets(n);
+    let min_sup = ((0.02 * n as f64).ceil() as Support).max(1);
+    // The frequent family and a candidate prune workload: every frequent
+    // k-itemset joined with every frequent item (a superset of Apriori's
+    // real candidate set).
+    let result = FpGrowthMiner.mine(&db, min_sup);
+    let ranking = ItemRanking::scan(&db, min_sup, RankPolicy::Lexicographic);
+    let mut candidates: Vec<Vec<Item>> = Vec::new();
+    let singletons: Vec<Item> = result
+        .of_size(1)
+        .map(|(s, _)| s.items()[0])
+        .collect();
+    for (itemset, _) in result.iter() {
+        for &x in &singletons {
+            if !itemset.contains(x) {
+                let mut c = itemset.items().to_vec();
+                c.push(x);
+                c.sort_unstable();
+                candidates.push(c);
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    let naive = NaiveChecker::from_result(&result);
+    let plt_checker = SubsetChecker::from_result(&result, &ranking);
+    let candidate_vectors: Vec<PositionVector> = candidates
+        .iter()
+        .map(|c| {
+            let ranks: Vec<_> = c.iter().map(|&i| ranking.rank(i).unwrap()).collect();
+            PositionVector::from_ranks(&ranks).unwrap()
+        })
+        .collect();
+
+    let runs = scale.runs().max(3);
+    let (kept_naive, t_naive) = time_best(runs, || {
+        candidates
+            .iter()
+            .filter(|c| naive.all_level_down_subsets_present(c))
+            .count()
+    });
+    let (kept_plt, t_plt) = time_best(runs, || {
+        candidate_vectors
+            .iter()
+            .filter(|v| plt_checker.all_level_down_subsets_present(v))
+            .count()
+    });
+    assert_eq!(kept_naive, kept_plt, "prune verdicts must agree");
+
+    let mut table = Table::new(
+        format!(
+            "X7: subset checking, {} candidates over {} frequent itemsets",
+            candidates.len(),
+            result.len()
+        ),
+        &["checker", "kept", "time"],
+    );
+    table.row(vec![
+        "naive hash set".into(),
+        kept_naive.to_string(),
+        fmt_duration(t_naive),
+    ]);
+    table.row(vec![
+        "plt position vectors".into(),
+        kept_plt.to_string(),
+        fmt_duration(t_plt),
+    ]);
+    table
+}
+
+/// X8 — construction cost: PLT (sequential and parallel) vs FP-tree vs
+/// vertical layout.
+pub fn x8_construction(scale: Scale) -> Table {
+    let n = scale.pick(5_000, 50_000);
+    let db = datasets::sparse(n);
+    let min_sup = ((0.01 * n as f64).ceil() as Support).max(1);
+    let runs = scale.runs();
+    let mut table = Table::new(
+        format!("X8: construction cost, T10.I4.D{n}, min_sup = 1%"),
+        &["structure", "size", "time"],
+    );
+
+    let (plt, t) = time_best(runs, || {
+        construct(&db, min_sup, ConstructOptions::conditional()).unwrap()
+    });
+    table.row(vec![
+        "PLT (sequential)".into(),
+        format!("{} vectors", plt.num_vectors()),
+        fmt_duration(t),
+    ]);
+
+    let (pplt, t) = time_best(runs, || {
+        par_construct(&db, min_sup, ConstructOptions::conditional()).unwrap()
+    });
+    assert_eq!(pplt.num_vectors(), plt.num_vectors());
+    table.row(vec![
+        "PLT (parallel)".into(),
+        format!("{} vectors", pplt.num_vectors()),
+        fmt_duration(t),
+    ]);
+
+    let (plt_prefix, t) = time_best(runs, || {
+        construct(&db, min_sup, ConstructOptions::top_down()).unwrap()
+    });
+    table.row(vec![
+        "PLT (with prefixes)".into(),
+        format!("{} vectors", plt_prefix.num_vectors()),
+        fmt_duration(t),
+    ]);
+
+    let ((fp, _), t) = time_best(runs, || build_fp_tree(&db, min_sup));
+    table.row(vec![
+        "FP-tree".into(),
+        format!("{} nodes", fp.node_count()),
+        fmt_duration(t),
+    ]);
+
+    let tdb = TransactionDb::from_sorted(db.clone());
+    let (v, t) = time_best(runs, || VerticalDb::from_horizontal(&tdb));
+    table.row(vec![
+        "vertical layout".into(),
+        format!("{} columns", v.num_items()),
+        fmt_duration(t),
+    ]);
+
+    table
+}
+
+/// X10 — power-law (retail/click-log) sweep: skew exponent vs runtime.
+/// Skewed popularity stresses the frequent-item projection: the steeper
+/// the head, the shorter the projected transactions.
+pub fn x10_zipf_sweep(scale: Scale) -> Table {
+    let n = scale.pick(2_000, 10_000);
+    let mut table = Table::new(
+        format!("X10: power-law sweep, ZIPF.D{n}, min_sup = 1%"),
+        &["exponent", "miner", "|F|", "time"],
+    );
+    let min_sup = ((0.01 * n as f64).ceil() as Support).max(1);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(HybridMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(HMineMiner),
+    ];
+    for exponent in [0.8, 1.1, 1.5] {
+        let db = datasets::zipf(n, exponent);
+        sweep_cell(
+            &mut table,
+            &format!("{exponent:.1}"),
+            &db,
+            min_sup,
+            scale.runs(),
+            &miners,
+        );
+    }
+    table
+}
+
+/// X9 — rank-policy ablation: the same conditional miner under the three
+/// item orders, reporting both structure shape (distinct vectors, average
+/// position value — the compression driver) and mining time.
+pub fn x9_rank_policy(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "X9: rank-policy ablation (conditional miner)",
+        &["dataset", "policy", "vectors", "avg pos", "|F|", "time"],
+    );
+    let workloads: Vec<(String, Vec<Vec<Item>>, Support)> = vec![
+        {
+            let n = scale.pick(2_000, 10_000);
+            (
+                format!("T10.I4.D{n}"),
+                datasets::sparse(n),
+                ((0.01 * n as f64).ceil() as Support).max(1),
+            )
+        },
+        {
+            let n = scale.pick(800, 3_000);
+            (
+                format!("DENSE16.D{n}"),
+                datasets::dense(n, 16),
+                ((0.4 * n as f64).ceil() as Support).max(1),
+            )
+        },
+    ];
+    for (name, db, min_sup) in workloads {
+        let mut expected: Option<usize> = None;
+        for (label, policy) in [
+            ("lexicographic", RankPolicy::Lexicographic),
+            ("freq-descending", RankPolicy::FrequencyDescending),
+            ("freq-ascending", RankPolicy::FrequencyAscending),
+        ] {
+            let plt = construct(
+                &db,
+                min_sup,
+                ConstructOptions {
+                    rank_policy: policy,
+                    with_prefixes: false,
+                },
+            )
+            .expect("well-formed database");
+            let (pos_sum, pos_count) = plt.iter().fold((0u64, 0u64), |(s, c), (v, _)| {
+                (
+                    s + v.positions().iter().map(|&p| p as u64).sum::<u64>(),
+                    c + v.len() as u64,
+                )
+            });
+            let avg_pos = pos_sum as f64 / pos_count.max(1) as f64;
+            let miner = ConditionalMiner::with_policy(policy);
+            let (result, elapsed) = time_best(scale.runs(), || miner.mine(&db, min_sup));
+            match expected {
+                None => expected = Some(result.len()),
+                Some(n) => assert_eq!(n, result.len(), "policy changed the answer"),
+            }
+            table.row(vec![
+                name.clone(),
+                label.to_string(),
+                plt.num_vectors().to_string(),
+                format!("{avg_pos:.2}"),
+                result.len().to_string(),
+                fmt_duration(elapsed),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The experiment functions both measure and *assert* (all miners must
+    // agree); running them at Quick scale is itself a meaningful
+    // integration test of the whole workspace.
+
+    #[test]
+    fn sweep_cell_runs_the_full_roster_and_asserts_agreement() {
+        // A miniature X1 cell: exercises every miner in the roster,
+        // including the in-harness |F| agreement assertion.
+        let db = crate::datasets::sparse_small(300);
+        let mut table = Table::new("smoke", &["min_sup", "miner", "|F|", "time"]);
+        sweep_cell(&mut table, "smoke", &db, 5, 1, &roster());
+        assert_eq!(table.num_rows(), roster().len());
+    }
+
+    #[test]
+    fn x4_quick_runs_and_agrees() {
+        let t = x4_topdown_crossover(Scale::Quick);
+        assert_eq!(t.num_rows(), 5 * 5);
+    }
+
+    #[test]
+    fn x6_reports_compression() {
+        let t = x6_compression(Scale::Quick);
+        assert_eq!(t.num_rows(), 16);
+        // The compressed PLT must beat the in-memory table on both
+        // datasets (ratio vs table < 1).
+        for row in 0..t.num_rows() {
+            if t.cell(row, 1) == "ratio vs table" {
+                let ratio: f64 = t.cell(row, 2).parse().unwrap();
+                assert!(ratio < 1.0, "ratio {ratio} on {}", t.cell(row, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn x7_verdicts_agree() {
+        let t = x7_subset_check(Scale::Quick);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 1), t.cell(1, 1));
+    }
+
+    #[test]
+    fn x8_structures_build() {
+        let t = x8_construction(Scale::Quick);
+        assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn x9_policies_agree_on_the_answer() {
+        let t = x9_rank_policy(Scale::Quick);
+        assert_eq!(t.num_rows(), 6);
+        // |F| must match across the three policies within each dataset.
+        for base in [0, 3] {
+            assert_eq!(t.cell(base, 4), t.cell(base + 1, 4));
+            assert_eq!(t.cell(base, 4), t.cell(base + 2, 4));
+        }
+    }
+}

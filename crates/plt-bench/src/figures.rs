@@ -1,0 +1,184 @@
+//! Exact reproductions of the paper's exhibits (experiments E-T1 and
+//! E-F1…E-F5 in `DESIGN.md`).
+//!
+//! Every function returns the regenerated artefact both as data (for the
+//! integration tests, which assert exact equality with the hand-derived
+//! values in the paper) and rendered as text (for the `experiments`
+//! binary). Items A..F of the paper are mapped to integers 0..5.
+
+use plt_core::conditional::extract_conditional;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::item::{Item, Support};
+use plt_core::plt::Plt;
+use plt_core::posvec::PositionVector;
+use plt_core::topdown::all_subset_supports;
+use plt_core::tree::LexTree;
+
+/// The paper's Table 1: six transactions over items A..F (here 0..5).
+pub fn table1_db() -> Vec<Vec<Item>> {
+    vec![
+        vec![0, 1, 2],       // 1: ABC
+        vec![0, 1, 2],       // 2: ABC
+        vec![0, 1, 2, 3],    // 3: ABCD
+        vec![0, 1, 3, 4],    // 4: ABDE
+        vec![1, 2, 3],       // 5: BCD
+        vec![2, 3, 5],       // 6: CDF
+    ]
+}
+
+/// Item letter (paper notation) for an item id.
+pub fn item_letter(item: Item) -> char {
+    (b'A' + item as u8) as char
+}
+
+/// The minimum (absolute) support the paper's walkthrough uses.
+pub const PAPER_MIN_SUPPORT: Support = 2;
+
+/// The Table 1 PLT (no prefixes — Figure 3's construction).
+pub fn table1_plt() -> Plt {
+    construct(&table1_db(), PAPER_MIN_SUPPORT, ConstructOptions::conditional())
+        .expect("paper database is well-formed")
+}
+
+/// E-T1 — frequent 1-items of Table 1 with their supports and ranks:
+/// `{(A,4),(B,5),(C,5),(D,4)}`, `Rank(A)=1 … Rank(D)=4`.
+pub fn exp_t1() -> String {
+    use std::fmt::Write;
+    let plt = table1_plt();
+    let mut out = String::from("Table 1 scan (min_sup = 2): frequent 1-items and ranks\n");
+    for (item, rank, support) in plt.ranking().entries() {
+        writeln!(
+            out,
+            "  Rank({}) = {rank}   support = {support}",
+            item_letter(item)
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// E-F1 — the complete lexicographic tree over {A,B,C,D} (Figure 1).
+pub fn exp_f1() -> (LexTree, String) {
+    let tree = LexTree::complete(4);
+    let text = format!(
+        "Lexicographic tree over {{A,B,C,D}} — {} nodes, height {}\n{}",
+        tree.size(),
+        tree.height(),
+        tree.render()
+    );
+    (tree, text)
+}
+
+/// E-F2 — the same tree annotated with position values (Figure 2). The
+/// rendering already shows `rank(pos)`; this variant highlights the
+/// position annotation the PLT adds.
+pub fn exp_f2() -> (LexTree, String) {
+    let tree = LexTree::complete(4);
+    let text = format!(
+        "PLT annotation: each node shows rank(pos), pos = Rank(child) − Rank(parent)\n{}",
+        tree.render()
+    );
+    (tree, text)
+}
+
+/// E-F3 — the PLT of Table 1 in both of Figure 3's views: (a) the
+/// matrices (partitions), (b) the physical tree.
+pub fn exp_f3() -> (Plt, String) {
+    let plt = table1_plt();
+    let tree = LexTree::from_plt(&plt);
+    let text = format!(
+        "(a) matrices view:\n{}\n(b) tree view:\n{}",
+        plt.render_matrices(),
+        tree.render()
+    );
+    (plt, text)
+}
+
+/// E-F4 — the database after the top-down pass (Figure 4): every subset
+/// present in the database with its total frequency.
+pub fn exp_f4() -> (Plt, String) {
+    let plt = table1_plt();
+    let table = all_subset_supports(&plt);
+    let fig4 = table.as_plt(&plt);
+    let text = format!(
+        "database after top-down propagation ({} itemsets):\n{}",
+        fig4.num_vectors(),
+        fig4.render_matrices()
+    );
+    (fig4, text)
+}
+
+/// E-F5 — D's conditional database and the residual PLT after extraction
+/// (Figure 5). Returns `(support_of_D, conditional_db, residual)` plus the
+/// rendering.
+#[allow(clippy::type_complexity)]
+pub fn exp_f5() -> (
+    Support,
+    Vec<(PositionVector, Support)>,
+    Plt,
+    String,
+) {
+    use std::fmt::Write;
+    let plt = table1_plt();
+    // D holds rank 4.
+    let (support, cd, residual) = extract_conditional(&plt, 4);
+    let mut text = format!("support(D) = {support}\n(a) D's conditional database:\n");
+    for (v, f) in &cd {
+        writeln!(text, "  {v}  freq={f}").unwrap();
+    }
+    write!(
+        text,
+        "(b) the PLT after extracting D:\n{}",
+        residual.render_matrices()
+    )
+    .unwrap();
+    (support, cd, residual, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_text_contains_paper_values() {
+        let s = exp_t1();
+        assert!(s.contains("Rank(A) = 1   support = 4"));
+        assert!(s.contains("Rank(B) = 2   support = 5"));
+        assert!(s.contains("Rank(C) = 3   support = 5"));
+        assert!(s.contains("Rank(D) = 4   support = 4"));
+        assert!(!s.contains("Rank(E)"));
+    }
+
+    #[test]
+    fn f1_f2_tree_shape() {
+        let (tree, text) = exp_f1();
+        assert_eq!(tree.size(), 16);
+        assert!(text.contains("16 nodes"));
+        let (_, t2) = exp_f2();
+        assert!(t2.contains("rank(pos)"));
+    }
+
+    #[test]
+    fn f3_partitions() {
+        let (plt, text) = exp_f3();
+        assert_eq!(plt.num_vectors(), 5);
+        assert!(text.contains("[1,1,1]  sum=3  freq=2"));
+        assert!(text.contains("(b) tree view:"));
+    }
+
+    #[test]
+    fn f4_all_subsets() {
+        let (fig4, text) = exp_f4();
+        assert_eq!(fig4.num_vectors(), 15);
+        assert!(text.contains("15 itemsets"));
+    }
+
+    #[test]
+    fn f5_conditional() {
+        let (support, cd, residual, text) = exp_f5();
+        assert_eq!(support, 4);
+        assert_eq!(cd.len(), 4);
+        assert_eq!(residual.num_vectors(), 4);
+        assert!(text.contains("support(D) = 4"));
+    }
+}

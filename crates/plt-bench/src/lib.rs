@@ -1,0 +1,193 @@
+//! # plt-bench — experiment harness
+//!
+//! Everything needed to regenerate the paper's exhibits and the extended
+//! evaluation of `DESIGN.md`:
+//!
+//! * [`figures`] — exact reproductions of the paper's Table 1 and
+//!   Figures 1–5 (experiments E-T1, E-F1…E-F5), as renderable strings
+//!   that the `experiments` binary prints and the integration tests
+//!   assert on;
+//! * [`datasets`] — the seeded workloads of X1..X8 (Quest sparse, dense,
+//!   market baskets);
+//! * [`experiments`] — each X-experiment as a function producing a
+//!   [`Table`], shared between the `experiments` binary and the Criterion
+//!   benches;
+//! * [`Table`] — a tiny fixed-width table printer so every experiment
+//!   reports "the same rows the paper would".
+
+pub mod datasets;
+pub mod experiments;
+pub mod figures;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure once, returning its result and the wall time.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Times a closure over `runs` runs (after one warm-up), reporting the
+/// minimum — the stablest point estimate for short CPU-bound workloads.
+pub fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(runs >= 1);
+    let mut best = Duration::MAX;
+    let mut result = None;
+    let _ = f(); // warm-up
+    for _ in 0..runs {
+        let start = Instant::now();
+        let r = f();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        result = Some(r);
+    }
+    (result.expect("runs >= 1"), best)
+}
+
+/// A fixed-width text table, printed like the tables in an evaluation
+/// section.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a caption and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// The caption.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor for tests: `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).unwrap();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                write!(out, "{cell:>w$}", w = w).unwrap();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Thread counts for the X5 scaling sweep: powers of two up to the larger
+/// of the host parallelism and 4, so the sweep exercises the machinery
+/// even on small hosts (oversubscribed counts are reported as-is).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .max(4);
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts
+}
+
+/// Formats a duration in adaptive units for table cells.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["miner", "time"]);
+        t.row(vec!["apriori".into(), "12ms".into()]);
+        t.row(vec!["plt".into(), "3ms".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("miner"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, 0), "plt");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        Table::new("x", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn timing_helpers_run_the_closure() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        let (v, _) = time_best(3, || 7);
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,583 @@
+//! Hand-rolled argument parsing for `plt-mine`.
+//!
+//! Deliberately dependency-free: the grammar is small (five subcommands,
+//! a dozen flags) and the parser returns structured [`Command`] values so
+//! every path is unit-testable.
+
+use std::fmt;
+
+/// Which mining algorithm `mine` should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// PLT conditional (Algorithm 3) — the default.
+    #[default]
+    Conditional,
+    /// PLT top-down (Algorithm 2).
+    TopDown,
+    /// PLT hybrid (conditional recursion, top-down finish).
+    Hybrid,
+    /// Parallel PLT (per-item partitions on a thread pool).
+    Parallel,
+    /// Apriori with hash-tree counting.
+    Apriori,
+    /// FP-growth.
+    FpGrowth,
+    /// Eclat (tidsets).
+    Eclat,
+    /// dEclat (diffsets).
+    DEclat,
+    /// H-Mine.
+    HMine,
+    /// AIS.
+    Ais,
+    /// Partition.
+    Partition,
+    /// Dynamic Itemset Counting.
+    Dic,
+    /// Toivonen sampling (exact via negative-border verification).
+    Sampling,
+}
+
+impl Algo {
+    fn from_str(s: &str) -> Option<Algo> {
+        Some(match s {
+            "conditional" | "plt" => Algo::Conditional,
+            "topdown" | "top-down" => Algo::TopDown,
+            "hybrid" => Algo::Hybrid,
+            "parallel" => Algo::Parallel,
+            "apriori" => Algo::Apriori,
+            "fp-growth" | "fpgrowth" => Algo::FpGrowth,
+            "eclat" => Algo::Eclat,
+            "declat" | "deciat" => Algo::DEclat,
+            "h-mine" | "hmine" => Algo::HMine,
+            "ais" => Algo::Ais,
+            "partition" => Algo::Partition,
+            "dic" => Algo::Dic,
+            "sampling" | "toivonen" => Algo::Sampling,
+            _ => return None,
+        })
+    }
+}
+
+/// Condensation applied to `mine` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Condense {
+    /// All frequent itemsets.
+    #[default]
+    All,
+    /// Closed itemsets only.
+    Closed,
+    /// Maximal itemsets only.
+    Maximal,
+}
+
+/// Synthetic dataset families for `gen`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenKind {
+    /// Sparse Quest (`T10.I4`).
+    Quest,
+    /// Dense chess-like.
+    Dense,
+    /// Named market baskets.
+    Basket,
+}
+
+/// Minimum support as given on the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSup {
+    /// Fraction of the database, `(0, 1)`.
+    Relative(f64),
+    /// Absolute transaction count, `>= 1`.
+    Absolute(u64),
+}
+
+impl MinSup {
+    /// Resolves against a database size.
+    pub fn resolve(self, num_transactions: usize) -> u64 {
+        match self {
+            MinSup::Relative(f) => ((f * num_transactions as f64).ceil() as u64).max(1),
+            MinSup::Absolute(n) => n,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mine`: print frequent itemsets.
+    Mine {
+        /// FIMI input path.
+        input: String,
+        /// Support threshold.
+        min_sup: MinSup,
+        /// Algorithm choice.
+        algo: Algo,
+        /// Condensation filter.
+        condense: Condense,
+        /// Print at most this many itemsets.
+        limit: Option<usize>,
+    },
+    /// `rules`: print association rules.
+    Rules {
+        /// FIMI input path.
+        input: String,
+        /// Support threshold.
+        min_sup: MinSup,
+        /// Confidence threshold in `[0, 1]`.
+        min_conf: f64,
+        /// Keep only the strongest `top` rules.
+        top: Option<usize>,
+    },
+    /// `stats`: print dataset statistics.
+    Stats {
+        /// FIMI input path.
+        input: String,
+    },
+    /// `show`: render the PLT (matrices, tree, compression report).
+    Show {
+        /// FIMI input path.
+        input: String,
+        /// Support threshold.
+        min_sup: MinSup,
+    },
+    /// `index`: build a compressed `.pltc` index file from FIMI input.
+    Index {
+        /// FIMI input path.
+        input: String,
+        /// Support threshold baked into the index.
+        min_sup: MinSup,
+        /// Output `.pltc` path.
+        output: String,
+    },
+    /// `mine-index`: mine a previously built `.pltc` index (PLT miners
+    /// only — the index *is* the PLT).
+    MineIndex {
+        /// `.pltc` input path.
+        index: String,
+        /// `true` = top-down, `false` = conditional.
+        topdown: bool,
+        /// Print at most this many itemsets.
+        limit: Option<usize>,
+    },
+    /// `query`: support of specific itemsets against a `.pltc` index.
+    Query {
+        /// `.pltc` input path.
+        index: String,
+        /// Itemsets to look up, each a space-separated item list.
+        itemsets: Vec<Vec<u32>>,
+    },
+    /// `gen`: write a synthetic dataset.
+    Gen {
+        /// Dataset family.
+        kind: GenKind,
+        /// Number of transactions.
+        transactions: usize,
+        /// Output FIMI path.
+        output: String,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage banner appended to every parse error.
+pub const USAGE: &str = "\
+usage:
+  plt-mine mine  --input <file.dat> --min-sup <frac|count>
+                 [--algo conditional|topdown|parallel|apriori|fp-growth|
+                  eclat|declat|h-mine|ais|partition|dic]
+                 [--closed | --maximal] [--limit N]
+  plt-mine rules --input <file.dat> --min-sup <frac|count> --min-conf <frac>
+                 [--top N]
+  plt-mine stats --input <file.dat>
+  plt-mine show  --input <file.dat> --min-sup <frac|count>
+  plt-mine gen   --kind quest|dense|basket --transactions N
+                 --output <file.dat> [--seed S]
+  plt-mine index --input <file.dat> --min-sup <frac|count>
+                 --output <file.pltc>
+  plt-mine mine-index --index <file.pltc> [--topdown] [--limit N]
+  plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]";
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// A tiny flag cursor over `argv`.
+struct Cursor<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let f = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(f)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, ParseError> {
+        match self.args.get(self.pos) {
+            Some(v) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            None => err(format!("flag {flag} requires a value")),
+        }
+    }
+}
+
+fn parse_min_sup(s: &str) -> Result<MinSup, ParseError> {
+    if let Ok(v) = s.parse::<f64>() {
+        if v > 0.0 && v < 1.0 {
+            return Ok(MinSup::Relative(v));
+        }
+        if v >= 1.0 && v.fract() == 0.0 {
+            return Ok(MinSup::Absolute(v as u64));
+        }
+    }
+    err(format!(
+        "--min-sup must be a fraction in (0,1) or an integer count >= 1, got {s:?}"
+    ))
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return err("missing subcommand");
+    };
+    let mut cur = Cursor {
+        args: argv,
+        pos: 1,
+    };
+    match sub.as_str() {
+        "mine" => {
+            let (mut input, mut min_sup, mut algo) = (None, None, Algo::default());
+            let mut condense = Condense::default();
+            let mut limit = None;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    "--algo" => {
+                        let v = cur.value(flag)?;
+                        algo = Algo::from_str(v)
+                            .ok_or_else(|| ParseError(format!("unknown algorithm {v:?}")))?;
+                    }
+                    "--closed" => condense = Condense::Closed,
+                    "--maximal" => condense = Condense::Maximal,
+                    "--limit" => {
+                        limit = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--limit must be an integer: {e}"))
+                        })?)
+                    }
+                    other => return err(format!("unknown flag {other:?} for mine")),
+                }
+            }
+            Ok(Command::Mine {
+                input: input.ok_or(ParseError("mine requires --input".into()))?,
+                min_sup: min_sup.ok_or(ParseError("mine requires --min-sup".into()))?,
+                algo,
+                condense,
+                limit,
+            })
+        }
+        "rules" => {
+            let (mut input, mut min_sup, mut min_conf, mut top) = (None, None, None, None);
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    "--min-conf" => {
+                        let v: f64 = cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--min-conf must be a number: {e}"))
+                        })?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return err("--min-conf must be in [0,1]");
+                        }
+                        min_conf = Some(v);
+                    }
+                    "--top" => {
+                        top = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--top must be an integer: {e}"))
+                        })?)
+                    }
+                    other => return err(format!("unknown flag {other:?} for rules")),
+                }
+            }
+            Ok(Command::Rules {
+                input: input.ok_or(ParseError("rules requires --input".into()))?,
+                min_sup: min_sup.ok_or(ParseError("rules requires --min-sup".into()))?,
+                min_conf: min_conf.ok_or(ParseError("rules requires --min-conf".into()))?,
+                top,
+            })
+        }
+        "stats" => {
+            let mut input = None;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    other => return err(format!("unknown flag {other:?} for stats")),
+                }
+            }
+            Ok(Command::Stats {
+                input: input.ok_or(ParseError("stats requires --input".into()))?,
+            })
+        }
+        "show" => {
+            let (mut input, mut min_sup) = (None, None);
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    other => return err(format!("unknown flag {other:?} for show")),
+                }
+            }
+            Ok(Command::Show {
+                input: input.ok_or(ParseError("show requires --input".into()))?,
+                min_sup: min_sup.ok_or(ParseError("show requires --min-sup".into()))?,
+            })
+        }
+        "index" => {
+            let (mut input, mut min_sup, mut output) = (None, None, None);
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    "--output" => output = Some(cur.value(flag)?.to_string()),
+                    other => return err(format!("unknown flag {other:?} for index")),
+                }
+            }
+            Ok(Command::Index {
+                input: input.ok_or(ParseError("index requires --input".into()))?,
+                min_sup: min_sup.ok_or(ParseError("index requires --min-sup".into()))?,
+                output: output.ok_or(ParseError("index requires --output".into()))?,
+            })
+        }
+        "mine-index" => {
+            let mut index = None;
+            let mut topdown = false;
+            let mut limit = None;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--index" => index = Some(cur.value(flag)?.to_string()),
+                    "--topdown" => topdown = true,
+                    "--limit" => {
+                        limit = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--limit must be an integer: {e}"))
+                        })?)
+                    }
+                    other => return err(format!("unknown flag {other:?} for mine-index")),
+                }
+            }
+            Ok(Command::MineIndex {
+                index: index.ok_or(ParseError("mine-index requires --index".into()))?,
+                topdown,
+                limit,
+            })
+        }
+        "query" => {
+            let mut index = None;
+            let mut itemsets: Vec<Vec<u32>> = Vec::new();
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--index" => index = Some(cur.value(flag)?.to_string()),
+                    "--itemset" => {
+                        let raw = cur.value(flag)?;
+                        let mut items = Vec::new();
+                        for tok in raw.split_whitespace() {
+                            items.push(tok.parse::<u32>().map_err(|e| {
+                                ParseError(format!("bad item {tok:?} in --itemset: {e}"))
+                            })?);
+                        }
+                        if items.is_empty() {
+                            return err("--itemset must name at least one item");
+                        }
+                        itemsets.push(items);
+                    }
+                    other => return err(format!("unknown flag {other:?} for query")),
+                }
+            }
+            if itemsets.is_empty() {
+                return err("query requires at least one --itemset");
+            }
+            Ok(Command::Query {
+                index: index.ok_or(ParseError("query requires --index".into()))?,
+                itemsets,
+            })
+        }
+        "gen" => {
+            let (mut kind, mut transactions, mut output) = (None, None, None);
+            let mut seed = 42u64;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--kind" => {
+                        kind = Some(match cur.value(flag)? {
+                            "quest" => GenKind::Quest,
+                            "dense" => GenKind::Dense,
+                            "basket" => GenKind::Basket,
+                            other => {
+                                return err(format!("unknown dataset kind {other:?}"))
+                            }
+                        })
+                    }
+                    "--transactions" => {
+                        transactions = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--transactions must be an integer: {e}"))
+                        })?)
+                    }
+                    "--output" => output = Some(cur.value(flag)?.to_string()),
+                    "--seed" => {
+                        seed = cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--seed must be an integer: {e}"))
+                        })?
+                    }
+                    other => return err(format!("unknown flag {other:?} for gen")),
+                }
+            }
+            Ok(Command::Gen {
+                kind: kind.ok_or(ParseError("gen requires --kind".into()))?,
+                transactions: transactions
+                    .ok_or(ParseError("gen requires --transactions".into()))?,
+                output: output.ok_or(ParseError("gen requires --output".into()))?,
+                seed,
+            })
+        }
+        other => err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mine_with_defaults() {
+        let c = parse(&argv(&["mine", "--input", "x.dat", "--min-sup", "0.01"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Mine {
+                input: "x.dat".into(),
+                min_sup: MinSup::Relative(0.01),
+                algo: Algo::Conditional,
+                condense: Condense::All,
+                limit: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_absolute_support() {
+        let c = parse(&argv(&["mine", "--input", "x", "--min-sup", "25"])).unwrap();
+        match c {
+            Command::Mine { min_sup, .. } => assert_eq!(min_sup, MinSup::Absolute(25)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn min_sup_resolution() {
+        assert_eq!(MinSup::Relative(0.01).resolve(1000), 10);
+        assert_eq!(MinSup::Relative(0.001).resolve(100), 1);
+        assert_eq!(MinSup::Absolute(5).resolve(1000), 5);
+    }
+
+    #[test]
+    fn rejects_bad_min_sup() {
+        for bad in ["0", "0.0", "1.5", "-3", "abc"] {
+            assert!(
+                parse(&argv(&["mine", "--input", "x", "--min-sup", bad])).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_all_algorithms() {
+        for (name, algo) in [
+            ("conditional", Algo::Conditional),
+            ("plt", Algo::Conditional),
+            ("topdown", Algo::TopDown),
+            ("hybrid", Algo::Hybrid),
+            ("parallel", Algo::Parallel),
+            ("apriori", Algo::Apriori),
+            ("fp-growth", Algo::FpGrowth),
+            ("eclat", Algo::Eclat),
+            ("declat", Algo::DEclat),
+            ("h-mine", Algo::HMine),
+            ("ais", Algo::Ais),
+            ("partition", Algo::Partition),
+            ("dic", Algo::Dic),
+            ("sampling", Algo::Sampling),
+            ("toivonen", Algo::Sampling),
+        ] {
+            let c = parse(&argv(&[
+                "mine", "--input", "x", "--min-sup", "2", "--algo", name,
+            ]))
+            .unwrap();
+            match c {
+                Command::Mine { algo: a, .. } => assert_eq!(a, algo, "{name}"),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_rules_and_gen() {
+        let c = parse(&argv(&[
+            "rules", "--input", "x", "--min-sup", "0.02", "--min-conf", "0.7", "--top", "5",
+        ]))
+        .unwrap();
+        assert!(matches!(c, Command::Rules { top: Some(5), .. }));
+
+        let c = parse(&argv(&[
+            "gen",
+            "--kind",
+            "dense",
+            "--transactions",
+            "100",
+            "--output",
+            "o.dat",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                kind: GenKind::Dense,
+                transactions: 100,
+                output: "o.dat".into(),
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse(&argv(&["mine", "--min-sup", "2"])).is_err());
+        assert!(parse(&argv(&["rules", "--input", "x", "--min-sup", "2"])).is_err());
+        assert!(parse(&argv(&["gen", "--kind", "quest"])).is_err());
+        assert!(parse(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn error_display_includes_usage() {
+        let e = parse(&argv(&["nope"])).unwrap_err();
+        assert!(e.to_string().contains("usage:"));
+    }
+}

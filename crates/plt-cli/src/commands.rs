@@ -1,0 +1,299 @@
+//! Command execution for `plt-mine`.
+
+use std::io::Write;
+
+use plt_baselines::{
+    AisMiner, AprioriMiner, DicMiner, EclatMiner, FpGrowthMiner, HMineMiner, PartitionMiner,
+    SamplingMiner,
+};
+use plt_closed::{closed_itemsets, maximal_itemsets};
+use plt_compress::CompressedPlt;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::miner::{Miner, MiningResult};
+use plt_core::tree::LexTree;
+use plt_core::{ConditionalMiner, TopDownMiner};
+use plt_data::gen::basket::{BasketConfig, BasketGenerator};
+use plt_data::gen::dense::{DenseConfig, DenseGenerator};
+use plt_data::gen::quest::{QuestConfig, QuestGenerator};
+use plt_data::{fimi, DbStats, TransactionDb};
+use plt_parallel::ParallelPltMiner;
+use plt_rules::{top_rules, RuleConfig};
+
+use crate::args::{Algo, Command, Condense, GenKind, MinSup};
+
+/// Errors surfaced to the user: message only, no panics.
+pub type CmdResult = Result<(), String>;
+
+/// Runs one parsed command.
+pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
+    match command {
+        Command::Mine {
+            input,
+            min_sup,
+            algo,
+            condense,
+            limit,
+        } => mine(&input, min_sup, algo, condense, limit, out),
+        Command::Rules {
+            input,
+            min_sup,
+            min_conf,
+            top,
+        } => rules(&input, min_sup, min_conf, top, out),
+        Command::Stats { input } => stats(&input, out),
+        Command::Show { input, min_sup } => show(&input, min_sup, out),
+        Command::Gen {
+            kind,
+            transactions,
+            output,
+            seed,
+        } => gen(kind, transactions, &output, seed, out),
+        Command::Index {
+            input,
+            min_sup,
+            output,
+        } => index(&input, min_sup, &output, out),
+        Command::MineIndex {
+            index,
+            topdown,
+            limit,
+        } => mine_index(&index, topdown, limit, out),
+        Command::Query { index, itemsets } => query(&index, &itemsets, out),
+    }
+}
+
+fn load_index(path: &str) -> Result<plt_core::Plt, String> {
+    let compressed =
+        plt_compress::file::load(path).map_err(|e| format!("cannot read index {path}: {e}"))?;
+    Ok(compressed.to_plt())
+}
+
+fn index(input: &str, min_sup: MinSup, output: &str, out: &mut dyn Write) -> CmdResult {
+    let db = load(input)?;
+    let abs = min_sup.resolve(db.len());
+    let plt = construct(db.transactions(), abs, ConstructOptions::conditional())
+        .map_err(|e| e.to_string())?;
+    let compressed = CompressedPlt::from_plt(&plt);
+    plt_compress::file::save(output, &compressed)
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    writeln!(
+        out,
+        "wrote {output}: {} vectors, {} B payload (min_sup = {abs} of {})",
+        compressed.num_vectors(),
+        compressed.data_bytes(),
+        db.len()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn mine_index(path: &str, topdown: bool, limit: Option<usize>, out: &mut dyn Write) -> CmdResult {
+    let plt = load_index(path)?;
+    let result = if topdown {
+        TopDownMiner::default().mine_plt(&plt)
+    } else {
+        ConditionalMiner::default().mine_plt(&plt)
+    };
+    let sorted = result.sorted();
+    let shown = limit.unwrap_or(sorted.len()).min(sorted.len());
+    writeln!(
+        out,
+        "{} frequent itemsets (min_sup = {} of {}, from index)",
+        sorted.len(),
+        plt.min_support(),
+        plt.num_transactions()
+    )
+    .map_err(|e| e.to_string())?;
+    for (itemset, support) in &sorted[..shown] {
+        writeln!(out, "{itemset}  support={support}").map_err(|e| e.to_string())?;
+    }
+    if shown < sorted.len() {
+        writeln!(out, "... ({} more)", sorted.len() - shown).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn query(path: &str, itemsets: &[Vec<u32>], out: &mut dyn Write) -> CmdResult {
+    let plt = load_index(path)?;
+    let oracle = plt_core::SupportOracle::new(&plt);
+    for items in itemsets {
+        let support = oracle.support(items, &plt);
+        let rendered: Vec<String> = items.iter().map(u32::to_string).collect();
+        writeln!(
+            out,
+            "{{{}}}  support={support} ({:.2}%)",
+            rendered.join(","),
+            100.0 * support as f64 / plt.num_transactions().max(1) as f64
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn load(input: &str) -> Result<TransactionDb, String> {
+    fimi::read_file(input).map_err(|e| format!("cannot read {input}: {e}"))
+}
+
+fn miner_for(algo: Algo) -> Box<dyn Miner> {
+    match algo {
+        Algo::Conditional => Box::new(ConditionalMiner::default()),
+        Algo::TopDown => Box::new(TopDownMiner::default()),
+        Algo::Hybrid => Box::new(plt_core::HybridMiner::default()),
+        Algo::Parallel => Box::new(ParallelPltMiner::default()),
+        Algo::Apriori => Box::new(AprioriMiner::default()),
+        Algo::FpGrowth => Box::new(FpGrowthMiner),
+        Algo::Eclat => Box::new(EclatMiner::default()),
+        Algo::DEclat => Box::new(EclatMiner::with_diffsets()),
+        Algo::HMine => Box::new(HMineMiner),
+        Algo::Ais => Box::new(AisMiner),
+        Algo::Partition => Box::new(PartitionMiner::default()),
+        Algo::Dic => Box::new(DicMiner::default()),
+        Algo::Sampling => Box::new(SamplingMiner::default()),
+    }
+}
+
+fn run_miner(db: &TransactionDb, min_sup: MinSup, algo: Algo) -> Result<MiningResult, String> {
+    let abs = min_sup.resolve(db.len());
+    if abs == 0 {
+        return Err("resolved minimum support is zero".into());
+    }
+    Ok(miner_for(algo).mine(db.transactions(), abs))
+}
+
+fn mine(
+    input: &str,
+    min_sup: MinSup,
+    algo: Algo,
+    condense: Condense,
+    limit: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let db = load(input)?;
+    // `--closed` under the default algorithm uses the native closed miner
+    // (never materialises the full frequent family); other combinations
+    // mine completely and filter.
+    let (family, label) = if condense == Condense::Closed && algo == Algo::Conditional {
+        let abs = min_sup.resolve(db.len());
+        (
+            plt_closed::ClosedMiner::default().mine(db.transactions(), abs),
+            "closed frequent",
+        )
+    } else {
+        let result = run_miner(&db, min_sup, algo)?;
+        match condense {
+            Condense::All => (result, "frequent"),
+            Condense::Closed => (closed_itemsets(&result), "closed frequent"),
+            Condense::Maximal => (maximal_itemsets(&result), "maximal frequent"),
+        }
+    };
+    let sorted = family.sorted();
+    let shown = limit.unwrap_or(sorted.len()).min(sorted.len());
+    writeln!(
+        out,
+        "{} {label} itemsets (min_sup = {} of {})",
+        sorted.len(),
+        family.min_support(),
+        db.len()
+    )
+    .map_err(|e| e.to_string())?;
+    for (itemset, support) in &sorted[..shown] {
+        writeln!(out, "{itemset}  support={support}").map_err(|e| e.to_string())?;
+    }
+    if shown < sorted.len() {
+        writeln!(out, "... ({} more)", sorted.len() - shown).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn rules(
+    input: &str,
+    min_sup: MinSup,
+    min_conf: f64,
+    top: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let db = load(input)?;
+    let result = run_miner(&db, min_sup, Algo::Conditional)?;
+    let rules = top_rules(
+        &result,
+        RuleConfig {
+            min_confidence: min_conf,
+        },
+        top.unwrap_or(usize::MAX),
+    );
+    writeln!(
+        out,
+        "{} rules at confidence >= {min_conf} (from {} frequent itemsets)",
+        rules.len(),
+        result.len()
+    )
+    .map_err(|e| e.to_string())?;
+    for rule in &rules {
+        writeln!(out, "{rule}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn stats(input: &str, out: &mut dyn Write) -> CmdResult {
+    let db = load(input)?;
+    writeln!(out, "{}", DbStats::of(&db)).map_err(|e| e.to_string())
+}
+
+fn show(input: &str, min_sup: MinSup, out: &mut dyn Write) -> CmdResult {
+    let db = load(input)?;
+    let abs = min_sup.resolve(db.len());
+    let plt = construct(db.transactions(), abs, ConstructOptions::conditional())
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "PLT over {} transactions, {} ranked items, {} distinct vectors",
+        plt.num_transactions(),
+        plt.ranking().len(),
+        plt.num_vectors()
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "\nmatrices view:\n{}", plt.render_matrices()).map_err(|e| e.to_string())?;
+    writeln!(out, "tree view:\n{}", LexTree::from_plt(&plt).render())
+        .map_err(|e| e.to_string())?;
+    let raw_items: usize = db.transactions().iter().map(Vec::len).sum();
+    let report = CompressedPlt::report(&plt, raw_items);
+    writeln!(
+        out,
+        "compressed: {} B payload + {} B index (raw DB {} B, ratio {:.3})",
+        report.compressed_data_bytes,
+        report.compressed_index_bytes,
+        report.raw_db_bytes,
+        report.ratio_vs_raw()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn gen(
+    kind: GenKind,
+    transactions: usize,
+    output: &str,
+    seed: u64,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let db = match kind {
+        GenKind::Quest => QuestGenerator::new(QuestConfig {
+            num_transactions: transactions,
+            seed,
+            ..QuestConfig::t10i4(transactions)
+        })
+        .generate(),
+        GenKind::Dense => DenseGenerator::new(DenseConfig {
+            num_transactions: transactions,
+            seed,
+            ..Default::default()
+        })
+        .generate(),
+        GenKind::Basket => BasketGenerator::new(BasketConfig {
+            num_baskets: transactions,
+            seed,
+            ..Default::default()
+        })
+        .generate(),
+    };
+    fimi::write_file(output, &db).map_err(|e| format!("cannot write {output}: {e}"))?;
+    writeln!(out, "wrote {} ({})", output, DbStats::of(&db)).map_err(|e| e.to_string())
+}

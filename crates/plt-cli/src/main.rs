@@ -1,0 +1,11 @@
+//! Thin process wrapper around the testable [`plt_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(msg) = plt_cli::run(&argv, &mut out) {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,161 @@
+//! The `PLTC` on-disk format.
+//!
+//! ```text
+//! "PLTC" | version varint | min_support varint | num_transactions varint
+//! | rank policy u8 | n_items varint | (item varint, support varint)×n
+//! | n_partitions varint
+//! | (k varint, entries varint, data_len varint, front-coded payload)×p
+//! | fx-checksum u64 LE
+//! ```
+//!
+//! Design notes:
+//!
+//! * indexes (restart tables, sum index) are derived data and are rebuilt
+//!   on load rather than trusted from disk;
+//! * the ranking is stored as `(item, support)` in rank order plus the
+//!   policy byte; `ItemRanking::from_frequent_items` is deterministic, so
+//!   reload reproduces the identical `Rank` function;
+//! * the trailing checksum (the crate's Fx hash over the body) detects
+//!   corruption, not tampering — the format trusts its producer.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::compressed::CompressedPlt;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"PLTC";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Integrity checksum: the workspace Fx hash over a byte slice.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = plt_core::hash::FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Writes a compressed PLT to any writer.
+pub fn write<W: Write>(mut writer: W, plt: &CompressedPlt) -> std::io::Result<()> {
+    writer.write_all(&plt.to_bytes())
+}
+
+/// Reads a compressed PLT from any reader.
+pub fn read<R: Read>(mut reader: R) -> std::io::Result<CompressedPlt> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    CompressedPlt::from_bytes(&bytes)
+}
+
+/// Saves to a file path.
+pub fn save<P: AsRef<Path>>(path: P, plt: &CompressedPlt) -> std::io::Result<()> {
+    write(std::fs::File::create(path)?, plt)
+}
+
+/// Loads from a file path.
+pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<CompressedPlt> {
+    read(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::construct::{construct, ConstructOptions};
+    use plt_core::ranking::RankPolicy;
+
+    fn sample(policy: RankPolicy) -> CompressedPlt {
+        let db: Vec<Vec<u32>> = (0..200u32)
+            .map(|i| vec![i % 9, 9 + (i % 7), 16 + (i % 5)])
+            .collect();
+        let plt = construct(
+            &db,
+            3,
+            ConstructOptions {
+                rank_policy: policy,
+                with_prefixes: false,
+            },
+        )
+        .unwrap();
+        CompressedPlt::from_plt(&plt)
+    }
+
+    #[test]
+    fn byte_round_trip_preserves_everything() {
+        for policy in [
+            RankPolicy::Lexicographic,
+            RankPolicy::FrequencyDescending,
+            RankPolicy::FrequencyAscending,
+        ] {
+            let original = sample(policy);
+            let bytes = original.to_bytes();
+            let loaded = CompressedPlt::from_bytes(&bytes).unwrap();
+            assert_eq!(loaded.num_vectors(), original.num_vectors());
+            let a = original.to_plt();
+            let b = loaded.to_plt();
+            assert_eq!(a.num_transactions(), b.num_transactions());
+            assert_eq!(a.min_support(), b.min_support());
+            assert_eq!(a.ranking(), b.ranking(), "{policy:?}");
+            for (v, e) in a.iter() {
+                assert_eq!(b.vector_frequency(v), e.freq);
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join(format!("plt-file-{}.pltc", std::process::id()));
+        let original = sample(RankPolicy::Lexicographic);
+        save(&path, &original).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_vectors(), original.num_vectors());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = sample(RankPolicy::Lexicographic).to_bytes();
+        bytes[0] = b'X';
+        let err = CompressedPlt::from_bytes(&bytes).unwrap_err();
+        // Flipping the magic also breaks the checksum; either message is a
+        // correct rejection.
+        let msg = err.to_string();
+        assert!(msg.contains("checksum") || msg.contains("magic"), "{msg}");
+    }
+
+    #[test]
+    fn detects_corruption_anywhere() {
+        let bytes = sample(RankPolicy::Lexicographic).to_bytes();
+        for pos in [4, bytes.len() / 2, bytes.len() - 9] {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0xff;
+            assert!(
+                CompressedPlt::from_bytes(&corrupted).is_err(),
+                "flip at {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = sample(RankPolicy::Lexicographic).to_bytes();
+        assert!(CompressedPlt::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CompressedPlt::from_bytes(&bytes[..4]).is_err());
+        assert!(CompressedPlt::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let original = sample(RankPolicy::Lexicographic);
+        let mut bytes = original.to_bytes();
+        // Version is the varint right after the 4-byte magic; VERSION = 1
+        // encodes as a single byte. Patch it and re-stamp the checksum.
+        bytes[4] = 9;
+        let body_len = bytes.len() - 8;
+        let sum = checksum(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        let err = CompressedPlt::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # plt-compress — compressed, indexed PLT storage
+//!
+//! The paper's §6 claims the PLT "regulates the data in the database so
+//! that they can be applicable to compression and indexing techniques,
+//! which makes PLT suitable for supporting large databases". This crate
+//! makes that concrete. Two structural facts of position vectors do the
+//! work:
+//!
+//! 1. **positions are small** — they are rank *deltas*, so under any
+//!    frequency-aware ranking most positions are 1 or 2 and LEB128 varints
+//!    shrink them to one byte;
+//! 2. **partitions sort well** — vectors of one length sorted
+//!    lexicographically share long prefixes, so block front coding (store
+//!    the length of the shared prefix with the previous entry, then only
+//!    the suffix) removes most repeated bytes while restart points keep
+//!    random access.
+//!
+//! On top of the byte stream sits a **sum index** (vector sum → entry
+//! ordinals). Because a vector's sum is the rank of its last item
+//! (Lemma 4.1.1), this is precisely the index a conditional miner needs:
+//! `vectors_with_sum(j)` *is* item `j`'s conditional database, fetched
+//! without decompressing unrelated blocks.
+
+pub mod compressed;
+pub mod file;
+pub mod varint;
+
+pub use compressed::{CompressedPlt, CompressionReport};

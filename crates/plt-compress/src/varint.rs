@@ -1,0 +1,144 @@
+//! LEB128 variable-length integers over the `bytes` buffer traits.
+//!
+//! Position values are rank deltas and cluster near 1; frequencies are
+//! Zipf-ish. Both fit one byte in the overwhelmingly common case, which is
+//! the entire compression argument of this crate.
+
+use bytes::{Buf, BufMut};
+
+/// Encodes `value` as LEB128 into `buf`.
+pub fn put_u64<B: BufMut>(buf: &mut B, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Encodes a `u32` (positions and ranks).
+pub fn put_u32<B: BufMut>(buf: &mut B, value: u32) {
+    put_u64(buf, value as u64);
+}
+
+/// Decodes a LEB128 `u64` from `buf`.
+///
+/// # Panics
+/// Panics on truncated input or on encodings longer than 10 bytes — both
+/// indicate corruption of an internal buffer, not user error.
+pub fn get_u64<B: Buf>(buf: &mut B) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        assert!(buf.has_remaining(), "truncated varint");
+        let byte = buf.get_u8();
+        assert!(shift < 64, "varint too long");
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+/// Decodes a `u32`, panicking if the stored value overflows.
+pub fn get_u32<B: Buf>(buf: &mut B) -> u32 {
+    let v = get_u64(buf);
+    u32::try_from(v).expect("varint exceeds u32")
+}
+
+/// Number of bytes the LEB128 encoding of `value` takes.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    (64 - value.leading_zeros() as usize).div_ceil(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len(v));
+        let mut slice = buf.as_slice();
+        let back = get_u64(&mut slice);
+        assert!(slice.is_empty(), "residual bytes");
+        back
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn boundaries_round_trip() {
+        for v in [127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn u32_helpers() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 300);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_u32(&mut slice), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_input_panics() {
+        let mut slice: &[u8] = &[0x80];
+        get_u64(&mut slice);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn get_u32_overflow_panics() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut slice = buf.as_slice();
+        get_u32(&mut slice);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in any::<u64>()) {
+            prop_assert_eq!(roundtrip(v), v);
+        }
+
+        #[test]
+        fn prop_encoded_len_matches(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            prop_assert_eq!(buf.len(), encoded_len(v));
+        }
+
+        /// Concatenated streams decode in order.
+        #[test]
+        fn prop_stream_roundtrip(vs in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                put_u64(&mut buf, v);
+            }
+            let mut slice = buf.as_slice();
+            for &v in &vs {
+                prop_assert_eq!(get_u64(&mut slice), v);
+            }
+            prop_assert!(slice.is_empty());
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Algorithm 3 — the conditional mining approach (§5.1).
+//!
+//! A pattern-growth miner in the FP-growth family, driven entirely by the
+//! position-vector encoding:
+//!
+//! * the conditional database of the highest-ranked unprocessed item `j` is
+//!   *exactly* the set of vectors whose cached **sum** equals `j`
+//!   (Lemma 4.1.1: the sum is the rank of the last item) — no node links or
+//!   header chains as in the FP-tree;
+//! * the support of `suffix ∪ {item(j)}` is the total frequency of those
+//!   vectors;
+//! * each such vector is folded back into the working structure with its
+//!   last position removed ("for each vector support D a new vector is
+//!   constructed by removing the last position value and inserting this
+//!   vector into the proper partition in the original database") so that
+//!   the transaction keeps supporting its remaining items;
+//! * if the extension is frequent, a **conditional PLT** is built from the
+//!   removed-last-position vectors — re-filtered against the minimum
+//!   support so the anti-monotone property prunes the recursion — and the
+//!   process recurses ("a new conditional database is constructed as long
+//!   as the produced itemset is frequent").
+//!
+//! Items are processed "in reverse lexicographic order", i.e. by descending
+//! rank, both at the top level and inside every conditional structure.
+
+use std::collections::BTreeMap;
+
+use crate::construct::{construct, ConstructOptions};
+use crate::hash::FxHashMap;
+use crate::item::{Item, Itemset, Rank, Support};
+use crate::miner::{Miner, MiningResult};
+use crate::plt::Plt;
+use crate::posvec::PositionVector;
+use crate::ranking::RankPolicy;
+
+/// Working representation of a (conditional) PLT during mining: vectors
+/// grouped by their sum. `BTreeMap` gives us "maximum rank present" and
+/// descending iteration for free; the inner map deduplicates identical
+/// vectors exactly as PLT partitions do.
+pub(crate) type SumGroups = BTreeMap<Rank, FxHashMap<PositionVector, Support>>;
+
+/// The conditional (pattern-growth) miner.
+///
+/// # Examples
+///
+/// ```
+/// use plt_core::{ConditionalMiner, Miner};
+///
+/// let db = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
+/// let result = ConditionalMiner::default().mine(&db, 2);
+/// assert_eq!(result.support(&[1, 2]), Some(2));
+/// assert_eq!(result.support(&[2]), Some(3));
+/// assert!(!result.contains(&[3])); // support 1 < 2
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConditionalMiner {
+    /// Item-order policy for the underlying PLT.
+    pub rank_policy: RankPolicy,
+}
+
+impl ConditionalMiner {
+    /// Miner with a specific rank policy.
+    pub fn with_policy(rank_policy: RankPolicy) -> Self {
+        ConditionalMiner { rank_policy }
+    }
+
+    /// Mines an already-constructed PLT (built *without* prefix insertion).
+    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
+        let mut groups: SumGroups = BTreeMap::new();
+        for (v, e) in plt.iter() {
+            *groups
+                .entry(e.sum)
+                .or_default()
+                .entry(v.clone())
+                .or_insert(0) += e.freq;
+        }
+        let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
+        let mut suffix = Vec::new();
+        mine_groups(groups, plt, &mut suffix, &mut result);
+        result
+    }
+}
+
+/// The recursive core — the paper's `Mining(PLT, itemset)`.
+///
+/// `groups` is the current (conditional) PLT; `suffix` holds the global
+/// ranks of the items already fixed, in the (descending) order they were
+/// chosen.
+fn mine_groups(mut groups: SumGroups, plt: &Plt, suffix: &mut Vec<Rank>, result: &mut MiningResult) {
+    // "For j = Max down to 1": peel the highest sum until none remain.
+    while let Some((&j, _)) = groups.iter().next_back() {
+        let group = groups.remove(&j).expect("key just observed");
+        let support: Support = group.values().sum();
+
+        // Conditional_Construct: fold each vector's prefix back into the
+        // working structure (it must keep supporting its smaller items
+        // regardless of whether `j` is frequent), and collect the prefixes
+        // as item `j`'s conditional database CD_j.
+        let mut conditional: Vec<(PositionVector, Support)> = Vec::new();
+        for (v, f) in group {
+            if let Some(prefix) = v.parent() {
+                let prefix_sum = prefix.sum();
+                *groups
+                    .entry(prefix_sum)
+                    .or_default()
+                    .entry(prefix.clone())
+                    .or_insert(0) += f;
+                conditional.push((prefix, f));
+            }
+        }
+
+        if support < plt.min_support() {
+            // "If the new extension is no longer frequent, there is no need
+            // for a new conditional database."
+            continue;
+        }
+
+        suffix.push(j);
+        let items = plt.ranking().items_for_ranks(suffix);
+        result.insert(Itemset::from_sorted(items), support);
+
+        // CPLT = PLT_Construction(CD_j, min_sup): re-run the two-scan
+        // construction *within* the conditional database — count item
+        // (rank) frequencies, drop locally infrequent ranks, re-encode.
+        let cplt = conditional_construct(&conditional, plt.min_support());
+        if !cplt.is_empty() {
+            mine_groups(cplt, plt, suffix, result);
+        }
+        suffix.pop();
+    }
+}
+
+/// Builds a conditional PLT (as sum-groups) from prefix vectors, filtering
+/// ranks that are infrequent within the conditional database. Ranks remain
+/// global — positions are recomputed as deltas over the surviving ranks, so
+/// every lemma keeps holding inside conditional structures.
+pub(crate) fn conditional_construct(
+    conditional: &[(PositionVector, Support)],
+    min_support: Support,
+) -> SumGroups {
+    // Scan 1 (local): rank frequencies within CD_j.
+    let mut counts: FxHashMap<Rank, Support> = FxHashMap::default();
+    for (v, f) in conditional {
+        for r in v.ranks_iter() {
+            *counts.entry(r).or_insert(0) += f;
+        }
+    }
+
+    // Scan 2 (local): filter and re-encode.
+    let mut groups: SumGroups = BTreeMap::new();
+    let mut kept: Vec<Rank> = Vec::new();
+    for (v, f) in conditional {
+        kept.clear();
+        kept.extend(v.ranks_iter().filter(|r| counts[r] >= min_support));
+        if kept.is_empty() {
+            continue;
+        }
+        let filtered = PositionVector::from_ranks(&kept).expect("strictly increasing ranks");
+        let sum = filtered.sum();
+        *groups
+            .entry(sum)
+            .or_default()
+            .entry(filtered)
+            .or_insert(0) += f;
+    }
+    groups
+}
+
+impl Miner for ConditionalMiner {
+    fn name(&self) -> &'static str {
+        "plt-conditional"
+    }
+
+    fn mine(&self, transactions: &[Vec<Item>], min_support: Support) -> MiningResult {
+        let plt = construct(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+        )
+        .expect("invalid transaction database");
+        self.mine_plt(&plt)
+    }
+}
+
+/// Mines a conditional database under a fixed suffix of (global) ranks:
+/// builds the conditional PLT (locally re-filtered against the minimum
+/// support) and runs the recursive miner over it. The support of the suffix
+/// itself is *not* emitted — the caller established it when projecting.
+///
+/// This is the unit of work of the paper's partitioning claim ("PLT
+/// provides partition criteria that makes it easy to partition the mining
+/// process into several separate tasks"): `plt-parallel` projects the PLT
+/// once per item and fans these calls out across threads.
+pub fn mine_conditional(
+    conditional: &[(PositionVector, Support)],
+    plt: &Plt,
+    suffix: &[Rank],
+) -> MiningResult {
+    let groups = conditional_construct(conditional, plt.min_support());
+    let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
+    let mut sfx = suffix.to_vec();
+    mine_groups(groups, plt, &mut sfx, &mut result);
+    result
+}
+
+/// One step of `Conditional_Construct` exposed for inspection (Figure 5):
+/// extracts item `j`'s conditional database from a PLT and returns
+/// `(support_of_j, conditional_db, residual_groups)` where
+/// `residual_groups` is the PLT after the extraction-and-fold step.
+pub fn extract_conditional(
+    plt: &Plt,
+    j: Rank,
+) -> (Support, Vec<(PositionVector, Support)>, Plt) {
+    let mut residual = Plt::new(plt.ranking().clone(), plt.min_support())
+        .expect("source PLT had valid min support");
+    let mut conditional = Vec::new();
+    let mut support = 0;
+    for (v, e) in plt.iter() {
+        if e.sum == j {
+            support += e.freq;
+            if let Some(prefix) = v.parent() {
+                residual.insert_vector(prefix.clone(), e.freq);
+                conditional.push((prefix, e.freq));
+            }
+        } else {
+            residual.insert_vector(v.clone(), e.freq);
+        }
+    }
+    conditional.sort_by(|a, b| a.0.cmp(&b.0));
+    (support, conditional, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::BruteForceMiner;
+    use crate::topdown::TopDownMiner;
+    use proptest::prelude::*;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    fn pv(p: &[Rank]) -> PositionVector {
+        PositionVector::from_positions(p.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let expect = BruteForceMiner.mine(&table1(), 2);
+        let got = ConditionalMiner::default().mine(&table1(), 2);
+        assert_eq!(got.sorted(), expect.sorted());
+        got.check_anti_monotone().unwrap();
+    }
+
+    #[test]
+    fn figure5_conditional_database_of_d() {
+        // §5.1: D has rank 4; its conditional database is built from the
+        // vectors with sum 4: ABCD=[1,1,1,1], ABD=[1,1,2], BCD=[2,1,1],
+        // CD=[3,1]. Prefixes: ABC=[1,1,1], AB=[1,1], BC=[2,1], C=[3].
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let (support, cd, residual) = extract_conditional(&plt, 4);
+        assert_eq!(support, 4);
+        let expect_cd = vec![
+            (pv(&[1, 1]), 1),
+            (pv(&[1, 1, 1]), 1),
+            (pv(&[2, 1]), 1),
+            (pv(&[3]), 1),
+        ];
+        assert_eq!(cd, expect_cd);
+        // Residual PLT after fold: [1,1,1]×(2 original + 1 folded),
+        // [1,1]×1, [2,1]×1, [3]×1.
+        assert_eq!(residual.vector_frequency(&pv(&[1, 1, 1])), 3);
+        assert_eq!(residual.vector_frequency(&pv(&[1, 1])), 1);
+        assert_eq!(residual.vector_frequency(&pv(&[2, 1])), 1);
+        assert_eq!(residual.vector_frequency(&pv(&[3])), 1);
+        assert_eq!(residual.num_vectors(), 4);
+    }
+
+    #[test]
+    fn mine_conditional_matches_full_run_restricted_to_suffix() {
+        // Mine D's conditional database with suffix [4]; the output must be
+        // exactly the frequent itemsets containing D, minus {D} itself.
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let (support, cd, _) = extract_conditional(&plt, 4);
+        assert_eq!(support, 4);
+        let partial = mine_conditional(&cd, &plt, &[4]);
+        let full = ConditionalMiner::default().mine(&table1(), 2);
+        let expect: Vec<_> = full
+            .sorted()
+            .into_iter()
+            .filter(|(s, _)| s.contains(3) && s.len() > 1) // item D = 3
+            .collect();
+        assert_eq!(partial.sorted(), expect);
+    }
+
+    #[test]
+    fn results_merge() {
+        let mut a = ConditionalMiner::default().mine(&table1(), 2);
+        let n = a.len();
+        let b = a.clone();
+        a.merge(b); // identical supports merge losslessly
+        assert_eq!(a.len(), n);
+    }
+
+    #[test]
+    fn recursion_prunes_infrequent_extensions() {
+        // In D's conditional database, A appears twice (ABC, AB) and is
+        // locally frequent, but in {C,D}'s conditional database A appears
+        // once and must be pruned: {A,C,D} (support 1) is never emitted.
+        let r = ConditionalMiner::default().mine(&table1(), 2);
+        assert!(r.contains(&[2, 3])); // {C,D} support 3
+        assert!(r.contains(&[1, 2, 3])); // {B,C,D} support 2
+        assert!(!r.contains(&[0, 2, 3])); // {A,C,D} support 1
+        assert!(!r.contains(&[0, 1, 2, 3])); // {A,B,C,D} support 1
+    }
+
+    #[test]
+    fn agrees_with_topdown() {
+        let a = ConditionalMiner::default().mine(&table1(), 2);
+        let b = TopDownMiner::default().mine(&table1(), 2);
+        assert_eq!(a.sorted(), b.sorted());
+    }
+
+    #[test]
+    fn single_item_transactions() {
+        let db = vec![vec![7], vec![7], vec![3]];
+        let r = ConditionalMiner::default().mine(&db, 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.support(&[7]), Some(2));
+    }
+
+    #[test]
+    fn identical_transactions_dedupe_but_count() {
+        let db = vec![vec![1, 2, 3]; 5];
+        let r = ConditionalMiner::default().mine(&db, 3);
+        assert_eq!(r.support(&[1, 2, 3]), Some(5));
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db: Vec<Vec<Item>> = vec![];
+        assert!(ConditionalMiner::default().mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn rank_policy_does_not_change_the_answer() {
+        let expect = BruteForceMiner.mine(&table1(), 2);
+        for policy in [
+            RankPolicy::Lexicographic,
+            RankPolicy::FrequencyAscending,
+            RankPolicy::FrequencyDescending,
+        ] {
+            let got = ConditionalMiner::with_policy(policy).mine(&table1(), 2);
+            assert_eq!(got.sorted(), expect.sorted(), "policy {policy:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Conditional mining agrees with brute force on random databases.
+        #[test]
+        fn prop_matches_brute_force(
+            db in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..15, 1..7),
+                1..40,
+            ),
+            min_support in 1u64..6,
+        ) {
+            let db: Vec<Vec<Item>> = db.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            let expect = BruteForceMiner.mine(&db, min_support);
+            let got = ConditionalMiner::default().mine(&db, min_support);
+            prop_assert_eq!(got.sorted(), expect.sorted());
+        }
+
+        /// All three rank policies agree on random databases.
+        #[test]
+        fn prop_policies_agree(
+            db in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..10, 1..6),
+                1..30,
+            ),
+            min_support in 1u64..4,
+        ) {
+            let db: Vec<Vec<Item>> = db.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            let lex = ConditionalMiner::with_policy(RankPolicy::Lexicographic)
+                .mine(&db, min_support);
+            let asc = ConditionalMiner::with_policy(RankPolicy::FrequencyAscending)
+                .mine(&db, min_support);
+            let desc = ConditionalMiner::with_policy(RankPolicy::FrequencyDescending)
+                .mine(&db, min_support);
+            prop_assert_eq!(lex.sorted(), asc.sorted());
+            prop_assert_eq!(asc.sorted(), desc.sorted());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Algorithm 1 — PLT construction (§4.2).
+//!
+//! Two database scans, exactly as in FP-growth-family construction:
+//!
+//! 1. count item supports, keep the items meeting `min_support`, and assign
+//!    ranks (the `Rank` function);
+//! 2. project every transaction onto its frequent items, encode the rank
+//!    sequence as a position vector, and insert it into the
+//!    length-partitioned table, incrementing the frequency when the vector
+//!    already exists.
+//!
+//! The paper additionally suggests (§5, "for reasons of efficiency and
+//! correctness, we may include the first step above in the positional tree
+//! construction process") inserting all proper **prefixes** of each vector
+//! during construction when the top-down miner will be used: vector
+//! `[1,1,1,1]` is then also added as `[1,1,1]`, `[1,1]` and `[1]`. The
+//! [`ConstructOptions::with_prefixes`] flag enables this.
+
+use crate::error::Result;
+use crate::item::{Item, Support};
+use crate::plt::Plt;
+use crate::posvec::PositionVector;
+use crate::ranking::{ItemRanking, RankPolicy};
+
+/// Knobs for [`construct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstructOptions {
+    /// Item-order policy for the `Rank` function.
+    pub rank_policy: RankPolicy,
+    /// Insert every proper prefix of each transaction vector alongside the
+    /// vector itself (the paper's part-A-at-construction optimisation for
+    /// the top-down approach). Leave off for the conditional miner.
+    pub with_prefixes: bool,
+}
+
+impl ConstructOptions {
+    /// Options for feeding the conditional miner (no prefixes).
+    pub fn conditional() -> Self {
+        ConstructOptions::default()
+    }
+
+    /// Options for feeding the top-down miner (prefixes inserted during the
+    /// second scan, as the paper recommends).
+    pub fn top_down() -> Self {
+        ConstructOptions {
+            with_prefixes: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Runs Algorithm 1 over a transaction database.
+///
+/// `transactions` may be any slice of item-slice-likes; items within a
+/// transaction may appear in any order but must be distinct.
+pub fn construct<T: AsRef<[Item]>>(
+    transactions: &[T],
+    min_support: Support,
+    options: ConstructOptions,
+) -> Result<Plt> {
+    // Scan 1: frequent items and ranks.
+    let ranking = ItemRanking::scan(transactions, min_support, options.rank_policy);
+    let mut plt = Plt::new(ranking, min_support)?;
+
+    // Scan 2: encode and insert.
+    for t in transactions {
+        insert_one(&mut plt, t.as_ref(), options.with_prefixes)?;
+    }
+    Ok(plt)
+}
+
+/// Second-scan body for a single transaction, shared with incremental use.
+fn insert_one(plt: &mut Plt, transaction: &[Item], with_prefixes: bool) -> Result<()> {
+    if !with_prefixes {
+        plt.insert_transaction(transaction)?;
+        return Ok(());
+    }
+    // Prefix mode: validate/project once, then insert every prefix.
+    plt.note_transaction();
+    let ranks = plt.ranking().project(transaction);
+    if let Some(w) = ranks.windows(2).find(|w| w[0] == w[1]) {
+        return Err(crate::error::PltError::DuplicateItem {
+            item: plt.ranking().item(w[0]),
+        });
+    }
+    for end in 1..=ranks.len() {
+        let v = PositionVector::from_ranks(&ranks[..end]).expect("valid projection");
+        plt.insert_vector(v, 1);
+    }
+    Ok(())
+}
+
+/// Incremental construction: a builder that accepts transactions one at a
+/// time (e.g. when streaming from disk) against a ranking obtained from a
+/// prior scan or from domain knowledge.
+#[derive(Debug)]
+pub struct PltBuilder {
+    plt: Plt,
+    with_prefixes: bool,
+}
+
+impl PltBuilder {
+    /// Starts a builder over a fixed ranking.
+    pub fn new(ranking: ItemRanking, min_support: Support, options: ConstructOptions) -> Result<Self> {
+        Ok(PltBuilder {
+            plt: Plt::new(ranking, min_support)?,
+            with_prefixes: options.with_prefixes,
+        })
+    }
+
+    /// Inserts one transaction.
+    pub fn insert(&mut self, transaction: &[Item]) -> Result<&mut Self> {
+        insert_one(&mut self.plt, transaction, self.with_prefixes)?;
+        Ok(self)
+    }
+
+    /// Finishes construction.
+    pub fn finish(self) -> Plt {
+        self.plt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Rank;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    fn pv(p: &[Rank]) -> PositionVector {
+        PositionVector::from_positions(p.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construct_without_prefixes_matches_figure3() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        assert_eq!(plt.num_vectors(), 5);
+        assert_eq!(plt.vector_frequency(&pv(&[1, 1, 1])), 2);
+    }
+
+    #[test]
+    fn construct_with_prefixes_adds_prefix_vectors() {
+        let plt = construct(&table1(), 2, ConstructOptions::top_down()).unwrap();
+        // [1,1,1,1] contributes prefixes [1],[1,1],[1,1,1]; ABD adds
+        // [1],[1,1]; etc. Check a few hand-computed frequencies:
+        // [1] (= {A}) as a prefix appears for every transaction starting at
+        // rank 1: t1,t2,t3,t4 → freq 4.
+        assert_eq!(plt.vector_frequency(&pv(&[1])), 4);
+        // [1,1] (= {A,B}) prefix of t1..t4 → 4.
+        assert_eq!(plt.vector_frequency(&pv(&[1, 1])), 4);
+        // [1,1,1] (= {A,B,C}): t1,t2 full vectors + prefix of t3 → 3.
+        assert_eq!(plt.vector_frequency(&pv(&[1, 1, 1])), 3);
+        // [2] (= {B}) prefix of t5 only → 1 (B's true support is counted by
+        // the miners, not by prefix frequency).
+        assert_eq!(plt.vector_frequency(&pv(&[2])), 1);
+        // [3] (= {C}) prefix of t6 → 1.
+        assert_eq!(plt.vector_frequency(&pv(&[3])), 1);
+    }
+
+    #[test]
+    fn builder_equals_batch_construction() {
+        let db = table1();
+        let batch = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+        let ranking = ItemRanking::scan(&db, 2, RankPolicy::Lexicographic);
+        let mut b = PltBuilder::new(ranking, 2, ConstructOptions::conditional()).unwrap();
+        for t in &db {
+            b.insert(t).unwrap();
+        }
+        let inc = b.finish();
+        assert_eq!(inc.num_vectors(), batch.num_vectors());
+        assert_eq!(inc.num_transactions(), batch.num_transactions());
+        for (v, e) in batch.iter() {
+            assert_eq!(inc.vector_frequency(v), e.freq);
+        }
+    }
+
+    #[test]
+    fn prefix_mode_rejects_duplicates_too() {
+        let db = table1();
+        let ranking = ItemRanking::scan(&db, 2, RankPolicy::Lexicographic);
+        let mut b = PltBuilder::new(ranking, 2, ConstructOptions::top_down()).unwrap();
+        assert!(b.insert(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_database_constructs_empty_plt() {
+        let db: Vec<Vec<Item>> = vec![];
+        let plt = construct(&db, 1, ConstructOptions::conditional()).unwrap();
+        assert_eq!(plt.num_vectors(), 0);
+        assert_eq!(plt.max_len(), 0);
+        assert!(plt.ranking().is_empty());
+    }
+
+    #[test]
+    fn rank_policy_flows_through() {
+        let plt = construct(
+            &table1(),
+            2,
+            ConstructOptions {
+                rank_policy: RankPolicy::FrequencyDescending,
+                with_prefixes: false,
+            },
+        )
+        .unwrap();
+        // Under frequency-descending, B (support 5) holds rank 1.
+        assert_eq!(plt.ranking().item(1), 1);
+    }
+}

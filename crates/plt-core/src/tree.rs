@@ -1,0 +1,285 @@
+//! Physical (pointer) tree views of the lexicographic structure.
+//!
+//! The table/matrix representation in [`crate::plt`] is the paper's primary
+//! realisation ("we assume that a table-like data structure is used to
+//! represent the positional tree; a physical tree may also be assumed").
+//! This module provides the physical tree for three uses:
+//!
+//! * **Figure 1** — the complete lexicographic prefix tree over an item
+//!   set: root labelled *null*, each node linked to the items after it in
+//!   the order ([`LexTree::complete`]);
+//! * **Figure 2** — the same tree annotated with position values
+//!   `pos(child) = Rank(child) − Rank(parent)` (every [`Node`] carries its
+//!   `pos`);
+//! * **Figure 3(b)** — the tree holding only the paths that occur in a
+//!   database, with frequencies at path ends ([`LexTree::from_plt`]).
+
+use crate::item::{Rank, Support};
+use crate::plt::Plt;
+use crate::posvec::PositionVector;
+
+/// A node of the lexicographic tree. The root is a synthetic node with
+/// `rank == 0` (the paper's *null* label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Rank of the item this node represents (0 for the root).
+    pub rank: Rank,
+    /// Position value relative to the parent: `rank − parent.rank`
+    /// (Definition 4.1.2). 0 for the root.
+    pub pos: Rank,
+    /// Frequency of the exact path root→this node as a stored vector
+    /// (0 when the path exists only as a prefix of longer vectors).
+    pub freq: Support,
+    /// Children, ordered by increasing rank.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn new(rank: Rank, pos: Rank) -> Node {
+        Node {
+            rank,
+            pos,
+            freq: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Total number of nodes in this subtree, including `self`.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Height of this subtree (a leaf has height 0).
+    pub fn height(&self) -> usize {
+        self.children
+            .iter()
+            .map(|c| c.height() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Child representing `rank`, if present.
+    pub fn child(&self, rank: Rank) -> Option<&Node> {
+        self.children
+            .binary_search_by_key(&rank, |c| c.rank)
+            .ok()
+            .map(|i| &self.children[i])
+    }
+
+    fn child_mut_or_insert(&mut self, rank: Rank) -> &mut Node {
+        match self.children.binary_search_by_key(&rank, |c| c.rank) {
+            Ok(i) => &mut self.children[i],
+            Err(i) => {
+                self.children.insert(i, Node::new(rank, rank - self.rank));
+                &mut self.children[i]
+            }
+        }
+    }
+}
+
+/// A lexicographic tree rooted at *null*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexTree {
+    /// The synthetic root.
+    pub root: Node,
+}
+
+impl LexTree {
+    /// Builds the **complete** lexicographic tree over ranks `1..=n`
+    /// (Figures 1 and 2): every node for rank `r` has children for every
+    /// rank in `r+1..=n`. The tree has `2^n` nodes including the root.
+    ///
+    /// # Panics
+    /// Panics for `n > 16` — the complete tree is for illustration, not
+    /// mining.
+    pub fn complete(n: Rank) -> LexTree {
+        assert!(n <= 16, "complete lexicographic tree limited to n <= 16");
+        fn expand(node: &mut Node, n: Rank) {
+            for r in node.rank + 1..=n {
+                let mut child = Node::new(r, r - node.rank);
+                expand(&mut child, n);
+                node.children.push(child);
+            }
+        }
+        let mut root = Node::new(0, 0);
+        expand(&mut root, n);
+        LexTree { root }
+    }
+
+    /// Builds the tree holding exactly the vectors stored in a PLT
+    /// (Figure 3(b)). Each stored vector contributes one root-to-node path;
+    /// the final node of the path records the vector's frequency.
+    pub fn from_plt(plt: &Plt) -> LexTree {
+        let mut root = Node::new(0, 0);
+        for (v, e) in plt.iter() {
+            let mut cur = &mut root;
+            for r in v.ranks_iter() {
+                cur = cur.child_mut_or_insert(r);
+            }
+            cur.freq += e.freq;
+        }
+        LexTree { root }
+    }
+
+    /// Total node count including the root.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Tree height (root only → 0).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Follows a position vector from the root; returns the reached node
+    /// if the full path exists. Demonstrates that position values alone
+    /// (summed into ranks) navigate the tree — Lemma 4.1.1 in action.
+    pub fn descend(&self, vector: &PositionVector) -> Option<&Node> {
+        let mut cur = &self.root;
+        for r in vector.ranks_iter() {
+            cur = cur.child(r)?;
+        }
+        Some(cur)
+    }
+
+    /// The position vector of the path from the root to the node reached by
+    /// the rank sequence, reading each node's stored `pos` (Definition
+    /// 4.1.3's `V(X_k)`).
+    pub fn position_vector_of(&self, ranks: &[Rank]) -> Option<PositionVector> {
+        let mut cur = &self.root;
+        let mut positions = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            cur = cur.child(r)?;
+            positions.push(cur.pos);
+        }
+        PositionVector::from_positions(positions).ok()
+    }
+
+    /// ASCII rendering used by the experiments binary: one line per node,
+    /// indented by depth, showing `rank(pos)` and frequency when non-zero.
+    pub fn render(&self) -> String {
+        fn rec(node: &Node, depth: usize, out: &mut String) {
+            use std::fmt::Write;
+            if node.rank == 0 {
+                out.push_str("(null)\n");
+            } else {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                write!(out, "{}({})", node.rank, node.pos).unwrap();
+                if node.freq > 0 {
+                    write!(out, " freq={}", node.freq).unwrap();
+                }
+                out.push('\n');
+            }
+            for c in &node.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        rec(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct, ConstructOptions};
+    use crate::item::Item;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    #[test]
+    fn figure1_complete_tree_over_four_items() {
+        // The lexicographic tree over {A,B,C,D} has 2^4 = 16 nodes
+        // including the null root (15 itemset nodes).
+        let t = LexTree::complete(4);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.height(), 4);
+        // Root links to all four items.
+        assert_eq!(t.root.children.len(), 4);
+        // Node A (rank 1) links to B, C, D.
+        let a = t.root.child(1).unwrap();
+        assert_eq!(a.children.len(), 3);
+        // The paper's example: C as a child of A sits at position 2.
+        assert_eq!(a.child(3).unwrap().pos, 2);
+    }
+
+    #[test]
+    fn figure2_positions_are_rank_deltas() {
+        let t = LexTree::complete(4);
+        fn check(node: &Node) {
+            for c in &node.children {
+                assert_eq!(c.pos, c.rank - node.rank);
+                check(c);
+            }
+        }
+        check(&t.root);
+        // Spot checks matching Figure 2: root's children carry their ranks.
+        for (i, c) in t.root.children.iter().enumerate() {
+            assert_eq!(c.pos, (i + 1) as Rank);
+        }
+    }
+
+    #[test]
+    fn figure3b_tree_from_table1() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let t = LexTree::from_plt(&plt);
+        // Paths: 1-2-3 (freq 2), 1-2-3-4 (1), 1-2-4 (1), 2-3-4 (1),
+        // 3-4 (1). Distinct nodes: root,1,12,123,1234,124,2,23,234,3,34 = 11.
+        assert_eq!(t.size(), 11);
+        let v = PositionVector::from_positions(vec![1, 1, 1]).unwrap();
+        assert_eq!(t.descend(&v).unwrap().freq, 2);
+        let v4 = PositionVector::from_positions(vec![1, 1, 1, 1]).unwrap();
+        assert_eq!(t.descend(&v4).unwrap().freq, 1);
+        // Interior node {A} has no own frequency.
+        let va = PositionVector::from_positions(vec![1]).unwrap();
+        assert_eq!(t.descend(&va).unwrap().freq, 0);
+        // Missing path.
+        let missing = PositionVector::from_positions(vec![4]).unwrap();
+        assert!(t.descend(&missing).is_none());
+    }
+
+    #[test]
+    fn position_vector_read_from_tree_matches_encoder() {
+        let t = LexTree::complete(6);
+        let ranks = vec![2, 3, 6];
+        let from_tree = t.position_vector_of(&ranks).unwrap();
+        let direct = PositionVector::from_ranks(&ranks).unwrap();
+        assert_eq!(from_tree, direct);
+        assert!(t.position_vector_of(&[7]).is_none());
+    }
+
+    #[test]
+    fn complete_tree_sizes_are_powers_of_two() {
+        for n in 0..=8u32 {
+            assert_eq!(LexTree::complete(n).size(), 1usize << n);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn complete_tree_guards_against_blowup() {
+        LexTree::complete(17);
+    }
+
+    #[test]
+    fn render_contains_structure() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let t = LexTree::from_plt(&plt);
+        let s = t.render();
+        assert!(s.starts_with("(null)\n"));
+        assert!(s.contains("freq=2"));
+        assert!(s.contains("3(1)")); // rank 3 at pos 1 under rank 2
+    }
+}

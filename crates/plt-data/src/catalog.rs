@@ -1,0 +1,123 @@
+//! Name ↔ id catalog so examples can mine over human-readable items
+//! ("bread", "milk") while the miners stay on dense `u32` ids.
+
+use std::collections::HashMap;
+
+use crate::transaction::Item;
+
+/// A bidirectional mapping between item names and dense ids `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct ItemCatalog {
+    ids: HashMap<String, Item>,
+    names: Vec<String>,
+}
+
+impl ItemCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        ItemCatalog::default()
+    }
+
+    /// Returns the id for `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> Item {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as Item;
+        self.ids.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Looks up an existing id without interning.
+    pub fn id(&self, name: &str) -> Option<Item> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: Item) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned items.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Encodes a transaction of names to ids, interning new names.
+    pub fn encode(&mut self, names: &[&str]) -> Vec<Item> {
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Decodes ids back to names; unknown ids render as `#id`.
+    pub fn decode(&self, items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|&id| {
+                self.name(id)
+                    .map_or_else(|| format!("#{id}"), str::to_owned)
+            })
+            .collect()
+    }
+
+    /// Formats an id itemset as `{a, b, c}` using names.
+    pub fn render(&self, items: &[Item]) -> String {
+        format!("{{{}}}", self.decode(items).join(", "))
+    }
+}
+
+impl<'a> FromIterator<&'a str> for ItemCatalog {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        let mut c = ItemCatalog::new();
+        for name in iter {
+            c.intern(name);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut c = ItemCatalog::new();
+        assert_eq!(c.intern("bread"), 0);
+        assert_eq!(c.intern("milk"), 1);
+        assert_eq!(c.intern("bread"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_ways() {
+        let c: ItemCatalog = ["a", "b"].into_iter().collect();
+        assert_eq!(c.id("a"), Some(0));
+        assert_eq!(c.id("z"), None);
+        assert_eq!(c.name(1), Some("b"));
+        assert_eq!(c.name(5), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut c = ItemCatalog::new();
+        let t = c.encode(&["milk", "eggs", "milk"]);
+        assert_eq!(t, vec![0, 1, 0]);
+        assert_eq!(c.decode(&[1, 0]), vec!["eggs", "milk"]);
+        assert_eq!(c.decode(&[9]), vec!["#9"]);
+    }
+
+    #[test]
+    fn render_formats_braced() {
+        let mut c = ItemCatalog::new();
+        c.encode(&["x", "y"]);
+        assert_eq!(c.render(&[0, 1]), "{x, y}");
+        assert_eq!(c.render(&[]), "{}");
+        assert!(!c.is_empty());
+    }
+}

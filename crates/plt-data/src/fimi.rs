@@ -1,0 +1,176 @@
+//! FIMI `.dat` format I/O.
+//!
+//! The Frequent Itemset Mining Implementations repository format — one
+//! transaction per line, items as whitespace-separated decimal integers —
+//! is the lingua franca of the datasets the paper's comparators were
+//! evaluated on (the paper cites FIMI'03 twice). Readers are buffered and
+//! reuse a line buffer per the I/O guidance in the Rust Performance Book.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::transaction::{Item, TransactionDb};
+
+/// Parses FIMI-format text from any reader.
+///
+/// Blank lines become empty transactions; a line that fails integer parsing
+/// aborts with `InvalidData` naming the line.
+pub fn read<R: Read>(reader: R) -> io::Result<TransactionDb> {
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut transactions = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let mut t: Vec<Item> = Vec::new();
+        for tok in line.split_ascii_whitespace() {
+            let item = tok.parse::<Item>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: bad item {tok:?}: {e}"),
+                )
+            })?;
+            t.push(item);
+        }
+        transactions.push(t);
+    }
+    Ok(TransactionDb::new(transactions))
+}
+
+/// Reads a FIMI file from disk.
+pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<TransactionDb> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes a database in FIMI format.
+pub fn write<W: Write>(writer: W, db: &TransactionDb) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for t in db.transactions() {
+        let mut first = true;
+        for &item in t {
+            if !first {
+                out.write_all(b" ")?;
+            }
+            write!(out, "{item}")?;
+            first = false;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Writes a FIMI file to disk.
+pub fn write_file<P: AsRef<Path>>(path: P, db: &TransactionDb) -> io::Result<()> {
+    write(std::fs::File::create(path)?, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_format() {
+        let text = "1 2 3\n4 5\n\n7\n";
+        let db = read(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.transactions()[0], vec![1, 2, 3]);
+        assert_eq!(db.transactions()[1], vec![4, 5]);
+        assert_eq!(db.transactions()[2], Vec::<Item>::new());
+        assert_eq!(db.transactions()[3], vec![7]);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace_and_no_trailing_newline() {
+        let text = "  1\t 2  \n3 4";
+        let db = read(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.transactions()[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn normalises_duplicates_and_order() {
+        let db = read("3 1 3 2\n".as_bytes()).unwrap();
+        assert_eq!(db.transactions()[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = read("1 2\nx y\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn round_trips() {
+        let db = TransactionDb::new(vec![vec![1, 2, 3], vec![], vec![42]]);
+        let mut bytes = Vec::new();
+        write(&mut bytes, &db).unwrap();
+        assert_eq!(String::from_utf8(bytes.clone()).unwrap(), "1 2 3\n\n42\n");
+        let back = read(bytes.as_slice()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("plt-fimi-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dat");
+        let db = TransactionDb::new(vec![vec![9, 8], vec![1]]);
+        write_file(&path, &db).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_is_empty_db() {
+        let db = read("".as_bytes()).unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn rejects_items_overflowing_u32() {
+        let err = read("1 99999999999999\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_negative_items() {
+        assert!(read("3 -1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn accepts_max_u32() {
+        let db = read(format!("{}\n", u32::MAX).as_bytes()).unwrap();
+        assert_eq!(db.transactions()[0], vec![u32::MAX]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// write ∘ read is the identity on normalised databases.
+            #[test]
+            fn prop_round_trip(
+                db in proptest::collection::vec(
+                    proptest::collection::btree_set(0u32..10_000, 0..12),
+                    0..40,
+                )
+            ) {
+                let db = TransactionDb::new(
+                    db.into_iter().map(|t| t.into_iter().collect()).collect(),
+                );
+                let mut bytes = Vec::new();
+                write(&mut bytes, &db).unwrap();
+                let back = read(bytes.as_slice()).unwrap();
+                prop_assert_eq!(back, db);
+            }
+        }
+    }
+}

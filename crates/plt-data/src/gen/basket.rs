@@ -1,0 +1,200 @@
+//! Category-structured market-basket generator with named products.
+//!
+//! The paper motivates association rules with supermarket data ("95% of
+//! customers who buy item X are willing to buy item Y"). This generator
+//! produces exactly that kind of workload for the domain examples: products
+//! grouped into categories, shoppers who pick a few categories per trip and
+//! several products within each, plus engineered cross-category affinities
+//! (the classic bread→butter pairs) so that the mined rules are
+//! recognisable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::ItemCatalog;
+use crate::transaction::{Item, TransactionDb};
+
+/// Parameters of the basket generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasketConfig {
+    /// Number of baskets (transactions).
+    pub num_baskets: usize,
+    /// Mean number of categories visited per trip.
+    pub avg_categories: f64,
+    /// Probability of buying each product within a visited category.
+    pub within_category_prob: f64,
+    /// Probability that an affinity partner is added when its trigger
+    /// product is in the basket.
+    pub affinity_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BasketConfig {
+    fn default() -> Self {
+        BasketConfig {
+            num_baskets: 5_000,
+            avg_categories: 2.5,
+            within_category_prob: 0.45,
+            affinity_prob: 0.75,
+            seed: 42,
+        }
+    }
+}
+
+/// The built-in product taxonomy: (category, products).
+const TAXONOMY: &[(&str, &[&str])] = &[
+    ("bakery", &["bread", "bagels", "croissant", "muffins"]),
+    ("dairy", &["milk", "butter", "cheese", "yogurt", "eggs"]),
+    ("produce", &["apples", "bananas", "lettuce", "tomatoes", "onions"]),
+    ("meat", &["chicken", "beef", "bacon", "sausage"]),
+    ("drinks", &["coffee", "tea", "juice", "soda", "beer"]),
+    ("snacks", &["chips", "cookies", "chocolate", "crackers"]),
+    ("household", &["detergent", "paper_towels", "soap"]),
+];
+
+/// Cross-category affinities: buying the first strongly suggests the
+/// second. These become the strongest rules in the mined output.
+const AFFINITIES: &[(&str, &str)] = &[
+    ("bread", "butter"),
+    ("bread", "milk"),
+    ("bagels", "cheese"),
+    ("coffee", "cookies"),
+    ("beer", "chips"),
+    ("bacon", "eggs"),
+    ("tea", "milk"),
+    ("chips", "soda"),
+];
+
+/// The basket generator.
+#[derive(Debug, Clone)]
+pub struct BasketGenerator {
+    config: BasketConfig,
+    catalog: ItemCatalog,
+    categories: Vec<Vec<Item>>,
+    affinities: Vec<(Item, Item)>,
+}
+
+impl BasketGenerator {
+    /// Builds the taxonomy and interned catalog.
+    pub fn new(config: BasketConfig) -> BasketGenerator {
+        let mut catalog = ItemCatalog::new();
+        let categories: Vec<Vec<Item>> = TAXONOMY
+            .iter()
+            .map(|(_, products)| products.iter().map(|p| catalog.intern(p)).collect())
+            .collect();
+        let affinities = AFFINITIES
+            .iter()
+            .map(|(a, b)| (catalog.intern(a), catalog.intern(b)))
+            .collect();
+        BasketGenerator {
+            config,
+            catalog,
+            categories,
+            affinities,
+        }
+    }
+
+    /// The product catalog (for decoding mined itemsets back to names).
+    pub fn catalog(&self) -> &ItemCatalog {
+        &self.catalog
+    }
+
+    /// Names of the categories, in id order of their first product.
+    pub fn category_names(&self) -> Vec<&'static str> {
+        TAXONOMY.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Generates the basket database.
+    pub fn generate(&self) -> TransactionDb {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut baskets = Vec::with_capacity(self.config.num_baskets);
+        for _ in 0..self.config.num_baskets {
+            let mut basket: Vec<Item> = Vec::new();
+            // Visit a Poisson-ish number of categories (at least one).
+            let visits = (super::poisson(&mut rng, self.config.avg_categories - 1.0) + 1)
+                .min(self.categories.len());
+            // Choose distinct categories by partial shuffle.
+            let mut order: Vec<usize> = (0..self.categories.len()).collect();
+            for i in 0..visits {
+                let j = rng.gen_range(i..order.len());
+                order.swap(i, j);
+            }
+            for &cat in &order[..visits] {
+                for &product in &self.categories[cat] {
+                    if rng.gen::<f64>() < self.config.within_category_prob {
+                        basket.push(product);
+                    }
+                }
+            }
+            // Affinity pass: partners ride along with their triggers.
+            for &(trigger, partner) in &self.affinities {
+                if basket.contains(&trigger)
+                    && !basket.contains(&partner)
+                    && rng.gen::<f64>() < self.config.affinity_prob
+                {
+                    basket.push(partner);
+                }
+            }
+            basket.sort_unstable();
+            basket.dedup();
+            baskets.push(basket);
+        }
+        TransactionDb::from_sorted(baskets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = BasketGenerator::new(BasketConfig::default()).generate();
+        let b = BasketGenerator::new(BasketConfig::default()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn catalog_covers_all_products() {
+        let g = BasketGenerator::new(BasketConfig::default());
+        let expected: usize = TAXONOMY.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(g.catalog().len(), expected);
+        assert!(g.catalog().id("bread").is_some());
+        assert!(g.catalog().id("beer").is_some());
+        assert_eq!(g.category_names().len(), TAXONOMY.len());
+    }
+
+    #[test]
+    fn affinities_show_up_in_the_data() {
+        let g = BasketGenerator::new(BasketConfig {
+            num_baskets: 4_000,
+            ..Default::default()
+        });
+        let db = g.generate();
+        let bread = g.catalog().id("bread").unwrap();
+        let butter = g.catalog().id("butter").unwrap();
+        let bread_sup = db.support_by_scan(&[bread]);
+        let pair_sup = db.support_by_scan(&[bread, butter]);
+        assert!(bread_sup > 100, "bread should be common");
+        // Confidence bread→butter should clearly exceed butter's base rate.
+        let conf = pair_sup as f64 / bread_sup as f64;
+        let butter_rate = db.support_by_scan(&[butter]) as f64 / db.len() as f64;
+        assert!(
+            conf > butter_rate + 0.2,
+            "affinity should lift confidence: conf={conf:.2} base={butter_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn baskets_are_sorted_sets() {
+        let db = BasketGenerator::new(BasketConfig {
+            num_baskets: 500,
+            ..Default::default()
+        })
+        .generate();
+        for t in db.transactions() {
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

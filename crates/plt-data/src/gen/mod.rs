@@ -1,0 +1,91 @@
+//! Synthetic workload generators.
+//!
+//! Three families, matching what FIM evaluation sections run on:
+//!
+//! * [`quest`] — sparse market-basket data in the style of the IBM Quest
+//!   generator (Agrawal & Srikant, VLDB'94 — the paper's reference \[2\]):
+//!   transactions assembled from a pool of correlated "potentially large"
+//!   itemsets with corruption. The canonical `T10.I4.D100K`-style datasets.
+//! * [`dense`] — chess/mushroom-like dense data: a small item universe
+//!   where each transaction covers a large fraction of it. This is the
+//!   regime the paper recommends the top-down approach for.
+//! * [`basket`] — a category-structured market-basket generator with
+//!   named products, used by the domain examples.
+//! * [`zipf`] — retail/click-log style data with power-law item
+//!   popularity (the `retail`/`kosarak` regime).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod basket;
+pub mod dense;
+pub mod quest;
+pub mod zipf;
+
+use rand::Rng;
+
+/// Draws from a Poisson distribution with the given mean via Knuth's
+/// product-of-uniforms method — adequate for the small means (≲ 20) used
+/// in transaction/pattern sizing, and dependency-free.
+pub(crate) fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    debug_assert!(mean > 0.0 && mean < 50.0, "Knuth's method needs small means");
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws from an exponential distribution with the given mean (inverse
+/// CDF).
+pub(crate) fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Draws from a clipped normal distribution via Box–Muller; used for the
+/// Quest corruption levels.
+pub(crate) fn clipped_normal<R: Rng>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + std * z).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_approximately_right() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson(&mut rng, 4.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn clipped_normal_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            let x = clipped_normal(&mut rng, 0.5, 0.3, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Zipf-popularity ("retail-like") transaction generator.
+//!
+//! Real retail and click logs (e.g. the FIMI `retail` and `kosarak`
+//! datasets) have item popularities following a power law: a handful of
+//! items appear in a large share of transactions, with a very long tail.
+//! Quest data approximates this only loosely through pattern weights;
+//! this generator produces it directly — item `i` is drawn with
+//! probability ∝ `1 / (i + 1)^exponent` — which stresses miners
+//! differently: the frequent-item projection discards most of each
+//! transaction, and the PLT/FP structures stay shallow but wide.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::poisson;
+use crate::transaction::{Item, TransactionDb};
+
+/// Parameters of the Zipf generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfConfig {
+    /// Number of transactions.
+    pub num_transactions: usize,
+    /// Item universe size.
+    pub num_items: u32,
+    /// Zipf exponent (1.0 ≈ classic Zipf; higher = steeper head).
+    pub exponent: f64,
+    /// Mean transaction length (Poisson, min 1).
+    pub avg_transaction_len: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        ZipfConfig {
+            num_transactions: 5_000,
+            num_items: 2_000,
+            exponent: 1.1,
+            avg_transaction_len: 8.0,
+            seed: 0x21bf,
+        }
+    }
+}
+
+impl ZipfConfig {
+    /// Conventional label, e.g. `ZIPF1.1.D5000`.
+    pub fn label(&self) -> String {
+        format!("ZIPF{:.1}.D{}", self.exponent, self.num_transactions)
+    }
+}
+
+/// The Zipf generator.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    config: ZipfConfig,
+    /// Cumulative probability per item, `cum[i]` = P(item <= i).
+    cum: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Precomputes the cumulative Zipf distribution.
+    pub fn new(config: ZipfConfig) -> ZipfGenerator {
+        assert!(config.num_items >= 1);
+        assert!(config.exponent > 0.0);
+        assert!(config.avg_transaction_len >= 1.0);
+        let mut cum = Vec::with_capacity(config.num_items as usize);
+        let mut acc = 0.0;
+        for i in 0..config.num_items {
+            acc += 1.0 / ((i + 1) as f64).powf(config.exponent);
+            cum.push(acc);
+        }
+        let total = acc;
+        for c in &mut cum {
+            *c /= total;
+        }
+        ZipfGenerator { config, cum }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ZipfConfig {
+        &self.config
+    }
+
+    fn draw(&self, rng: &mut SmallRng) -> Item {
+        let x: f64 = rng.gen();
+        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1) as Item
+    }
+
+    /// Generates the database.
+    pub fn generate(&self) -> TransactionDb {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut transactions = Vec::with_capacity(self.config.num_transactions);
+        for _ in 0..self.config.num_transactions {
+            let target = poisson(&mut rng, self.config.avg_transaction_len - 1.0) + 1;
+            let mut t: Vec<Item> = Vec::with_capacity(target);
+            // Rejection on duplicates, with a draw budget so steep
+            // exponents over tiny universes terminate.
+            let mut budget = 20 * target + 32;
+            while t.len() < target && budget > 0 {
+                budget -= 1;
+                let item = self.draw(&mut rng);
+                if !t.contains(&item) {
+                    t.push(item);
+                }
+            }
+            t.sort_unstable();
+            transactions.push(t);
+        }
+        TransactionDb::from_sorted(transactions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DbStats;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = ZipfGenerator::new(ZipfConfig::default()).generate();
+        let b = ZipfGenerator::new(ZipfConfig::default()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn head_items_dominate() {
+        let db = ZipfGenerator::new(ZipfConfig {
+            num_transactions: 3_000,
+            ..Default::default()
+        })
+        .generate();
+        let head = db.support_by_scan(&[0]);
+        let mid = db.support_by_scan(&[100]);
+        assert!(
+            head > 10 * mid.max(1),
+            "item 0 ({head}) should dwarf item 100 ({mid})"
+        );
+    }
+
+    #[test]
+    fn shape_tracks_configuration() {
+        let cfg = ZipfConfig {
+            num_transactions: 1_000,
+            avg_transaction_len: 6.0,
+            ..Default::default()
+        };
+        let db = ZipfGenerator::new(cfg).generate();
+        let s = DbStats::of(&db);
+        assert_eq!(s.num_transactions, 1_000);
+        assert!(s.avg_len > 3.0 && s.avg_len < 9.0, "avg {}", s.avg_len);
+        assert!(s.max_len >= s.min_len);
+    }
+
+    #[test]
+    fn transactions_are_sorted_sets() {
+        let db = ZipfGenerator::new(ZipfConfig {
+            num_transactions: 300,
+            ..Default::default()
+        })
+        .generate();
+        for t in db.transactions() {
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn steep_exponent_over_tiny_universe_terminates() {
+        let db = ZipfGenerator::new(ZipfConfig {
+            num_transactions: 100,
+            num_items: 3,
+            exponent: 3.0,
+            avg_transaction_len: 6.0, // longer than the universe allows
+            seed: 5,
+        })
+        .generate();
+        assert_eq!(db.len(), 100);
+        assert!(db.transactions().iter().all(|t| t.len() <= 3));
+    }
+
+    #[test]
+    fn label_formats() {
+        assert_eq!(ZipfConfig::default().label(), "ZIPF1.1.D5000");
+    }
+}

@@ -1,0 +1,25 @@
+//! # plt-data — transactional-database substrate
+//!
+//! Everything the miners consume: horizontal and vertical database layouts,
+//! synthetic workload generators in the style the frequent-itemset-mining
+//! literature evaluates on, FIMI-format I/O, a name↔id catalog for
+//! human-readable examples, and dataset statistics.
+//!
+//! The generators are deterministic given a seed, so every experiment in
+//! `EXPERIMENTS.md` is exactly reproducible.
+
+pub mod catalog;
+pub mod fimi;
+pub mod gen;
+pub mod stats;
+pub mod transaction;
+pub mod vertical;
+
+pub use catalog::ItemCatalog;
+pub use gen::basket::{BasketConfig, BasketGenerator};
+pub use gen::dense::{DenseConfig, DenseGenerator};
+pub use gen::quest::{QuestConfig, QuestGenerator};
+pub use gen::zipf::{ZipfConfig, ZipfGenerator};
+pub use stats::DbStats;
+pub use transaction::TransactionDb;
+pub use vertical::VerticalDb;

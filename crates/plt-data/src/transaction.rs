@@ -1,0 +1,218 @@
+//! Horizontal database layout: each transaction is the list of items it
+//! contains (the layout Apriori, FP-growth and the PLT construction scan).
+
+/// An item identifier. Mirrors `plt_core::Item`; the data layer stays
+/// independent of the core crate so either can evolve alone.
+pub type Item = u32;
+
+/// A horizontal transaction database.
+///
+/// Transactions are stored **sorted and duplicate-free**; the constructor
+/// normalises arbitrary input. The inner representation is exposed as
+/// `&[Vec<Item>]` because that is the concrete type the `Miner` trait
+/// consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransactionDb {
+    transactions: Vec<Vec<Item>>,
+}
+
+impl TransactionDb {
+    /// Builds a database, sorting and deduplicating every transaction.
+    /// Empty transactions are kept (they occur in real exports and the
+    /// miners must tolerate them).
+    pub fn new(transactions: Vec<Vec<Item>>) -> Self {
+        let mut db = TransactionDb { transactions };
+        for t in &mut db.transactions {
+            t.sort_unstable();
+            t.dedup();
+        }
+        db
+    }
+
+    /// Wraps transactions already known to be sorted and duplicate-free.
+    /// Debug builds verify the invariant.
+    pub fn from_sorted(transactions: Vec<Vec<Item>>) -> Self {
+        debug_assert!(transactions
+            .iter()
+            .all(|t| t.windows(2).all(|w| w[0] < w[1])));
+        TransactionDb { transactions }
+    }
+
+    /// Number of transactions (including empty ones).
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when the database holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The transactions, in insertion order.
+    pub fn transactions(&self) -> &[Vec<Item>] {
+        &self.transactions
+    }
+
+    /// Consumes the database.
+    pub fn into_transactions(self) -> Vec<Vec<Item>> {
+        self.transactions
+    }
+
+    /// Appends one transaction (normalised).
+    pub fn push(&mut self, mut transaction: Vec<Item>) {
+        transaction.sort_unstable();
+        transaction.dedup();
+        self.transactions.push(transaction);
+    }
+
+    /// The set of distinct items, sorted.
+    pub fn items(&self) -> Vec<Item> {
+        let mut items: Vec<Item> = self.transactions.iter().flatten().copied().collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Total number of item occurrences (sum of transaction lengths).
+    pub fn total_items(&self) -> usize {
+        self.transactions.iter().map(Vec::len).sum()
+    }
+
+    /// Absolute support corresponding to a relative threshold in `(0, 1]`,
+    /// rounded **up** (an itemset at exactly the threshold is frequent),
+    /// with a floor of 1.
+    pub fn absolute_support(&self, relative: f64) -> u64 {
+        assert!(
+            relative > 0.0 && relative <= 1.0,
+            "relative support must be in (0, 1]"
+        );
+        ((relative * self.transactions.len() as f64).ceil() as u64).max(1)
+    }
+
+    /// Exact support of an itemset by a full scan — `O(|D| · |T|)` ground
+    /// truth for tests and spot checks.
+    pub fn support_by_scan(&self, items: &[Item]) -> u64 {
+        let mut needle = items.to_vec();
+        needle.sort_unstable();
+        needle.dedup();
+        self.transactions
+            .iter()
+            .filter(|t| sorted_contains_all(t, &needle))
+            .count() as u64
+    }
+
+    /// Keeps only the first `n` transactions (workload scaling).
+    pub fn truncated(&self, n: usize) -> TransactionDb {
+        TransactionDb {
+            transactions: self.transactions[..n.min(self.transactions.len())].to_vec(),
+        }
+    }
+}
+
+impl From<Vec<Vec<Item>>> for TransactionDb {
+    fn from(transactions: Vec<Vec<Item>>) -> Self {
+        TransactionDb::new(transactions)
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionDb {
+    type Item = &'a Vec<Item>;
+    type IntoIter = std::slice::Iter<'a, Vec<Item>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.transactions.iter()
+    }
+}
+
+fn sorted_contains_all(haystack: &[Item], needle: &[Item]) -> bool {
+    let mut j = 0;
+    for &x in needle {
+        loop {
+            if j == haystack.len() {
+                return false;
+            }
+            match haystack[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_transactions() {
+        let db = TransactionDb::new(vec![vec![3, 1, 3, 2], vec![], vec![5, 5]]);
+        assert_eq!(db.transactions()[0], vec![1, 2, 3]);
+        assert_eq!(db.transactions()[1], Vec::<Item>::new());
+        assert_eq!(db.transactions()[2], vec![5]);
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn items_and_totals() {
+        let db = TransactionDb::new(vec![vec![1, 2], vec![2, 3], vec![1]]);
+        assert_eq!(db.items(), vec![1, 2, 3]);
+        assert_eq!(db.total_items(), 5);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn absolute_support_rounds_up_with_floor() {
+        let db = TransactionDb::new(vec![vec![1]; 10]);
+        assert_eq!(db.absolute_support(0.25), 3); // ceil(2.5)
+        assert_eq!(db.absolute_support(0.2), 2);
+        assert_eq!(db.absolute_support(1.0), 10);
+        assert_eq!(db.absolute_support(0.001), 1); // floor of 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn absolute_support_rejects_out_of_range() {
+        TransactionDb::default().absolute_support(0.0);
+    }
+
+    #[test]
+    fn support_by_scan_counts_containing_transactions() {
+        let db = TransactionDb::new(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 2, 3, 4],
+        ]);
+        assert_eq!(db.support_by_scan(&[1, 2]), 3);
+        assert_eq!(db.support_by_scan(&[2, 1]), 3); // order-insensitive
+        assert_eq!(db.support_by_scan(&[3, 4]), 1);
+        assert_eq!(db.support_by_scan(&[5]), 0);
+        assert_eq!(db.support_by_scan(&[]), 4); // empty set in every txn
+    }
+
+    #[test]
+    fn truncated_limits_length() {
+        let db = TransactionDb::new(vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(db.truncated(2).len(), 2);
+        assert_eq!(db.truncated(99).len(), 3);
+        assert_eq!(db.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn push_normalises() {
+        let mut db = TransactionDb::default();
+        db.push(vec![9, 1, 9]);
+        assert_eq!(db.transactions()[0], vec![1, 9]);
+    }
+
+    #[test]
+    fn iterates_by_reference() {
+        let db = TransactionDb::new(vec![vec![1], vec![2]]);
+        let lens: Vec<usize> = (&db).into_iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![1, 1]);
+    }
+}

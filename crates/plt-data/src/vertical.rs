@@ -1,0 +1,160 @@
+//! Vertical database layout: each item maps to the sorted list of
+//! transaction identifiers (TIDs) containing it.
+//!
+//! This is the layout Eclat-family miners intersect; the paper's related
+//! work (§3) contrasts it with the horizontal layout the PLT is built from.
+
+use crate::transaction::{Item, TransactionDb};
+
+/// A transaction identifier: the index of the transaction in the source
+/// horizontal database.
+pub type Tid = u32;
+
+/// Vertical layout: per-item TID lists.
+#[derive(Debug, Clone, Default)]
+pub struct VerticalDb {
+    /// `(item, sorted tids)` pairs, sorted by item.
+    columns: Vec<(Item, Vec<Tid>)>,
+    num_transactions: usize,
+}
+
+impl VerticalDb {
+    /// Converts a horizontal database. `O(total items)`.
+    pub fn from_horizontal(db: &TransactionDb) -> VerticalDb {
+        let mut map: std::collections::BTreeMap<Item, Vec<Tid>> = std::collections::BTreeMap::new();
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for &item in t {
+                map.entry(item).or_default().push(tid as Tid);
+            }
+        }
+        VerticalDb {
+            columns: map.into_iter().collect(),
+            num_transactions: db.len(),
+        }
+    }
+
+    /// Number of transactions in the source database.
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Number of distinct items.
+    pub fn num_items(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The TID list of `item` (empty slice when absent).
+    pub fn tids(&self, item: Item) -> &[Tid] {
+        match self.columns.binary_search_by_key(&item, |c| c.0) {
+            Ok(i) => &self.columns[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Support of a single item.
+    pub fn item_support(&self, item: Item) -> u64 {
+        self.tids(item).len() as u64
+    }
+
+    /// Iterates `(item, tids)` in item order.
+    pub fn columns(&self) -> impl Iterator<Item = (Item, &[Tid])> {
+        self.columns.iter().map(|(i, t)| (*i, t.as_slice()))
+    }
+
+    /// Sorted-merge intersection of two TID lists — the Eclat join.
+    pub fn intersect(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sorted-merge difference `a \ b` — the diffset primitive
+    /// (Zaki & Gouda, the paper's reference \[16\]).
+    pub fn difference(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() {
+            if j >= b.len() || a[i] < b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] > b[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3],
+        ])
+    }
+
+    #[test]
+    fn conversion_builds_sorted_tid_lists() {
+        let v = VerticalDb::from_horizontal(&db());
+        assert_eq!(v.num_transactions(), 4);
+        assert_eq!(v.num_items(), 3);
+        assert_eq!(v.tids(1), &[0, 1]);
+        assert_eq!(v.tids(2), &[0, 1, 2]);
+        assert_eq!(v.tids(3), &[0, 2, 3]);
+        assert_eq!(v.tids(9), &[] as &[Tid]);
+        assert_eq!(v.item_support(2), 3);
+    }
+
+    #[test]
+    fn intersection_is_pairwise_support() {
+        let v = VerticalDb::from_horizontal(&db());
+        let t12 = VerticalDb::intersect(v.tids(1), v.tids(2));
+        assert_eq!(t12, vec![0, 1]);
+        let t13 = VerticalDb::intersect(v.tids(1), v.tids(3));
+        assert_eq!(t13, vec![0]);
+        assert_eq!(VerticalDb::intersect(&[], v.tids(1)), Vec::<Tid>::new());
+    }
+
+    #[test]
+    fn difference_is_diffset() {
+        let v = VerticalDb::from_horizontal(&db());
+        // diffset(3 | 2) = tids(2) \ tids(3) = {1}
+        assert_eq!(VerticalDb::difference(v.tids(2), v.tids(3)), vec![1]);
+        assert_eq!(VerticalDb::difference(v.tids(3), v.tids(2)), vec![3]);
+        assert_eq!(VerticalDb::difference(&[], &[1]), Vec::<Tid>::new());
+        assert_eq!(VerticalDb::difference(&[5], &[]), vec![5]);
+    }
+
+    #[test]
+    fn columns_iterate_in_item_order() {
+        let v = VerticalDb::from_horizontal(&db());
+        let items: Vec<Item> = v.columns().map(|(i, _)| i).collect();
+        assert_eq!(items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let v = VerticalDb::from_horizontal(&TransactionDb::default());
+        assert_eq!(v.num_items(), 0);
+        assert_eq!(v.num_transactions(), 0);
+    }
+}

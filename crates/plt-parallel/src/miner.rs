@@ -1,0 +1,160 @@
+//! The parallel PLT miner.
+//!
+//! Pipeline: parallel construction → one projection pass → per-item tasks
+//! on the Rayon pool, each running the sequential conditional miner on its
+//! own conditional database → merge. Task `j` emits exactly the frequent
+//! itemsets whose highest-ranked item is `j`, so the per-task results
+//! partition the answer and the merge is conflict-free.
+
+use rayon::prelude::*;
+
+use plt_core::conditional::mine_conditional;
+use plt_core::construct::ConstructOptions;
+use plt_core::item::{Item, Itemset, Rank, Support};
+use plt_core::miner::{Miner, MiningResult};
+use plt_core::plt::Plt;
+use plt_core::ranking::RankPolicy;
+
+use crate::construct::par_construct;
+use crate::projection::project_all;
+
+/// Parallel conditional PLT miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelPltMiner {
+    /// Item-order policy for the underlying PLT.
+    pub rank_policy: RankPolicy,
+}
+
+impl ParallelPltMiner {
+    /// Miner with a specific rank policy.
+    pub fn with_policy(rank_policy: RankPolicy) -> Self {
+        ParallelPltMiner { rank_policy }
+    }
+
+    /// Mines an already-constructed PLT in parallel.
+    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
+        let projections = project_all(plt);
+        let n = plt.ranking().len() as Rank;
+        let locals: Vec<MiningResult> = (1..=n)
+            .into_par_iter()
+            .map(|j| {
+                let mut local = MiningResult::new(plt.min_support(), plt.num_transactions());
+                let support = projections.support(j);
+                if support >= plt.min_support() {
+                    let item = plt.ranking().item(j);
+                    local.insert(Itemset::from_sorted(vec![item]), support);
+                    let cd = projections.conditional(j);
+                    if !cd.is_empty() {
+                        local.merge(mine_conditional(cd, plt, &[j]));
+                    }
+                }
+                local
+            })
+            .collect();
+        let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
+        for local in locals {
+            result.merge(local);
+        }
+        result
+    }
+}
+
+impl Miner for ParallelPltMiner {
+    fn name(&self) -> &'static str {
+        "plt-parallel"
+    }
+
+    fn mine(&self, transactions: &[Vec<Item>], min_support: Support) -> MiningResult {
+        let plt = par_construct(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+        )
+        .expect("invalid transaction database");
+        self.mine_plt(&plt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::conditional::ConditionalMiner;
+    use plt_core::miner::BruteForceMiner;
+    use proptest::prelude::*;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_conditional_miner() {
+        let seq = ConditionalMiner::default().mine(&table1(), 2);
+        let par = ParallelPltMiner::default().mine(&table1(), 2);
+        assert_eq!(par.sorted(), seq.sorted());
+    }
+
+    #[test]
+    fn single_thread_pool_matches_too() {
+        let seq = ConditionalMiner::default().mine(&table1(), 2);
+        let par = crate::run_with_threads(1, || ParallelPltMiner::default().mine(&table1(), 2));
+        assert_eq!(par.sorted(), seq.sorted());
+    }
+
+    #[test]
+    fn empty_and_infrequent() {
+        assert!(ParallelPltMiner::default().mine(&[], 1).is_empty());
+        assert!(ParallelPltMiner::default().mine(&table1(), 10).is_empty());
+    }
+
+    #[test]
+    fn larger_synthetic_agreement() {
+        // A few thousand structured transactions; parallel result must be
+        // identical to sequential.
+        let db: Vec<Vec<Item>> = (0..4_000u32)
+            .map(|i| {
+                let mut t = vec![i % 11, 11 + (i % 7), 18 + (i % 5)];
+                if i % 3 == 0 {
+                    t.push(23 + (i % 2));
+                }
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let seq = ConditionalMiner::default().mine(&db, 100);
+        let par = ParallelPltMiner::default().mine(&db, 100);
+        assert_eq!(par.sorted(), seq.sorted());
+        assert!(!par.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Parallel mining agrees with brute force on random databases.
+        #[test]
+        fn prop_matches_brute_force(
+            db in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..14, 1..7),
+                1..40,
+            ),
+            min_support in 1u64..5,
+        ) {
+            let db: Vec<Vec<Item>> = db.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            let expect = BruteForceMiner.mine(&db, min_support);
+            let got = ParallelPltMiner::default().mine(&db, min_support);
+            prop_assert_eq!(got.sorted(), expect.sorted());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-item projections of a PLT — the parallel work units.
+//!
+//! The sequential conditional miner (Algorithm 3) peels items off one at a
+//! time, folding prefixes back as it goes; that fold creates a sequential
+//! dependency between items. For parallel mining we instead compute every
+//! item's conditional database directly from the *original* PLT in one
+//! pass: vector `V` with ranks `r_1 < … < r_k` contributes its prefix
+//! before `r_i` to item `r_i`'s database, for every `i`. The two
+//! formulations count identically (each transaction containing item `j`
+//! contributes its sub-`j` prefix exactly once either way), but the direct
+//! one makes the per-item units independent.
+
+use plt_core::item::{Rank, Support};
+use plt_core::plt::Plt;
+use plt_core::posvec::PositionVector;
+
+/// All per-item projections of a PLT.
+#[derive(Debug, Clone)]
+pub struct Projections {
+    /// Indexed by `rank − 1`: the item's support and conditional database
+    /// (prefix vectors with frequencies; duplicates unmerged — the
+    /// conditional construction merges them).
+    by_rank: Vec<(Support, Vec<(PositionVector, Support)>)>,
+}
+
+impl Projections {
+    /// Number of ranked items covered.
+    pub fn len(&self) -> usize {
+        self.by_rank.len()
+    }
+
+    /// True when the PLT had no ranked items.
+    pub fn is_empty(&self) -> bool {
+        self.by_rank.is_empty()
+    }
+
+    /// Support of the item holding `rank`, as observed in the vectors.
+    pub fn support(&self, rank: Rank) -> Support {
+        self.by_rank[(rank - 1) as usize].0
+    }
+
+    /// Conditional database of the item holding `rank`.
+    pub fn conditional(&self, rank: Rank) -> &[(PositionVector, Support)] {
+        &self.by_rank[(rank - 1) as usize].1
+    }
+}
+
+/// Builds every item's projection in a single pass over the PLT.
+pub fn project_all(plt: &Plt) -> Projections {
+    let n = plt.ranking().len();
+    let mut by_rank: Vec<(Support, Vec<(PositionVector, Support)>)> =
+        vec![(0, Vec::new()); n];
+    for (v, e) in plt.iter() {
+        let ranks = v.ranks();
+        for (i, &r) in ranks.iter().enumerate() {
+            let slot = &mut by_rank[(r - 1) as usize];
+            slot.0 += e.freq;
+            if i > 0 {
+                let prefix =
+                    PositionVector::from_ranks(&ranks[..i]).expect("non-empty prefix");
+                slot.1.push((prefix, e.freq));
+            }
+        }
+    }
+    Projections { by_rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::construct::{construct, ConstructOptions};
+    use plt_core::item::Item;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    fn pv(p: &[Rank]) -> PositionVector {
+        PositionVector::from_positions(p.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn supports_match_item_scan() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let proj = project_all(&plt);
+        assert_eq!(proj.len(), 4);
+        assert_eq!(proj.support(1), 4); // A
+        assert_eq!(proj.support(2), 5); // B
+        assert_eq!(proj.support(3), 5); // C
+        assert_eq!(proj.support(4), 4); // D
+    }
+
+    #[test]
+    fn conditional_of_top_rank_matches_figure5() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let proj = project_all(&plt);
+        let mut cd: Vec<(PositionVector, Support)> = proj.conditional(4).to_vec();
+        cd.sort();
+        assert_eq!(
+            cd,
+            vec![
+                (pv(&[1, 1]), 1),
+                (pv(&[1, 1, 1]), 1),
+                (pv(&[2, 1]), 1),
+                (pv(&[3]), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn conditional_of_lowest_rank_is_empty() {
+        // Rank 1 is the smallest item; nothing precedes it.
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let proj = project_all(&plt);
+        assert!(proj.conditional(1).is_empty());
+    }
+
+    #[test]
+    fn intermediate_rank_projects_prefixes_only() {
+        // Item C (rank 3): contained in ABC×2, ABCD, BCD, CD. Prefixes:
+        // AB×3 (from ABC×2 + ABCD), B×1 (BCD), none for CD (C is first).
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let proj = project_all(&plt);
+        let mut total: Support = 0;
+        for (v, f) in proj.conditional(3) {
+            assert!(v.sum() < 3);
+            total += f;
+        }
+        // 4 prefix-contributing occurrences (ABC×2, ABCD, BCD).
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_plt_projects_nothing() {
+        let db: Vec<Vec<Item>> = vec![];
+        let plt = construct(&db, 1, ConstructOptions::conditional()).unwrap();
+        assert!(project_all(&plt).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Productive-rule filtering: removing redundant association rules.
+//!
+//! `generate_rules` is complete, which in practice buries the interesting
+//! implications under specialisations: if `{bread} → {butter}` holds at
+//! 0.8 confidence, then `{bread, onions} → {butter}` at 0.8 adds nothing —
+//! its extra antecedent item does not *improve* the prediction. A rule is
+//! **productive** (Webb's terminology; Bayardo's "confidence
+//! improvement") when its confidence strictly exceeds the confidence of
+//! every generalisation — every rule with a proper subset of its
+//! antecedent and the same consequent, including the empty antecedent
+//! whose confidence is the consequent's base rate.
+//!
+//! Filtering needs only supports that the anti-monotone closure
+//! guarantees are present in the [`MiningResult`], so it runs as a pure
+//! post-process.
+
+use plt_core::item::Itemset;
+use plt_core::miner::MiningResult;
+
+use crate::Rule;
+
+/// Keeps the rules whose confidence improvement over *every*
+/// generalisation is at least `min_improvement`.
+///
+/// `min_improvement = 0.0` removes only rules that are no better than a
+/// generalisation (ties removed: improvement must be strictly positive
+/// when `min_improvement` is 0 would admit equals — we require
+/// `conf − best_general_conf >= min_improvement` and `> 0`).
+pub fn productive_rules(
+    rules: &[Rule],
+    result: &MiningResult,
+    min_improvement: f64,
+) -> Vec<Rule> {
+    assert!(
+        (0.0..=1.0).contains(&min_improvement),
+        "improvement is a confidence delta"
+    );
+    let n = result.num_transactions() as f64;
+    rules
+        .iter()
+        .filter(|rule| {
+            let improvement = confidence_improvement(rule, result, n);
+            improvement > 0.0 && improvement >= min_improvement
+        })
+        .cloned()
+        .collect()
+}
+
+/// `conf(rule) − max over proper antecedent subsets X' of conf(X' → Y)`.
+/// The empty antecedent contributes the consequent's base rate.
+pub fn confidence_improvement(rule: &Rule, result: &MiningResult, n: f64) -> f64 {
+    let sup_y = result
+        .support(rule.consequent.items())
+        .expect("mining results are subset-closed") as f64;
+    let mut best = sup_y / n; // conf(∅ → Y)
+    let ante = rule.antecedent.items();
+    let k = ante.len();
+    assert!(k < 32, "antecedent too large for subset enumeration");
+    // Proper, non-empty subsets of the antecedent.
+    for mask in 1u32..((1u32 << k) - 1) {
+        let sub: Vec<_> = (0..k)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| ante[i])
+            .collect();
+        let sub = Itemset::from_sorted(sub);
+        let sup_sub = result
+            .support(sub.items())
+            .expect("mining results are subset-closed") as f64;
+        let union = sub.union(&rule.consequent);
+        let sup_union = result
+            .support(union.items())
+            .expect("mining results are subset-closed") as f64;
+        best = best.max(sup_union / sup_sub);
+    }
+    rule.confidence - best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_rules, RuleConfig};
+    use plt_core::item::Item;
+    use plt_core::miner::{BruteForceMiner, Miner};
+
+    /// A database engineered so that {1}→{2} is strong and {1,3}→{2}
+    /// adds nothing over it.
+    fn redundant_db() -> Vec<Vec<Item>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3], // breaks conf({1}→{2}) = 1 down to 4/5
+            vec![2, 3],
+            vec![3],
+        ]
+    }
+
+    #[test]
+    fn specialisations_without_improvement_are_dropped() {
+        let result = BruteForceMiner.mine(&redundant_db(), 1);
+        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let productive = productive_rules(&rules, &result, 0.0);
+
+        let find = |rs: &[Rule], x: &[Item], y: &[Item]| {
+            rs.iter()
+                .any(|r| r.antecedent.items() == x && r.consequent.items() == y)
+        };
+        // conf({1}→{2}) = 4/5 = 0.8; conf({1,3}→{2}) = 2/3 < 0.8 → the
+        // specialisation is dropped, the general rule survives (its base
+        // rate is 5/7 < 0.8).
+        assert!(find(&rules, &[1, 3], &[2]), "complete set has it");
+        assert!(find(&productive, &[1], &[2]));
+        assert!(!find(&productive, &[1, 3], &[2]));
+    }
+
+    #[test]
+    fn rules_below_base_rate_are_dropped() {
+        // conf({3}→{2}) = 3/5 = 0.6 < base rate of 2 (5/7 ≈ 0.714): item 3
+        // actually *lowers* the odds of 2 → unproductive.
+        let result = BruteForceMiner.mine(&redundant_db(), 1);
+        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let productive = productive_rules(&rules, &result, 0.0);
+        assert!(!productive
+            .iter()
+            .any(|r| r.antecedent.items() == [3] && r.consequent.items() == [2]));
+    }
+
+    #[test]
+    fn min_improvement_tightens_the_filter() {
+        let result = BruteForceMiner.mine(&redundant_db(), 1);
+        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let loose = productive_rules(&rules, &result, 0.0);
+        let tight = productive_rules(&rules, &result, 0.3);
+        assert!(tight.len() < loose.len());
+        for r in &tight {
+            assert!(
+                confidence_improvement(r, &result, result.num_transactions() as f64) >= 0.3
+            );
+        }
+    }
+
+    #[test]
+    fn productive_set_is_a_subset_preserving_metrics() {
+        let result = BruteForceMiner.mine(&redundant_db(), 1);
+        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.2 });
+        let productive = productive_rules(&rules, &result, 0.0);
+        assert!(productive.len() <= rules.len());
+        for p in &productive {
+            assert!(rules.iter().any(|r| r == p), "filter must not mutate rules");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_improvement() {
+        let result = BruteForceMiner.mine(&redundant_db(), 1);
+        productive_rules(&[], &result, 2.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact sliding-window mining over a maintained PLT.
+//!
+//! The window holds the last `capacity` transactions; each arrival beyond
+//! capacity evicts the oldest. The PLT is updated by
+//! [`Plt::insert_transaction`]/[`Plt::remove_transaction`], so a slide
+//! costs two vector-map updates instead of a rebuild.
+//!
+//! One structural caveat, inherited from the `Rank` function being frozen
+//! per structure: items are ranked when the window is created (from the
+//! warm-up transactions). Items that only appear later are invisible until
+//! [`SlidingWindow::rerank`] is called — the trade every rank-based
+//! structure (FP-tree included) makes. `rerank` rebuilds from the current
+//! window contents and is `O(window)`.
+
+use std::collections::VecDeque;
+
+use plt_core::conditional::ConditionalMiner;
+use plt_core::item::{Item, Support};
+use plt_core::miner::MiningResult;
+use plt_core::plt::Plt;
+use plt_core::ranking::{ItemRanking, RankPolicy};
+use plt_core::Result;
+
+/// An exact frequent-itemset view over the most recent transactions.
+///
+/// # Examples
+///
+/// ```
+/// use plt_core::ranking::RankPolicy;
+/// use plt_stream::SlidingWindow;
+///
+/// // Items 1, 2, 3 are all frequent in the warm-up, so all get ranks.
+/// let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![3]];
+/// let mut w = SlidingWindow::new(4, 2, RankPolicy::Lexicographic, &warmup).unwrap();
+/// assert_eq!(w.mine().support(&[1, 2]), Some(2));
+/// // Slide: the oldest {1,2} leaves, {2,3} enters.
+/// let evicted = w.push(vec![2, 3]).unwrap();
+/// assert_eq!(evicted, Some(vec![1, 2]));
+/// assert_eq!(w.mine().support(&[3]), Some(3));
+/// assert!(w.mine().support(&[1, 2]).is_none()); // support fell to 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    plt: Plt,
+    window: VecDeque<Vec<Item>>,
+    capacity: usize,
+    min_support: Support,
+    rank_policy: RankPolicy,
+}
+
+impl SlidingWindow {
+    /// Creates a window of `capacity` transactions. `warmup` seeds the
+    /// ranking (and the window, up to capacity); it is typically the first
+    /// chunk of the stream.
+    pub fn new(
+        capacity: usize,
+        min_support: Support,
+        rank_policy: RankPolicy,
+        warmup: &[Vec<Item>],
+    ) -> Result<SlidingWindow> {
+        assert!(capacity >= 1, "window capacity must be at least 1");
+        let ranking = ItemRanking::scan(warmup, min_support, rank_policy);
+        let mut w = SlidingWindow {
+            plt: Plt::new(ranking, min_support)?,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            min_support,
+            rank_policy,
+        };
+        for t in warmup {
+            w.push(t.clone())?;
+        }
+        Ok(w)
+    }
+
+    /// Number of transactions currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True before any transaction arrived.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The maintained PLT (for oracles, compression, inspection).
+    pub fn plt(&self) -> &Plt {
+        &self.plt
+    }
+
+    /// Pushes one transaction, evicting the oldest when full. Returns the
+    /// evicted transaction, if any.
+    pub fn push(&mut self, transaction: Vec<Item>) -> Result<Option<Vec<Item>>> {
+        let mut sorted = transaction;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let evicted = if self.window.len() == self.capacity {
+            let old = self.window.pop_front().expect("len == capacity >= 1");
+            self.plt.remove_transaction(&old)?;
+            Some(old)
+        } else {
+            None
+        };
+        self.plt.insert_transaction(&sorted)?;
+        self.window.push_back(sorted);
+        Ok(evicted)
+    }
+
+    /// Mines the current window exactly (conditional approach). Items
+    /// unranked since the last [`rerank`](Self::rerank) are not reported.
+    pub fn mine(&self) -> MiningResult {
+        ConditionalMiner::default().mine_plt(&self.plt)
+    }
+
+    /// Rebuilds the ranking (and PLT) from the current window contents —
+    /// call when the item vocabulary has drifted.
+    pub fn rerank(&mut self) -> Result<()> {
+        let transactions: Vec<Vec<Item>> = self.window.iter().cloned().collect();
+        let ranking = ItemRanking::scan(&transactions, self.min_support, self.rank_policy);
+        let mut plt = Plt::new(ranking, self.min_support)?;
+        for t in &transactions {
+            plt.insert_transaction(t)?;
+        }
+        self.plt = plt;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::miner::{BruteForceMiner, Miner};
+    use proptest::prelude::*;
+
+    fn stream(n: usize) -> Vec<Vec<Item>> {
+        (0..n as u32)
+            .map(|i| {
+                let mut t = vec![i % 6, 6 + (i % 4)];
+                if i % 3 == 0 {
+                    t.push(10);
+                }
+                t.sort_unstable();
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_mining_equals_batch_mining() {
+        let s = stream(120);
+        let mut w =
+            SlidingWindow::new(40, 5, RankPolicy::Lexicographic, &s[..40]).unwrap();
+        for (i, t) in s[40..].iter().enumerate() {
+            w.push(t.clone()).unwrap();
+            if i % 17 == 0 {
+                // Compare against a fresh batch over the same 40
+                // transactions — rerank first so rankings agree on scope.
+                w.rerank().unwrap();
+                let lo = i + 1;
+                let batch: Vec<Vec<Item>> = s[lo..lo + 40].to_vec();
+                let expect = BruteForceMiner.mine(&batch, 5);
+                assert_eq!(w.mine().sorted(), expect.sorted(), "at slide {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_len_at_capacity() {
+        let s = stream(30);
+        let mut w = SlidingWindow::new(10, 2, RankPolicy::Lexicographic, &s[..10]).unwrap();
+        assert_eq!(w.len(), 10);
+        let evicted = w.push(vec![1, 2]).unwrap();
+        assert_eq!(evicted, Some(s[0].clone()));
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.capacity(), 10);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn warmup_shorter_than_capacity() {
+        let s = stream(5);
+        let mut w = SlidingWindow::new(10, 1, RankPolicy::Lexicographic, &s).unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.push(vec![0, 6]).unwrap(), None); // no eviction yet
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn unknown_items_become_visible_after_rerank() {
+        let warmup = vec![vec![1, 2]; 10];
+        let mut w = SlidingWindow::new(10, 3, RankPolicy::Lexicographic, &warmup).unwrap();
+        // Flood with a new item the warm-up never saw.
+        for _ in 0..10 {
+            w.push(vec![7, 8]).unwrap();
+        }
+        assert!(!w.mine().contains(&[7])); // invisible: unranked
+        w.rerank().unwrap();
+        assert_eq!(w.mine().support(&[7, 8]), Some(10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// After arbitrary slides and a rerank, window mining equals
+        /// batch mining of the same transactions.
+        #[test]
+        fn prop_window_equals_batch(
+            s in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..10, 1..5),
+                20..60,
+            ),
+            capacity in 5usize..20,
+            min_support in 1u64..4,
+        ) {
+            let s: Vec<Vec<Item>> = s.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            let warm = capacity.min(s.len());
+            let mut w = SlidingWindow::new(
+                capacity, min_support, RankPolicy::Lexicographic, &s[..warm],
+            ).unwrap();
+            for t in &s[warm..] {
+                w.push(t.clone()).unwrap();
+            }
+            w.rerank().unwrap();
+            let lo = s.len().saturating_sub(capacity);
+            let expect = BruteForceMiner.mine(&s[lo..], min_support);
+            prop_assert_eq!(w.mine().sorted(), expect.sorted());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints every exhibit of the paper, regenerated: Table 1's item scan,
+//! the lexicographic tree (Fig. 1), its positional annotation (Fig. 2),
+//! the constructed PLT in both views (Fig. 3), the database after the
+//! top-down pass (Fig. 4), and D's conditional database (Fig. 5).
+//!
+//! The same artefacts are asserted exactly in `tests/paper_figures.rs`;
+//! this example exists to *see* them.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use plt_bench::figures;
+
+fn main() {
+    println!("=== E-T1: Table 1 scan ===\n{}", figures::exp_t1());
+    println!("=== E-F1: lexicographic tree ===\n{}", figures::exp_f1().1);
+    println!("=== E-F2: positional annotation ===\n{}", figures::exp_f2().1);
+    println!("=== E-F3: the PLT ===\n{}", figures::exp_f3().1);
+    println!("=== E-F4: after top-down ===\n{}", figures::exp_f4().1);
+    println!("=== E-F5: D's conditional database ===\n{}", figures::exp_f5().3);
+}

@@ -1,0 +1,25 @@
+//! # plt — Positional Lexicographic Tree
+//!
+//! Facade crate re-exporting the whole PLT workspace: the core structure
+//! and miners ([`core`]), data substrates ([`data`]), baseline miners
+//! ([`baselines`]), parallel mining ([`parallel`]), compressed storage
+//! ([`compress`]), association-rule generation ([`rules`]),
+//! closed/maximal mining ([`closed`]) and streaming maintenance
+//! ([`stream`]).
+//!
+//! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use plt_baselines as baselines;
+pub use plt_closed as closed;
+pub use plt_compress as compress;
+pub use plt_core as core;
+pub use plt_data as data;
+pub use plt_parallel as parallel;
+pub use plt_rules as rules;
+pub use plt_stream as stream;
+
+pub use plt_core::{
+    ConditionalMiner, Itemset, Miner, MiningResult, Plt, PositionVector, RankPolicy, Support,
+    TopDownMiner,
+};

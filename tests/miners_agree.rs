@@ -1,0 +1,172 @@
+//! Cross-crate agreement: every miner in the workspace produces the exact
+//! same frequent-itemset family (itemsets *and* supports) on realistic
+//! generated workloads — PLT (both approaches, sequential and parallel)
+//! against every baseline.
+
+use plt::baselines::apriori::{AprioriMiner, CountingStrategy, PruneStrategy};
+use plt::baselines::{
+    AisMiner, DicMiner, EclatMiner, FpGrowthMiner, HMineMiner, PartitionMiner, SamplingMiner,
+};
+use plt::core::miner::Miner;
+use plt::data::{BasketConfig, BasketGenerator, DenseConfig, DenseGenerator, QuestConfig, QuestGenerator};
+use plt::parallel::{ParallelEclatMiner, ParallelPltMiner};
+use plt::core::HybridMiner;
+use plt::{ConditionalMiner, RankPolicy, TopDownMiner};
+
+fn all_miners() -> Vec<Box<dyn Miner>> {
+    vec![
+        Box::new(ConditionalMiner::default()),
+        Box::new(ConditionalMiner::with_policy(RankPolicy::FrequencyDescending)),
+        Box::new(TopDownMiner::default()),
+        Box::new(HybridMiner::default()),
+        Box::new(HybridMiner {
+            topdown_budget: 64,
+            ..Default::default()
+        }),
+        Box::new(ParallelPltMiner::default()),
+        Box::new(AprioriMiner::default()),
+        Box::new(AprioriMiner {
+            prune: PruneStrategy::PltSubsetChecker,
+            counting: CountingStrategy::SubsetEnumeration,
+        }),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(EclatMiner::with_diffsets()),
+        Box::new(HMineMiner),
+        Box::new(ParallelEclatMiner),
+        Box::new(AisMiner),
+        Box::new(PartitionMiner::default()),
+        Box::new(PartitionMiner { num_partitions: 7 }),
+        Box::new(DicMiner::default()),
+        Box::new(DicMiner { block_size: 37 }),
+        Box::new(SamplingMiner::default()),
+    ]
+}
+
+fn assert_all_agree(db: &[Vec<u32>], min_support: u64, label: &str) {
+    let reference = ConditionalMiner::default().mine(db, min_support);
+    reference
+        .check_anti_monotone()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let expect = reference.sorted();
+    for miner in all_miners() {
+        let got = miner.mine(db, min_support).sorted();
+        assert_eq!(
+            got.len(),
+            expect.len(),
+            "{label}: {} found {} itemsets, expected {}",
+            miner.name(),
+            got.len(),
+            expect.len()
+        );
+        assert_eq!(got, expect, "{label}: {} disagrees", miner.name());
+    }
+}
+
+#[test]
+fn agree_on_sparse_quest_data() {
+    let db = QuestGenerator::new(QuestConfig::t5i2(800))
+        .generate()
+        .into_transactions();
+    assert_all_agree(&db, 8, "quest t5i2 1%");
+    assert_all_agree(&db, 40, "quest t5i2 5%");
+}
+
+#[test]
+fn agree_on_dense_data() {
+    let db = DenseGenerator::new(DenseConfig {
+        num_transactions: 400,
+        num_items: 12,
+        density_hi: 0.85,
+        density_lo: 0.2,
+        seed: 99,
+    })
+    .generate()
+    .into_transactions();
+    assert_all_agree(&db, 200, "dense 50%");
+    assert_all_agree(&db, 80, "dense 20%");
+}
+
+#[test]
+fn agree_on_market_baskets() {
+    let db = BasketGenerator::new(BasketConfig {
+        num_baskets: 600,
+        ..Default::default()
+    })
+    .generate()
+    .into_transactions();
+    assert_all_agree(&db, 30, "baskets 5%");
+}
+
+#[test]
+fn agree_when_nothing_is_frequent() {
+    let db = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+    for miner in all_miners() {
+        assert!(miner.mine(&db, 2).is_empty(), "{}", miner.name());
+    }
+}
+
+#[test]
+fn agree_with_empty_transactions_interleaved() {
+    // Real exports contain empty rows; every miner must skip them without
+    // skewing counts.
+    let db = vec![
+        vec![1, 2, 3],
+        vec![],
+        vec![1, 2],
+        vec![],
+        vec![2, 3],
+        vec![1, 2, 3],
+    ];
+    assert_all_agree(&db, 2, "empty rows");
+    let r = ConditionalMiner::default().mine(&db, 2);
+    assert_eq!(r.support(&[1, 2]), Some(3));
+    assert_eq!(r.num_transactions(), 6); // empties still counted as rows
+}
+
+#[test]
+fn agree_under_every_rank_policy_end_to_end() {
+    let db = BasketGenerator::new(BasketConfig {
+        num_baskets: 300,
+        ..Default::default()
+    })
+    .generate()
+    .into_transactions();
+    let reference = ConditionalMiner::default().mine(&db, 15).sorted();
+    for policy in [
+        RankPolicy::Lexicographic,
+        RankPolicy::FrequencyAscending,
+        RankPolicy::FrequencyDescending,
+    ] {
+        let miners: Vec<Box<dyn Miner>> = vec![
+            Box::new(ConditionalMiner::with_policy(policy)),
+            Box::new(TopDownMiner::with_policy(policy)),
+            Box::new(HybridMiner {
+                rank_policy: policy,
+                ..Default::default()
+            }),
+            Box::new(ParallelPltMiner::with_policy(policy)),
+        ];
+        for miner in miners {
+            assert_eq!(
+                miner.mine(&db, 15).sorted(),
+                reference,
+                "{} under {policy:?}",
+                miner.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn agree_on_degenerate_databases() {
+    // Single transaction; all-identical transactions; singleton items.
+    let cases: Vec<(Vec<Vec<u32>>, u64)> = vec![
+        (vec![vec![1, 2, 3]], 1),
+        (vec![vec![4, 5]; 10], 10),
+        (vec![vec![7], vec![7], vec![8]], 2),
+    ];
+    for (db, ms) in cases {
+        assert_all_agree(&db, ms, "degenerate");
+    }
+}

@@ -1,0 +1,146 @@
+//! Exact reproduction of every exhibit in the paper (the E-* experiments
+//! of `DESIGN.md`): Table 1's scan, Figures 1–5. Values are hand-derived
+//! from the paper's §4.2/§5 walkthrough and asserted exactly.
+
+use plt::core::item::Rank;
+use plt::PositionVector;
+use plt_bench::figures;
+
+fn pv(p: &[Rank]) -> PositionVector {
+    PositionVector::from_positions(p.to_vec()).unwrap()
+}
+
+#[test]
+fn e_t1_frequent_items_and_ranks() {
+    // "The set of frequent 1 items are then {(A,4),(B,5),(C,5),(D,4)} …
+    //  Rank(A)=1, Rank(B)=2, Rank(C)=3, Rank(D)=4."
+    let plt = figures::table1_plt();
+    let entries: Vec<_> = plt.ranking().entries().collect();
+    assert_eq!(entries, vec![(0, 1, 4), (1, 2, 5), (2, 3, 5), (3, 4, 4)]);
+}
+
+#[test]
+fn e_f1_lexicographic_tree() {
+    // Figure 1: the lexicographic tree of {A,B,C,D}. 15 itemset nodes +
+    // null root; A's children are B, C, D; the sub-tree property 4.1.1
+    // (repeated structures) holds: B's subtree at level 1 equals the
+    // B-subtree under A.
+    let (tree, _) = figures::exp_f1();
+    assert_eq!(tree.size(), 16);
+    let a = tree.root.child(1).unwrap();
+    let b_top = tree.root.child(2).unwrap();
+    let b_under_a = a.child(2).unwrap();
+    // Property 4.1.1: same structure (ranks), different positions.
+    fn ranks(n: &plt::core::tree::Node) -> Vec<u32> {
+        let mut out = vec![n.rank];
+        for c in &n.children {
+            out.extend(ranks(c));
+        }
+        out
+    }
+    assert_eq!(ranks(b_top), ranks(b_under_a));
+    assert_eq!(b_top.pos, 2); // B under root: pos = 2 − 0
+    assert_eq!(b_under_a.pos, 1); // B under A: pos = 2 − 1
+}
+
+#[test]
+fn e_f2_position_values() {
+    // Figure 2: each node carries pos = Rank(node) − Rank(parent); the
+    // paper's worked example: "node C is a child of node A at level 2 and
+    // pos(C) = 2".
+    let (tree, _) = figures::exp_f2();
+    let a = tree.root.child(1).unwrap();
+    assert_eq!(a.child(3).unwrap().pos, 2);
+    // And under the root, C's position is its rank.
+    assert_eq!(tree.root.child(3).unwrap().pos, 3);
+}
+
+#[test]
+fn e_f3_constructed_plt() {
+    // Figure 3: the PLT of Table 1. Partitions derived by hand:
+    //   D_2: [3,1]×1;  D_3: [1,1,1]×2, [1,1,2]×1, [2,1,1]×1;
+    //   D_4: [1,1,1,1]×1.
+    let (plt, _) = figures::exp_f3();
+    assert_eq!(plt.partition_len(1), 0);
+    assert_eq!(plt.partition_len(2), 1);
+    assert_eq!(plt.partition_len(3), 3);
+    assert_eq!(plt.partition_len(4), 1);
+    assert_eq!(plt.vector_frequency(&pv(&[3, 1])), 1);
+    assert_eq!(plt.vector_frequency(&pv(&[1, 1, 1])), 2);
+    assert_eq!(plt.vector_frequency(&pv(&[1, 1, 2])), 1);
+    assert_eq!(plt.vector_frequency(&pv(&[2, 1, 1])), 1);
+    assert_eq!(plt.vector_frequency(&pv(&[1, 1, 1, 1])), 1);
+    // Sums cached per the paper's construction ("we store the summation").
+    assert_eq!(plt.get(&pv(&[1, 1, 2])).unwrap().sum, 4);
+    assert_eq!(plt.get(&pv(&[1, 1, 1])).unwrap().sum, 3);
+}
+
+#[test]
+fn e_f4_database_after_top_down() {
+    // Figure 4: all subsets with inherited frequencies. The 15 supports
+    // derived by hand from Table 1 (restricted to frequent items A..D).
+    let (fig4, _) = figures::exp_f4();
+    let expect: &[(&[Rank], u64)] = &[
+        (&[1], 4),
+        (&[2], 5),
+        (&[3], 5),
+        (&[4], 4),
+        (&[1, 1], 4),
+        (&[1, 2], 3),
+        (&[1, 3], 2),
+        (&[2, 1], 4),
+        (&[2, 2], 3),
+        (&[3, 1], 3),
+        (&[1, 1, 1], 3),
+        (&[1, 1, 2], 2),
+        (&[1, 2, 1], 1),
+        (&[2, 1, 1], 2),
+        (&[1, 1, 1, 1], 1),
+    ];
+    assert_eq!(fig4.num_vectors(), expect.len());
+    for &(positions, support) in expect {
+        assert_eq!(
+            fig4.vector_frequency(&pv(positions)),
+            support,
+            "vector {positions:?}"
+        );
+    }
+}
+
+#[test]
+fn e_f5_conditional_database_of_d() {
+    // Figure 5: "the conditional database for item D is the database that
+    // contains vectors with a sum equal to D's rank" (= 4), support 4;
+    // prefixes inserted back into the original database.
+    let (support, cd, residual, _) = figures::exp_f5();
+    assert_eq!(support, 4);
+    assert_eq!(
+        cd,
+        vec![
+            (pv(&[1, 1]), 1),
+            (pv(&[1, 1, 1]), 1),
+            (pv(&[2, 1]), 1),
+            (pv(&[3]), 1),
+        ]
+    );
+    assert_eq!(residual.vector_frequency(&pv(&[1, 1, 1])), 3);
+    assert_eq!(residual.vector_frequency(&pv(&[1, 1])), 1);
+    assert_eq!(residual.vector_frequency(&pv(&[2, 1])), 1);
+    assert_eq!(residual.vector_frequency(&pv(&[3])), 1);
+    assert_eq!(residual.num_vectors(), 4);
+}
+
+#[test]
+fn paper_final_answer_at_min_support_two() {
+    // The end-to-end answer for the paper's walkthrough: 13 frequent
+    // itemsets; {A,C,D} and {A,B,C,D} fall below support 2.
+    use plt::core::miner::Miner;
+    let db = figures::table1_db();
+    let result = plt::ConditionalMiner::default().mine(&db, figures::PAPER_MIN_SUPPORT);
+    assert_eq!(result.len(), 13);
+    assert_eq!(result.support(&[0, 1, 2]), Some(3));
+    assert_eq!(result.support(&[0, 1, 3]), Some(2));
+    assert_eq!(result.support(&[1, 2, 3]), Some(2));
+    assert_eq!(result.support(&[0, 2, 3]), None);
+    assert_eq!(result.support(&[0, 1, 2, 3]), None);
+}
