@@ -175,7 +175,11 @@ impl HashTree {
 mod tests {
     use super::*;
 
-    fn count_all(k: usize, candidates: Vec<Vec<Item>>, db: &[Vec<Item>]) -> Vec<(Vec<Item>, Support)> {
+    fn count_all(
+        k: usize,
+        candidates: Vec<Vec<Item>>,
+        db: &[Vec<Item>],
+    ) -> Vec<(Vec<Item>, Support)> {
         let mut tree = HashTree::new(k, candidates);
         for (tid, t) in db.iter().enumerate() {
             tree.count_transaction(tid as u64, t);
@@ -187,21 +191,12 @@ mod tests {
 
     #[test]
     fn counts_pairs_exactly() {
-        let db = vec![
-            vec![1, 2, 3],
-            vec![1, 2],
-            vec![2, 3],
-            vec![1, 3],
-        ];
+        let db = vec![vec![1, 2, 3], vec![1, 2], vec![2, 3], vec![1, 3]];
         let candidates = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
         let counts = count_all(2, candidates, &db);
         assert_eq!(
             counts,
-            vec![
-                (vec![1, 2], 2),
-                (vec![1, 3], 2),
-                (vec![2, 3], 2),
-            ]
+            vec![(vec![1, 2], 2), (vec![1, 3], 2), (vec![2, 3], 2),]
         );
     }
 
@@ -244,10 +239,7 @@ mod tests {
         let counts = count_all(2, candidates.clone(), &db);
         assert_eq!(counts.len(), candidates.len());
         for (cand, count) in counts {
-            let expect = db
-                .iter()
-                .filter(|t| sorted_subset(&cand, t))
-                .count() as Support;
+            let expect = db.iter().filter(|t| sorted_subset(&cand, t)).count() as Support;
             assert_eq!(count, expect, "candidate {cand:?}");
         }
     }

@@ -86,7 +86,10 @@ impl Miner for AprioriMiner {
         // Pass 1: L_1.
         let mut counts: FxHashMap<Item, Support> = FxHashMap::default();
         for t in transactions {
-            debug_assert!(t.windows(2).all(|w| w[0] < w[1]), "transactions must be sorted sets");
+            debug_assert!(
+                t.windows(2).all(|w| w[0] < w[1]),
+                "transactions must be sorted sets"
+            );
             for &item in t {
                 *counts.entry(item).or_insert(0) += 1;
             }
@@ -160,7 +163,10 @@ impl AprioriMiner {
         k: usize,
         ranking: &ItemRanking,
     ) -> Vec<Vec<Item>> {
-        debug_assert!(prev_level.windows(2).all(|w| w[0] < w[1]), "L_{{k-1}} sorted");
+        debug_assert!(
+            prev_level.windows(2).all(|w| w[0] < w[1]),
+            "L_{{k-1}} sorted"
+        );
         let mut candidates = Vec::new();
 
         // Build the prune checker once per level.
@@ -179,7 +185,10 @@ impl AprioriMiner {
             PruneStrategy::PltSubsetChecker => {
                 let mut c = SubsetChecker::new();
                 for s in prev_level {
-                    let ranks: Vec<_> = s.iter().map(|&i| ranking.rank(i).expect("frequent")).collect();
+                    let ranks: Vec<_> = s
+                        .iter()
+                        .map(|&i| ranking.rank(i).expect("frequent"))
+                        .collect();
                     c.insert(PositionVector::from_ranks(&ranks).expect("non-empty"));
                 }
                 Checker::Plt(c)
@@ -284,7 +293,13 @@ fn n_choose_k(n: u64, k: u64) -> u64 {
 
 /// Calls `f` with every sorted `k`-subset of `t` (itself sorted).
 fn enumerate_subsets(t: &[Item], k: usize, scratch: &mut Vec<Item>, f: &mut impl FnMut(&[Item])) {
-    fn rec(t: &[Item], k: usize, start: usize, scratch: &mut Vec<Item>, f: &mut impl FnMut(&[Item])) {
+    fn rec(
+        t: &[Item],
+        k: usize,
+        start: usize,
+        scratch: &mut Vec<Item>,
+        f: &mut impl FnMut(&[Item]),
+    ) {
         if scratch.len() == k {
             f(scratch);
             return;
@@ -320,7 +335,10 @@ mod tests {
     fn all_variants() -> Vec<AprioriMiner> {
         let mut v = Vec::new();
         for prune in [PruneStrategy::NaiveHashSet, PruneStrategy::PltSubsetChecker] {
-            for counting in [CountingStrategy::HashTree, CountingStrategy::SubsetEnumeration] {
+            for counting in [
+                CountingStrategy::HashTree,
+                CountingStrategy::SubsetEnumeration,
+            ] {
                 v.push(AprioriMiner { prune, counting });
             }
         }

@@ -223,12 +223,7 @@ mod tests {
 
     #[test]
     fn nested_single_path_with_decreasing_counts() {
-        let db = vec![
-            vec![1, 2, 3],
-            vec![1, 2, 3],
-            vec![1, 2],
-            vec![1],
-        ];
+        let db = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2], vec![1]];
         let r = FpGrowthMiner.mine(&db, 2);
         assert_eq!(r.support(&[1]), Some(4));
         assert_eq!(r.support(&[1, 2]), Some(3));

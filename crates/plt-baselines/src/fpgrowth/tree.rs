@@ -59,7 +59,13 @@ impl FpTree {
                 next: NIL,
                 children: Vec::new(),
             }],
-            headers: vec![Header { count: 0, head: NIL }; num_items],
+            headers: vec![
+                Header {
+                    count: 0,
+                    head: NIL
+                };
+                num_items
+            ],
         }
     }
 
@@ -209,10 +215,7 @@ mod tests {
         let mut t = FpTree::new(4);
         assert_eq!(t.single_path(), Some(vec![]));
         t.insert(&[0, 1, 2], 3);
-        assert_eq!(
-            t.single_path(),
-            Some(vec![(0, 3), (1, 3), (2, 3)])
-        );
+        assert_eq!(t.single_path(), Some(vec![(0, 3), (1, 3), (2, 3)]));
         t.insert(&[0, 3], 1);
         assert_eq!(t.single_path(), None);
     }

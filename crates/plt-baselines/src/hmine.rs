@@ -167,9 +167,7 @@ mod tests {
     #[test]
     fn sparse_wide_database() {
         // H-Mine's home turf: many items, short transactions.
-        let db: Vec<Vec<Item>> = (0..60u32)
-            .map(|i| vec![i % 20, 20 + (i % 3)])
-            .collect();
+        let db: Vec<Vec<Item>> = (0..60u32).map(|i| vec![i % 20, 20 + (i % 3)]).collect();
         let expect = BruteForceMiner.mine(&db, 3);
         let got = HMineMiner.mine(&db, 3);
         assert_eq!(got.sorted(), expect.sorted());

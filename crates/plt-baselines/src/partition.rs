@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn more_partitions_than_transactions() {
         let expect = BruteForceMiner.mine(&table1(), 3);
-        let got = PartitionMiner { num_partitions: 100 }.mine(&table1(), 3);
+        let got = PartitionMiner {
+            num_partitions: 100,
+        }
+        .mine(&table1(), 3);
         assert_eq!(got.sorted(), expect.sorted());
     }
 

@@ -70,13 +70,10 @@ impl Miner for SamplingMiner {
                 ((fraction * n as f64).ceil() as usize).clamp(1, n),
                 self.seed.wrapping_add(attempt as u64),
             );
-            let lowered =
-                (((rel * (1.0 - slack)) * sample.len() as f64).floor() as Support).max(1);
+            let lowered = (((rel * (1.0 - slack)) * sample.len() as f64).floor() as Support).max(1);
             let local = EclatMiner::default().mine(&sample, lowered);
             let candidates: Vec<Itemset> = local.iter().map(|(s, _)| s.clone()).collect();
-            if let Some(result) =
-                self.verify(transactions, min_support, &candidates)
-            {
+            if let Some(result) = self.verify(transactions, min_support, &candidates) {
                 return result;
             }
             // Border failure: widen the net and retry.
@@ -134,11 +131,7 @@ impl SamplingMiner {
 
 /// Deterministic sample without replacement: a seeded partial
 /// Fisher–Yates over the index space.
-fn deterministic_sample(
-    transactions: &[Vec<Item>],
-    size: usize,
-    seed: u64,
-) -> Vec<Vec<Item>> {
+fn deterministic_sample(transactions: &[Vec<Item>], size: usize, seed: u64) -> Vec<Vec<Item>> {
     // A tiny splitmix-style PRNG keeps `rand` out of the non-dev
     // dependency set of this crate.
     let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -288,22 +281,19 @@ mod tests {
         // S = {1}, {2}, {3}, {1,2}, {1,3} over items {1,2,3,4}:
         // border = {4} (missing item), {2,3} (both subsets in S).
         // {1,2,3} is NOT in the border: its subset {2,3} ∉ S.
-        let candidates: Vec<Itemset> = [
-            vec![1],
-            vec![2],
-            vec![3],
-            vec![1, 2],
-            vec![1, 3],
-        ]
-        .into_iter()
-        .map(Itemset::from_sorted)
-        .collect();
+        let candidates: Vec<Itemset> = [vec![1], vec![2], vec![3], vec![1, 2], vec![1, 3]]
+            .into_iter()
+            .map(Itemset::from_sorted)
+            .collect();
         let set: FxHashSet<&Itemset> = candidates.iter().collect();
         let db = TransactionDb::new(vec![vec![1, 2, 3, 4]]);
         let border = negative_border(&candidates, &set, &db);
         assert_eq!(
             border,
-            vec![Itemset::from_sorted(vec![2, 3]), Itemset::from_sorted(vec![4])]
+            vec![
+                Itemset::from_sorted(vec![2, 3]),
+                Itemset::from_sorted(vec![4])
+            ]
         );
     }
 

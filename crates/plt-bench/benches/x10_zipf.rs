@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use plt_bench::datasets;
 use plt_baselines::{EclatMiner, FpGrowthMiner, HMineMiner};
+use plt_bench::datasets;
 use plt_core::miner::Miner;
 use plt_core::{ConditionalMiner, HybridMiner};
 
@@ -22,11 +22,9 @@ fn bench(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("x10/zipf{exponent:.1}"));
         group.sample_size(10);
         for miner in &miners {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(miner.name()),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, min_sup)),
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(miner.name()), &db, |b, db| {
+                b.iter(|| miner.mine(db, min_sup))
+            });
         }
         group.finish();
     }

@@ -1,0 +1,109 @@
+//! X11 — serving throughput: queries/sec through the plt-serve engine
+//! as a function of snapshot size, cold cache vs warm cache.
+//!
+//! Three endpoints are measured per snapshot size: `support` point
+//! lookups (canonical-vector probe), `top_k`, and `recommend`. "Cold"
+//! pays the full index path on every query by using a distinct query
+//! per iteration; "warm" replays one query so the sharded LRU answers
+//! from cache. The gap between the two is the cache's contribution;
+//! the cold number is the index's intrinsic throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use plt_bench::datasets;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::miner::Miner;
+use plt_core::ConditionalMiner;
+use plt_rules::RuleConfig;
+use plt_serve::{Engine, Request, Snapshot};
+
+fn build_engine(n: usize, min_sup: u64) -> Engine {
+    let db = datasets::sparse_small(n);
+    let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+    let result = ConditionalMiner::default().mine(&db, min_sup);
+    Engine::new(Snapshot::build(1, plt, &result, RuleConfig::default()))
+}
+
+/// Queries that mostly hit indexed itemsets: the frequent single items
+/// and pairs from the snapshot's own top list.
+fn query_mix(engine: &Engine, len: usize) -> Vec<Request> {
+    let snap = engine.current();
+    let mut queries: Vec<Request> = snap
+        .top_k(len, 1)
+        .into_iter()
+        .map(|(itemset, _)| Request::Support {
+            items: itemset.items().to_vec(),
+        })
+        .collect();
+    // Pad with misses (infrequent probes) so the mix exercises the
+    // oracle fallback too.
+    let mut next = 10_000u32;
+    while queries.len() < len {
+        queries.push(Request::Support {
+            items: vec![next, next + 1],
+        });
+        next += 2;
+    }
+    queries
+}
+
+fn bench(c: &mut Criterion) {
+    for n in [500usize, 2_000, 8_000] {
+        let engine = build_engine(n, 2);
+        let snap = engine.current();
+        let mut group = c.benchmark_group(format!("x11/snapshot_{}itemsets", snap.num_itemsets()));
+        group.sample_size(10);
+
+        // Cold: rotate through distinct queries; after the first lap the
+        // cache holds them all, so clear it each iteration to keep the
+        // measurement honest.
+        let queries = query_mix(&engine, 64);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("support", "cold"),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    engine.clear_cache();
+                    for q in queries {
+                        criterion::black_box(engine.handle(q));
+                    }
+                })
+            },
+        );
+
+        // Warm: same queries, cache kept hot.
+        for q in &queries {
+            engine.handle(q);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("support", "warm"),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    for q in queries {
+                        criterion::black_box(engine.handle(q));
+                    }
+                })
+            },
+        );
+
+        // Aggregate endpoints, warm.
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("top_k", "warm"), |b| {
+            b.iter(|| criterion::black_box(engine.handle(&Request::TopK { k: 20, min_size: 1 })))
+        });
+        group.bench_function(BenchmarkId::new("recommend", "warm"), |b| {
+            b.iter(|| {
+                criterion::black_box(engine.handle(&Request::Recommend {
+                    items: vec![1, 2],
+                    k: 5,
+                }))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,11 +26,9 @@ fn bench(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("x1/minsup_{:.2}pct", rel * 100.0));
         group.sample_size(10);
         for miner in &miners {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(miner.name()),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, min_sup)),
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(miner.name()), &db, |b, db| {
+                b.iter(|| miner.mine(db, min_sup))
+            });
         }
         group.finish();
     }

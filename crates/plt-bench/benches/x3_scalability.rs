@@ -22,11 +22,9 @@ fn bench(c: &mut Criterion) {
         group.sample_size(10);
         group.throughput(Throughput::Elements(n as u64));
         for miner in &miners {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(miner.name()),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, min_sup)),
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(miner.name()), &db, |b, db| {
+                b.iter(|| miner.mine(db, min_sup))
+            });
         }
         group.finish();
     }

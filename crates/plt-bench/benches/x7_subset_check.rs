@@ -46,21 +46,29 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("x7/prune");
     group.sample_size(20);
-    group.bench_with_input(BenchmarkId::from_parameter("naive-hash-set"), &candidates, |b, cands| {
-        b.iter(|| {
-            cands
-                .iter()
-                .filter(|c| naive.all_level_down_subsets_present(c))
-                .count()
-        })
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("plt-vectors"), &vectors, |b, vecs| {
-        b.iter(|| {
-            vecs.iter()
-                .filter(|v| plt.all_level_down_subsets_present(v))
-                .count()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("naive-hash-set"),
+        &candidates,
+        |b, cands| {
+            b.iter(|| {
+                cands
+                    .iter()
+                    .filter(|c| naive.all_level_down_subsets_present(c))
+                    .count()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("plt-vectors"),
+        &vectors,
+        |b, vecs| {
+            b.iter(|| {
+                vecs.iter()
+                    .filter(|v| plt.all_level_down_subsets_present(v))
+                    .count()
+            })
+        },
+    );
     group.finish();
 }
 

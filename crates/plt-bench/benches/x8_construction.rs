@@ -17,15 +17,19 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("x8/construction");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::from_parameter("plt-sequential"), &db, |b, db| {
-        b.iter(|| construct(db, min_sup, ConstructOptions::conditional()).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("plt-sequential"),
+        &db,
+        |b, db| b.iter(|| construct(db, min_sup, ConstructOptions::conditional()).unwrap()),
+    );
     group.bench_with_input(BenchmarkId::from_parameter("plt-parallel"), &db, |b, db| {
         b.iter(|| par_construct(db, min_sup, ConstructOptions::conditional()).unwrap())
     });
-    group.bench_with_input(BenchmarkId::from_parameter("plt-with-prefixes"), &db, |b, db| {
-        b.iter(|| construct(db, min_sup, ConstructOptions::top_down()).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("plt-with-prefixes"),
+        &db,
+        |b, db| b.iter(|| construct(db, min_sup, ConstructOptions::top_down()).unwrap()),
+    );
     group.bench_with_input(BenchmarkId::from_parameter("fp-tree"), &db, |b, db| {
         b.iter(|| build_fp_tree(db, min_sup))
     });

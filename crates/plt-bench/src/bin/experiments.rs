@@ -43,13 +43,11 @@ fn main() {
     let mut expanded: Vec<String> = Vec::new();
     for id in ids {
         match id.as_str() {
-            "paper" => expanded.extend(
-                ["t1", "f1", "f2", "f3", "f4", "f5"].map(str::to_owned),
-            ),
+            "paper" => expanded.extend(["t1", "f1", "f2", "f3", "f4", "f5"].map(str::to_owned)),
             "all" => expanded.extend(
                 [
-                    "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6",
-                    "x7", "x8", "x9", "x10",
+                    "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6", "x7",
+                    "x8", "x9", "x10",
                 ]
                 .map(str::to_owned),
             ),
@@ -66,9 +64,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!(
-        "usage: experiments [--exp t1|f1..f5|x1..x9|paper|all[,..]] [--full]"
-    );
+    eprintln!("usage: experiments [--exp t1|f1..f5|x1..x9|paper|all[,..]] [--full]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 

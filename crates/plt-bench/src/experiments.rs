@@ -163,7 +163,14 @@ pub fn x3_scalability(scale: Scale) -> Table {
     for &n in sizes {
         let db = datasets::sparse(n);
         let min_sup = ((0.01 * n as f64).ceil() as Support).max(1);
-        sweep_cell(&mut table, &n.to_string(), &db, min_sup, scale.runs(), &miners);
+        sweep_cell(
+            &mut table,
+            &n.to_string(),
+            &db,
+            min_sup,
+            scale.runs(),
+            &miners,
+        );
     }
     table
 }
@@ -182,8 +189,7 @@ pub fn x4_topdown_crossover(scale: Scale) -> Table {
         let label = format!("{:.0}%", rel * 100.0);
         let runs = scale.runs();
 
-        let (cond, t_cond) =
-            time_best(runs, || ConditionalMiner::default().mine(&db, min_sup));
+        let (cond, t_cond) = time_best(runs, || ConditionalMiner::default().mine(&db, min_sup));
         table.row(vec![
             label.clone(),
             "conditional".into(),
@@ -200,8 +206,7 @@ pub fn x4_topdown_crossover(scale: Scale) -> Table {
             fmt_duration(t_top),
         ]);
 
-        let (hybrid, t_hybrid) =
-            time_best(runs, || HybridMiner::default().mine(&db, min_sup));
+        let (hybrid, t_hybrid) = time_best(runs, || HybridMiner::default().mine(&db, min_sup));
         assert_eq!(cond.len(), hybrid.len(), "hybrid disagrees at {label}");
         table.row(vec![
             label.clone(),
@@ -272,10 +277,7 @@ pub fn x5_parallel(scale: Scale) -> Table {
 
 /// X6 — structure sizes: raw DB vs PLT table vs compressed PLT vs FP-tree.
 pub fn x6_compression(scale: Scale) -> Table {
-    let mut table = Table::new(
-        "X6: structure sizes",
-        &["dataset", "metric", "value"],
-    );
+    let mut table = Table::new("X6: structure sizes", &["dataset", "metric", "value"]);
     let workloads: Vec<(String, Vec<Vec<Item>>, Support)> = vec![
         {
             let n = scale.pick(2_000, 10_000);
@@ -303,14 +305,8 @@ pub fn x6_compression(scale: Scale) -> Table {
                 report.compressed_data_bytes.to_string(),
             ),
             ("index bytes", report.compressed_index_bytes.to_string()),
-            (
-                "ratio vs raw",
-                format!("{:.3}", report.ratio_vs_raw()),
-            ),
-            (
-                "ratio vs table",
-                format!("{:.3}", report.ratio_vs_table()),
-            ),
+            ("ratio vs raw", format!("{:.3}", report.ratio_vs_raw())),
+            ("ratio vs table", format!("{:.3}", report.ratio_vs_table())),
             ("distinct PLT vectors", report.num_vectors.to_string()),
             ("FP-tree nodes", fp.node_count().to_string()),
         ] {
@@ -332,10 +328,7 @@ pub fn x7_subset_check(scale: Scale) -> Table {
     let result = FpGrowthMiner.mine(&db, min_sup);
     let ranking = ItemRanking::scan(&db, min_sup, RankPolicy::Lexicographic);
     let mut candidates: Vec<Vec<Item>> = Vec::new();
-    let singletons: Vec<Item> = result
-        .of_size(1)
-        .map(|(s, _)| s.items()[0])
-        .collect();
+    let singletons: Vec<Item> = result.of_size(1).map(|(s, _)| s.items()[0]).collect();
     for (itemset, _) in result.iter() {
         for &x in &singletons {
             if !itemset.contains(x) {

@@ -17,12 +17,12 @@ use plt_core::tree::LexTree;
 /// The paper's Table 1: six transactions over items A..F (here 0..5).
 pub fn table1_db() -> Vec<Vec<Item>> {
     vec![
-        vec![0, 1, 2],       // 1: ABC
-        vec![0, 1, 2],       // 2: ABC
-        vec![0, 1, 2, 3],    // 3: ABCD
-        vec![0, 1, 3, 4],    // 4: ABDE
-        vec![1, 2, 3],       // 5: BCD
-        vec![2, 3, 5],       // 6: CDF
+        vec![0, 1, 2],    // 1: ABC
+        vec![0, 1, 2],    // 2: ABC
+        vec![0, 1, 2, 3], // 3: ABCD
+        vec![0, 1, 3, 4], // 4: ABDE
+        vec![1, 2, 3],    // 5: BCD
+        vec![2, 3, 5],    // 6: CDF
     ]
 }
 
@@ -36,8 +36,12 @@ pub const PAPER_MIN_SUPPORT: Support = 2;
 
 /// The Table 1 PLT (no prefixes — Figure 3's construction).
 pub fn table1_plt() -> Plt {
-    construct(&table1_db(), PAPER_MIN_SUPPORT, ConstructOptions::conditional())
-        .expect("paper database is well-formed")
+    construct(
+        &table1_db(),
+        PAPER_MIN_SUPPORT,
+        ConstructOptions::conditional(),
+    )
+    .expect("paper database is well-formed")
 }
 
 /// E-T1 — frequent 1-items of Table 1 with their supports and ranks:
@@ -112,12 +116,7 @@ pub fn exp_f4() -> (Plt, String) {
 /// (Figure 5). Returns `(support_of_D, conditional_db, residual)` plus the
 /// rendering.
 #[allow(clippy::type_complexity)]
-pub fn exp_f5() -> (
-    Support,
-    Vec<(PositionVector, Support)>,
-    Plt,
-    String,
-) {
+pub fn exp_f5() -> (Support, Vec<(PositionVector, Support)>, Plt, String) {
     use std::fmt::Write;
     let plt = table1_plt();
     // D holds rank 4.

@@ -166,6 +166,34 @@ pub enum Command {
         /// Itemsets to look up, each a space-separated item list.
         itemsets: Vec<Vec<u32>>,
     },
+    /// `serve`: mine a dataset and expose it as a TCP query service.
+    Serve {
+        /// FIMI input path (the warmup window).
+        input: String,
+        /// Support threshold.
+        min_sup: MinSup,
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Confidence threshold for recommendation rules.
+        min_conf: f64,
+        /// Sliding-window capacity; `None` = twice the warmup size.
+        window: Option<usize>,
+    },
+    /// `query --addr`: one-shot client against a running `serve`.
+    QueryServer {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Itemsets for `support` lookups.
+        itemsets: Vec<Vec<u32>>,
+        /// `top_k` request.
+        top: Option<usize>,
+        /// Basket for a `recommend` request.
+        recommend: Option<Vec<u32>>,
+        /// Fetch server metrics.
+        stats: bool,
+        /// Ask the server to stop.
+        shutdown: bool,
+    },
     /// `gen`: write a synthetic dataset.
     Gen {
         /// Dataset family.
@@ -207,7 +235,11 @@ usage:
   plt-mine index --input <file.dat> --min-sup <frac|count>
                  --output <file.pltc>
   plt-mine mine-index --index <file.pltc> [--topdown] [--limit N]
-  plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]";
+  plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]
+  plt-mine serve --input <file.dat> --min-sup <frac|count>
+                 [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
+  plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
+                 [--recommend \"1 2\"] [--stats] [--shutdown]";
 
 fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
@@ -237,6 +269,20 @@ impl<'a> Cursor<'a> {
     }
 }
 
+fn parse_itemset(raw: &str) -> Result<Vec<u32>, ParseError> {
+    let mut items = Vec::new();
+    for tok in raw.split_whitespace() {
+        items.push(
+            tok.parse::<u32>()
+                .map_err(|e| ParseError(format!("bad item {tok:?} in itemset: {e}")))?,
+        );
+    }
+    if items.is_empty() {
+        return Err(ParseError("itemset must name at least one item".into()));
+    }
+    Ok(items)
+}
+
 fn parse_min_sup(s: &str) -> Result<MinSup, ParseError> {
     if let Ok(v) = s.parse::<f64>() {
         if v > 0.0 && v < 1.0 {
@@ -256,10 +302,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let Some(sub) = argv.first() else {
         return err("missing subcommand");
     };
-    let mut cur = Cursor {
-        args: argv,
-        pos: 1,
-    };
+    let mut cur = Cursor { args: argv, pos: 1 };
     match sub.as_str() {
         "mine" => {
             let (mut input, mut min_sup, mut algo) = (None, None, Algo::default());
@@ -277,9 +320,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--closed" => condense = Condense::Closed,
                     "--maximal" => condense = Condense::Maximal,
                     "--limit" => {
-                        limit = Some(cur.value(flag)?.parse().map_err(|e| {
-                            ParseError(format!("--limit must be an integer: {e}"))
-                        })?)
+                        limit =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--limit must be an integer: {e}"))
+                            })?)
                     }
                     other => return err(format!("unknown flag {other:?} for mine")),
                 }
@@ -299,18 +343,20 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
                     "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
                     "--min-conf" => {
-                        let v: f64 = cur.value(flag)?.parse().map_err(|e| {
-                            ParseError(format!("--min-conf must be a number: {e}"))
-                        })?;
+                        let v: f64 = cur
+                            .value(flag)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--min-conf must be a number: {e}")))?;
                         if !(0.0..=1.0).contains(&v) {
                             return err("--min-conf must be in [0,1]");
                         }
                         min_conf = Some(v);
                     }
                     "--top" => {
-                        top = Some(cur.value(flag)?.parse().map_err(|e| {
-                            ParseError(format!("--top must be an integer: {e}"))
-                        })?)
+                        top =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--top must be an integer: {e}"))
+                            })?)
                     }
                     other => return err(format!("unknown flag {other:?} for rules")),
                 }
@@ -373,9 +419,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--index" => index = Some(cur.value(flag)?.to_string()),
                     "--topdown" => topdown = true,
                     "--limit" => {
-                        limit = Some(cur.value(flag)?.parse().map_err(|e| {
-                            ParseError(format!("--limit must be an integer: {e}"))
-                        })?)
+                        limit =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--limit must be an integer: {e}"))
+                            })?)
                     }
                     other => return err(format!("unknown flag {other:?} for mine-index")),
                 }
@@ -387,33 +434,97 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             })
         }
         "query" => {
-            let mut index = None;
+            let (mut index, mut addr) = (None, None);
             let mut itemsets: Vec<Vec<u32>> = Vec::new();
+            let (mut top, mut recommend) = (None, None);
+            let (mut stats, mut shutdown) = (false, false);
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--index" => index = Some(cur.value(flag)?.to_string()),
-                    "--itemset" => {
-                        let raw = cur.value(flag)?;
-                        let mut items = Vec::new();
-                        for tok in raw.split_whitespace() {
-                            items.push(tok.parse::<u32>().map_err(|e| {
-                                ParseError(format!("bad item {tok:?} in --itemset: {e}"))
-                            })?);
-                        }
-                        if items.is_empty() {
-                            return err("--itemset must name at least one item");
-                        }
-                        itemsets.push(items);
+                    "--addr" => addr = Some(cur.value(flag)?.to_string()),
+                    "--itemset" => itemsets.push(parse_itemset(cur.value(flag)?)?),
+                    "--top" => {
+                        top =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--top must be an integer: {e}"))
+                            })?)
                     }
+                    "--recommend" => recommend = Some(parse_itemset(cur.value(flag)?)?),
+                    "--stats" => stats = true,
+                    "--shutdown" => shutdown = true,
                     other => return err(format!("unknown flag {other:?} for query")),
                 }
             }
-            if itemsets.is_empty() {
-                return err("query requires at least one --itemset");
+            match (index, addr) {
+                (Some(_), Some(_)) => err("query takes --index or --addr, not both"),
+                (Some(index), None) => {
+                    if top.is_some() || recommend.is_some() || stats || shutdown {
+                        return err(
+                            "--top/--recommend/--stats/--shutdown require --addr (server mode)",
+                        );
+                    }
+                    if itemsets.is_empty() {
+                        return err("query requires at least one --itemset");
+                    }
+                    Ok(Command::Query { index, itemsets })
+                }
+                (None, Some(addr)) => {
+                    if itemsets.is_empty()
+                        && top.is_none()
+                        && recommend.is_none()
+                        && !stats
+                        && !shutdown
+                    {
+                        return err(
+                            "server query needs at least one of --itemset/--top/--recommend/--stats/--shutdown",
+                        );
+                    }
+                    Ok(Command::QueryServer {
+                        addr,
+                        itemsets,
+                        top,
+                        recommend,
+                        stats,
+                        shutdown,
+                    })
+                }
+                (None, None) => err("query requires --index or --addr"),
             }
-            Ok(Command::Query {
-                index: index.ok_or(ParseError("query requires --index".into()))?,
-                itemsets,
+        }
+        "serve" => {
+            let (mut input, mut min_sup, mut window) = (None, None, None);
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut min_conf = 0.5;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    "--addr" => addr = cur.value(flag)?.to_string(),
+                    "--min-conf" => {
+                        let v: f64 = cur
+                            .value(flag)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--min-conf must be a number: {e}")))?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return err("--min-conf must be in [0,1]");
+                        }
+                        min_conf = v;
+                    }
+                    "--window" => {
+                        window =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--window must be an integer: {e}"))
+                            })?)
+                    }
+                    other => return err(format!("unknown flag {other:?} for serve")),
+                }
+            }
+            Ok(Command::Serve {
+                input: input.ok_or(ParseError("serve requires --input".into()))?,
+                min_sup: min_sup.ok_or(ParseError("serve requires --min-sup".into()))?,
+                addr,
+                min_conf,
+                window,
             })
         }
         "gen" => {
@@ -426,9 +537,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                             "quest" => GenKind::Quest,
                             "dense" => GenKind::Dense,
                             "basket" => GenKind::Basket,
-                            other => {
-                                return err(format!("unknown dataset kind {other:?}"))
-                            }
+                            other => return err(format!("unknown dataset kind {other:?}")),
                         })
                     }
                     "--transactions" => {
@@ -438,9 +547,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     }
                     "--output" => output = Some(cur.value(flag)?.to_string()),
                     "--seed" => {
-                        seed = cur.value(flag)?.parse().map_err(|e| {
-                            ParseError(format!("--seed must be an integer: {e}"))
-                        })?
+                        seed = cur
+                            .value(flag)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--seed must be an integer: {e}")))?
                     }
                     other => return err(format!("unknown flag {other:?} for gen")),
                 }
@@ -526,7 +636,13 @@ mod tests {
             ("toivonen", Algo::Sampling),
         ] {
             let c = parse(&argv(&[
-                "mine", "--input", "x", "--min-sup", "2", "--algo", name,
+                "mine",
+                "--input",
+                "x",
+                "--min-sup",
+                "2",
+                "--algo",
+                name,
             ]))
             .unwrap();
             match c {
@@ -539,7 +655,15 @@ mod tests {
     #[test]
     fn parses_rules_and_gen() {
         let c = parse(&argv(&[
-            "rules", "--input", "x", "--min-sup", "0.02", "--min-conf", "0.7", "--top", "5",
+            "rules",
+            "--input",
+            "x",
+            "--min-sup",
+            "0.02",
+            "--min-conf",
+            "0.7",
+            "--top",
+            "5",
         ]))
         .unwrap();
         assert!(matches!(c, Command::Rules { top: Some(5), .. }));
@@ -565,6 +689,83 @@ mod tests {
                 seed: 7,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse(&argv(&["serve", "--input", "x.dat", "--min-sup", "2"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                input: "x.dat".into(),
+                min_sup: MinSup::Absolute(2),
+                addr: "127.0.0.1:7878".into(),
+                min_conf: 0.5,
+                window: None,
+            }
+        );
+        let c = parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "0.1",
+            "--addr",
+            "0.0.0.0:0",
+            "--min-conf",
+            "0.8",
+            "--window",
+            "500",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                window: Some(500),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_query_server_mode() {
+        let c = parse(&argv(&[
+            "query",
+            "--addr",
+            "127.0.0.1:7878",
+            "--itemset",
+            "1 2",
+            "--top",
+            "5",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::QueryServer {
+                addr: "127.0.0.1:7878".into(),
+                itemsets: vec![vec![1, 2]],
+                top: Some(5),
+                recommend: None,
+                stats: true,
+                shutdown: false,
+            }
+        );
+        // Server-only flags without --addr are rejected.
+        assert!(parse(&argv(&["query", "--index", "x.pltc", "--top", "5"])).is_err());
+        // Both sources are rejected.
+        assert!(parse(&argv(&[
+            "query",
+            "--index",
+            "x",
+            "--addr",
+            "y",
+            "--itemset",
+            "1"
+        ]))
+        .is_err());
+        // Server mode needs at least one action.
+        assert!(parse(&argv(&["query", "--addr", "y"])).is_err());
     }
 
     #[test]

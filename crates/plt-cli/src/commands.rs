@@ -59,7 +59,135 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             limit,
         } => mine_index(&index, topdown, limit, out),
         Command::Query { index, itemsets } => query(&index, &itemsets, out),
+        Command::Serve {
+            input,
+            min_sup,
+            addr,
+            min_conf,
+            window,
+        } => serve(&input, min_sup, &addr, min_conf, window, out),
+        Command::QueryServer {
+            addr,
+            itemsets,
+            top,
+            recommend,
+            stats,
+            shutdown,
+        } => query_server(&addr, &itemsets, top, recommend, stats, shutdown, out),
     }
+}
+
+fn serve(
+    input: &str,
+    min_sup: MinSup,
+    addr: &str,
+    min_conf: f64,
+    window: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let db = load(input)?;
+    let abs = min_sup.resolve(db.len());
+    if abs == 0 {
+        return Err("resolved minimum support is zero".into());
+    }
+    let config = plt_serve::BuilderConfig {
+        // Default window: room for the warmup plus as much again of
+        // streamed traffic before old transactions age out.
+        window_capacity: window.unwrap_or_else(|| (db.len() * 2).max(1)),
+        min_support: abs,
+        rank_policy: plt_core::RankPolicy::default(),
+        rule_config: RuleConfig {
+            min_confidence: min_conf,
+        },
+    };
+    let (engine, builder) = plt_serve::bootstrap(db.transactions(), config)
+        .map_err(|e| format!("cannot build snapshot: {e}"))?;
+    let snapshot = engine.current();
+    let handle = plt_serve::serve(
+        addr,
+        engine,
+        Some(builder.queue()),
+        plt_serve::ServerConfig::default(),
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    writeln!(
+        out,
+        "serving {input} on {}: {} itemsets, {} rules (min_sup = {abs} of {}); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        handle.addr(),
+        snapshot.num_itemsets(),
+        snapshot.num_rules(),
+        db.len()
+    )
+    .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.join();
+    builder.stop();
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn query_server(
+    addr: &str,
+    itemsets: &[Vec<u32>],
+    top: Option<usize>,
+    recommend: Option<Vec<u32>>,
+    stats: bool,
+    shutdown: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut client =
+        plt_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let io_err = |e: std::io::Error| e.to_string();
+    for items in itemsets {
+        let reply = client
+            .support(items)
+            .map_err(|e| format!("support query failed: {e}"))?;
+        let rendered: Vec<String> = items.iter().map(u32::to_string).collect();
+        writeln!(
+            out,
+            "{{{}}}  support={} frequent={} source={} (generation {})",
+            rendered.join(","),
+            reply.support,
+            reply.frequent,
+            reply.source,
+            reply.generation
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(k) = top {
+        writeln!(out, "top {k} itemsets:").map_err(io_err)?;
+        for (items, support) in client
+            .top_k(k, 1)
+            .map_err(|e| format!("top_k query failed: {e}"))?
+        {
+            let rendered: Vec<String> = items.iter().map(u32::to_string).collect();
+            writeln!(out, "  {{{}}}  support={support}", rendered.join(",")).map_err(io_err)?;
+        }
+    }
+    if let Some(basket) = recommend {
+        let rendered: Vec<String> = basket.iter().map(u32::to_string).collect();
+        writeln!(out, "recommendations for {{{}}}:", rendered.join(",")).map_err(io_err)?;
+        for (item, confidence) in client
+            .recommend(&basket, 10)
+            .map_err(|e| format!("recommend query failed: {e}"))?
+        {
+            writeln!(out, "  {item}  confidence={confidence:.3}").map_err(io_err)?;
+        }
+    }
+    if stats {
+        let v = client
+            .stats()
+            .map_err(|e| format!("stats query failed: {e}"))?;
+        writeln!(out, "{v}").map_err(io_err)?;
+    }
+    if shutdown {
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        writeln!(out, "server stopping").map_err(io_err)?;
+    }
+    Ok(())
 }
 
 fn load_index(path: &str) -> Result<plt_core::Plt, String> {
@@ -252,8 +380,7 @@ fn show(input: &str, min_sup: MinSup, out: &mut dyn Write) -> CmdResult {
     )
     .map_err(|e| e.to_string())?;
     writeln!(out, "\nmatrices view:\n{}", plt.render_matrices()).map_err(|e| e.to_string())?;
-    writeln!(out, "tree view:\n{}", LexTree::from_plt(&plt).render())
-        .map_err(|e| e.to_string())?;
+    writeln!(out, "tree view:\n{}", LexTree::from_plt(&plt).render()).map_err(|e| e.to_string())?;
     let raw_items: usize = db.transactions().iter().map(Vec::len).sum();
     let report = CompressedPlt::report(&plt, raw_items);
     writeln!(

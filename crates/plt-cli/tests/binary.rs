@@ -29,7 +29,11 @@ fn full_pipeline_gen_stats_index_mine_query() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
 
     // stats
@@ -53,11 +57,21 @@ fn full_pipeline_gen_stats_index_mine_query() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // mine from raw and from index must agree line-for-line after headers.
     let raw = plt_mine()
-        .args(["mine", "--input", dat.to_str().unwrap(), "--min-sup", "0.05"])
+        .args([
+            "mine",
+            "--input",
+            dat.to_str().unwrap(),
+            "--min-sup",
+            "0.05",
+        ])
         .output()
         .unwrap();
     let via_idx = plt_mine()
@@ -76,13 +90,7 @@ fn full_pipeline_gen_stats_index_mine_query() {
 
     // query
     let out = plt_mine()
-        .args([
-            "query",
-            "--index",
-            idx.to_str().unwrap(),
-            "--itemset",
-            "0",
-        ])
+        .args(["query", "--index", idx.to_str().unwrap(), "--itemset", "0"])
         .output()
         .unwrap();
     assert!(out.status.success());

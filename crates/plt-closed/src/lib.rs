@@ -59,11 +59,8 @@ pub fn maximal_from_closed(closed: &MiningResult) -> MiningResult {
     }
     let mut out = MiningResult::new(closed.min_support(), closed.num_transactions());
     for (itemset, support) in closed.iter() {
-        let dominated = (itemset.len()..by_size.len()).any(|k| {
-            by_size[k]
-                .iter()
-                .any(|bigger| itemset.is_subset_of(bigger))
-        });
+        let dominated = (itemset.len()..by_size.len())
+            .any(|k| by_size[k].iter().any(|bigger| itemset.is_subset_of(bigger)));
         if !dominated {
             out.insert(itemset.clone(), support);
         }
@@ -78,10 +75,7 @@ pub fn maximal_from_closed(closed: &MiningResult) -> MiningResult {
 /// equal-support domination both propagate through a chain of single-item
 /// extensions (if a (k+2)-superset kills you, the (k+1)-itemset between
 /// you and it does too — supports are monotone along the chain).
-fn filter_by_supersets(
-    result: &MiningResult,
-    kill: impl Fn(u64, u64) -> bool,
-) -> MiningResult {
+fn filter_by_supersets(result: &MiningResult, kill: impl Fn(u64, u64) -> bool) -> MiningResult {
     // Group supports by size for the level-up probes.
     let mut by_size: Vec<Vec<(&Itemset, u64)>> = Vec::new();
     for (itemset, support) in result.iter() {
@@ -206,9 +200,8 @@ mod tests {
     fn reference_closed(all: &MiningResult) -> Vec<Itemset> {
         all.iter()
             .filter(|(s, sup)| {
-                !all.iter().any(|(t, tsup)| {
-                    t.len() > s.len() && s.is_subset_of(t) && tsup == *sup
-                })
+                !all.iter()
+                    .any(|(t, tsup)| t.len() > s.len() && s.is_subset_of(t) && tsup == *sup)
             })
             .map(|(s, _)| s.clone())
             .collect()
@@ -227,13 +220,19 @@ mod tests {
     #[test]
     fn level_up_filter_matches_reference_on_table1() {
         let all = BruteForceMiner.mine(&table1(), 2);
-        let mut fast: Vec<Itemset> = closed_itemsets(&all).iter().map(|(s, _)| s.clone()).collect();
+        let mut fast: Vec<Itemset> = closed_itemsets(&all)
+            .iter()
+            .map(|(s, _)| s.clone())
+            .collect();
         let mut slow = reference_closed(&all);
         fast.sort();
         slow.sort();
         assert_eq!(fast, slow);
 
-        let mut fast: Vec<Itemset> = maximal_itemsets(&all).iter().map(|(s, _)| s.clone()).collect();
+        let mut fast: Vec<Itemset> = maximal_itemsets(&all)
+            .iter()
+            .map(|(s, _)| s.clone())
+            .collect();
         let mut slow = reference_maximal(&all);
         fast.sort();
         slow.sort();

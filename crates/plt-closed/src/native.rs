@@ -101,17 +101,11 @@ impl State<'_> {
     fn emit(&mut self, ranks: &[Rank], support: Support) {
         debug_assert!(ranks.windows(2).all(|w| w[0] < w[1]));
         if let Some(peers) = self.found.get(&support) {
-            if peers
-                .iter()
-                .any(|p| is_subset(ranks, p))
-            {
+            if peers.iter().any(|p| is_subset(ranks, p)) {
                 return;
             }
         }
-        self.found
-            .entry(support)
-            .or_default()
-            .push(ranks.to_vec());
+        self.found.entry(support).or_default().push(ranks.to_vec());
         let items = self.plt.ranking().items_for_ranks(ranks);
         self.result.insert(Itemset::from_sorted(items), support);
     }
@@ -178,14 +172,19 @@ fn mine_closed(mut groups: SumGroups, suffix: &mut Vec<Rank>, state: &mut State<
         closure.push(j);
 
         // Candidate = suffix ∪ closure, sorted for emission.
-        let mut candidate: Vec<Rank> = suffix.iter().copied().chain(closure.iter().copied()).collect();
+        let mut candidate: Vec<Rank> = suffix
+            .iter()
+            .copied()
+            .chain(closure.iter().copied())
+            .collect();
         candidate.sort_unstable();
         state.emit(&candidate, support);
 
         // Conditional structure: keep locally frequent ranks that are NOT
         // in the closure (closure ranks are implied on every branch).
-        let keep = |r: Rank| counts.get(&r).copied().unwrap_or(0) >= state.plt.min_support()
-            && counts[&r] != support;
+        let keep = |r: Rank| {
+            counts.get(&r).copied().unwrap_or(0) >= state.plt.min_support() && counts[&r] != support
+        };
         let mut cgroups: SumGroups = SumGroups::new();
         let mut kept: Vec<Rank> = Vec::new();
         for (v, f) in &conditional {
@@ -252,12 +251,7 @@ mod tests {
     fn closure_extension_collapses_constant_columns() {
         // Item 9 appears in every transaction: every closed set containing
         // any item also contains 9, and {9} itself is the top closure.
-        let db: Vec<Vec<Item>> = vec![
-            vec![1, 9],
-            vec![1, 2, 9],
-            vec![2, 9],
-            vec![1, 2, 9],
-        ];
+        let db: Vec<Vec<Item>> = vec![vec![1, 9], vec![1, 2, 9], vec![2, 9], vec![1, 2, 9]];
         let got = ClosedMiner::default().mine(&db, 1);
         let expect = reference(&db, 1);
         assert_eq!(got.sorted(), expect.sorted());
@@ -290,7 +284,10 @@ mod tests {
             RankPolicy::FrequencyAscending,
             RankPolicy::FrequencyDescending,
         ] {
-            let got = ClosedMiner { rank_policy: policy }.mine(&table1(), 2);
+            let got = ClosedMiner {
+                rank_policy: policy,
+            }
+            .mine(&table1(), 2);
             assert_eq!(got.sorted(), expect.sorted(), "{policy:?}");
         }
     }

@@ -184,10 +184,8 @@ impl CompressedPlt {
     pub fn from_plt(plt: &Plt) -> CompressedPlt {
         let mut partitions = Vec::new();
         for k in 1..=plt.max_len() {
-            let entries: Vec<(PositionVector, Support)> = plt
-                .partition(k)
-                .map(|(v, e)| (v.clone(), e.freq))
-                .collect();
+            let entries: Vec<(PositionVector, Support)> =
+                plt.partition(k).map(|(v, e)| (v.clone(), e.freq)).collect();
             if !entries.is_empty() {
                 partitions.push(Partition::build(k, entries));
             }
@@ -202,8 +200,8 @@ impl CompressedPlt {
 
     /// Decompresses back into a [`Plt`]; exact round trip.
     pub fn to_plt(&self) -> Plt {
-        let mut plt = Plt::new(self.ranking.clone(), self.min_support)
-            .expect("stored min support was valid");
+        let mut plt =
+            Plt::new(self.ranking.clone(), self.min_support).expect("stored min support was valid");
         for p in &self.partitions {
             for (v, freq) in p.iter() {
                 plt.insert_vector(v, freq);
@@ -231,11 +229,7 @@ impl CompressedPlt {
         self.partitions
             .iter()
             .map(|p| {
-                p.restarts.len() * 4
-                    + p.sum_index
-                        .values()
-                        .map(|v| 4 + v.len() * 4)
-                        .sum::<usize>()
+                p.restarts.len() * 4 + p.sum_index.values().map(|v| 4 + v.len() * 4).sum::<usize>()
             })
             .sum()
     }
@@ -266,7 +260,11 @@ impl CompressedPlt {
         let compressed = CompressedPlt::from_plt(plt);
         let plt_table_bytes: usize = plt
             .iter()
-            .map(|(v, _)| v.len() * std::mem::size_of::<Rank>() + std::mem::size_of::<Support>() + std::mem::size_of::<Rank>())
+            .map(|(v, _)| {
+                v.len() * std::mem::size_of::<Rank>()
+                    + std::mem::size_of::<Support>()
+                    + std::mem::size_of::<Rank>()
+            })
             .sum();
         CompressionReport {
             raw_db_bytes: raw_db_items * std::mem::size_of::<u32>(),
@@ -380,10 +378,8 @@ impl CompressedPlt {
             // passes the (non-cryptographic) checksum but is structurally
             // inconsistent is converted from a panic into InvalidData.
             let entries: Vec<(PositionVector, Support)> =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    shell.iter().collect()
-                }))
-                .map_err(|_| bad("corrupt partition payload"))?;
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shell.iter().collect()))
+                    .map_err(|_| bad("corrupt partition payload"))?;
             if entries.len() != num_entries {
                 return Err(bad("partition entry count mismatch"));
             }

@@ -86,7 +86,12 @@ impl ConditionalMiner {
 /// `groups` is the current (conditional) PLT; `suffix` holds the global
 /// ranks of the items already fixed, in the (descending) order they were
 /// chosen.
-fn mine_groups(mut groups: SumGroups, plt: &Plt, suffix: &mut Vec<Rank>, result: &mut MiningResult) {
+fn mine_groups(
+    mut groups: SumGroups,
+    plt: &Plt,
+    suffix: &mut Vec<Rank>,
+    result: &mut MiningResult,
+) {
     // "For j = Max down to 1": peel the highest sum until none remain.
     while let Some((&j, _)) = groups.iter().next_back() {
         let group = groups.remove(&j).expect("key just observed");
@@ -157,11 +162,7 @@ pub(crate) fn conditional_construct(
         }
         let filtered = PositionVector::from_ranks(&kept).expect("strictly increasing ranks");
         let sum = filtered.sum();
-        *groups
-            .entry(sum)
-            .or_default()
-            .entry(filtered)
-            .or_insert(0) += f;
+        *groups.entry(sum).or_default().entry(filtered).or_insert(0) += f;
     }
     groups
 }
@@ -210,10 +211,7 @@ pub fn mine_conditional(
 /// extracts item `j`'s conditional database from a PLT and returns
 /// `(support_of_j, conditional_db, residual_groups)` where
 /// `residual_groups` is the PLT after the extraction-and-fold step.
-pub fn extract_conditional(
-    plt: &Plt,
-    j: Rank,
-) -> (Support, Vec<(PositionVector, Support)>, Plt) {
+pub fn extract_conditional(plt: &Plt, j: Rank) -> (Support, Vec<(PositionVector, Support)>, Plt) {
     let mut residual = Plt::new(plt.ranking().clone(), plt.min_support())
         .expect("source PLT had valid min support");
     let mut conditional = Vec::new();

@@ -101,7 +101,11 @@ pub struct PltBuilder {
 
 impl PltBuilder {
     /// Starts a builder over a fixed ranking.
-    pub fn new(ranking: ItemRanking, min_support: Support, options: ConstructOptions) -> Result<Self> {
+    pub fn new(
+        ranking: ItemRanking,
+        min_support: Support,
+        options: ConstructOptions,
+    ) -> Result<Self> {
         Ok(PltBuilder {
             plt: Plt::new(ranking, min_support)?,
             with_prefixes: options.with_prefixes,

@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(PltError::DuplicateItem { item: 7 }.to_string().contains('7'));
+        assert!(PltError::DuplicateItem { item: 7 }
+            .to_string()
+            .contains('7'));
         assert!(PltError::UnknownItem { item: 9 }.to_string().contains('9'));
         assert!(!PltError::ZeroPosition.to_string().is_empty());
         assert!(!PltError::Empty.to_string().is_empty());

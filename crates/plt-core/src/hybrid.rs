@@ -131,9 +131,7 @@ impl HybridMiner {
         suffix: &[Rank],
         result: &mut MiningResult,
     ) {
-        let entries = groups
-            .values()
-            .flat_map(|m| m.iter().map(|(v, &f)| (v, f)));
+        let entries = groups.values().flat_map(|m| m.iter().map(|(v, &f)| (v, f)));
         let table = all_subset_supports_of(entries);
         for (v, support) in table.iter() {
             if support >= plt.min_support() {

@@ -25,7 +25,6 @@ pub type Support = u64;
 /// that results are stable across [`RankPolicy`](crate::ranking::RankPolicy)
 /// choices; the miners convert to rank space internally.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Itemset(Vec<Item>);
 
 impl Itemset {

@@ -79,6 +79,6 @@ pub use item::{Item, Itemset, Rank, Support};
 pub use miner::{Miner, MiningResult};
 pub use plt::{Plt, PltEntry};
 pub use posvec::PositionVector;
-pub use query::SupportOracle;
+pub use query::{canonical_key, SupportOracle};
 pub use ranking::{ItemRanking, RankPolicy};
 pub use topdown::TopDownMiner;

@@ -83,11 +83,8 @@ impl MiningResult {
     /// Deterministically ordered view (by size, then lexicographically) for
     /// display and golden tests.
     pub fn sorted(&self) -> Vec<(Itemset, Support)> {
-        let mut v: Vec<(Itemset, Support)> = self
-            .supports
-            .iter()
-            .map(|(k, &s)| (k.clone(), s))
-            .collect();
+        let mut v: Vec<(Itemset, Support)> =
+            self.supports.iter().map(|(k, &s)| (k.clone(), s)).collect();
         v.sort_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
         v
     }

@@ -118,7 +118,9 @@ impl Plt {
 
     /// Number of distinct vectors in partition `D_k`.
     pub fn partition_len(&self, k: usize) -> usize {
-        self.partitions.get(k.wrapping_sub(1)).map_or(0, |m| m.len())
+        self.partitions
+            .get(k.wrapping_sub(1))
+            .map_or(0, |m| m.len())
     }
 
     /// Total number of distinct vectors across all partitions.
@@ -197,10 +199,7 @@ impl Plt {
         }
         let vector = PositionVector::from_ranks(&ranks).expect("projection yields valid ranks");
         let k = vector.len();
-        let partition = self
-            .partitions
-            .get_mut(k - 1)
-            .ok_or(PltError::NotPresent)?;
+        let partition = self.partitions.get_mut(k - 1).ok_or(PltError::NotPresent)?;
         match partition.get_mut(&vector) {
             Some(entry) if entry.freq > 1 => {
                 entry.freq -= 1;

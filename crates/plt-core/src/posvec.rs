@@ -21,14 +21,14 @@
 //!   positions — [`PositionVector::subset_vectors`].
 
 use crate::error::{PltError, Result};
-use crate::item::Rank;
+use crate::item::{Item, Rank};
+use crate::ranking::ItemRanking;
 
 /// A position vector: non-empty sequence of positions, each `>= 1`.
 ///
 /// Stored as a boxed slice (two words instead of `Vec`'s three) because PLT
 /// partitions hold millions of these as hash-map keys.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PositionVector(Box<[Rank]>);
 
 impl PositionVector {
@@ -53,6 +53,30 @@ impl PositionVector {
             prev = r;
         }
         Ok(PositionVector(positions.into_boxed_slice()))
+    }
+
+    /// The **canonical index key** for an itemset under `ranking`.
+    ///
+    /// By Lemma 4.1.2 a position vector identifies its itemset uniquely,
+    /// so the vector built from the (sorted, deduplicated) ranks of
+    /// `items` is a collision-free key: two item slices map to the same
+    /// vector iff they denote the same set. Returns `None` when `items`
+    /// is empty or any item has no rank (it was infrequent when the
+    /// ranking was built), in which case the itemset has no vector in
+    /// rank space at all.
+    pub fn canonical_for(items: &[Item], ranking: &ItemRanking) -> Option<PositionVector> {
+        if items.is_empty() {
+            return None;
+        }
+        let mut ranks = Vec::with_capacity(items.len());
+        for &item in items {
+            ranks.push(ranking.rank(item)?);
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        // Ranks are now strictly increasing and non-zero, so this cannot
+        // fail.
+        Some(PositionVector::from_ranks(&ranks).expect("sorted deduped ranks"))
     }
 
     /// Wraps raw positions, validating that each is `>= 1`.
@@ -280,10 +304,7 @@ mod tests {
     #[test]
     fn from_positions_validates() {
         assert!(PositionVector::from_positions(vec![1, 3]).is_ok());
-        assert_eq!(
-            PositionVector::from_positions(vec![]),
-            Err(PltError::Empty)
-        );
+        assert_eq!(PositionVector::from_positions(vec![]), Err(PltError::Empty));
         assert_eq!(
             PositionVector::from_positions(vec![1, 0]),
             Err(PltError::ZeroPosition)

@@ -83,10 +83,7 @@ impl SupportOracle {
         if ranks.is_empty() {
             return self.total;
         }
-        if ranks
-            .iter()
-            .any(|&r| r == 0 || r as usize > self.num_ranks)
-        {
+        if ranks.iter().any(|&r| r == 0 || r as usize > self.num_ranks) {
             return 0;
         }
         let mut ranks: Vec<Rank> = ranks.to_vec();
@@ -101,10 +98,7 @@ impl SupportOracle {
             }
             current = intersect(&current, &self.postings[(r - 1) as usize]);
         }
-        current
-            .iter()
-            .map(|&i| self.vectors[i as usize].1)
-            .sum()
+        current.iter().map(|&i| self.vectors[i as usize].1).sum()
     }
 
     /// Support of an itemset of *items*, translated through a ranking.
@@ -119,6 +113,16 @@ impl SupportOracle {
         }
         self.support_of_ranks(&ranks)
     }
+}
+
+/// The canonical lookup key for `items` in `plt`'s rank space — the
+/// itemset's unique [`PositionVector`] (Lemma 4.1.2) under the PLT's
+/// ranking. `None` when the itemset is empty or mentions an item the
+/// ranking never saw as frequent. Index layers (e.g. a serving snapshot)
+/// key mined results by this vector so that lookups are a single hash
+/// probe instead of a set comparison.
+pub fn canonical_key(items: &[Item], plt: &Plt) -> Option<PositionVector> {
+    PositionVector::canonical_for(items, plt.ranking())
 }
 
 fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -179,6 +183,26 @@ mod tests {
         assert_eq!(oracle.support_of_ranks(&[5]), 0); // beyond n
         assert_eq!(oracle.support_of_ranks(&[2, 2]), 5); // dup tolerated
         assert_eq!(oracle.support_of_ranks(&[4, 1]), 2); // order-free (AD)
+    }
+
+    #[test]
+    fn canonical_key_identifies_itemsets() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        // Same set, any presentation order → same key (Lemma 4.1.2).
+        let k1 = canonical_key(&[0, 1, 2], &plt).unwrap();
+        let k2 = canonical_key(&[2, 0, 1], &plt).unwrap();
+        assert_eq!(k1, k2);
+        // Different sets → different keys.
+        let k3 = canonical_key(&[0, 1], &plt).unwrap();
+        assert_ne!(k1, k3);
+        // Unranked or empty → no key.
+        assert_eq!(canonical_key(&[4], &plt), None); // infrequent at build
+        assert_eq!(canonical_key(&[], &plt), None);
+        // Round-trip: the key's ranks name exactly the queried items.
+        let items = plt.ranking().items_for_ranks(&k1.ranks());
+        let mut items = items;
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2]);
     }
 
     #[test]

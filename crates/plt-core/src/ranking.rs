@@ -13,7 +13,6 @@ use crate::item::{Item, Rank, Support};
 
 /// The total order that the `Rank` function must preserve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RankPolicy {
     /// Items ranked by their natural (`u32`) order — the paper's choice.
     #[default]
@@ -267,9 +266,6 @@ mod tests {
     fn entries_iterate_in_rank_order() {
         let r = ItemRanking::scan(&table1(), 2, RankPolicy::Lexicographic);
         let entries: Vec<_> = r.entries().collect();
-        assert_eq!(
-            entries,
-            vec![(0, 1, 4), (1, 2, 5), (2, 3, 5), (3, 4, 4)]
-        );
+        assert_eq!(entries, vec![(0, 1, 4), (1, 2, 5), (2, 3, 5), (3, 4, 4)]);
     }
 }

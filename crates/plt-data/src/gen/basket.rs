@@ -46,7 +46,10 @@ impl Default for BasketConfig {
 const TAXONOMY: &[(&str, &[&str])] = &[
     ("bakery", &["bread", "bagels", "croissant", "muffins"]),
     ("dairy", &["milk", "butter", "cheese", "yogurt", "eggs"]),
-    ("produce", &["apples", "bananas", "lettuce", "tomatoes", "onions"]),
+    (
+        "produce",
+        &["apples", "bananas", "lettuce", "tomatoes", "onions"],
+    ),
     ("meat", &["chicken", "beef", "bacon", "sausage"]),
     ("drinks", &["coffee", "tea", "juice", "soda", "beer"]),
     ("snacks", &["chips", "cookies", "chocolate", "crackers"]),

@@ -79,7 +79,11 @@ impl DenseGenerator {
         let n = config.num_items as usize;
         let probs = (0..n)
             .map(|i| {
-                let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let t = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 config.density_hi + t * (config.density_lo - config.density_hi)
             })
             .collect();
@@ -140,7 +144,10 @@ mod tests {
             "item 0 should appear in ~90% of transactions, saw {sup0}"
         );
         let sup_last = db.support_by_scan(&[15]);
-        assert!(sup_last < 300, "last item should be rare-ish, saw {sup_last}");
+        assert!(
+            sup_last < 300,
+            "last item should be rare-ish, saw {sup_last}"
+        );
     }
 
     #[test]

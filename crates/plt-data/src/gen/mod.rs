@@ -27,7 +27,10 @@ use rand::Rng;
 /// product-of-uniforms method — adequate for the small means (≲ 20) used
 /// in transaction/pattern sizing, and dependency-free.
 pub(crate) fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
-    debug_assert!(mean > 0.0 && mean < 50.0, "Knuth's method needs small means");
+    debug_assert!(
+        mean > 0.0 && mean < 50.0,
+        "Knuth's method needs small means"
+    );
     let l = (-mean).exp();
     let mut k = 0usize;
     let mut p = 1.0f64;

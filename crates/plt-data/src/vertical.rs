@@ -104,12 +104,7 @@ mod tests {
     use super::*;
 
     fn db() -> TransactionDb {
-        TransactionDb::new(vec![
-            vec![1, 2, 3],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3],
-        ])
+        TransactionDb::new(vec![vec![1, 2, 3], vec![1, 2], vec![2, 3], vec![3]])
     }
 
     #[test]

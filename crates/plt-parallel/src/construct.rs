@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn parallel_equals_sequential_small() {
-        for opts in [ConstructOptions::conditional(), ConstructOptions::top_down()] {
+        for opts in [
+            ConstructOptions::conditional(),
+            ConstructOptions::top_down(),
+        ] {
             let seq = construct(&table1(), 2, opts).unwrap();
             let par = par_construct(&table1(), 2, opts).unwrap();
             assert_eq!(par.num_transactions(), seq.num_transactions());

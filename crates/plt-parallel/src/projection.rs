@@ -48,16 +48,14 @@ impl Projections {
 /// Builds every item's projection in a single pass over the PLT.
 pub fn project_all(plt: &Plt) -> Projections {
     let n = plt.ranking().len();
-    let mut by_rank: Vec<(Support, Vec<(PositionVector, Support)>)> =
-        vec![(0, Vec::new()); n];
+    let mut by_rank: Vec<(Support, Vec<(PositionVector, Support)>)> = vec![(0, Vec::new()); n];
     for (v, e) in plt.iter() {
         let ranks = v.ranks();
         for (i, &r) in ranks.iter().enumerate() {
             let slot = &mut by_rank[(r - 1) as usize];
             slot.0 += e.freq;
             if i > 0 {
-                let prefix =
-                    PositionVector::from_ranks(&ranks[..i]).expect("non-empty prefix");
+                let prefix = PositionVector::from_ranks(&ranks[..i]).expect("non-empty prefix");
                 slot.1.push((prefix, e.freq));
             }
         }

@@ -25,8 +25,7 @@ use crate::construct::par_construct;
 /// Computes the all-subsets table by parallel per-vector expansion.
 /// Output is identical to [`plt_core::topdown::all_subset_supports`].
 pub fn par_all_subset_supports(plt: &Plt) -> AllSubsetSupports {
-    let vectors: Vec<(&PositionVector, Support)> =
-        plt.iter().map(|(v, e)| (v, e.freq)).collect();
+    let vectors: Vec<(&PositionVector, Support)> = plt.iter().map(|(v, e)| (v, e.freq)).collect();
     let map = vectors
         .par_iter()
         .fold(

@@ -255,7 +255,12 @@ mod tests {
     fn exact_rule_has_confidence_one_and_infinite_conviction() {
         // A ⊆ every transaction that contains A also contains B:
         // sup(AB)=4 = sup(A) → conf(A→B) = 1.
-        let rules = generate_rules(&mined(), RuleConfig { min_confidence: 0.9 });
+        let rules = generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.9,
+            },
+        );
         let r = find(&rules, &[0], &[1]).expect("A→B");
         assert!((r.confidence - 1.0).abs() < 1e-12);
         assert_eq!(r.support, 4);
@@ -267,9 +272,19 @@ mod tests {
     #[test]
     fn confidence_threshold_filters() {
         // conf(B→D) = sup(BD)/sup(B) = 3/5 = 0.6.
-        let loose = generate_rules(&mined(), RuleConfig { min_confidence: 0.55 });
+        let loose = generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.55,
+            },
+        );
         assert!(find(&loose, &[1], &[3]).is_some());
-        let strict = generate_rules(&mined(), RuleConfig { min_confidence: 0.65 });
+        let strict = generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.65,
+            },
+        );
         assert!(find(&strict, &[1], &[3]).is_none());
     }
 
@@ -277,7 +292,12 @@ mod tests {
     fn all_rules_meet_threshold_and_metrics_are_consistent() {
         let result = mined();
         let n = result.num_transactions() as f64;
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.5 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.5,
+            },
+        );
         assert!(!rules.is_empty());
         for r in &rules {
             assert!(r.confidence >= 0.5 && r.confidence <= 1.0 + 1e-12);
@@ -296,7 +316,9 @@ mod tests {
         // Compare ap-genrules against brute-force enumeration of every
         // (antecedent, consequent) split of every frequent itemset.
         let result = mined();
-        let config = RuleConfig { min_confidence: 0.6 };
+        let config = RuleConfig {
+            min_confidence: 0.6,
+        };
         let fast = {
             let mut r = generate_rules(&result, config);
             sort_rules(&mut r);
@@ -329,7 +351,12 @@ mod tests {
     #[test]
     fn multi_item_consequents_are_generated() {
         // conf(A → BC) = sup(ABC)/sup(A) = 3/4.
-        let rules = generate_rules(&mined(), RuleConfig { min_confidence: 0.7 });
+        let rules = generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.7,
+            },
+        );
         let r = find(&rules, &[0], &[1, 2]).expect("A→BC");
         assert!((r.confidence - 0.75).abs() < 1e-12);
     }
@@ -337,7 +364,12 @@ mod tests {
     #[test]
     fn zero_confidence_emits_every_split() {
         let result = mined();
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.0 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.0,
+            },
+        );
         // Σ over frequent k-itemsets (k≥2) of (2^k − 2) splits:
         // six 2-itemsets → 6·2 = 12; three 3-itemsets → 3·6 = 18.
         assert_eq!(rules.len(), 30);
@@ -345,7 +377,13 @@ mod tests {
 
     #[test]
     fn top_rules_truncates_sorted() {
-        let rules = top_rules(&mined(), RuleConfig { min_confidence: 0.1 }, 5);
+        let rules = top_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.1,
+            },
+            5,
+        );
         assert_eq!(rules.len(), 5);
         assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
     }
@@ -360,12 +398,22 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_out_of_range_confidence() {
-        generate_rules(&mined(), RuleConfig { min_confidence: 1.5 });
+        generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 1.5,
+            },
+        );
     }
 
     #[test]
     fn display_is_readable() {
-        let rules = generate_rules(&mined(), RuleConfig { min_confidence: 0.9 });
+        let rules = generate_rules(
+            &mined(),
+            RuleConfig {
+                min_confidence: 0.9,
+            },
+        );
         let text = rules[0].to_string();
         assert!(text.contains("=>"));
         assert!(text.contains("conf="));

@@ -26,11 +26,7 @@ use crate::Rule;
 /// generalisation (ties removed: improvement must be strictly positive
 /// when `min_improvement` is 0 would admit equals — we require
 /// `conf − best_general_conf >= min_improvement` and `> 0`).
-pub fn productive_rules(
-    rules: &[Rule],
-    result: &MiningResult,
-    min_improvement: f64,
-) -> Vec<Rule> {
+pub fn productive_rules(rules: &[Rule], result: &MiningResult, min_improvement: f64) -> Vec<Rule> {
     assert!(
         (0.0..=1.0).contains(&min_improvement),
         "improvement is a confidence delta"
@@ -99,7 +95,12 @@ mod tests {
     #[test]
     fn specialisations_without_improvement_are_dropped() {
         let result = BruteForceMiner.mine(&redundant_db(), 1);
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.1,
+            },
+        );
         let productive = productive_rules(&rules, &result, 0.0);
 
         let find = |rs: &[Rule], x: &[Item], y: &[Item]| {
@@ -119,7 +120,12 @@ mod tests {
         // conf({3}→{2}) = 3/5 = 0.6 < base rate of 2 (5/7 ≈ 0.714): item 3
         // actually *lowers* the odds of 2 → unproductive.
         let result = BruteForceMiner.mine(&redundant_db(), 1);
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.1,
+            },
+        );
         let productive = productive_rules(&rules, &result, 0.0);
         assert!(!productive
             .iter()
@@ -129,21 +135,29 @@ mod tests {
     #[test]
     fn min_improvement_tightens_the_filter() {
         let result = BruteForceMiner.mine(&redundant_db(), 1);
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.1 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.1,
+            },
+        );
         let loose = productive_rules(&rules, &result, 0.0);
         let tight = productive_rules(&rules, &result, 0.3);
         assert!(tight.len() < loose.len());
         for r in &tight {
-            assert!(
-                confidence_improvement(r, &result, result.num_transactions() as f64) >= 0.3
-            );
+            assert!(confidence_improvement(r, &result, result.num_transactions() as f64) >= 0.3);
         }
     }
 
     #[test]
     fn productive_set_is_a_subset_preserving_metrics() {
         let result = BruteForceMiner.mine(&redundant_db(), 1);
-        let rules = generate_rules(&result, RuleConfig { min_confidence: 0.2 });
+        let rules = generate_rules(
+            &result,
+            RuleConfig {
+                min_confidence: 0.2,
+            },
+        );
         let productive = productive_rules(&rules, &result, 0.0);
         assert!(productive.len() <= rules.len());
         for p in &productive {

@@ -1,0 +1,295 @@
+//! Background snapshot builder: ingests transactions, republishes.
+//!
+//! The builder owns a [`SlidingWindow`] (plt-stream) on its own thread.
+//! `INGEST` batches arrive over a channel; after each batch the builder
+//! re-mines the window, assembles a fresh [`Snapshot`], and publishes it
+//! to the [`Engine`] — a pointer swap, so in-flight readers keep their
+//! generation and new readers see the new one. Queries never wait on
+//! mining.
+
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use plt_core::item::{Item, Support};
+use plt_core::RankPolicy;
+use plt_rules::RuleConfig;
+use plt_stream::SlidingWindow;
+
+use crate::engine::Engine;
+use crate::snapshot::Snapshot;
+
+/// Builder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BuilderConfig {
+    /// Sliding-window capacity in transactions.
+    pub window_capacity: usize,
+    /// Mining threshold (absolute support).
+    pub min_support: Support,
+    /// Item-ranking policy for the window's PLT.
+    pub rank_policy: RankPolicy,
+    /// Confidence threshold for precomputed recommendation rules.
+    pub rule_config: RuleConfig,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        BuilderConfig {
+            window_capacity: 100_000,
+            min_support: 2,
+            rank_policy: RankPolicy::default(),
+            rule_config: RuleConfig::default(),
+        }
+    }
+}
+
+enum Msg {
+    Ingest(Vec<Vec<Item>>),
+    /// Rebuild + publish even without new data, then ack.
+    Flush(Sender<u64>),
+    Stop,
+}
+
+/// Handle to the builder thread. Dropping it without [`stop`] detaches
+/// the thread (it exits when the channel closes).
+pub struct BuilderHandle {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BuilderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuilderHandle").finish_non_exhaustive()
+    }
+}
+
+impl BuilderHandle {
+    /// Queues a batch of transactions. Returns `false` if the builder
+    /// thread has exited.
+    pub fn ingest(&self, transactions: Vec<Vec<Item>>) -> bool {
+        self.tx.send(Msg::Ingest(transactions)).is_ok()
+    }
+
+    /// Forces a rebuild/publish and waits for it; returns the published
+    /// generation, or `None` if the builder has exited.
+    pub fn flush(&self) -> Option<u64> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(Msg::Flush(ack_tx)).ok()?;
+        ack_rx.recv().ok()
+    }
+
+    /// A cloneable submission handle for connection threads (`Sender`
+    /// is `Send + Clone`, so each thread carries its own).
+    pub fn queue(&self) -> IngestQueue {
+        IngestQueue {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stops the builder thread and joins it.
+    pub fn stop(mut self) {
+        let _ = self.tx.send(Msg::Stop);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Per-thread handle for submitting work to the builder.
+#[derive(Clone)]
+pub struct IngestQueue {
+    tx: Sender<Msg>,
+}
+
+impl std::fmt::Debug for IngestQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestQueue").finish_non_exhaustive()
+    }
+}
+
+impl IngestQueue {
+    /// Queues a batch; `false` if the builder has exited.
+    pub fn ingest(&self, transactions: Vec<Vec<Item>>) -> bool {
+        self.tx.send(Msg::Ingest(transactions)).is_ok()
+    }
+
+    /// Rebuild + publish, waiting for the new generation.
+    pub fn flush(&self) -> Option<u64> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(Msg::Flush(ack_tx)).ok()?;
+        ack_rx.recv().ok()
+    }
+}
+
+/// Builds the initial snapshot from `warmup`, wraps it in an engine, and
+/// spawns the background builder.
+///
+/// Returns the shared engine (for servers / direct callers) and the
+/// builder handle (for the ingest path).
+pub fn bootstrap(
+    warmup: &[Vec<Item>],
+    config: BuilderConfig,
+) -> plt_core::Result<(Arc<Engine>, BuilderHandle)> {
+    let mut window = SlidingWindow::new(
+        config.window_capacity,
+        config.min_support,
+        config.rank_policy,
+        warmup,
+    )?;
+    let snapshot = build_snapshot(&window, 1, config.rule_config);
+    let engine = Arc::new(Engine::new(snapshot));
+
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let engine_for_thread = engine.clone();
+    let thread = std::thread::Builder::new()
+        .name("plt-snapshot-builder".into())
+        .spawn(move || {
+            let mut generation = 1u64;
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Ingest(mut batch) => {
+                        // Drain any queued batches so one rebuild covers
+                        // them all — rebuilds are the expensive part.
+                        loop {
+                            match rx.try_recv() {
+                                Ok(Msg::Ingest(more)) => batch.extend(more),
+                                Ok(Msg::Flush(ack)) => {
+                                    generation = ingest_and_publish(
+                                        &mut window,
+                                        &engine_for_thread,
+                                        std::mem::take(&mut batch),
+                                        generation,
+                                        config.rule_config,
+                                    );
+                                    let _ = ack.send(generation);
+                                }
+                                Ok(Msg::Stop) | Err(mpsc::TryRecvError::Disconnected) => {
+                                    return;
+                                }
+                                Err(mpsc::TryRecvError::Empty) => break,
+                            }
+                        }
+                        if !batch.is_empty() {
+                            generation = ingest_and_publish(
+                                &mut window,
+                                &engine_for_thread,
+                                batch,
+                                generation,
+                                config.rule_config,
+                            );
+                        }
+                    }
+                    Msg::Flush(ack) => {
+                        generation = ingest_and_publish(
+                            &mut window,
+                            &engine_for_thread,
+                            Vec::new(),
+                            generation,
+                            config.rule_config,
+                        );
+                        let _ = ack.send(generation);
+                    }
+                    Msg::Stop => return,
+                }
+            }
+        })
+        .expect("spawn builder thread");
+
+    Ok((
+        engine,
+        BuilderHandle {
+            tx,
+            thread: Some(thread),
+        },
+    ))
+}
+
+fn ingest_and_publish(
+    window: &mut SlidingWindow,
+    engine: &Engine,
+    batch: Vec<Vec<Item>>,
+    generation: u64,
+    rule_config: RuleConfig,
+) -> u64 {
+    for t in batch {
+        // An insert can only fail on pathological input (e.g. items the
+        // u32 space can't rank); drop such transactions rather than
+        // killing the service.
+        let _ = window.push(t);
+    }
+    // Streams drift away from their warmup ranking; re-rank so the new
+    // snapshot's canonical keys reflect the current window.
+    let _ = window.rerank();
+    let next = generation + 1;
+    engine.publish(Arc::new(build_snapshot(window, next, rule_config)));
+    next
+}
+
+fn build_snapshot(window: &SlidingWindow, generation: u64, rule_config: RuleConfig) -> Snapshot {
+    let result = window.mine();
+    Snapshot::build(generation, window.plt().clone(), &result, rule_config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::proto::Request;
+
+    fn warmup() -> Vec<Vec<Item>> {
+        vec![vec![0, 1], vec![0, 1], vec![0, 2]]
+    }
+
+    fn config() -> BuilderConfig {
+        BuilderConfig {
+            window_capacity: 1000,
+            min_support: 2,
+            ..BuilderConfig::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_serves_the_warmup_generation() {
+        let (engine, builder) = bootstrap(&warmup(), config()).unwrap();
+        let snap = engine.current();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.support(&[0, 1]).support, 2);
+        builder.stop();
+    }
+
+    #[test]
+    fn ingest_publishes_new_generations() {
+        let (engine, builder) = bootstrap(&warmup(), config()).unwrap();
+        assert!(builder.ingest(vec![vec![0, 2], vec![0, 2]]));
+        let generation = builder.flush().expect("builder alive");
+        assert!(generation >= 2);
+        let snap = engine.current();
+        assert_eq!(snap.generation(), generation);
+        // {0,2} appeared once in warmup + twice ingested = 3.
+        assert_eq!(snap.support(&[0, 2]).support, 3);
+        builder.stop();
+    }
+
+    #[test]
+    fn flush_without_data_still_bumps_generation() {
+        let (engine, builder) = bootstrap(&warmup(), config()).unwrap();
+        let g1 = builder.flush().unwrap();
+        let g2 = builder.flush().unwrap();
+        assert!(g2 > g1);
+        assert_eq!(engine.current().generation(), g2);
+        builder.stop();
+    }
+
+    #[test]
+    fn queries_keep_working_across_publishes() {
+        let (engine, builder) = bootstrap(&warmup(), config()).unwrap();
+        for round in 0..5 {
+            builder.ingest(vec![vec![0, 1], vec![1, 2]]);
+            builder.flush();
+            let response = engine.handle(&Request::Support { items: vec![0] });
+            let v = Json::parse(&response).unwrap();
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "round {round}");
+        }
+        builder.stop();
+    }
+}

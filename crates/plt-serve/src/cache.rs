@@ -1,0 +1,156 @@
+//! Sharded LRU cache for rendered responses.
+//!
+//! Read endpoints are deterministic functions of (snapshot generation,
+//! request), so the engine caches the rendered JSON string keyed by the
+//! canonical request text. The map is split into shards, each behind its
+//! own mutex, so concurrent readers on different shards never contend;
+//! within a shard, recency is a monotone tick and eviction removes the
+//! smallest tick (an `O(shard)` scan — shards are small by
+//! construction, `capacity / shards` entries).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A sharded least-recently-used string cache.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    tick: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, (u64, String)>,
+}
+
+impl ShardedCache {
+    /// A cache with `shards` shards of `capacity / shards` entries each
+    /// (at least one per shard). `shards` must be non-zero.
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        assert!(shards > 0, "cache needs at least one shard");
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: (capacity / shards).max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        // FNV-1a: stable across runs (unlike `RandomState`), cheap, and
+        // good enough to spread protocol strings.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetches and refreshes recency.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut shard = self.shard(key).lock().unwrap();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let (stamp, value) = shard.entries.get_mut(key)?;
+        *stamp = tick;
+        Some(value.clone())
+    }
+
+    /// Inserts, evicting the least-recently-used entry of the target
+    /// shard when it is full.
+    pub fn put(&self, key: String, value: String) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        if shard.entries.len() >= self.per_shard && !shard.entries.contains_key(&key) {
+            if let Some(oldest) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&oldest);
+            }
+        }
+        shard.entries.insert(key, (tick, value));
+    }
+
+    /// Drops every entry — called when a new snapshot is published,
+    /// since cached responses embed the old generation's answers.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().entries.clear();
+        }
+    }
+
+    /// Entries currently held, across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_round_trip() {
+        let cache = ShardedCache::new(64, 8);
+        assert_eq!(cache.get("a"), None);
+        cache.put("a".into(), "1".into());
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        cache.put("a".into(), "2".into());
+        assert_eq!(cache.get("a").as_deref(), Some("2"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_shard() {
+        // One shard of capacity 2 makes eviction order observable.
+        let cache = ShardedCache::new(2, 1);
+        cache.put("a".into(), "1".into());
+        cache.put("b".into(), "2".into());
+        cache.get("a"); // refresh a; b is now LRU
+        cache.put("c".into(), "3".into());
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("c").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let cache = ShardedCache::new(32, 4);
+        for i in 0..20 {
+            cache.put(format!("k{i}"), "v".into());
+        }
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ShardedCache::new(128, 8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", (t * 31 + i) % 50);
+                        if cache.get(&key).is_none() {
+                            cache.put(key, format!("{i}"));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 128);
+    }
+}

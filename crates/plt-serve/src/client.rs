@@ -1,0 +1,218 @@
+//! Blocking client for the framed protocol — used by the CLI's `query`
+//! subcommand and the end-to-end tests.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use plt_core::item::{Item, Support};
+
+use crate::json::Json;
+use crate::proto::{read_frame, write_frame, Request};
+
+/// One connection to a plt-serve server. Requests are sent one at a
+/// time (the protocol is strictly request/response per frame).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+/// A client-side failure: transport, framing, or a server-reported
+/// protocol error.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// Response was not valid JSON or missing required fields.
+    Malformed(String),
+    /// Server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A support answer as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportReply {
+    pub support: Support,
+    pub frequent: bool,
+    /// `"index"` or `"oracle"`.
+    pub source: String,
+    pub generation: u64,
+}
+
+impl Client {
+    /// Connects with a default 10s read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the matching response. Protocol
+    /// errors (`ok: false`) surface as [`ClientError::Server`].
+    pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
+        self.request_raw(&request.to_json().to_string())
+    }
+
+    /// Sends a raw JSON payload (already rendered); used by the CLI to
+    /// pass user-authored requests through unchanged.
+    pub fn request_raw(&mut self, payload: &str) -> Result<Json, ClientError> {
+        write_frame(&mut self.writer, payload)?;
+        let reply = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Malformed("connection closed mid-request".into()))?;
+        let v = Json::parse(&reply).map_err(|e| ClientError::Malformed(e.to_string()))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server(
+                v.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Malformed("response missing \"ok\"".into())),
+        }
+    }
+
+    /// `support` endpoint.
+    pub fn support(&mut self, items: &[Item]) -> Result<SupportReply, ClientError> {
+        let v = self.request(&Request::Support {
+            items: items.to_vec(),
+        })?;
+        Ok(SupportReply {
+            support: field_u64(&v, "support")?,
+            frequent: v
+                .get("frequent")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError::Malformed("missing \"frequent\"".into()))?,
+            source: v
+                .get("source")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            generation: field_u64(&v, "generation")?,
+        })
+    }
+
+    /// `top_k` endpoint: `(items, support)` rows.
+    pub fn top_k(
+        &mut self,
+        k: usize,
+        min_size: usize,
+    ) -> Result<Vec<(Vec<Item>, Support)>, ClientError> {
+        let v = self.request(&Request::TopK { k, min_size })?;
+        let rows = v
+            .get("itemsets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Malformed("missing \"itemsets\"".into()))?;
+        rows.iter()
+            .map(|row| {
+                let items = row
+                    .get("items")
+                    .and_then(Json::as_items)
+                    .ok_or_else(|| ClientError::Malformed("row missing \"items\"".into()))?;
+                Ok((items, field_u64(row, "support")?))
+            })
+            .collect()
+    }
+
+    /// `extensions` endpoint: `(item, support)` rows.
+    pub fn extensions(
+        &mut self,
+        items: &[Item],
+        k: usize,
+    ) -> Result<Vec<(Item, Support)>, ClientError> {
+        let v = self.request(&Request::Extensions {
+            items: items.to_vec(),
+            k,
+        })?;
+        let rows = v
+            .get("extensions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Malformed("missing \"extensions\"".into()))?;
+        rows.iter()
+            .map(|row| Ok((field_u64(row, "item")? as Item, field_u64(row, "support")?)))
+            .collect()
+    }
+
+    /// `recommend` endpoint: `(item, confidence)` rows (full detail is
+    /// available via [`request`](Self::request)).
+    pub fn recommend(&mut self, items: &[Item], k: usize) -> Result<Vec<(Item, f64)>, ClientError> {
+        let v = self.request(&Request::Recommend {
+            items: items.to_vec(),
+            k,
+        })?;
+        let rows = v
+            .get("recommendations")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Malformed("missing \"recommendations\"".into()))?;
+        rows.iter()
+            .map(|row| {
+                let item = field_u64(row, "item")? as Item;
+                let confidence = row
+                    .get("confidence")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ClientError::Malformed("row missing \"confidence\"".into()))?;
+                Ok((item, confidence))
+            })
+            .collect()
+    }
+
+    /// `stats` endpoint, returned as raw JSON (shape documented in the
+    /// README).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// `ingest` endpoint; with `wait`, returns the published generation.
+    pub fn ingest(
+        &mut self,
+        transactions: Vec<Vec<Item>>,
+        wait: bool,
+    ) -> Result<Option<u64>, ClientError> {
+        let v = self.request(&Request::Ingest { transactions, wait })?;
+        Ok(v.get("generation").and_then(Json::as_u64))
+    }
+
+    /// `ping` endpoint; returns the serving generation.
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        let v = self.request(&Request::Ping)?;
+        field_u64(&v, "generation")
+    }
+
+    /// Asks the server to stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn field_u64(v: &Json, name: &str) -> Result<u64, ClientError> {
+    v.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Malformed(format!("missing numeric \"{name}\"")))
+}

@@ -1,0 +1,382 @@
+//! The query engine: snapshot swap point, response cache, metrics.
+//!
+//! Readers never block writers and writers never block readers for long:
+//! the current [`Snapshot`] lives behind `RwLock<Arc<Snapshot>>`, and a
+//! reader's critical section is a single `Arc` clone — queries then run
+//! against their own reference with the lock released. Publishing a new
+//! snapshot is one pointer swap plus a cache clear. (With `parking_lot`
+//! unavailable offline, `std::sync::RwLock` is the swap primitive; the
+//! read path holds it for nanoseconds, so contention is negligible.)
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::cache::ShardedCache;
+use crate::json::Json;
+use crate::metrics::{Endpoint, Metrics};
+use crate::proto::{err_response, ok_response, Request};
+use crate::snapshot::Snapshot;
+
+/// Shared engine state: one per server, `Arc`-cloned into every
+/// connection handler.
+#[derive(Debug)]
+pub struct Engine {
+    snapshot: RwLock<Arc<Snapshot>>,
+    cache: ShardedCache,
+    metrics: Metrics,
+}
+
+impl Engine {
+    /// Wraps an initial snapshot with a default-sized cache (1024
+    /// entries over 8 shards).
+    pub fn new(initial: Snapshot) -> Engine {
+        Engine::with_cache(initial, 1024, 8)
+    }
+
+    /// Wraps an initial snapshot with an explicit cache geometry.
+    pub fn with_cache(initial: Snapshot, cache_capacity: usize, shards: usize) -> Engine {
+        let metrics = Metrics::default();
+        metrics
+            .generation
+            .store(initial.generation(), Ordering::Relaxed);
+        Engine {
+            snapshot: RwLock::new(Arc::new(initial)),
+            cache: ShardedCache::new(cache_capacity, shards),
+            metrics,
+        }
+    }
+
+    /// The current snapshot. Lock held only for the `Arc` clone.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.snapshot.read().unwrap().clone()
+    }
+
+    /// Publishes a new snapshot: pointer swap, then cache invalidation
+    /// (cached responses answered for the old generation).
+    pub fn publish(&self, snapshot: Arc<Snapshot>) {
+        let generation = snapshot.generation();
+        *self.snapshot.write().unwrap() = snapshot;
+        self.cache.clear();
+        self.metrics.generation.store(generation, Ordering::Relaxed);
+        self.metrics.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Drops all cached responses (publish does this automatically;
+    /// exposed for benchmarks and operational tooling).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Handles one request, returning the rendered single-line JSON
+    /// response. Read endpoints go through the cache; `stats` and `ping`
+    /// always recompute. `ingest`/`shutdown` are handled by the layers
+    /// above (builder/server) — here they only get an acknowledgement.
+    pub fn handle(&self, request: &Request) -> String {
+        let start = Instant::now();
+        let endpoint = endpoint_of(request);
+        if let Some(e) = endpoint_cacheable(request) {
+            let key = request.cache_key();
+            if let Some(hit) = self.cache.get(&key) {
+                self.metrics.endpoint(e).record(start.elapsed(), Some(true));
+                return hit;
+            }
+            let response = self.answer(request).to_string();
+            self.cache.put(key, response.clone());
+            self.metrics
+                .endpoint(e)
+                .record(start.elapsed(), Some(false));
+            return response;
+        }
+        let response = self.answer(request).to_string();
+        if let Some(e) = endpoint {
+            self.metrics.endpoint(e).record(start.elapsed(), None);
+        }
+        response
+    }
+
+    fn answer(&self, request: &Request) -> Json {
+        let snap = self.current();
+        match request {
+            Request::Support { items } => {
+                let a = snap.support(items);
+                ok_response(vec![
+                    ("support", Json::from(a.support)),
+                    ("frequent", Json::Bool(a.frequent)),
+                    ("source", Json::str(a.source.as_str())),
+                    ("generation", Json::from(snap.generation())),
+                ])
+            }
+            Request::TopK { k, min_size } => {
+                let rows = snap
+                    .top_k(*k, *min_size)
+                    .into_iter()
+                    .map(|(itemset, support)| {
+                        Json::obj(vec![
+                            (
+                                "items",
+                                Json::Arr(
+                                    itemset
+                                        .items()
+                                        .iter()
+                                        .map(|&i| Json::from(i as u64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("support", Json::from(support)),
+                        ])
+                    })
+                    .collect();
+                ok_response(vec![
+                    ("itemsets", Json::Arr(rows)),
+                    ("generation", Json::from(snap.generation())),
+                ])
+            }
+            Request::Extensions { items, k } => {
+                let rows = snap
+                    .extensions(items, *k)
+                    .into_iter()
+                    .map(|(item, support)| {
+                        Json::obj(vec![
+                            ("item", Json::from(item as u64)),
+                            ("support", Json::from(support)),
+                        ])
+                    })
+                    .collect();
+                ok_response(vec![
+                    ("extensions", Json::Arr(rows)),
+                    ("generation", Json::from(snap.generation())),
+                ])
+            }
+            Request::Recommend { items, k } => {
+                let rows = snap
+                    .recommend(items, *k)
+                    .into_iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("item", Json::from(r.item as u64)),
+                            ("confidence", Json::from(r.confidence)),
+                            ("lift", Json::from(r.lift)),
+                            ("support", Json::from(r.support)),
+                            (
+                                "because",
+                                Json::Arr(
+                                    r.because
+                                        .items()
+                                        .iter()
+                                        .map(|&i| Json::from(i as u64))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                ok_response(vec![
+                    ("recommendations", Json::Arr(rows)),
+                    ("generation", Json::from(snap.generation())),
+                ])
+            }
+            Request::Stats => {
+                let endpoints = self
+                    .metrics
+                    .report()
+                    .into_iter()
+                    .map(|(name, requests, hits, misses, p50, p99)| {
+                        Json::obj(vec![
+                            ("endpoint", Json::str(name)),
+                            ("requests", Json::from(requests)),
+                            ("cache_hits", Json::from(hits)),
+                            ("cache_misses", Json::from(misses)),
+                            ("p50_us", p50.map(Json::from).unwrap_or(Json::Null)),
+                            ("p99_us", p99.map(Json::from).unwrap_or(Json::Null)),
+                        ])
+                    })
+                    .collect();
+                ok_response(vec![
+                    ("generation", Json::from(snap.generation())),
+                    (
+                        "publishes",
+                        Json::from(self.metrics.publishes.load(Ordering::Relaxed)),
+                    ),
+                    ("num_transactions", Json::from(snap.num_transactions())),
+                    ("min_support", Json::from(snap.min_support())),
+                    ("num_itemsets", Json::from(snap.num_itemsets() as u64)),
+                    ("num_rules", Json::from(snap.num_rules() as u64)),
+                    ("cache_entries", Json::from(self.cache.len() as u64)),
+                    ("endpoints", Json::Arr(endpoints)),
+                ])
+            }
+            Request::Ping => ok_response(vec![
+                ("pong", Json::Bool(true)),
+                ("generation", Json::from(snap.generation())),
+            ]),
+            Request::Ingest { .. } => {
+                // Reached only when no builder is attached (e.g. a
+                // static snapshot served from a file).
+                err_response("this server has no ingest pipeline")
+            }
+            Request::Shutdown => ok_response(vec![("stopping", Json::Bool(true))]),
+        }
+    }
+}
+
+fn endpoint_of(request: &Request) -> Option<Endpoint> {
+    Some(match request {
+        Request::Support { .. } => Endpoint::Support,
+        Request::TopK { .. } => Endpoint::TopK,
+        Request::Extensions { .. } => Endpoint::Extensions,
+        Request::Recommend { .. } => Endpoint::Recommend,
+        Request::Stats => Endpoint::Stats,
+        Request::Ingest { .. } => Endpoint::Ingest,
+        Request::Ping => Endpoint::Ping,
+        Request::Shutdown => return None,
+    })
+}
+
+/// Which endpoint, if the request's response may be cached. Cacheable ⇔
+/// a pure function of (generation, request).
+fn endpoint_cacheable(request: &Request) -> Option<Endpoint> {
+    match request {
+        Request::Support { .. } => Some(Endpoint::Support),
+        Request::TopK { .. } => Some(Endpoint::TopK),
+        Request::Extensions { .. } => Some(Endpoint::Extensions),
+        Request::Recommend { .. } => Some(Endpoint::Recommend),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::construct::{construct, ConstructOptions};
+    use plt_core::{ConditionalMiner, Miner};
+    use plt_rules::RuleConfig;
+
+    fn engine() -> Engine {
+        let db = vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ];
+        let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db, 2);
+        Engine::new(Snapshot::build(1, plt, &result, RuleConfig::default()))
+    }
+
+    #[test]
+    fn support_responses_are_correct_json() {
+        let engine = engine();
+        let response = engine.handle(&Request::Support {
+            items: vec![0, 1, 2],
+        });
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("support").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("frequent").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("source").unwrap().as_str(), Some("index"));
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let engine = engine();
+        let req = Request::TopK { k: 5, min_size: 1 };
+        let first = engine.handle(&req);
+        let second = engine.handle(&req);
+        assert_eq!(first, second);
+        let stats = engine.metrics().endpoint(Endpoint::TopK);
+        assert_eq!(stats.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn publish_swaps_generation_and_clears_cache() {
+        let engine = engine();
+        let req = Request::Support { items: vec![1] };
+        engine.handle(&req);
+
+        // New generation over a different window.
+        let db2 = vec![vec![7, 8], vec![7, 8], vec![7, 9]];
+        let plt = construct(&db2, 2, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db2, 2);
+        engine.publish(Arc::new(Snapshot::build(
+            2,
+            plt,
+            &result,
+            RuleConfig::default(),
+        )));
+
+        let response = engine.handle(&req);
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(v.get("generation").unwrap().as_u64(), Some(2));
+        // Old answer (support of item 1 = 5) must not leak from cache.
+        assert_eq!(v.get("support").unwrap().as_u64(), Some(0));
+        assert_eq!(engine.metrics().generation.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn readers_see_consistent_snapshots_during_publishes() {
+        let engine = Arc::new(engine());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            // Writer: republish generations 2..=20.
+            {
+                let engine = engine.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    for generation in 2..=20 {
+                        let db = vec![vec![0, 1], vec![0, 1], vec![0, 2]];
+                        let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+                        let result = ConditionalMiner::default().mine(&db, 2);
+                        engine.publish(Arc::new(Snapshot::build(
+                            generation,
+                            plt,
+                            &result,
+                            RuleConfig::default(),
+                        )));
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                });
+            }
+            // Readers: every response must be internally consistent —
+            // parseable, ok, and from *some* complete generation.
+            for _ in 0..3 {
+                let engine = engine.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let response = engine.handle(&Request::Support { items: vec![0] });
+                        let v = Json::parse(&response).unwrap();
+                        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+                        let g = v.get("generation").unwrap().as_u64().unwrap();
+                        assert!((1..=20).contains(&g));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let engine = engine();
+        engine.handle(&Request::Ping);
+        engine.handle(&Request::Support { items: vec![1] });
+        engine.handle(&Request::Support { items: vec![1] });
+        let stats = engine.handle(&Request::Stats);
+        let v = Json::parse(&stats).unwrap();
+        let endpoints = v.get("endpoints").unwrap().as_arr().unwrap();
+        let support = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").unwrap().as_str() == Some("support"))
+            .unwrap();
+        assert_eq!(support.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(support.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert!(support.get("p50_us").unwrap().as_u64().is_some());
+    }
+}

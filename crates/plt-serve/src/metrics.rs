@@ -1,0 +1,200 @@
+//! Per-endpoint service metrics: request counters, cache hit/miss
+//! counters, and a latency histogram answering p50/p99.
+//!
+//! Everything is lock-free atomics so the hot read path never blocks on
+//! a metrics mutex. Latency is recorded in log₂ microsecond buckets
+//! (1µs, 2µs, 4µs, … ~2s); quantiles are answered from the histogram to
+//! bucket precision, which is plenty for a `STATS` endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket absorbs the tail.
+const BUCKETS: usize = 22;
+
+/// Latency histogram plus counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl EndpointStats {
+    /// Records one request with its latency; `cache` is `Some(hit?)` for
+    /// cacheable endpoints, `None` for ones that bypass the cache.
+    pub fn record(&self, latency: Duration, cache: Option<bool>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match cache {
+            Some(true) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile latency (0 < q ≤ 1), to bucket precision: the
+    /// lower bound of the bucket containing the quantile sample. `None`
+    /// before any sample.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << i);
+            }
+        }
+        Some(1u64 << (BUCKETS - 1))
+    }
+
+    fn load(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Endpoints tracked by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Support,
+    TopK,
+    Extensions,
+    Recommend,
+    Stats,
+    Ingest,
+    Ping,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Support,
+        Endpoint::TopK,
+        Endpoint::Extensions,
+        Endpoint::Recommend,
+        Endpoint::Stats,
+        Endpoint::Ingest,
+        Endpoint::Ping,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Support => "support",
+            Endpoint::TopK => "top_k",
+            Endpoint::Extensions => "extensions",
+            Endpoint::Recommend => "recommend",
+            Endpoint::Stats => "stats",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Ping => "ping",
+        }
+    }
+}
+
+/// All service metrics.
+/// One [`Metrics::report`] row:
+/// `(name, requests, hits, misses, p50µs, p99µs)`.
+pub type EndpointReport = (&'static str, u64, u64, u64, Option<u64>, Option<u64>);
+
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointStats; 7],
+    /// Current snapshot generation (gauge, set on publish).
+    pub generation: AtomicU64,
+    /// Snapshots published over the service lifetime.
+    pub publishes: AtomicU64,
+}
+
+impl Metrics {
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointStats {
+        &self.endpoints[match e {
+            Endpoint::Support => 0,
+            Endpoint::TopK => 1,
+            Endpoint::Extensions => 2,
+            Endpoint::Recommend => 3,
+            Endpoint::Stats => 4,
+            Endpoint::Ingest => 5,
+            Endpoint::Ping => 6,
+        }]
+    }
+
+    /// Snapshot of every endpoint's counters:
+    /// `(name, requests, hits, misses, p50µs, p99µs)`.
+    pub fn report(&self) -> Vec<EndpointReport> {
+        Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let s = self.endpoint(e);
+                let (req, hit, miss) = s.load();
+                (
+                    e.as_str(),
+                    req,
+                    hit,
+                    miss,
+                    s.quantile_micros(0.50),
+                    s.quantile_micros(0.99),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.endpoint(Endpoint::Support)
+            .record(Duration::from_micros(10), Some(true));
+        m.endpoint(Endpoint::Support)
+            .record(Duration::from_micros(10), Some(false));
+        m.endpoint(Endpoint::Stats)
+            .record(Duration::from_micros(5), None);
+        let report = m.report();
+        let support = report.iter().find(|r| r.0 == "support").unwrap();
+        assert_eq!((support.1, support.2, support.3), (2, 1, 1));
+        let stats = report.iter().find(|r| r.0 == "stats").unwrap();
+        assert_eq!((stats.1, stats.2, stats.3), (1, 0, 0));
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let s = EndpointStats::default();
+        assert_eq!(s.quantile_micros(0.5), None);
+        // 99 fast samples at ~8µs, 1 slow at ~1024µs.
+        for _ in 0..99 {
+            s.record(Duration::from_micros(9), None);
+        }
+        s.record(Duration::from_micros(1500), None);
+        let p50 = s.quantile_micros(0.50).unwrap();
+        let p99 = s.quantile_micros(0.99).unwrap();
+        assert_eq!(p50, 8); // bucket [8,16)
+        assert!(p99 <= 16, "p99 {p99}");
+        let p100 = s.quantile_micros(1.0).unwrap();
+        assert_eq!(p100, 1024); // bucket [1024,2048)
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_first_bucket() {
+        let s = EndpointStats::default();
+        s.record(Duration::from_nanos(10), None);
+        assert_eq!(s.quantile_micros(1.0), Some(1));
+    }
+}

@@ -1,0 +1,229 @@
+//! TCP server: multiple acceptor threads over one listener, one handler
+//! thread per connection, engine shared via `Arc`.
+//!
+//! Built on `std::net` only. The listener is `try_clone`d into N
+//! acceptor threads (the kernel load-balances `accept` across them), so
+//! accept throughput scales with cores without an async runtime. Each
+//! connection speaks the framed protocol of [`proto`](crate::proto)
+//! until EOF or a `shutdown` request; handlers only touch the engine
+//! through `Arc`, so a slow connection never blocks another.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::builder::IngestQueue;
+use crate::engine::Engine;
+use crate::json::Json;
+use crate::proto::{err_response, ok_response, read_frame, write_frame, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Acceptor threads sharing the listener. Defaults to available
+    /// parallelism, capped at 8 (accept is rarely the bottleneck).
+    pub acceptors: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServerConfig {
+            acceptors: cores.min(8),
+        }
+    }
+}
+
+/// A running server. Stop it with [`shutdown`](Self::shutdown) or by
+/// sending the protocol `shutdown` request; either way
+/// [`join`](Self::join) returns once every acceptor has exited.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the acceptors.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        wake_acceptors(self.addr, self.acceptors.len());
+        for t in self.acceptors.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server stops (e.g. a client sent `shutdown`).
+    pub fn join(mut self) {
+        for t in self.acceptors.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+/// `engine`. `ingest` wires the `INGEST` endpoint to a snapshot
+/// builder; without it, ingest requests are answered with an error.
+pub fn serve(
+    addr: &str,
+    engine: Arc<Engine>,
+    ingest: Option<IngestQueue>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptors = (0..config.acceptors.max(1))
+        .map(|i| {
+            let listener = listener.try_clone()?;
+            let engine = engine.clone();
+            let ingest = ingest.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name(format!("plt-serve-acceptor-{i}"))
+                .spawn(move || acceptor_loop(listener, engine, ingest, stop, addr))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        acceptors,
+    })
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    ingest: Option<IngestQueue>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let engine = engine.clone();
+                let ingest = ingest.clone();
+                let stop = stop.clone();
+                let _ = std::thread::Builder::new()
+                    .name("plt-serve-conn".into())
+                    .spawn(move || {
+                        if handle_connection(stream, &engine, ingest.as_ref(), &stop)
+                            == ConnectionOutcome::ShutdownRequested
+                        {
+                            wake_acceptors(addr, usize::MAX);
+                        }
+                    });
+            }
+            Err(_) => {
+                // Accept errors are transient (EMFILE, aborted
+                // handshakes); re-check the stop flag and continue.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum ConnectionOutcome {
+    Closed,
+    ShutdownRequested,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    ingest: Option<&IngestQueue>,
+    stop: &AtomicBool,
+) -> ConnectionOutcome {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return ConnectionOutcome::Closed,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return ConnectionOutcome::Closed,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Tell the peer what was wrong with the frame, then
+                // drop the connection — framing is unrecoverable.
+                let _ = write_frame(&mut writer, &err_response(e.to_string()).to_string());
+                return ConnectionOutcome::Closed;
+            }
+            Err(_) => return ConnectionOutcome::Closed,
+        };
+        let response = match Json::parse(&payload) {
+            Err(e) => err_response(e.to_string()).to_string(),
+            Ok(v) => match Request::from_json(&v) {
+                Err(e) => err_response(e).to_string(),
+                Ok(Request::Shutdown) => {
+                    stop.store(true, Ordering::SeqCst);
+                    let response = engine.handle(&Request::Shutdown);
+                    let _ = write_frame(&mut writer, &response);
+                    return ConnectionOutcome::ShutdownRequested;
+                }
+                Ok(Request::Ingest { transactions, wait }) => match ingest {
+                    None => err_response("this server has no ingest pipeline").to_string(),
+                    Some(queue) => {
+                        let accepted = transactions.len() as u64;
+                        let submitted = queue.ingest(transactions);
+                        if !submitted {
+                            err_response("snapshot builder has exited").to_string()
+                        } else if wait {
+                            match queue.flush() {
+                                Some(generation) => ok_response(vec![
+                                    ("accepted", Json::from(accepted)),
+                                    ("generation", Json::from(generation)),
+                                ])
+                                .to_string(),
+                                None => err_response("snapshot builder has exited").to_string(),
+                            }
+                        } else {
+                            ok_response(vec![("accepted", Json::from(accepted))]).to_string()
+                        }
+                    }
+                },
+                Ok(request) => engine.handle(&request),
+            },
+        };
+        if write_frame(&mut writer, &response).is_err() {
+            return ConnectionOutcome::Closed;
+        }
+    }
+}
+
+/// Unblocks acceptor threads stuck in `accept` by dialing the listener.
+/// Best effort; `n` connects at most (acceptors count or a few).
+fn wake_acceptors(addr: SocketAddr, n: usize) {
+    for _ in 0..n.min(16) {
+        match TcpStream::connect(addr) {
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+}

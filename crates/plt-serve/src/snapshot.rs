@@ -1,0 +1,428 @@
+//! The immutable query index: a [`Snapshot`] of one mining generation.
+//!
+//! A snapshot is built once from a PLT and its [`MiningResult`], then
+//! shared read-only behind an `Arc` (see [`engine`](crate::engine)). All
+//! per-query work is lookup-shaped:
+//!
+//! * **Point lookups** key frequent itemsets by their **canonical
+//!   position vector** (Lemma 4.1.2: the vector uniquely identifies the
+//!   itemset), so `support(X)` is one rank translation plus one hash
+//!   probe. Infrequent itemsets fall back to the exact
+//!   [`SupportOracle`], which intersects posting lists over the PLT.
+//! * **Extensions** use Lemma 4.1.3 in reverse: every frequent `Z` and
+//!   droppable item `e` contribute an entry `key(Z \ {e}) → (e,
+//!   support(Z))`, so "what extends X?" is again a single probe.
+//! * **Top-k** reads a prefix of a support-sorted array.
+//! * **Recommendations** scan precomputed association rules whose
+//!   antecedent is contained in the query basket.
+
+use std::collections::HashMap;
+
+use plt_core::item::{Item, Itemset, Support};
+use plt_core::miner::MiningResult;
+use plt_core::posvec::PositionVector;
+use plt_core::query::{canonical_key, SupportOracle};
+use plt_core::Plt;
+use plt_rules::{generate_rules, sort_rules, Rule, RuleConfig};
+
+/// Where a support answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportSource {
+    /// Hash probe on the frequent-itemset index.
+    Index,
+    /// Exact fallback through the PLT's support oracle (itemset is
+    /// infrequent or mentions unranked items).
+    Oracle,
+}
+
+impl SupportSource {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SupportSource::Index => "index",
+            SupportSource::Oracle => "oracle",
+        }
+    }
+}
+
+/// A support answer with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportAnswer {
+    pub support: Support,
+    /// Whether the itemset met the mining threshold.
+    pub frequent: bool,
+    pub source: SupportSource,
+}
+
+/// One recommendation produced from the rule index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Suggested item (not present in the query basket).
+    pub item: Item,
+    /// The rule that produced it.
+    pub confidence: f64,
+    pub lift: f64,
+    pub support: Support,
+    /// The rule antecedent that matched inside the basket.
+    pub because: Itemset,
+}
+
+/// Immutable, read-optimized index over one mining generation.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic publish counter, bumped by the builder.
+    generation: u64,
+    plt: Plt,
+    oracle: SupportOracle,
+    /// Canonical position vector → support, one entry per frequent
+    /// itemset (Lemma 4.1.2 makes this collision-free).
+    index: HashMap<PositionVector, Support>,
+    /// `key(Z \ {e}) → (e, support(Z))` for every frequent `Z` and every
+    /// droppable `e` — Lemma 4.1.3's level-down subsets, inverted.
+    /// Entries per key are sorted by descending support.
+    extensions: HashMap<PositionVector, Vec<(Item, Support)>>,
+    /// Frequent 1-extensions of the *empty* basket (i.e. frequent
+    /// single items), support-descending.
+    roots: Vec<(Item, Support)>,
+    /// All frequent itemsets, support-descending (ties: smaller first,
+    /// then lexicographic), for `top_k`.
+    ranked: Vec<(Itemset, Support)>,
+    /// Association rules sorted by the standard quality order.
+    rules: Vec<Rule>,
+}
+
+impl Snapshot {
+    /// Builds the index from a PLT and the result of mining it.
+    ///
+    /// `result` must come from mining `plt`'s transactions at `plt`'s
+    /// threshold (the builder guarantees this); `rule_config` controls
+    /// the precomputed recommendation rules.
+    pub fn build(
+        generation: u64,
+        plt: Plt,
+        result: &MiningResult,
+        rule_config: RuleConfig,
+    ) -> Snapshot {
+        let oracle = SupportOracle::new(&plt);
+
+        let mut index = HashMap::with_capacity(result.len());
+        let mut extensions: HashMap<PositionVector, Vec<(Item, Support)>> = HashMap::new();
+        let mut roots = Vec::new();
+        let mut ranked = Vec::with_capacity(result.len());
+
+        for (itemset, support) in result.iter() {
+            ranked.push((itemset.clone(), support));
+            let key = canonical_key(itemset.items(), &plt)
+                .expect("mined itemsets are non-empty and fully ranked");
+            if itemset.len() == 1 {
+                roots.push((itemset.items()[0], support));
+            }
+            // Invert Lemma 4.1.3: each (k−1)-subset of this itemset,
+            // obtained by dropping one item, gains `dropped item` as a
+            // known frequent extension.
+            if itemset.len() >= 2 {
+                let ranks = key.ranks();
+                for sub in key.level_down_subsets() {
+                    let dropped_rank = dropped_rank(&ranks, &sub);
+                    let item = plt.ranking().item(dropped_rank);
+                    extensions.entry(sub).or_default().push((item, support));
+                }
+            }
+            index.insert(key, support);
+        }
+
+        for exts in extensions.values_mut() {
+            exts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        roots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0.len().cmp(&b.0.len()))
+                .then(a.0.cmp(&b.0))
+        });
+
+        let mut rules = generate_rules(result, rule_config);
+        sort_rules(&mut rules);
+
+        Snapshot {
+            generation,
+            plt,
+            oracle,
+            index,
+            extensions,
+            roots,
+            ranked,
+            rules,
+        }
+    }
+
+    /// Publish generation of this snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Transactions behind this snapshot.
+    pub fn num_transactions(&self) -> u64 {
+        self.plt.num_transactions()
+    }
+
+    /// Mining threshold of this snapshot.
+    pub fn min_support(&self) -> Support {
+        self.plt.min_support()
+    }
+
+    /// Number of indexed frequent itemsets.
+    pub fn num_itemsets(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Number of precomputed rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Support of an arbitrary itemset. Frequent itemsets hit the
+    /// canonical-vector index; everything else (including the empty set
+    /// and unranked items) is answered exactly by the oracle.
+    pub fn support(&self, items: &[Item]) -> SupportAnswer {
+        if let Some(key) = canonical_key(items, &self.plt) {
+            if let Some(&support) = self.index.get(&key) {
+                return SupportAnswer {
+                    support,
+                    frequent: true,
+                    source: SupportSource::Index,
+                };
+            }
+        }
+        let support = self.oracle.support(items, &self.plt);
+        SupportAnswer {
+            support,
+            frequent: support >= self.min_support() && !items.is_empty(),
+            source: SupportSource::Oracle,
+        }
+    }
+
+    /// The `k` highest-support frequent itemsets with at least
+    /// `min_size` items.
+    pub fn top_k(&self, k: usize, min_size: usize) -> Vec<(Itemset, Support)> {
+        self.ranked
+            .iter()
+            .filter(|(s, _)| s.len() >= min_size)
+            .take(k)
+            .cloned()
+            .collect()
+    }
+
+    /// Frequent one-item extensions of `items`: every `e` such that
+    /// `items ∪ {e}` is frequent, with that union's support,
+    /// support-descending, at most `k`. The empty basket extends to the
+    /// frequent single items.
+    pub fn extensions(&self, items: &[Item], k: usize) -> Vec<(Item, Support)> {
+        if items.is_empty() {
+            return self.roots.iter().take(k).copied().collect();
+        }
+        let Some(key) = canonical_key(items, &self.plt) else {
+            return Vec::new();
+        };
+        match self.extensions.get(&key) {
+            Some(exts) => exts.iter().take(k).copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Rule-backed recommendations for a basket: items whose rules fire
+    /// (antecedent ⊆ basket, consequent ∌ basket items), best rule per
+    /// item, sorted by confidence then lift. At most `k`.
+    pub fn recommend(&self, basket: &[Item], k: usize) -> Vec<Recommendation> {
+        let basket_set = Itemset::new(basket.to_vec());
+        let mut best: HashMap<Item, Recommendation> = HashMap::new();
+        for rule in &self.rules {
+            if !rule.antecedent.is_subset_of(&basket_set) {
+                continue;
+            }
+            for &item in rule.consequent.items() {
+                if basket_set.contains(item) {
+                    continue;
+                }
+                let candidate = Recommendation {
+                    item,
+                    confidence: rule.confidence,
+                    lift: rule.lift,
+                    support: rule.support,
+                    because: rule.antecedent.clone(),
+                };
+                match best.get(&item) {
+                    Some(cur)
+                        if (cur.confidence, cur.lift, cur.support)
+                            >= (candidate.confidence, candidate.lift, candidate.support) => {}
+                    _ => {
+                        best.insert(item, candidate);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Recommendation> = best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.lift.total_cmp(&a.lift))
+                .then(b.support.cmp(&a.support))
+                .then(a.item.cmp(&b.item))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Translate a rank sequence back into caller-facing items.
+    pub fn items_for_ranks(&self, ranks: &[u32]) -> Vec<Item> {
+        self.plt.ranking().items_for_ranks(ranks)
+    }
+
+    /// The underlying PLT (read-only).
+    pub fn plt(&self) -> &Plt {
+        &self.plt
+    }
+}
+
+/// The rank present in `superset_ranks` but missing from `sub` — the
+/// item dropped by one Lemma 4.1.3 step. `sub` has exactly one rank
+/// fewer than the superset.
+fn dropped_rank(superset_ranks: &[u32], sub: &PositionVector) -> u32 {
+    let sub_ranks = sub.ranks();
+    for (i, &r) in superset_ranks.iter().enumerate() {
+        if sub_ranks.get(i) != Some(&r) {
+            return r;
+        }
+    }
+    *superset_ranks.last().expect("superset is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plt_core::construct::{construct, ConstructOptions};
+    use plt_core::{ConditionalMiner, Miner};
+
+    /// Table 1 of the paper: A=0 … F=5.
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    fn snapshot(min_support: Support) -> Snapshot {
+        let db = table1();
+        let plt = construct(&db, min_support, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db, min_support);
+        Snapshot::build(1, plt, &result, RuleConfig::default())
+    }
+
+    #[test]
+    fn support_hits_index_for_frequent_sets() {
+        let snap = snapshot(2);
+        let a = snap.support(&[0, 1, 2]);
+        assert_eq!(a.support, 3);
+        assert!(a.frequent);
+        assert_eq!(a.source, SupportSource::Index);
+        // Order-free (canonical key).
+        assert_eq!(snap.support(&[2, 0, 1]).support, 3);
+    }
+
+    #[test]
+    fn support_falls_back_to_oracle() {
+        let snap = snapshot(2);
+        // {A,C,D} has support 1 < 2: infrequent, exact via oracle.
+        let a = snap.support(&[0, 2, 3]);
+        assert_eq!(a.support, 1);
+        assert!(!a.frequent);
+        assert_eq!(a.source, SupportSource::Oracle);
+        // Unknown item → 0.
+        assert_eq!(snap.support(&[99]).support, 0);
+        // Empty set → all transactions.
+        let e = snap.support(&[]);
+        assert_eq!(e.support, 6);
+        assert!(!e.frequent);
+    }
+
+    #[test]
+    fn top_k_is_support_descending() {
+        let snap = snapshot(2);
+        let top = snap.top_k(3, 1);
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        // B (item 1) and C (item 2) both appear in 5 transactions.
+        assert_eq!(top[0].1, 5);
+        // min_size filters.
+        let pairs = snap.top_k(100, 2);
+        assert!(pairs.iter().all(|(s, _)| s.len() >= 2));
+        assert!(pairs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn extensions_agree_with_mined_supersets() {
+        let snap = snapshot(2);
+        let exts = snap.extensions(&[0, 1], 10);
+        // {A,B} extends to C (support {A,B,C}=3) and D (support {A,B,D}=2).
+        assert_eq!(exts, vec![(2, 3), (3, 2)]);
+        // Empty basket: frequent single items.
+        let roots = snap.extensions(&[], 2);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].1, 5);
+        // Infrequent basket: nothing.
+        assert!(snap.extensions(&[0, 2, 3], 10).is_empty());
+    }
+
+    #[test]
+    fn extensions_cover_every_frequent_superset() {
+        let db = table1();
+        let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db, 2);
+        let snap = Snapshot::build(1, plt, &result, RuleConfig::default());
+        for (itemset, support) in result.iter() {
+            if itemset.len() < 2 {
+                continue;
+            }
+            // Dropping any item e: extensions(Z \ {e}) must list (e, support(Z)).
+            for &e in itemset.items() {
+                let without: Vec<Item> = itemset
+                    .items()
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != e)
+                    .collect();
+                let exts = snap.extensions(&without, usize::MAX);
+                assert!(
+                    exts.contains(&(e, support)),
+                    "extensions({without:?}) missing ({e}, {support})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recommendations_respect_basket() {
+        let snap = snapshot(2);
+        let recs = snap.recommend(&[0], 5);
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert_ne!(r.item, 0, "must not recommend what's in the basket");
+            assert!(r.confidence >= RuleConfig::default().min_confidence);
+        }
+        // Sorted by confidence descending.
+        assert!(recs.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn generation_and_sizes_are_reported() {
+        let snap = snapshot(2);
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.num_transactions(), 6);
+        assert_eq!(snap.min_support(), 2);
+        assert!(snap.num_itemsets() > 0);
+        assert!(snap.num_rules() > 0);
+    }
+}

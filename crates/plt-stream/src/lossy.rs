@@ -58,10 +58,7 @@ pub struct LossyCounter {
 impl LossyCounter {
     /// Creates a counter with error bound `epsilon ∈ (0, 1)`.
     pub fn new(epsilon: f64) -> LossyCounter {
-        assert!(
-            epsilon > 0.0 && epsilon < 1.0,
-            "epsilon must be in (0, 1)"
-        );
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         LossyCounter {
             epsilon,
             bucket_width: (1.0 / epsilon).ceil() as u64,

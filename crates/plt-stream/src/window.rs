@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn window_mining_equals_batch_mining() {
         let s = stream(120);
-        let mut w =
-            SlidingWindow::new(40, 5, RankPolicy::Lexicographic, &s[..40]).unwrap();
+        let mut w = SlidingWindow::new(40, 5, RankPolicy::Lexicographic, &s[..40]).unwrap();
         for (i, t) in s[40..].iter().enumerate() {
             w.push(t.clone()).unwrap();
             if i % 17 == 0 {

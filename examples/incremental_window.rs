@@ -26,7 +26,8 @@ fn main() {
     let ranking = ItemRanking::scan(&stream[..window], min_support, RankPolicy::Lexicographic);
     let mut plt = Plt::new(ranking.clone(), min_support).expect("valid support");
     for t in &stream[..window] {
-        plt.insert_transaction(t).expect("stream transactions are sets");
+        plt.insert_transaction(t)
+            .expect("stream transactions are sets");
     }
 
     let miner = ConditionalMiner::default();
@@ -44,7 +45,8 @@ fn main() {
             plt.remove_transaction(t).expect("was inserted");
         }
         for t in &stream[lo + window..lo + window + step] {
-            plt.insert_transaction(t).expect("stream transactions are sets");
+            plt.insert_transaction(t)
+                .expect("stream transactions are sets");
         }
         lo += step;
 

@@ -55,7 +55,13 @@ fn main() {
     }
 
     println!("\ntop rules by confidence (min 60%):");
-    for rule in top_rules(&result, RuleConfig { min_confidence: 0.6 }, 10) {
+    for rule in top_rules(
+        &result,
+        RuleConfig {
+            min_confidence: 0.6,
+        },
+        10,
+    ) {
         println!(
             "  {} => {}  conf={:.2} lift={:.2}",
             catalog.render(rule.antecedent.items()),

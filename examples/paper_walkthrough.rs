@@ -15,8 +15,14 @@ use plt_bench::figures;
 fn main() {
     println!("=== E-T1: Table 1 scan ===\n{}", figures::exp_t1());
     println!("=== E-F1: lexicographic tree ===\n{}", figures::exp_f1().1);
-    println!("=== E-F2: positional annotation ===\n{}", figures::exp_f2().1);
+    println!(
+        "=== E-F2: positional annotation ===\n{}",
+        figures::exp_f2().1
+    );
     println!("=== E-F3: the PLT ===\n{}", figures::exp_f3().1);
     println!("=== E-F4: after top-down ===\n{}", figures::exp_f4().1);
-    println!("=== E-F5: D's conditional database ===\n{}", figures::exp_f5().3);
+    println!(
+        "=== E-F5: D's conditional database ===\n{}",
+        figures::exp_f5().3
+    );
 }

@@ -52,5 +52,8 @@ fn main() {
         );
         threads *= 2;
     }
-    println!("\nresults identical across all runs: {} itemsets", sequential.len());
+    println!(
+        "\nresults identical across all runs: {} itemsets",
+        sequential.len()
+    );
 }

@@ -27,8 +27,8 @@ fn main() {
     let min_support = 2;
 
     // The structure itself: partitions of position vectors.
-    let plt = construct(&db, min_support, ConstructOptions::conditional())
-        .expect("well-formed database");
+    let plt =
+        construct(&db, min_support, ConstructOptions::conditional()).expect("well-formed database");
     println!("PLT for Table 1 (min_sup = {min_support}):");
     println!("{}", plt.render_matrices());
 
@@ -45,13 +45,16 @@ fn main() {
     }
 
     // Association rules at 70% confidence.
-    let mut rules = generate_rules(&conditional, RuleConfig { min_confidence: 0.7 });
+    let mut rules = generate_rules(
+        &conditional,
+        RuleConfig {
+            min_confidence: 0.7,
+        },
+    );
     sort_rules(&mut rules);
     println!("\nrules (confidence >= 0.7):");
     for rule in &rules {
-        let fmt = |s: &plt::Itemset| -> String {
-            s.items().iter().map(|&i| letter(i)).collect()
-        };
+        let fmt = |s: &plt::Itemset| -> String { s.items().iter().map(|&i| letter(i)).collect() };
         println!(
             "  {{{}}} => {{{}}}  conf={:.2} lift={:.2} sup={}",
             fmt(&rule.antecedent),

@@ -4,8 +4,8 @@
 //! and miners ([`core`]), data substrates ([`data`]), baseline miners
 //! ([`baselines`]), parallel mining ([`parallel`]), compressed storage
 //! ([`compress`]), association-rule generation ([`rules`]),
-//! closed/maximal mining ([`closed`]) and streaming maintenance
-//! ([`stream`]).
+//! closed/maximal mining ([`closed`]), streaming maintenance
+//! ([`stream`]) and the online query service ([`serve`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -17,6 +17,7 @@ pub use plt_core as core;
 pub use plt_data as data;
 pub use plt_parallel as parallel;
 pub use plt_rules as rules;
+pub use plt_serve as serve;
 pub use plt_stream as stream;
 
 pub use plt_core::{

@@ -8,15 +8,19 @@ use plt::baselines::{
     AisMiner, DicMiner, EclatMiner, FpGrowthMiner, HMineMiner, PartitionMiner, SamplingMiner,
 };
 use plt::core::miner::Miner;
-use plt::data::{BasketConfig, BasketGenerator, DenseConfig, DenseGenerator, QuestConfig, QuestGenerator};
-use plt::parallel::{ParallelEclatMiner, ParallelPltMiner};
 use plt::core::HybridMiner;
+use plt::data::{
+    BasketConfig, BasketGenerator, DenseConfig, DenseGenerator, QuestConfig, QuestGenerator,
+};
+use plt::parallel::{ParallelEclatMiner, ParallelPltMiner};
 use plt::{ConditionalMiner, RankPolicy, TopDownMiner};
 
 fn all_miners() -> Vec<Box<dyn Miner>> {
     vec![
         Box::new(ConditionalMiner::default()),
-        Box::new(ConditionalMiner::with_policy(RankPolicy::FrequencyDescending)),
+        Box::new(ConditionalMiner::with_policy(
+            RankPolicy::FrequencyDescending,
+        )),
         Box::new(TopDownMiner::default()),
         Box::new(HybridMiner::default()),
         Box::new(HybridMiner {

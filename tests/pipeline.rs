@@ -20,7 +20,12 @@ fn rules_are_verifiable_against_raw_scans() {
     let db = generator.generate();
     let min_support = db.absolute_support(0.03);
     let result = ConditionalMiner::default().mine(db.transactions(), min_support);
-    let rules = generate_rules(&result, RuleConfig { min_confidence: 0.6 });
+    let rules = generate_rules(
+        &result,
+        RuleConfig {
+            min_confidence: 0.6,
+        },
+    );
     assert!(!rules.is_empty(), "basket data must induce rules");
     for rule in rules.iter().take(50) {
         let union = rule.antecedent.union(&rule.consequent);
@@ -111,8 +116,7 @@ fn closed_and_maximal_reconstruct_the_frequency_family() {
 
 #[test]
 fn mining_results_match_raw_scans_on_a_sample() {
-    let db = QuestGenerator::new(QuestConfig::t5i2(700))
-        .generate();
+    let db = QuestGenerator::new(QuestConfig::t5i2(700)).generate();
     let tdb = TransactionDb::from_sorted(db.transactions().to_vec());
     let min_support = 10;
     let result = ConditionalMiner::default().mine(db.transactions(), min_support);

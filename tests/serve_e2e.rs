@@ -1,0 +1,207 @@
+//! End-to-end exercise of the serving stack: mine a dataset, stand up a
+//! TCP server on an ephemeral port, and drive it through the client —
+//! cross-checking every wire answer against the miner's result, and the
+//! ingest path against a re-mine of the grown window.
+
+use plt::core::miner::Miner;
+use plt::data::{BasketConfig, BasketGenerator};
+use plt::serve::{bootstrap, serve, BuilderConfig, Client, Request, ServerConfig};
+use plt::ConditionalMiner;
+
+/// Start a server over `warmup` and return (handle, builder).
+fn start(
+    warmup: &[Vec<u32>],
+    min_support: u64,
+) -> (plt::serve::ServerHandle, plt::serve::BuilderHandle) {
+    let config = BuilderConfig {
+        window_capacity: warmup.len() * 4,
+        min_support,
+        ..BuilderConfig::default()
+    };
+    let (engine, builder) = bootstrap(warmup, config).expect("bootstrap");
+    let handle = serve(
+        "127.0.0.1:0",
+        engine,
+        Some(builder.queue()),
+        ServerConfig { acceptors: 2 },
+    )
+    .expect("bind ephemeral port");
+    (handle, builder)
+}
+
+#[test]
+fn wire_answers_match_the_miner() {
+    let db = BasketGenerator::new(BasketConfig {
+        num_baskets: 400,
+        ..Default::default()
+    })
+    .generate();
+    let min_support = db.absolute_support(0.05);
+    let truth = ConditionalMiner::default().mine(db.transactions(), min_support);
+    assert!(!truth.is_empty(), "dataset must have frequent itemsets");
+
+    let (handle, builder) = start(db.transactions(), min_support);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Every mined itemset's support is served exactly, from the index.
+    for (itemset, support) in truth.iter() {
+        let reply = client.support(itemset.items()).expect("support query");
+        assert_eq!(reply.support, support, "support({itemset})");
+        assert!(reply.frequent, "frequent({itemset})");
+        assert_eq!(reply.source, "index", "source({itemset})");
+    }
+
+    // Top-k agrees with the miner's ranking by support.
+    let top = client.top_k(10, 1).expect("top_k");
+    assert!(!top.is_empty());
+    assert!(
+        top.windows(2).all(|w| w[0].1 >= w[1].1),
+        "sorted by support"
+    );
+    for (items, support) in &top {
+        assert_eq!(truth.support(items), Some(*support), "top_k {items:?}");
+    }
+
+    // Recommendations name items outside the basket and carry
+    // confidences achievable from mined supports.
+    let basket = top[0].0.clone();
+    if let Ok(recs) = client.recommend(&basket, 5) {
+        for (item, confidence) in recs {
+            assert!(!basket.contains(&item));
+            assert!((0.0..=1.0).contains(&confidence));
+        }
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    builder.stop();
+}
+
+#[test]
+fn cache_hits_show_up_in_stats() {
+    let warmup = vec![
+        vec![1, 2, 3],
+        vec![1, 2, 3],
+        vec![1, 2],
+        vec![2, 3],
+        vec![1, 3],
+    ];
+    let (handle, builder) = start(&warmup, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Same query three times: one miss, then hits.
+    for _ in 0..3 {
+        client.support(&[1, 2]).expect("support");
+    }
+    let stats = client.stats().expect("stats");
+    let endpoints = stats
+        .get("endpoints")
+        .and_then(|v| v.as_arr())
+        .expect("endpoints array");
+    let support = endpoints
+        .iter()
+        .find(|e| e.get("endpoint").and_then(|v| v.as_str()) == Some("support"))
+        .expect("support endpoint row");
+    let hits = support.get("cache_hits").and_then(|v| v.as_u64()).unwrap();
+    let misses = support
+        .get("cache_misses")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(misses, 1, "first query misses");
+    assert_eq!(hits, 2, "repeats hit the cache");
+    assert!(
+        support.get("p50_us").and_then(|v| v.as_u64()).is_some(),
+        "latency quantiles populated"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    builder.stop();
+}
+
+#[test]
+fn ingest_republishes_and_answers_reflect_the_new_window() {
+    let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3]];
+    let (handle, builder) = start(&warmup, 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let g0 = client.ping().expect("ping");
+    assert_eq!(g0, 1);
+    // Item 3 is infrequent in the warmup (1 < min_support), so it holds
+    // no rank in generation 1 and the service reports 0 for it.
+    let before = client.support(&[1, 3]).unwrap();
+    assert_eq!(before.support, 0);
+    assert!(!before.frequent);
+
+    // Stream two more {1,3} transactions and wait for the publish.
+    let g1 = client
+        .ingest(vec![vec![1, 3], vec![1, 3]], true)
+        .expect("ingest")
+        .expect("generation in wait mode");
+    assert!(g1 > g0);
+
+    // The served answers now reflect the grown window...
+    assert_eq!(client.support(&[1, 3]).unwrap().support, 3);
+    // ...and match an offline re-mine of the same transactions.
+    let mut grown = warmup.clone();
+    grown.push(vec![1, 3]);
+    grown.push(vec![1, 3]);
+    let truth = ConditionalMiner::default().mine(&grown, 2);
+    for (itemset, support) in truth.iter() {
+        let reply = client.support(itemset.items()).expect("support");
+        assert_eq!(reply.support, support, "{itemset}");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    builder.stop();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let warmup: Vec<Vec<u32>> = (0..50).map(|i| vec![1, 2, 3 + (i % 3) as u32]).collect();
+    let (handle, builder) = start(&warmup, 2);
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..25 {
+                    let reply = client.support(&[1, 2]).expect("support");
+                    assert_eq!(reply.support, 50);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+    builder.stop();
+}
+
+#[test]
+fn malformed_requests_get_protocol_errors() {
+    let (handle, builder) = start(&[vec![1, 2], vec![1, 2]], 2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Unknown op is a server-reported error, not a dropped connection;
+    // the same connection keeps working afterwards.
+    let err = client.request_raw(r#"{"op":"warp"}"#).unwrap_err();
+    assert!(err.to_string().contains("warp"), "{err}");
+    assert_eq!(client.ping().expect("connection still usable"), 1);
+
+    // `Request` round-trips still work via the raw path.
+    let v = client
+        .request_raw(&Request::Support { items: vec![1] }.to_json().to_string())
+        .expect("raw support");
+    assert_eq!(v.get("support").and_then(|s| s.as_u64()), Some(2));
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    builder.stop();
+}

@@ -76,6 +76,10 @@ fn pltc_file_drives_the_support_oracle() {
     // the original for a spread of queries.
     let result = ConditionalMiner::default().mine(&db, 6);
     for (itemset, support) in result.iter().take(100) {
-        assert_eq!(oracle.support(itemset.items(), &reloaded), support, "{itemset}");
+        assert_eq!(
+            oracle.support(itemset.items(), &reloaded),
+            support,
+            "{itemset}"
+        );
     }
 }

@@ -1,0 +1,173 @@
+//! Offline shim for the subset of `bytes` 1.x this workspace uses:
+//! [`Buf`] over byte slices, [`BufMut`] over `Vec<u8>`, and the
+//! cheaply-cloneable immutable [`Bytes`] buffer.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "buffer exhausted");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Append-only write cursor.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, b: u8) {
+        (**self).put_u8(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+/// Immutable reference-counted byte buffer. Clones share the allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_buf_reads_in_order() {
+        let mut buf: &[u8] = &[1, 2, 3];
+        assert_eq!(buf.remaining(), 3);
+        assert_eq!(buf.get_u8(), 1);
+        assert_eq!(buf.get_u8(), 2);
+        assert!(buf.has_remaining());
+        assert_eq!(buf.get_u8(), 3);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn reading_past_end_panics() {
+        let mut buf: &[u8] = &[];
+        buf.get_u8();
+    }
+
+    #[test]
+    fn vec_bufmut_appends() {
+        let mut out = Vec::new();
+        out.put_u8(9);
+        out.put_slice(&[7, 8]);
+        assert_eq!(out, vec![9, 7, 8]);
+    }
+
+    #[test]
+    fn bytes_shares_and_derefs() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(Bytes::copy_from_slice(&b), b);
+    }
+}

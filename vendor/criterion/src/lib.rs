@@ -1,0 +1,283 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Measures wall-clock time (median of `sample_size` samples after a short
+//! warm-up) and prints one line per benchmark. Statistical analysis,
+//! plotting, and baseline comparison are out of scope. The harness CLI
+//! flags cargo passes (`--bench`, `--test`, filters) are accepted; in
+//! `--test` mode each benchmark runs exactly one iteration so
+//! `cargo test --benches` stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (recorded, reported
+/// alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing hook handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run per sample.
+    iters: u64,
+    /// Total measured duration, accumulated by [`iter`](Self::iter).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Run mode, decided from the harness CLI arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test --benches`).
+    Test,
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                "--exact" | "--skip" => {
+                    args.next();
+                }
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (already done in `default`; kept for API
+    /// compatibility).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let group_name = name.to_string();
+        self.run_one(&group_name, None, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, group: &str, id: Option<&str>, mut f: F) {
+        let full = match id {
+            Some(id) => format!("{group}/{id}"),
+            None => group.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::Test => {
+                let mut b = Bencher {
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                println!("bench-test {full}: ok");
+            }
+            Mode::Bench => {
+                let samples = self.default_sample_size;
+                // Warm-up plus iteration-count calibration: aim for samples
+                // that take at least ~1ms or one iteration, whichever is
+                // larger.
+                let mut b = Bencher {
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                let per_iter = b.elapsed.max(Duration::from_nanos(1));
+                let iters = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos())
+                    .clamp(1, 1_000_000) as u64;
+                let mut times: Vec<Duration> = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let mut b = Bencher {
+                        iters,
+                        elapsed: Duration::ZERO,
+                    };
+                    f(&mut b);
+                    times.push(b.elapsed / iters as u32);
+                }
+                times.sort();
+                let median = times[times.len() / 2];
+                let best = times[0];
+                println!(
+                    "bench {full}: median {median:?}, fastest {best:?} ({samples} samples x {iters} iters)"
+                );
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let runner = Criterion {
+            mode: self.criterion.mode,
+            filter: self.criterion.filter.clone(),
+            default_sample_size: self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        };
+        runner.run_one(&self.name, Some(&id.id), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a parameterless closure under `id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let runner = Criterion {
+            mode: self.criterion.mode,
+            filter: self.criterion.filter.clone(),
+            default_sample_size: self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        };
+        runner.run_one(&self.name, Some(&id.id), |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("eclat").id, "eclat");
+    }
+}

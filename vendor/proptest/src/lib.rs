@@ -1,0 +1,242 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! Supports the `proptest!` macro (with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! `prop_assert!`/`prop_assert_eq!`, numeric-range strategies,
+//! `any::<T>()`, and `collection::{vec, btree_set}`.
+//!
+//! Differences from the real crate: inputs are generated from a
+//! deterministic per-test seed, and failing cases are reported (values
+//! included in the assertion message) but **not shrunk**.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Defines property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($body:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($body)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($body:tt)*
+    ) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $($body)*
+        );
+    };
+    (
+        @impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                // Deterministic per-test seed so failures reproduce.
+                let seed = $crate::test_runner::fnv1a(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}",
+                                case + 1,
+                                config.cases,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 0usize..5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn collections_respect_size_and_domain(
+            v in crate::collection::vec(0u32..10, 2..6),
+            s in crate::collection::btree_set(1u32..100, 1..8),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!((1..8).contains(&s.len()));
+            prop_assert!(s.iter().all(|&x| (1..100).contains(&x)));
+        }
+
+        #[test]
+        fn nested_collections(db in crate::collection::vec(
+            crate::collection::btree_set(0u32..14, 1..7),
+            1..40,
+        )) {
+            prop_assert!((1..40).contains(&db.len()));
+            for t in &db {
+                prop_assert!((1..7).contains(&t.len()));
+            }
+        }
+
+        #[test]
+        fn any_generates_varied_values(x in any::<u64>(), b in any::<bool>()) {
+            // Smoke: the values exist and the bool is a bool.
+            prop_assert!(u8::from(b) <= 1);
+            let _ = x;
+        }
+
+        #[test]
+        fn tuple_patterns_bind(xs in crate::collection::vec(1u64..5, 1..4)) {
+            let set: BTreeSet<u64> = xs.iter().copied().collect();
+            prop_assert!(set.len() <= xs.len());
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            // No `#[test]` on the inner fn: it is called directly below
+            // (a `#[test]` here would be unnameable inside the closure).
+            proptest! {
+                fn always_fails(x in 0u32..10) {
+                    prop_assert_eq!(x, 999);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("proptest case"), "{msg}");
+        assert!(msg.contains("999"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn collect_values() -> Vec<u64> {
+            let seed = crate::test_runner::fnv1a("determinism-probe");
+            (0..8)
+                .map(|case| {
+                    let mut rng = crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    Strategy::generate(&(0u64..1_000_000), &mut rng)
+                })
+                .collect()
+        }
+        assert_eq!(collect_values(), collect_values());
+    }
+}

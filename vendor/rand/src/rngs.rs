@@ -1,0 +1,56 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — small, fast, and far better distributed than the
+/// workloads here need. Matches the role (not the bit stream) of
+/// `rand::rngs::SmallRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        // All-zero state would be a fixed point; splitmix64 cannot produce
+        // four zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias — the workspace only ever asks for a deterministic seeded
+/// generator, so the "standard" generator is the same engine.
+pub type StdRng = SmallRng;

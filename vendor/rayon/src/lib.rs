@@ -1,0 +1,421 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! Work really is executed in parallel: terminal operations split the
+//! (materialised) input into `current_num_threads()` contiguous chunks and
+//! run them on `std::thread::scope` threads. That covers the shapes used
+//! here — chunked folds, `map`/`collect`, `map`/`reduce` — without a
+//! work-stealing scheduler. Nested parallelism inside a worker runs
+//! sequentially (the pool size is a thread-local).
+
+// The identity-function type parameters (`fn(T) -> T`) that stand in for
+// rayon's adapter chain read as "complex types" to clippy; they are the
+// simplest spelling this shim has.
+#![allow(clippy::type_complexity)]
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads terminal operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|p| p.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Pool-construction error (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fixes the worker count (0 = one per core, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool": in this shim, a parallelism level installed for the duration
+/// of a closure rather than a set of persistent workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's parallelism level active.
+    pub fn install<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
+        let prev = POOL_THREADS.with(|p| p.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The installed worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Splits `items` into at most `current_num_threads()` contiguous chunks
+/// and maps each chunk on its own scoped thread, preserving chunk order.
+fn run_chunked<I, T, F>(mut items: Vec<I>, per_chunk: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(Vec<I>) -> T + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || items.len() == 1 {
+        return vec![per_chunk(items)];
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk_len));
+        chunks.push(tail);
+    }
+    chunks.reverse(); // split_off peeled from the back; restore input order
+    let f = &per_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// A materialised parallel iterator: the single concrete pipeline type.
+///
+/// `map` composes lazily per element; terminal operations fan chunks out
+/// across threads.
+pub struct ParallelIterator<I, F> {
+    items: Vec<I>,
+    map: F,
+}
+
+impl<I: Send> ParallelIterator<I, fn(I) -> I> {
+    fn new(items: Vec<I>) -> Self {
+        ParallelIterator {
+            items,
+            map: std::convert::identity,
+        }
+    }
+}
+
+impl<I, O, F> ParallelIterator<I, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Applies `g` to every element.
+    pub fn map<P, G>(self, g: G) -> ParallelIterator<I, impl Fn(I) -> P + Sync>
+    where
+        G: Fn(O) -> P + Sync,
+        P: Send,
+    {
+        let f = self.map;
+        ParallelIterator {
+            items: self.items,
+            map: move |x| g(f(x)),
+        }
+    }
+
+    /// Runs the pipeline and collects outputs in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let f = &self.map;
+        run_chunked(self.items, |chunk| {
+            chunk.into_iter().map(f).collect::<Vec<O>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Folds each chunk from `identity()`, yielding the per-chunk
+    /// accumulators as a new parallel iterator (as in rayon).
+    pub fn fold<T, ID, G>(self, identity: ID, fold_op: G) -> ParallelIterator<T, fn(T) -> T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        G: Fn(T, O) -> T + Sync,
+    {
+        let f = &self.map;
+        let partials = run_chunked(self.items, |chunk| {
+            chunk.into_iter().map(f).fold(identity(), &fold_op)
+        });
+        ParallelIterator::new(partials)
+    }
+
+    /// Reduces all outputs with `op`, starting each chunk from
+    /// `identity()`.
+    pub fn reduce<ID, G>(self, identity: ID, op: G) -> O
+    where
+        ID: Fn() -> O + Sync,
+        G: Fn(O, O) -> O + Sync,
+    {
+        let f = &self.map;
+        let op_ref = &op;
+        run_chunked(self.items, |chunk| {
+            chunk.into_iter().map(f).fold(identity(), op_ref)
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+
+    /// Sums all outputs.
+    pub fn sum<S>(self) -> S
+    where
+        O: Into<S>,
+        S: std::iter::Sum<O> + Send + std::iter::Sum<S>,
+    {
+        let f = &self.map;
+        run_chunked(self.items, |chunk| chunk.into_iter().map(f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Runs the pipeline for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(O) + Sync,
+    {
+        let f = &self.map;
+        run_chunked(self.items, |chunk| chunk.into_iter().map(f).for_each(&g));
+    }
+}
+
+impl<I, T, E, F> ParallelIterator<I, F>
+where
+    I: Send,
+    T: Send,
+    E: Send,
+    F: Fn(I) -> Result<T, E> + Sync,
+{
+    /// Fallible [`reduce`](Self::reduce): short-circuits within each chunk
+    /// on the first `Err`.
+    pub fn try_reduce<ID, G>(self, identity: ID, op: G) -> Result<T, E>
+    where
+        ID: Fn() -> T + Sync,
+        G: Fn(T, T) -> Result<T, E> + Sync,
+    {
+        let f = &self.map;
+        let op_ref = &op;
+        let partials = run_chunked(self.items, |chunk| -> Result<T, E> {
+            let mut acc = identity();
+            for item in chunk {
+                acc = op_ref(acc, f(item)?)?;
+            }
+            Ok(acc)
+        });
+        let mut acc = identity();
+        for partial in partials {
+            acc = op(acc, partial?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParallelIterator<Self::Item, fn(Self::Item) -> Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParallelIterator<T, fn(T) -> T> {
+        ParallelIterator::new(self)
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParallelIterator<$t, fn($t) -> $t> {
+                ParallelIterator::new(self.collect())
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParallelIterator<$t, fn($t) -> $t> {
+                ParallelIterator::new(self.collect())
+            }
+        }
+    )*};
+}
+range_into_par!(u8, u16, u32, u64, usize, i32, i64);
+
+/// `par_iter()` for shared slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParallelIterator<Self::Item, fn(Self::Item) -> Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParallelIterator<&'a T, fn(&'a T) -> &'a T> {
+        ParallelIterator::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParallelIterator<&'a T, fn(&'a T) -> &'a T> {
+        ParallelIterator::new(self.iter().collect())
+    }
+}
+
+/// `par_chunks()` for slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous sub-slices of length `size`.
+    fn par_chunks<'a>(&'a self, size: usize) -> ParallelIterator<&'a [T], fn(&'a [T]) -> &'a [T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks<'a>(&'a self, size: usize) -> ParallelIterator<&'a [T], fn(&'a [T]) -> &'a [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParallelIterator::new(self.chunks(size).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let data: Vec<u64> = (1..=1_000).collect();
+        let total = data
+            .par_chunks(64)
+            .fold(|| 0u64, |acc, chunk| acc + chunk.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn try_reduce_propagates_errors() {
+        let ok: Result<u64, String> = (1u64..=100)
+            .into_par_iter()
+            .map(Ok)
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(ok, Ok(5_050));
+
+        let err: Result<u64, String> = (1u64..=100)
+            .into_par_iter()
+            .map(|x| {
+                if x == 37 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(err, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = pool.install(|| {
+            ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap()
+                .install(current_num_threads)
+        });
+        assert_eq!(nested, 1);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0u64..64).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+}
