@@ -1,0 +1,40 @@
+//! X12 — conditional-engine comparison: the legacy map layout vs the
+//! flat arena layout, sequential and parallel, across the three workload
+//! shapes (sparse Quest, dense, power-law). The PLT is constructed once
+//! per workload — construction is engine-independent — so the groups
+//! measure the mining engines alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::{CondEngine, ConditionalMiner};
+use plt_parallel::ParallelPltMiner;
+
+fn bench(c: &mut Criterion) {
+    let workloads: Vec<(&str, Vec<Vec<u32>>, u64)> = vec![
+        ("sparse", datasets::sparse(2_000), 20),
+        ("dense", datasets::dense(600, 16), 180),
+        ("zipf", datasets::zipf(2_000, 1.1), 20),
+    ];
+    for (name, db, min_sup) in &workloads {
+        let plt = construct(db, *min_sup, ConstructOptions::conditional()).unwrap();
+        let mut group = c.benchmark_group(format!("x12/{name}"));
+        group.sample_size(10);
+        let engines = [("map", CondEngine::Map), ("arena", CondEngine::Arena)];
+        for (label, engine) in engines {
+            let miner = ConditionalMiner::with_engine(engine);
+            group.bench_with_input(BenchmarkId::new("seq", label), &plt, |b, plt| {
+                b.iter(|| miner.mine_plt(plt))
+            });
+            let par = ParallelPltMiner::with_engine(engine);
+            group.bench_with_input(BenchmarkId::new("par", label), &plt, |b, plt| {
+                b.iter(|| par.mine_plt(plt))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,11 +2,12 @@
 //! experiment as evaluation-section-style tables.
 //!
 //! ```text
-//! experiments [--exp <id>[,<id>…]] [--full]
+//! experiments [--exp <id>[,<id>…]] [--full] [--json-out <path>]
 //!
-//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 paper all
+//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x12 paper all
 //!        (default: paper — the exhibits that come straight from the text)
 //!   --full: evaluation-scale workloads instead of the quick ones
+//!   --json-out: also write x12's machine-readable record to this path
 //! ```
 
 use std::io::Write;
@@ -18,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
+    let mut json_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,6 +29,13 @@ fn main() {
                 ids.extend(list.split(',').map(str::to_owned));
             }
             "--full" => scale = Scale::Full,
+            "--json-out" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing --json-out value"));
+                json_out = Some(path.clone());
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -47,7 +56,7 @@ fn main() {
             "all" => expanded.extend(
                 [
                     "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6", "x7",
-                    "x8", "x9", "x10",
+                    "x8", "x9", "x10", "x12",
                 ]
                 .map(str::to_owned),
             ),
@@ -56,7 +65,7 @@ fn main() {
     }
 
     for id in expanded {
-        run_one(&mut out, &id, scale);
+        run_one(&mut out, &id, scale, json_out.as_deref());
     }
 }
 
@@ -64,11 +73,14 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: experiments [--exp t1|f1..f5|x1..x9|paper|all[,..]] [--full]");
+    eprintln!(
+        "usage: experiments [--exp t1|f1..f5|x1..x10|x12|paper|all[,..]] [--full] \
+         [--json-out <path>]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-fn run_one(out: &mut impl Write, id: &str, scale: Scale) {
+fn run_one(out: &mut impl Write, id: &str, scale: Scale, json_out: Option<&str>) {
     match id {
         "t1" => {
             writeln!(out, "--- E-T1 (paper Table 1 scan) ---").unwrap();
@@ -104,6 +116,15 @@ fn run_one(out: &mut impl Write, id: &str, scale: Scale) {
         "x8" => writeln!(out, "{}", experiments::x8_construction(scale)).unwrap(),
         "x9" => writeln!(out, "{}", experiments::x9_rank_policy(scale)).unwrap(),
         "x10" => writeln!(out, "{}", experiments::x10_zipf_sweep(scale)).unwrap(),
+        "x12" => {
+            let cells = experiments::x12_engine_cells(scale);
+            writeln!(out, "{}", experiments::x12_table(&cells)).unwrap();
+            if let Some(path) = json_out {
+                let json = experiments::x12_json(&cells, scale);
+                std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+                writeln!(out, "wrote {path}").unwrap();
+            }
+        }
         other => usage(&format!("unknown experiment {other:?}")),
     }
 }

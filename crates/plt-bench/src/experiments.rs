@@ -19,7 +19,7 @@ use plt_core::posvec::PositionVector;
 use plt_core::ranking::{ItemRanking, RankPolicy};
 use plt_core::subset::{NaiveChecker, SubsetChecker};
 use plt_core::topdown::{all_subset_supports, all_subset_supports_naive};
-use plt_core::{ConditionalMiner, HybridMiner, TopDownMiner};
+use plt_core::{CondEngine, ConditionalMiner, HybridMiner, TopDownMiner};
 use plt_data::vertical::VerticalDb;
 use plt_data::TransactionDb;
 use plt_parallel::{par_construct, run_with_threads, ParallelEclatMiner, ParallelPltMiner};
@@ -545,6 +545,163 @@ pub fn x9_rank_policy(scale: Scale) -> Table {
     table
 }
 
+/// One X12 measurement: both conditional-mining engines over a dataset
+/// cell, sequential and parallel.
+#[derive(Debug, Clone)]
+pub struct EngineCell {
+    /// Dataset label, e.g. `DENSE16.D600`.
+    pub dataset: String,
+    /// Absolute minimum support used.
+    pub min_sup: Support,
+    /// Number of frequent itemsets (identical across engines — asserted).
+    pub itemsets: usize,
+    /// Sequential map-engine wall time.
+    pub map_secs: f64,
+    /// Sequential arena-engine wall time.
+    pub arena_secs: f64,
+    /// Parallel map-engine wall time.
+    pub par_map_secs: f64,
+    /// Parallel arena-engine wall time.
+    pub par_arena_secs: f64,
+}
+
+impl EngineCell {
+    /// Sequential speedup of arena over map.
+    pub fn speedup(&self) -> f64 {
+        self.map_secs / self.arena_secs
+    }
+}
+
+/// X12 — conditional-engine comparison: the legacy map layout vs the flat
+/// arena layout, on sparse, dense, and power-law data. Raw cells; see
+/// [`x12_engine_compare`] for the rendered table and [`x12_json`] for the
+/// machine-readable record.
+pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
+    let runs = scale.runs().max(2);
+    let mut workloads: Vec<(String, Vec<Vec<Item>>, Support)> = Vec::new();
+    {
+        let n = scale.pick(2_000, 10_000);
+        let db = datasets::sparse(n);
+        for rel in [0.01, 0.005] {
+            let ms = ((rel * n as f64).ceil() as Support).max(1);
+            workloads.push((format!("T10.I4.D{n}@{:.1}%", rel * 100.0), db.clone(), ms));
+        }
+    }
+    {
+        let n = scale.pick(600, 3_000);
+        let db = datasets::dense(n, 16);
+        for rel in [0.5, 0.3] {
+            let ms = ((rel * n as f64).ceil() as Support).max(1);
+            workloads.push((format!("DENSE16.D{n}@{:.0}%", rel * 100.0), db.clone(), ms));
+        }
+    }
+    {
+        let n = scale.pick(2_000, 10_000);
+        let db = datasets::zipf(n, 1.1);
+        let ms = ((0.01 * n as f64).ceil() as Support).max(1);
+        workloads.push((format!("ZIPF1.1.D{n}@1.0%"), db, ms));
+    }
+
+    let mut cells = Vec::new();
+    for (dataset, db, min_sup) in workloads {
+        // Construct once and time `mine_plt` so the cells isolate the
+        // engines — construction is byte-identical either way.
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        let map_miner = ConditionalMiner::with_engine(CondEngine::Map);
+        let arena_miner = ConditionalMiner::default();
+        let par_map = ParallelPltMiner::with_engine(CondEngine::Map);
+        let par_arena = ParallelPltMiner::default();
+        let (map_result, t_map) = time_best(runs, || map_miner.mine_plt(&plt));
+        let (arena_result, t_arena) = time_best(runs, || arena_miner.mine_plt(&plt));
+        assert_eq!(
+            map_result.sorted(),
+            arena_result.sorted(),
+            "engines disagree on {dataset}"
+        );
+        let (pm_result, t_par_map) = time_best(runs, || par_map.mine_plt(&plt));
+        let (pa_result, t_par_arena) = time_best(runs, || par_arena.mine_plt(&plt));
+        assert_eq!(pm_result.len(), map_result.len(), "parallel map |F|");
+        assert_eq!(pa_result.len(), map_result.len(), "parallel arena |F|");
+        cells.push(EngineCell {
+            dataset,
+            min_sup,
+            itemsets: map_result.len(),
+            map_secs: t_map.as_secs_f64(),
+            arena_secs: t_arena.as_secs_f64(),
+            par_map_secs: t_par_map.as_secs_f64(),
+            par_arena_secs: t_par_arena.as_secs_f64(),
+        });
+    }
+    cells
+}
+
+/// X12 rendered as a table.
+pub fn x12_table(cells: &[EngineCell]) -> Table {
+    let mut table = Table::new(
+        "X12: conditional engine, map vs arena",
+        &[
+            "dataset",
+            "|F|",
+            "map",
+            "arena",
+            "speedup",
+            "par map",
+            "par arena",
+        ],
+    );
+    for c in cells {
+        table.row(vec![
+            c.dataset.clone(),
+            c.itemsets.to_string(),
+            fmt_duration(Duration::from_secs_f64(c.map_secs)),
+            fmt_duration(Duration::from_secs_f64(c.arena_secs)),
+            format!("{:.2}x", c.speedup()),
+            fmt_duration(Duration::from_secs_f64(c.par_map_secs)),
+            fmt_duration(Duration::from_secs_f64(c.par_arena_secs)),
+        ]);
+    }
+    table
+}
+
+/// X12 — conditional-engine comparison (table form, for the binary).
+pub fn x12_engine_compare(scale: Scale) -> Table {
+    x12_table(&x12_engine_cells(scale))
+}
+
+/// Machine-readable record of an X12 run (the committed
+/// `BENCH_conditional.json`). Hand-rolled JSON — the workspace is
+/// dependency-free by design.
+pub fn x12_json(cells: &[EngineCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x12_engine_compare\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"min_sup\": {}, \"itemsets\": {}, \
+             \"map_secs\": {:.6}, \"arena_secs\": {:.6}, \"speedup\": {:.3}, \
+             \"par_map_secs\": {:.6}, \"par_arena_secs\": {:.6}}}{}\n",
+            c.dataset,
+            c.min_sup,
+            c.itemsets,
+            c.map_secs,
+            c.arena_secs,
+            c.speedup(),
+            c.par_map_secs,
+            c.par_arena_secs,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +751,20 @@ mod tests {
     fn x8_structures_build() {
         let t = x8_construction(Scale::Quick);
         assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn x12_engines_agree_and_emit_json() {
+        let cells = x12_engine_cells(Scale::Quick);
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(c.itemsets > 0, "empty family on {}", c.dataset);
+            assert!(c.map_secs > 0.0 && c.arena_secs > 0.0);
+        }
+        let json = x12_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x12_engine_compare\""));
+        assert_eq!(json.matches("\"dataset\"").count(), 5);
+        assert_eq!(x12_table(&cells).num_rows(), 5);
     }
 
     #[test]

@@ -59,6 +59,28 @@ impl Algo {
     }
 }
 
+/// Working-set layout for the PLT conditional miners (`conditional` and
+/// `parallel` algorithms; ignored by the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Flat arena layout: contiguous buffers, zero steady-state
+    /// allocations — the default.
+    #[default]
+    Arena,
+    /// The original map-of-hash-maps layout, kept for differential runs.
+    Map,
+}
+
+impl Engine {
+    fn from_str(s: &str) -> Option<Engine> {
+        Some(match s {
+            "arena" => Engine::Arena,
+            "map" => Engine::Map,
+            _ => return None,
+        })
+    }
+}
+
 /// Condensation applied to `mine` output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Condense {
@@ -112,6 +134,8 @@ pub enum Command {
         min_sup: MinSup,
         /// Algorithm choice.
         algo: Algo,
+        /// Conditional-mining engine (PLT algorithms only).
+        engine: Engine,
         /// Condensation filter.
         condense: Condense,
         /// Print at most this many itemsets.
@@ -225,7 +249,7 @@ usage:
   plt-mine mine  --input <file.dat> --min-sup <frac|count>
                  [--algo conditional|topdown|parallel|apriori|fp-growth|
                   eclat|declat|h-mine|ais|partition|dic]
-                 [--closed | --maximal] [--limit N]
+                 [--engine arena|map] [--closed | --maximal] [--limit N]
   plt-mine rules --input <file.dat> --min-sup <frac|count> --min-conf <frac>
                  [--top N]
   plt-mine stats --input <file.dat>
@@ -306,6 +330,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     match sub.as_str() {
         "mine" => {
             let (mut input, mut min_sup, mut algo) = (None, None, Algo::default());
+            let mut engine = Engine::default();
             let mut condense = Condense::default();
             let mut limit = None;
             while let Some(flag) = cur.next_flag() {
@@ -316,6 +341,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         let v = cur.value(flag)?;
                         algo = Algo::from_str(v)
                             .ok_or_else(|| ParseError(format!("unknown algorithm {v:?}")))?;
+                    }
+                    "--engine" => {
+                        let v = cur.value(flag)?;
+                        engine = Engine::from_str(v)
+                            .ok_or_else(|| ParseError(format!("unknown engine {v:?}")))?;
                     }
                     "--closed" => condense = Condense::Closed,
                     "--maximal" => condense = Condense::Maximal,
@@ -332,6 +362,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 input: input.ok_or(ParseError("mine requires --input".into()))?,
                 min_sup: min_sup.ok_or(ParseError("mine requires --min-sup".into()))?,
                 algo,
+                engine,
                 condense,
                 limit,
             })
@@ -584,10 +615,41 @@ mod tests {
                 input: "x.dat".into(),
                 min_sup: MinSup::Relative(0.01),
                 algo: Algo::Conditional,
+                engine: Engine::Arena,
                 condense: Condense::All,
                 limit: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_engine_flag() {
+        for (name, engine) in [("arena", Engine::Arena), ("map", Engine::Map)] {
+            let c = parse(&argv(&[
+                "mine",
+                "--input",
+                "x",
+                "--min-sup",
+                "2",
+                "--engine",
+                name,
+            ]))
+            .unwrap();
+            match c {
+                Command::Mine { engine: e, .. } => assert_eq!(e, engine, "{name}"),
+                _ => panic!(),
+            }
+        }
+        assert!(parse(&argv(&[
+            "mine",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--engine",
+            "bogus",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use plt_compress::CompressedPlt;
 use plt_core::construct::{construct, ConstructOptions};
 use plt_core::miner::{Miner, MiningResult};
 use plt_core::tree::LexTree;
-use plt_core::{ConditionalMiner, TopDownMiner};
+use plt_core::{CondEngine, ConditionalMiner, TopDownMiner};
 use plt_data::gen::basket::{BasketConfig, BasketGenerator};
 use plt_data::gen::dense::{DenseConfig, DenseGenerator};
 use plt_data::gen::quest::{QuestConfig, QuestGenerator};
@@ -19,7 +19,7 @@ use plt_data::{fimi, DbStats, TransactionDb};
 use plt_parallel::ParallelPltMiner;
 use plt_rules::{top_rules, RuleConfig};
 
-use crate::args::{Algo, Command, Condense, GenKind, MinSup};
+use crate::args::{Algo, Command, Condense, Engine, GenKind, MinSup};
 
 /// Errors surfaced to the user: message only, no panics.
 pub type CmdResult = Result<(), String>;
@@ -31,9 +31,10 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             input,
             min_sup,
             algo,
+            engine,
             condense,
             limit,
-        } => mine(&input, min_sup, algo, condense, limit, out),
+        } => mine(&input, min_sup, algo, engine, condense, limit, out),
         Command::Rules {
             input,
             min_sup,
@@ -261,12 +262,19 @@ fn load(input: &str) -> Result<TransactionDb, String> {
     fimi::read_file(input).map_err(|e| format!("cannot read {input}: {e}"))
 }
 
-fn miner_for(algo: Algo) -> Box<dyn Miner> {
+fn cond_engine(engine: Engine) -> CondEngine {
+    match engine {
+        Engine::Arena => CondEngine::Arena,
+        Engine::Map => CondEngine::Map,
+    }
+}
+
+fn miner_for(algo: Algo, engine: Engine) -> Box<dyn Miner> {
     match algo {
-        Algo::Conditional => Box::new(ConditionalMiner::default()),
+        Algo::Conditional => Box::new(ConditionalMiner::with_engine(cond_engine(engine))),
         Algo::TopDown => Box::new(TopDownMiner::default()),
         Algo::Hybrid => Box::new(plt_core::HybridMiner::default()),
-        Algo::Parallel => Box::new(ParallelPltMiner::default()),
+        Algo::Parallel => Box::new(ParallelPltMiner::with_engine(cond_engine(engine))),
         Algo::Apriori => Box::new(AprioriMiner::default()),
         Algo::FpGrowth => Box::new(FpGrowthMiner),
         Algo::Eclat => Box::new(EclatMiner::default()),
@@ -279,18 +287,24 @@ fn miner_for(algo: Algo) -> Box<dyn Miner> {
     }
 }
 
-fn run_miner(db: &TransactionDb, min_sup: MinSup, algo: Algo) -> Result<MiningResult, String> {
+fn run_miner(
+    db: &TransactionDb,
+    min_sup: MinSup,
+    algo: Algo,
+    engine: Engine,
+) -> Result<MiningResult, String> {
     let abs = min_sup.resolve(db.len());
     if abs == 0 {
         return Err("resolved minimum support is zero".into());
     }
-    Ok(miner_for(algo).mine(db.transactions(), abs))
+    Ok(miner_for(algo, engine).mine(db.transactions(), abs))
 }
 
 fn mine(
     input: &str,
     min_sup: MinSup,
     algo: Algo,
+    engine: Engine,
     condense: Condense,
     limit: Option<usize>,
     out: &mut dyn Write,
@@ -306,7 +320,7 @@ fn mine(
             "closed frequent",
         )
     } else {
-        let result = run_miner(&db, min_sup, algo)?;
+        let result = run_miner(&db, min_sup, algo, engine)?;
         match condense {
             Condense::All => (result, "frequent"),
             Condense::Closed => (closed_itemsets(&result), "closed frequent"),
@@ -340,7 +354,7 @@ fn rules(
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
-    let result = run_miner(&db, min_sup, Algo::Conditional)?;
+    let result = run_miner(&db, min_sup, Algo::Conditional, Engine::default())?;
     let rules = top_rules(
         &result,
         RuleConfig {

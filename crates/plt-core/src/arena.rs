@@ -1,0 +1,751 @@
+//! Arena-backed, allocation-free conditional mining (`DESIGN.md` §6).
+//!
+//! The map-based engine in [`crate::conditional`] is a literal rendering of
+//! Algorithm 3: a `BTreeMap<Rank, FxHashMap<PositionVector, Support>>` of
+//! sum-groups, with a fresh boxed-slice vector heap-allocated for every
+//! prefix at every recursion level. This module is the same algorithm on a
+//! flat layout that exploits what the paper actually promises — the PLT is
+//! "a table-like data structure" whose cached sums make conditional
+//! extraction a lookup, not a rebuild:
+//!
+//! * a (conditional) database is **one contiguous position buffer**
+//!   (`Vec<Rank>`) plus packed `(offset, len, freq, sum)` entries — no
+//!   per-vector allocation, no hashing;
+//! * sum-groups are **dense rank-indexed buckets** (`Vec<Vec<EntryId>>`
+//!   over `1..=max_rank`) instead of an ordered map — "for j = Max down
+//!   to 1" is a cursor walk, and Lemma 4.1.1 guarantees every entry sits
+//!   in the bucket of its last item's rank;
+//! * prefix fold-back ("a new vector is constructed by removing the last
+//!   position value and inserting this vector into the proper partition")
+//!   is an **O(1) re-tag**: shrink `len` by one, subtract the dropped
+//!   position from the cached `sum`, push the entry id into the bucket of
+//!   the new sum. The map engine pays an allocation plus a hash insert for
+//!   the same step;
+//! * the two local scans of `Conditional_Construct` (count ranks, filter
+//!   and re-encode) run over per-depth **scratch buffers** — a rank-count
+//!   array reset in O(touched) and a kept-ranks buffer — held in a
+//!   recursion-level [`ArenaPool`], so steady-state mining performs zero
+//!   allocations: every buffer is reused across siblings at the same depth
+//!   and across successive mining calls on the same pool.
+//!
+//! Equivalence with the map engine (same itemsets, same supports) is
+//! enforced by the property suites here, in `tests/arena_equivalence.rs`,
+//! and by the differential `CondEngine::Map` path kept on
+//! [`ConditionalMiner`](crate::conditional::ConditionalMiner).
+
+use crate::item::{Itemset, Rank, Support};
+use crate::miner::MiningResult;
+use crate::plt::Plt;
+use crate::posvec::PositionVector;
+
+/// Index of an entry within its [`Level`].
+type EntryId = u32;
+
+/// One packed conditional-database entry: a window into the level's
+/// position buffer plus its frequency and cached position sum (Lemma
+/// 4.1.1: the sum is the rank of the last item still encoded).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Start of the entry's positions in [`Level::positions`].
+    offset: u32,
+    /// Current number of live positions (fold-back shrinks this).
+    len: u32,
+    /// Transactions supporting this vector.
+    freq: Support,
+    /// Cached sum of the live positions.
+    sum: Rank,
+}
+
+/// One recursion depth's working storage. A level is built by its parent
+/// (or from the PLT at depth 0), mined to exhaustion, and then reused by
+/// the next sibling conditional database at the same depth.
+#[derive(Debug, Default)]
+struct Level {
+    /// Contiguous position storage for every entry of this level.
+    positions: Vec<Rank>,
+    /// Packed entries windowing into `positions`.
+    entries: Vec<Entry>,
+    /// `buckets[s]` holds the ids of entries whose *current* sum is `s`
+    /// (index 0 unused). Entries move strictly downwards as they shrink,
+    /// so a bucket is complete by the time the descending cursor reaches
+    /// it and never needs tombstones.
+    buckets: Vec<Vec<EntryId>>,
+    /// Highest sum that may own a non-empty bucket.
+    max_sum: Rank,
+    /// Scratch: local rank frequencies (scan 1 of Conditional_Construct),
+    /// indexed by rank; reset in O(|touched|) via `touched`.
+    counts: Vec<Support>,
+    /// Scratch: ranks with a non-zero `counts` cell.
+    touched: Vec<Rank>,
+    /// Scratch: locally frequent ranks of the entry being re-encoded.
+    kept: Vec<Rank>,
+    /// Scratch: ids of the entries forming the conditional database of
+    /// the bucket currently being peeled.
+    cond: Vec<EntryId>,
+    /// Drain-scoped dedup table: open-addressed `(version, id)` slots
+    /// keyed by entry-content hash. Bumping `dedup_version` invalidates
+    /// every slot, so the per-drain reset is O(1).
+    dedup: Vec<(u32, EntryId)>,
+    /// Version stamp marking which slots are live.
+    dedup_version: u32,
+    /// Live slots in `dedup`.
+    dedup_len: usize,
+}
+
+/// FNV-1a over the rank sequence decoded from a delta window. Hashing the
+/// prefix sums (not the raw deltas) keeps the hash a pure function of the
+/// itemset, whichever encoding the caller holds.
+fn hash_window(window: &[Rank]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut acc: Rank = 0;
+    for &p in window {
+        acc += p;
+        h ^= acc as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Level {
+    /// Grows the dense per-rank tables to cover ranks `1..=max_rank`.
+    fn ensure_rank_capacity(&mut self, max_rank: usize) {
+        if self.buckets.len() < max_rank + 1 {
+            self.buckets.resize_with(max_rank + 1, Vec::new);
+        }
+        if self.counts.len() < max_rank + 1 {
+            self.counts.resize(max_rank + 1, 0);
+        }
+    }
+
+    /// Clears entry storage for a fresh conditional database. Buckets are
+    /// already empty: mining drains every bucket it fills.
+    fn reset(&mut self) {
+        self.positions.clear();
+        self.entries.clear();
+        self.max_sum = 0;
+        debug_assert!(self.buckets.iter().all(Vec::is_empty));
+        debug_assert!(self.counts.iter().all(|&c| c == 0));
+    }
+
+    /// Appends an entry encoding the strictly increasing rank sequence
+    /// `ranks` (re-deltaed per Definition 4.1.2). If the ranks equal those
+    /// of the previously appended entry, the frequencies merge instead —
+    /// a free partial dedup that catches runs of identical prefixes.
+    fn push_ranks(&mut self, ranks: &[Rank], freq: Support) {
+        debug_assert!(!ranks.is_empty());
+        let sum = *ranks.last().expect("non-empty ranks");
+        if let Some(last) = self.entries.last_mut() {
+            if last.sum == sum && last.len as usize == ranks.len() {
+                let start = last.offset as usize;
+                let prev = &self.positions[start..start + last.len as usize];
+                let mut acc = 0;
+                if prev.iter().zip(ranks).all(|(&p, &r)| {
+                    acc += p;
+                    acc == r
+                }) {
+                    last.freq += freq;
+                    return;
+                }
+            }
+        }
+        let offset = self.positions.len() as u32;
+        let mut prev = 0;
+        for &r in ranks {
+            self.positions.push(r - prev);
+            prev = r;
+        }
+        let id = self.entries.len() as EntryId;
+        self.entries.push(Entry {
+            offset,
+            len: ranks.len() as u32,
+            freq,
+            sum,
+        });
+        self.buckets[sum as usize].push(id);
+        self.max_sum = self.max_sum.max(sum);
+    }
+
+    /// Invalidates every dedup slot for the next drain, in O(1).
+    fn dedup_reset(&mut self) {
+        self.dedup_len = 0;
+        self.dedup_version = self.dedup_version.wrapping_add(1);
+        if self.dedup_version == 0 {
+            // u32 wraparound: scrub once so stale stamps cannot alias.
+            self.dedup.fill((0, 0));
+            self.dedup_version = 1;
+        }
+    }
+
+    /// Grows the dedup table to absorb `n` more inserts below 75% load,
+    /// rehashing any live slots.
+    fn dedup_reserve(&mut self, n: usize) {
+        let need = (self.dedup_len + n) * 4 / 3 + 1;
+        if self.dedup.len() >= need {
+            return;
+        }
+        let cap = need.next_power_of_two().max(16);
+        let old = std::mem::replace(&mut self.dedup, vec![(0, 0); cap]);
+        let mask = cap - 1;
+        for (v, id) in old {
+            if v == self.dedup_version {
+                let e = &self.entries[id as usize];
+                let h =
+                    hash_window(&self.positions[e.offset as usize..(e.offset + e.len) as usize]);
+                let mut i = h as usize & mask;
+                while self.dedup[i].0 == self.dedup_version {
+                    i = (i + 1) & mask;
+                }
+                self.dedup[i] = (self.dedup_version, id);
+            }
+        }
+    }
+
+    /// Looks up a live entry with the same content as `entries[id]`,
+    /// recording `id` in the table if there is none. Returns the
+    /// already-present duplicate on a hit.
+    fn dedup_entry(&mut self, id: EntryId) -> Option<EntryId> {
+        debug_assert!(!self.dedup.is_empty());
+        let mask = self.dedup.len() - 1;
+        let e = self.entries[id as usize];
+        let window = |o: &Entry| &self.positions[o.offset as usize..(o.offset + o.len) as usize];
+        let h = hash_window(window(&e));
+        let mut i = h as usize & mask;
+        loop {
+            let (v, other) = self.dedup[i];
+            if v != self.dedup_version {
+                self.dedup[i] = (self.dedup_version, id);
+                self.dedup_len += 1;
+                return None;
+            }
+            let o = self.entries[other as usize];
+            if o.len == e.len && o.sum == e.sum && window(&o) == window(&e) {
+                return Some(other);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Appends an entry from raw positions (already delta-encoded), used
+    /// when feeding straight from PLT partition storage.
+    fn push_positions(&mut self, positions: &[Rank], freq: Support, sum: Rank) {
+        debug_assert!(!positions.is_empty());
+        debug_assert_eq!(positions.iter().sum::<Rank>(), sum);
+        let offset = self.positions.len() as u32;
+        self.positions.extend_from_slice(positions);
+        let id = self.entries.len() as EntryId;
+        self.entries.push(Entry {
+            offset,
+            len: positions.len() as u32,
+            freq,
+            sum,
+        });
+        self.buckets[sum as usize].push(id);
+        self.max_sum = self.max_sum.max(sum);
+    }
+}
+
+/// Reusable per-depth arena storage for the conditional miner.
+///
+/// One pool serves any number of successive mining calls; each call
+/// reuses the levels (and their buckets, scratch arrays and position
+/// buffers) grown by earlier calls, so a warmed pool mines without
+/// allocating. The parallel miner keeps one pool per worker.
+///
+/// # Examples
+///
+/// ```
+/// use plt_core::arena::ArenaPool;
+/// use plt_core::construct::{construct, ConstructOptions};
+///
+/// let db = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
+/// let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+/// let mut pool = ArenaPool::new();
+/// let result = pool.mine_plt(&plt);
+/// assert_eq!(result.support(&[1, 2]), Some(2));
+/// assert_eq!(result.support(&[2]), Some(3));
+/// ```
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    levels: Vec<Level>,
+    /// Rank capacity the levels are currently sized for.
+    max_rank: usize,
+}
+
+impl ArenaPool {
+    /// An empty pool; storage is grown on first use and retained.
+    pub fn new() -> ArenaPool {
+        ArenaPool::default()
+    }
+
+    /// Sizes the pool for ranks `1..=max_rank` and returns a reset depth-0
+    /// level ready to be filled.
+    fn prepare(&mut self, max_rank: usize) -> &mut Level {
+        self.max_rank = max_rank;
+        if self.levels.is_empty() {
+            self.levels.push(Level::default());
+        }
+        let level = &mut self.levels[0];
+        level.ensure_rank_capacity(max_rank);
+        level.reset();
+        level
+    }
+
+    /// Makes sure `levels[depth]` exists and covers the pool's rank range.
+    fn ensure_level(&mut self, depth: usize) {
+        while self.levels.len() <= depth {
+            self.levels.push(Level::default());
+        }
+        self.levels[depth].ensure_rank_capacity(self.max_rank);
+    }
+
+    /// Mines an already-constructed PLT (built without prefix insertion),
+    /// feeding the arena straight from the partition storage — no
+    /// per-vector clone, no intermediate map.
+    pub fn mine_plt(&mut self, plt: &Plt) -> MiningResult {
+        let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
+        let level = self.prepare(plt.ranking().len());
+        for (v, e) in plt.iter() {
+            level.push_positions(v.positions(), e.freq, e.sum);
+        }
+        let mut suffix = Vec::new();
+        mine_or_shortcut(self, 0, plt, &mut suffix, &mut result);
+        result
+    }
+
+    /// Mines a conditional database under a fixed suffix of global ranks —
+    /// the arena counterpart of
+    /// [`mine_conditional`](crate::conditional::mine_conditional). The
+    /// database is given as `(positions, frequency)` windows so callers
+    /// holding flat storage (the parallel projections) feed it without
+    /// materialising vectors; it is locally re-filtered against the
+    /// minimum support before mining, exactly like the map path. The
+    /// suffix's own support is *not* emitted.
+    pub fn mine_conditional<'a, I>(
+        &mut self,
+        conditional: I,
+        plt: &Plt,
+        suffix: &[Rank],
+    ) -> MiningResult
+    where
+        I: Iterator<Item = (&'a [Rank], Support)> + Clone,
+    {
+        let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
+        let min_support = plt.min_support();
+        let level = self.prepare(plt.ranking().len());
+
+        // Scan 1 (local): rank frequencies within the conditional database.
+        for (positions, freq) in conditional.clone() {
+            let mut acc = 0;
+            for &p in positions {
+                acc += p;
+                if level.counts[acc as usize] == 0 {
+                    level.touched.push(acc);
+                }
+                level.counts[acc as usize] += freq;
+            }
+        }
+
+        // Scan 2 (local): filter infrequent ranks and re-encode survivors.
+        for (positions, freq) in conditional {
+            let mut acc = 0;
+            // Taken out so `push_ranks` can borrow the level mutably.
+            let mut kept = std::mem::take(&mut level.kept);
+            kept.clear();
+            for &p in positions {
+                acc += p;
+                if level.counts[acc as usize] >= min_support {
+                    kept.push(acc);
+                }
+            }
+            if !kept.is_empty() {
+                level.push_ranks(&kept, freq);
+            }
+            level.kept = kept;
+        }
+        for &r in &level.touched {
+            level.counts[r as usize] = 0;
+        }
+        level.touched.clear();
+
+        let mut sfx = suffix.to_vec();
+        mine_or_shortcut(self, 0, plt, &mut sfx, &mut result);
+        result
+    }
+}
+
+/// Dispatches `levels[depth]` to the single-path shortcut when it holds
+/// exactly one entry, and to the full recursive peel otherwise.
+fn mine_or_shortcut(
+    pool: &mut ArenaPool,
+    depth: usize,
+    plt: &Plt,
+    suffix: &mut Vec<Rank>,
+    result: &mut MiningResult,
+) {
+    let level = &mut pool.levels[depth];
+    if level.entries.len() == 1 && level.entries[0].len <= MAX_SINGLE_PATH {
+        emit_single_path(level, plt, suffix, result);
+    } else {
+        mine_level(pool, depth, plt, suffix, result);
+    }
+}
+
+/// Longest vector the single-path shortcut enumerates directly (2^len
+/// itemsets); longer chains fall back to the recursive peel, which visits
+/// the same family without materialising a mask loop.
+const MAX_SINGLE_PATH: u32 = 30;
+
+/// The single-path shortcut: a one-entry database supports every
+/// non-empty subset of its vector with the entry's own frequency, so the
+/// whole subtree is emitted with direct inserts — no drains, no child
+/// construction. The counterpart of FP-growth's single-path optimisation,
+/// justified here by Lemma 4.1.3 (every subset arises from the one
+/// vector).
+fn emit_single_path(
+    level: &mut Level,
+    plt: &Plt,
+    suffix: &mut Vec<Rank>,
+    result: &mut MiningResult,
+) {
+    debug_assert_eq!(level.entries.len(), 1);
+    let e = level.entries[0];
+    // The entry is parked in its bucket; consume it so the level resets
+    // clean for the next sibling.
+    level.buckets[e.sum as usize].clear();
+    let mut acc = 0;
+    level.kept.clear();
+    for &p in &level.positions[e.offset as usize..(e.offset + e.len) as usize] {
+        acc += p;
+        level.kept.push(acc);
+    }
+    let k = level.kept.len();
+    let base = suffix.len();
+    for mask in 1u64..(1u64 << k) {
+        for (i, &r) in level.kept.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                suffix.push(r);
+            }
+        }
+        let items = plt.ranking().items_for_ranks(suffix);
+        result.insert(Itemset::from_sorted(items), e.freq);
+        suffix.truncate(base);
+    }
+}
+
+/// The recursive core — the paper's `Mining(PLT, itemset)` over the arena
+/// representation. `pool.levels[depth]` is the (conditional) PLT being
+/// peeled; deeper levels are constructed on demand and reused across
+/// siblings.
+fn mine_level(
+    pool: &mut ArenaPool,
+    depth: usize,
+    plt: &Plt,
+    suffix: &mut Vec<Rank>,
+    result: &mut MiningResult,
+) {
+    let min_support = plt.min_support();
+    // "For j = Max down to 1": walk the dense buckets with a cursor.
+    let mut cursor = pool.levels[depth].max_sum;
+    while cursor >= 1 {
+        let j = cursor;
+        cursor -= 1;
+        let level = &mut pool.levels[depth];
+        if level.buckets[j as usize].is_empty() {
+            continue;
+        }
+        // Peel bucket j: its entries are exactly the vectors whose last
+        // item has rank j (Lemma 4.1.1). Fold each prefix back with an
+        // O(1) re-tag and collect the survivors as CD_j.
+        // Folding merges duplicate prefixes as it goes: distinct vectors
+        // `[P, x]` and `[P, y]` both fold to `P`, and on dense data those
+        // duplicates compound through the recursion. The map engine merges
+        // them in its hash insert; the drain-scoped dedup table restores
+        // the same invariant (each bucket holds distinct vectors) at the
+        // same O(len)-per-entry cost, without allocating.
+        let mut ids = std::mem::take(&mut level.buckets[j as usize]);
+        let mut support: Support = 0;
+        level.dedup_reset();
+        level.dedup_reserve(ids.len());
+        level.cond.clear();
+        for &id in &ids {
+            let entry = &mut level.entries[id as usize];
+            debug_assert_eq!(entry.sum, j);
+            support += entry.freq;
+            if entry.len > 1 {
+                let last = level.positions[(entry.offset + entry.len - 1) as usize];
+                entry.len -= 1;
+                entry.sum -= last;
+                match level.dedup_entry(id) {
+                    Some(other) => {
+                        level.entries[other as usize].freq += level.entries[id as usize].freq;
+                    }
+                    None => {
+                        let sum = level.entries[id as usize].sum;
+                        level.buckets[sum as usize].push(id);
+                        level.cond.push(id);
+                    }
+                }
+            }
+        }
+        ids.clear();
+        level.buckets[j as usize] = ids; // hand the capacity back
+
+        if support < min_support {
+            // "If the new extension is no longer frequent, there is no
+            // need for a new conditional database."
+            continue;
+        }
+
+        suffix.push(j);
+        let items = plt.ranking().items_for_ranks(suffix);
+        result.insert(Itemset::from_sorted(items), support);
+
+        // CPLT = PLT_Construction(CD_j, min_sup): the two-scan local
+        // construction, writing into the next depth's reusable level.
+        pool.ensure_level(depth + 1);
+        let (parents, children) = pool.levels.split_at_mut(depth + 1);
+        if construct_child(&mut parents[depth], &mut children[0], min_support) {
+            mine_or_shortcut(pool, depth + 1, plt, suffix, result);
+        }
+        suffix.pop();
+    }
+}
+
+/// Builds `child` from the conditional entry ids staged in `parent.cond`
+/// (scan 1: count ranks; scan 2: filter and re-encode). Returns whether
+/// the child holds any entries. All work runs over the levels' scratch
+/// buffers; nothing is allocated once capacities are warm.
+fn construct_child(parent: &mut Level, child: &mut Level, min_support: Support) -> bool {
+    child.reset();
+    // Scan 1 (local): rank frequencies within CD_j. The prefix of entry
+    // `id` is its *current* (already shrunk) position window.
+    for &id in &parent.cond {
+        let e = parent.entries[id as usize];
+        let mut acc = 0;
+        for &p in &parent.positions[e.offset as usize..(e.offset + e.len) as usize] {
+            acc += p;
+            if parent.counts[acc as usize] == 0 {
+                parent.touched.push(acc);
+            }
+            parent.counts[acc as usize] += e.freq;
+        }
+    }
+    // Scan 2 (local): drop locally infrequent ranks, re-delta the rest.
+    // When every touched rank stays frequent — the common case on dense
+    // data — the filter is the identity, and each entry copies through as
+    // a raw slice with no per-position branching. Entries in `cond` are
+    // distinct (the drain merged duplicates), so the copy needs no
+    // dedup.
+    let all_frequent = parent
+        .touched
+        .iter()
+        .all(|&r| parent.counts[r as usize] >= min_support);
+    if all_frequent {
+        for &id in &parent.cond {
+            let e = parent.entries[id as usize];
+            child.push_positions(
+                &parent.positions[e.offset as usize..(e.offset + e.len) as usize],
+                e.freq,
+                e.sum,
+            );
+        }
+    } else {
+        for &id in &parent.cond {
+            let e = parent.entries[id as usize];
+            parent.kept.clear();
+            let mut acc = 0;
+            for &p in &parent.positions[e.offset as usize..(e.offset + e.len) as usize] {
+                acc += p;
+                if parent.counts[acc as usize] >= min_support {
+                    parent.kept.push(acc);
+                }
+            }
+            if !parent.kept.is_empty() {
+                child.push_ranks(&parent.kept, e.freq);
+            }
+        }
+    }
+    // O(touched) reset keeps the counts array clean for the next sibling.
+    for &r in &parent.touched {
+        parent.counts[r as usize] = 0;
+    }
+    parent.touched.clear();
+    !child.entries.is_empty()
+}
+
+/// One-shot arena mining of a PLT with a throwaway pool. Callers mining
+/// repeatedly (servers, the parallel workers) should hold an
+/// [`ArenaPool`] instead to amortise the storage.
+pub fn mine_plt_arena(plt: &Plt) -> MiningResult {
+    ArenaPool::new().mine_plt(plt)
+}
+
+/// One-shot arena mining of a materialised conditional database — the
+/// drop-in counterpart of [`crate::conditional::mine_conditional`].
+pub fn mine_conditional_arena(
+    conditional: &[(PositionVector, Support)],
+    plt: &Plt,
+    suffix: &[Rank],
+) -> MiningResult {
+    ArenaPool::new().mine_conditional(
+        conditional.iter().map(|(v, f)| (v.positions(), *f)),
+        plt,
+        suffix,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditional::{mine_conditional, CondEngine, ConditionalMiner};
+    use crate::construct::{construct, ConstructOptions};
+    use crate::item::Item;
+    use crate::miner::{BruteForceMiner, Miner};
+    use crate::ranking::RankPolicy;
+    use proptest::prelude::*;
+
+    fn table1() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3, 4],
+            vec![1, 2, 3],
+            vec![2, 3, 5],
+        ]
+    }
+
+    fn build(db: &[Vec<Item>], min_sup: Support) -> Plt {
+        construct(db, min_sup, ConstructOptions::conditional()).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_table1() {
+        let expect = BruteForceMiner.mine(&table1(), 2);
+        let got = mine_plt_arena(&build(&table1(), 2));
+        assert_eq!(got.sorted(), expect.sorted());
+        got.check_anti_monotone().unwrap();
+    }
+
+    #[test]
+    fn matches_map_engine_on_table1() {
+        let plt = build(&table1(), 2);
+        let map = ConditionalMiner::with_engine(CondEngine::Map).mine_plt(&plt);
+        let arena = mine_plt_arena(&plt);
+        assert_eq!(arena.sorted(), map.sorted());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_runs() {
+        let mut pool = ArenaPool::new();
+        let plt1 = build(&table1(), 2);
+        let first = pool.mine_plt(&plt1);
+        // A different database and threshold on the same warmed pool.
+        let db2: Vec<Vec<Item>> = vec![vec![1, 2, 3]; 5];
+        let plt2 = build(&db2, 3);
+        let second = pool.mine_plt(&plt2);
+        assert_eq!(second.support(&[1, 2, 3]), Some(5));
+        assert_eq!(second.len(), 7);
+        // And the original answer again, unchanged.
+        assert_eq!(pool.mine_plt(&plt1).sorted(), first.sorted());
+    }
+
+    #[test]
+    fn conditional_matches_map_conditional() {
+        let plt = build(&table1(), 2);
+        let (_, cd, _) = crate::conditional::extract_conditional(&plt, 4);
+        let map = mine_conditional(&cd, &plt, &[4]);
+        let arena = mine_conditional_arena(&cd, &plt, &[4]);
+        assert_eq!(arena.sorted(), map.sorted());
+    }
+
+    #[test]
+    fn empty_plt_mines_empty() {
+        let db: Vec<Vec<Item>> = vec![];
+        let plt = build(&db, 1);
+        assert!(mine_plt_arena(&plt).is_empty());
+    }
+
+    #[test]
+    fn consecutive_duplicate_prefixes_merge() {
+        // Five identical transactions: the root level holds one entry and
+        // every conditional database is a single merged entry.
+        let db = vec![vec![1, 2, 3]; 5];
+        let plt = build(&db, 3);
+        let r = mine_plt_arena(&plt);
+        assert_eq!(r.support(&[1, 2, 3]), Some(5));
+        assert_eq!(r.len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arena mining agrees with brute force on random databases.
+        #[test]
+        fn prop_matches_brute_force(
+            db in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..15, 1..7),
+                1..40,
+            ),
+            min_support in 1u64..6,
+        ) {
+            let db: Vec<Vec<Item>> = db.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            let expect = BruteForceMiner.mine(&db, min_support);
+            let plt = build(&db, min_support);
+            let got = mine_plt_arena(&plt);
+            prop_assert_eq!(got.sorted(), expect.sorted());
+        }
+
+        /// A single reused pool gives the same answers as fresh pools.
+        #[test]
+        fn prop_pool_reuse_is_stateless(
+            dbs in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::btree_set(0u32..10, 1..6),
+                    1..20,
+                ),
+                1..4,
+            ),
+        ) {
+            let mut pool = ArenaPool::new();
+            for db in dbs {
+                let db: Vec<Vec<Item>> = db.into_iter()
+                    .map(|t| t.into_iter().collect())
+                    .collect();
+                let plt = build(&db, 2);
+                let reused = pool.mine_plt(&plt);
+                let fresh = mine_plt_arena(&plt);
+                prop_assert_eq!(reused.sorted(), fresh.sorted());
+            }
+        }
+
+        /// Arena conditional mining agrees with the map path per item, for
+        /// every rank policy.
+        #[test]
+        fn prop_conditional_matches_map(
+            db in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..12, 1..6),
+                1..30,
+            ),
+            min_support in 1u64..4,
+        ) {
+            let db: Vec<Vec<Item>> = db.into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect();
+            for policy in [RankPolicy::Lexicographic, RankPolicy::FrequencyDescending] {
+                let plt = construct(&db, min_support, ConstructOptions {
+                    rank_policy: policy,
+                    with_prefixes: false,
+                }).unwrap();
+                for j in 1..=plt.ranking().len() as Rank {
+                    let (_, cd, _) = crate::conditional::extract_conditional(&plt, j);
+                    let map = mine_conditional(&cd, &plt, &[j]);
+                    let arena = mine_conditional_arena(&cd, &plt, &[j]);
+                    prop_assert_eq!(arena.sorted(), map.sorted());
+                }
+            }
+        }
+    }
+}

@@ -39,6 +39,24 @@ use crate::ranking::RankPolicy;
 /// vectors exactly as PLT partitions do.
 pub(crate) type SumGroups = BTreeMap<Rank, FxHashMap<PositionVector, Support>>;
 
+/// Which conditional-mining engine to run.
+///
+/// Both engines implement the same Algorithm 3 and produce identical
+/// results (itemsets and supports); they differ only in working-set
+/// layout and therefore speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CondEngine {
+    /// Flat arena layout ([`crate::arena`]): contiguous position buffer,
+    /// dense sum buckets, O(1) prefix fold-back, zero steady-state
+    /// allocations. The default.
+    #[default]
+    Arena,
+    /// The original map layout (`BTreeMap` of hash maps, one boxed-slice
+    /// vector per prefix). Kept for differential testing and as the
+    /// reference rendering of the paper's pseudocode.
+    Map,
+}
+
 /// The conditional (pattern-growth) miner.
 ///
 /// # Examples
@@ -56,16 +74,37 @@ pub(crate) type SumGroups = BTreeMap<Rank, FxHashMap<PositionVector, Support>>;
 pub struct ConditionalMiner {
     /// Item-order policy for the underlying PLT.
     pub rank_policy: RankPolicy,
+    /// Working-set layout for the mining recursion.
+    pub engine: CondEngine,
 }
 
 impl ConditionalMiner {
     /// Miner with a specific rank policy.
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
-        ConditionalMiner { rank_policy }
+        ConditionalMiner {
+            rank_policy,
+            engine: CondEngine::default(),
+        }
+    }
+
+    /// Miner with a specific engine.
+    pub fn with_engine(engine: CondEngine) -> Self {
+        ConditionalMiner {
+            rank_policy: RankPolicy::default(),
+            engine,
+        }
     }
 
     /// Mines an already-constructed PLT (built *without* prefix insertion).
     pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
+        match self.engine {
+            CondEngine::Arena => crate::arena::mine_plt_arena(plt),
+            CondEngine::Map => self.mine_plt_map(plt),
+        }
+    }
+
+    /// The map-engine path: rebuild sum-groups from the PLT and recurse.
+    fn mine_plt_map(&self, plt: &Plt) -> MiningResult {
         let mut groups: SumGroups = BTreeMap::new();
         for (v, e) in plt.iter() {
             *groups
@@ -169,7 +208,10 @@ pub(crate) fn conditional_construct(
 
 impl Miner for ConditionalMiner {
     fn name(&self) -> &'static str {
-        "plt-conditional"
+        match self.engine {
+            CondEngine::Arena => "plt-conditional",
+            CondEngine::Map => "plt-conditional-map",
+        }
     }
 
     fn mine(&self, transactions: &[Vec<Item>], min_support: Support) -> MiningResult {

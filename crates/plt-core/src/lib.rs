@@ -57,6 +57,7 @@
 //! assert_eq!(result.support(&[0, 2, 3]), None);    // {A,C,D} support 1 < 2
 //! ```
 
+pub mod arena;
 pub mod conditional;
 pub mod construct;
 pub mod error;
@@ -72,7 +73,8 @@ pub mod subset;
 pub mod topdown;
 pub mod tree;
 
-pub use conditional::ConditionalMiner;
+pub use arena::ArenaPool;
+pub use conditional::{CondEngine, ConditionalMiner};
 pub use error::{PltError, Result};
 pub use hybrid::HybridMiner;
 pub use item::{Item, Itemset, Rank, Support};

@@ -1,14 +1,21 @@
 //! The parallel PLT miner.
 //!
-//! Pipeline: parallel construction → one projection pass → per-item tasks
-//! on the Rayon pool, each running the sequential conditional miner on its
-//! own conditional database → merge. Task `j` emits exactly the frequent
+//! Pipeline: parallel construction → one projection pass (flat per-item
+//! conditional databases) → per-item tasks on the Rayon pool, each running
+//! the sequential conditional miner on its own conditional database →
+//! tree-shaped `reduce` merge. Task `j` emits exactly the frequent
 //! itemsets whose highest-ranked item is `j`, so the per-task results
 //! partition the answer and the merge is conflict-free.
+//!
+//! Each worker folds its items through a private [`ArenaPool`], so the
+//! arena storage (position buffers, buckets, scratch arrays) is warmed
+//! once per worker and reused across every item that worker processes —
+//! steady-state mining allocates nothing.
 
 use rayon::prelude::*;
 
-use plt_core::conditional::mine_conditional;
+use plt_core::arena::ArenaPool;
+use plt_core::conditional::{mine_conditional, CondEngine};
 use plt_core::construct::ConstructOptions;
 use plt_core::item::{Item, Itemset, Rank, Support};
 use plt_core::miner::{Miner, MiningResult};
@@ -23,39 +30,63 @@ use crate::projection::project_all;
 pub struct ParallelPltMiner {
     /// Item-order policy for the underlying PLT.
     pub rank_policy: RankPolicy,
+    /// Working-set layout for the per-item conditional miners.
+    pub engine: CondEngine,
 }
 
 impl ParallelPltMiner {
     /// Miner with a specific rank policy.
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
-        ParallelPltMiner { rank_policy }
+        ParallelPltMiner {
+            rank_policy,
+            engine: CondEngine::default(),
+        }
+    }
+
+    /// Miner with a specific engine.
+    pub fn with_engine(engine: CondEngine) -> Self {
+        ParallelPltMiner {
+            rank_policy: RankPolicy::default(),
+            engine,
+        }
     }
 
     /// Mines an already-constructed PLT in parallel.
     pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
         let projections = project_all(plt);
         let n = plt.ranking().len() as Rank;
-        let locals: Vec<MiningResult> = (1..=n)
+        let engine = self.engine;
+        let empty = || MiningResult::new(plt.min_support(), plt.num_transactions());
+        (1..=n)
             .into_par_iter()
-            .map(|j| {
-                let mut local = MiningResult::new(plt.min_support(), plt.num_transactions());
-                let support = projections.support(j);
-                if support >= plt.min_support() {
-                    let item = plt.ranking().item(j);
-                    local.insert(Itemset::from_sorted(vec![item]), support);
-                    let cd = projections.conditional(j);
-                    if !cd.is_empty() {
-                        local.merge(mine_conditional(cd, plt, &[j]));
+            // Per-worker fold: the (pool, local-result) accumulator lives
+            // on one worker for its whole run of items, so every item it
+            // mines reuses the same warmed arena storage.
+            .fold(
+                || (ArenaPool::new(), empty()),
+                |(mut pool, mut local), j| {
+                    let support = projections.support(j);
+                    if support >= plt.min_support() {
+                        let item = plt.ranking().item(j);
+                        local.insert(Itemset::from_sorted(vec![item]), support);
+                        let cd = projections.conditional(j);
+                        if !cd.is_empty() {
+                            local.merge(match engine {
+                                CondEngine::Arena => pool.mine_conditional(cd.iter(), plt, &[j]),
+                                CondEngine::Map => mine_conditional(&cd.to_vectors(), plt, &[j]),
+                            });
+                        }
                     }
-                }
-                local
+                    (pool, local)
+                },
+            )
+            .map(|(_pool, local)| local)
+            // Tree-shaped merge on the pool instead of a sequential loop
+            // on the calling thread.
+            .reduce(empty, |mut a, b| {
+                a.merge(b);
+                a
             })
-            .collect();
-        let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
-        for local in locals {
-            result.merge(local);
-        }
-        result
     }
 }
 
@@ -101,6 +132,13 @@ mod tests {
         let seq = ConditionalMiner::default().mine(&table1(), 2);
         let par = ParallelPltMiner::default().mine(&table1(), 2);
         assert_eq!(par.sorted(), seq.sorted());
+    }
+
+    #[test]
+    fn map_engine_matches_arena_engine() {
+        let arena = ParallelPltMiner::default().mine(&table1(), 2);
+        let map = ParallelPltMiner::with_engine(CondEngine::Map).mine(&table1(), 2);
+        assert_eq!(map.sorted(), arena.sorted());
     }
 
     #[test]

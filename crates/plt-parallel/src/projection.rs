@@ -9,18 +9,74 @@
 //! formulations count identically (each transaction containing item `j`
 //! contributes its sub-`j` prefix exactly once either way), but the direct
 //! one makes the per-item units independent.
+//!
+//! Conditional databases are stored **flat**: one contiguous position
+//! buffer per item plus `(offset, len, freq)` windows, the same layout the
+//! arena engine consumes — so the per-worker miners are fed straight from
+//! these slices without materialising a single `PositionVector`.
 
 use plt_core::item::{Rank, Support};
 use plt_core::plt::Plt;
 use plt_core::posvec::PositionVector;
 
+/// One item's projection: support plus its conditional database in flat
+/// storage.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    support: Support,
+    /// Contiguous position storage for every prefix in this database.
+    positions: Vec<Rank>,
+    /// `(offset, len, freq)` windows into `positions`.
+    entries: Vec<(u32, u32, Support)>,
+}
+
+/// A borrowed view of one item's conditional database.
+#[derive(Debug, Clone, Copy)]
+pub struct CondView<'a> {
+    positions: &'a [Rank],
+    entries: &'a [(u32, u32, Support)],
+}
+
+impl<'a> CondView<'a> {
+    /// Number of (unmerged) prefix entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the item has no conditional database.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(positions, frequency)` windows — the exact shape
+    /// [`plt_core::ArenaPool::mine_conditional`] consumes.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a [Rank], Support)> + Clone + '_ {
+        let positions = self.positions;
+        self.entries
+            .iter()
+            .map(move |&(off, len, freq)| (&positions[off as usize..(off + len) as usize], freq))
+    }
+
+    /// Materialises the database as owned vectors — the legacy shape the
+    /// map engine consumes; also handy in tests.
+    pub fn to_vectors(&self) -> Vec<(PositionVector, Support)> {
+        self.iter()
+            .map(|(p, f)| {
+                (
+                    PositionVector::from_positions(p.to_vec()).expect("stored positions are valid"),
+                    f,
+                )
+            })
+            .collect()
+    }
+}
+
 /// All per-item projections of a PLT.
 #[derive(Debug, Clone)]
 pub struct Projections {
-    /// Indexed by `rank − 1`: the item's support and conditional database
-    /// (prefix vectors with frequencies; duplicates unmerged — the
-    /// conditional construction merges them).
-    by_rank: Vec<(Support, Vec<(PositionVector, Support)>)>,
+    /// Indexed by `rank − 1`. Duplicate prefixes are left unmerged — the
+    /// conditional construction merges them.
+    by_rank: Vec<Slot>,
 }
 
 impl Projections {
@@ -36,27 +92,37 @@ impl Projections {
 
     /// Support of the item holding `rank`, as observed in the vectors.
     pub fn support(&self, rank: Rank) -> Support {
-        self.by_rank[(rank - 1) as usize].0
+        self.by_rank[(rank - 1) as usize].support
     }
 
-    /// Conditional database of the item holding `rank`.
-    pub fn conditional(&self, rank: Rank) -> &[(PositionVector, Support)] {
-        &self.by_rank[(rank - 1) as usize].1
+    /// Conditional database of the item holding `rank`, as a flat view.
+    pub fn conditional(&self, rank: Rank) -> CondView<'_> {
+        let slot = &self.by_rank[(rank - 1) as usize];
+        CondView {
+            positions: &slot.positions,
+            entries: &slot.entries,
+        }
     }
 }
 
-/// Builds every item's projection in a single pass over the PLT.
+/// Builds every item's projection in a single pass over the PLT. Prefixes
+/// are written directly into per-item flat buffers (positions are shared
+/// deltas, so the prefix before rank `r_i` is just the first `i` positions
+/// of the vector — a plain slice copy).
 pub fn project_all(plt: &Plt) -> Projections {
     let n = plt.ranking().len();
-    let mut by_rank: Vec<(Support, Vec<(PositionVector, Support)>)> = vec![(0, Vec::new()); n];
+    let mut by_rank: Vec<Slot> = vec![Slot::default(); n];
     for (v, e) in plt.iter() {
-        let ranks = v.ranks();
-        for (i, &r) in ranks.iter().enumerate() {
-            let slot = &mut by_rank[(r - 1) as usize];
-            slot.0 += e.freq;
+        let positions = v.positions();
+        let mut acc = 0;
+        for (i, &p) in positions.iter().enumerate() {
+            acc += p; // rank of the i-th item (Lemma 4.1.1)
+            let slot = &mut by_rank[(acc - 1) as usize];
+            slot.support += e.freq;
             if i > 0 {
-                let prefix = PositionVector::from_ranks(&ranks[..i]).expect("non-empty prefix");
-                slot.1.push((prefix, e.freq));
+                let offset = slot.positions.len() as u32;
+                slot.positions.extend_from_slice(&positions[..i]);
+                slot.entries.push((offset, i as u32, e.freq));
             }
         }
     }
@@ -99,7 +165,7 @@ mod tests {
     fn conditional_of_top_rank_matches_figure5() {
         let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
         let proj = project_all(&plt);
-        let mut cd: Vec<(PositionVector, Support)> = proj.conditional(4).to_vec();
+        let mut cd: Vec<(PositionVector, Support)> = proj.conditional(4).to_vectors();
         cd.sort();
         assert_eq!(
             cd,
@@ -108,6 +174,26 @@ mod tests {
                 (pv(&[1, 1, 1]), 1),
                 (pv(&[2, 1]), 1),
                 (pv(&[3]), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_view_iterates_position_windows() {
+        let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
+        let proj = project_all(&plt);
+        let view = proj.conditional(4);
+        assert_eq!(view.len(), 4);
+        let mut windows: Vec<(Vec<Rank>, Support)> =
+            view.iter().map(|(p, f)| (p.to_vec(), f)).collect();
+        windows.sort();
+        assert_eq!(
+            windows,
+            vec![
+                (vec![1, 1], 1),
+                (vec![1, 1, 1], 1),
+                (vec![2, 1], 1),
+                (vec![3], 1),
             ]
         );
     }
@@ -127,7 +213,7 @@ mod tests {
         let plt = construct(&table1(), 2, ConstructOptions::conditional()).unwrap();
         let proj = project_all(&plt);
         let mut total: Support = 0;
-        for (v, f) in proj.conditional(3) {
+        for (v, f) in proj.conditional(3).to_vectors() {
             assert!(v.sum() < 3);
             total += f;
         }

@@ -21,6 +21,6 @@ pub use plt_serve as serve;
 pub use plt_stream as stream;
 
 pub use plt_core::{
-    ConditionalMiner, Itemset, Miner, MiningResult, Plt, PositionVector, RankPolicy, Support,
-    TopDownMiner,
+    ArenaPool, CondEngine, ConditionalMiner, Itemset, Miner, MiningResult, Plt, PositionVector,
+    RankPolicy, Support, TopDownMiner,
 };

@@ -1,0 +1,150 @@
+//! Differential suite for the arena conditional engine: on random and
+//! generated databases, the arena path must produce the *exact* frequent
+//! family (itemsets and supports) of the legacy map engine, the top-down
+//! miner, and the FP-growth baseline — sequentially, in parallel, and
+//! under pool reuse.
+
+use plt::baselines::FpGrowthMiner;
+use plt::core::construct::{construct, ConstructOptions};
+use plt::core::miner::Miner;
+use plt::data::{DenseConfig, DenseGenerator, QuestConfig, QuestGenerator};
+use plt::parallel::ParallelPltMiner;
+use plt::{ArenaPool, CondEngine, ConditionalMiner, RankPolicy, TopDownMiner};
+use proptest::prelude::*;
+
+/// Everything that must agree with the arena engine.
+fn references() -> Vec<Box<dyn Miner>> {
+    vec![
+        Box::new(ConditionalMiner::with_engine(CondEngine::Map)),
+        Box::new(TopDownMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(ParallelPltMiner::with_engine(CondEngine::Map)),
+    ]
+}
+
+fn assert_arena_agrees(db: &[Vec<u32>], min_support: u64, label: &str) {
+    let arena = ConditionalMiner::default().mine(db, min_support);
+    arena
+        .check_anti_monotone()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let expect = arena.sorted();
+    for miner in references() {
+        assert_eq!(
+            miner.mine(db, min_support).sorted(),
+            expect,
+            "{label}: arena disagrees with {}",
+            miner.name()
+        );
+    }
+    let par = ParallelPltMiner::default().mine(db, min_support);
+    assert_eq!(par.sorted(), expect, "{label}: parallel arena disagrees");
+}
+
+#[test]
+fn arena_agrees_on_sparse_quest_data() {
+    let db = QuestGenerator::new(QuestConfig::t5i2(700))
+        .generate()
+        .into_transactions();
+    assert_arena_agrees(&db, 7, "quest 1%");
+    assert_arena_agrees(&db, 35, "quest 5%");
+}
+
+#[test]
+fn arena_agrees_on_dense_data() {
+    let db = DenseGenerator::new(DenseConfig {
+        num_transactions: 350,
+        num_items: 12,
+        density_hi: 0.85,
+        density_lo: 0.2,
+        seed: 0xa12e,
+    })
+    .generate()
+    .into_transactions();
+    assert_arena_agrees(&db, 175, "dense 50%");
+    assert_arena_agrees(&db, 70, "dense 20%");
+    assert_arena_agrees(&db, 35, "dense 10%");
+}
+
+#[test]
+fn arena_agrees_under_every_rank_policy() {
+    let db = QuestGenerator::new(QuestConfig::t5i2(400))
+        .generate()
+        .into_transactions();
+    for policy in [
+        RankPolicy::Lexicographic,
+        RankPolicy::FrequencyAscending,
+        RankPolicy::FrequencyDescending,
+    ] {
+        let arena = ConditionalMiner {
+            rank_policy: policy,
+            engine: CondEngine::Arena,
+        };
+        let map = ConditionalMiner {
+            rank_policy: policy,
+            engine: CondEngine::Map,
+        };
+        assert_eq!(
+            arena.mine(&db, 8).sorted(),
+            map.mine(&db, 8).sorted(),
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn one_pool_across_heterogeneous_databases() {
+    // The parallel workers reuse one pool across many conditional
+    // databases; mimic that lifecycle across whole PLTs of very different
+    // shapes and make sure no state leaks between runs.
+    let mut pool = ArenaPool::new();
+    let sparse = QuestGenerator::new(QuestConfig::t5i2(300))
+        .generate()
+        .into_transactions();
+    let dense = DenseGenerator::new(DenseConfig {
+        num_transactions: 200,
+        num_items: 10,
+        density_hi: 0.9,
+        density_lo: 0.3,
+        seed: 7,
+    })
+    .generate()
+    .into_transactions();
+    for db in [&sparse, &dense, &sparse, &dense] {
+        for min_support in [3u64, 20, 60] {
+            let plt = construct(db, min_support, ConstructOptions::conditional()).unwrap();
+            let reused = pool.mine_plt(&plt);
+            let fresh = ConditionalMiner::with_engine(CondEngine::Map).mine_plt(&plt);
+            assert_eq!(reused.sorted(), fresh.sorted(), "min_support {min_support}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random sparse-ish databases: wide universe, short transactions.
+    #[test]
+    fn prop_arena_matches_references_sparse(
+        db in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..40, 1..8),
+            1..50,
+        ),
+        min_support in 1u64..5,
+    ) {
+        let db: Vec<Vec<u32>> = db.into_iter().map(|t| t.into_iter().collect()).collect();
+        assert_arena_agrees(&db, min_support, "prop sparse");
+    }
+
+    /// Random dense databases: narrow universe, long transactions.
+    #[test]
+    fn prop_arena_matches_references_dense(
+        db in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..9, 2..9),
+            1..40,
+        ),
+        min_support in 1u64..6,
+    ) {
+        let db: Vec<Vec<u32>> = db.into_iter().map(|t| t.into_iter().collect()).collect();
+        assert_arena_agrees(&db, min_support, "prop dense");
+    }
+}
