@@ -202,6 +202,12 @@ pub enum Command {
         min_conf: f64,
         /// Sliding-window capacity; `None` = twice the warmup size.
         window: Option<usize>,
+        /// Seed for deterministic fault injection (chaos runs); `None`
+        /// disables injection.
+        fault_seed: Option<u64>,
+        /// Per-connection read/write deadline in milliseconds; `None`
+        /// keeps the server defaults.
+        deadline_ms: Option<u64>,
     },
     /// `query --addr`: one-shot client against a running `serve`.
     QueryServer {
@@ -262,6 +268,7 @@ usage:
   plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]
   plt-mine serve --input <file.dat> --min-sup <frac|count>
                  [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
+                 [--fault-seed S] [--deadline-ms MS]
   plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
                  [--recommend \"1 2\"] [--stats] [--shutdown]";
 
@@ -526,6 +533,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let (mut input, mut min_sup, mut window) = (None, None, None);
             let mut addr = "127.0.0.1:7878".to_string();
             let mut min_conf = 0.5;
+            let (mut fault_seed, mut deadline_ms) = (None, None);
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
@@ -547,6 +555,16 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                                 ParseError(format!("--window must be an integer: {e}"))
                             })?)
                     }
+                    "--fault-seed" => {
+                        fault_seed = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--fault-seed must be an integer: {e}"))
+                        })?)
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--deadline-ms must be an integer: {e}"))
+                        })?)
+                    }
                     other => return err(format!("unknown flag {other:?} for serve")),
                 }
             }
@@ -556,6 +574,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 addr,
                 min_conf,
                 window,
+                fault_seed,
+                deadline_ms,
             })
         }
         "gen" => {
@@ -764,6 +784,8 @@ mod tests {
                 addr: "127.0.0.1:7878".into(),
                 min_conf: 0.5,
                 window: None,
+                fault_seed: None,
+                deadline_ms: None,
             }
         );
         let c = parse(&argv(&[
@@ -787,6 +809,50 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_serve_fault_flags() {
+        let c = parse(&argv(&[
+            "serve",
+            "--input",
+            "x.dat",
+            "--min-sup",
+            "2",
+            "--fault-seed",
+            "42",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Serve {
+                fault_seed: Some(42),
+                deadline_ms: Some(250),
+                ..
+            }
+        ));
+        assert!(parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--fault-seed",
+            "nope",
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--deadline-ms",
+            "-1",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -66,7 +66,18 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             addr,
             min_conf,
             window,
-        } => serve(&input, min_sup, &addr, min_conf, window, out),
+            fault_seed,
+            deadline_ms,
+        } => serve(
+            &input,
+            min_sup,
+            &addr,
+            min_conf,
+            window,
+            fault_seed,
+            deadline_ms,
+            out,
+        ),
         Command::QueryServer {
             addr,
             itemsets,
@@ -78,12 +89,15 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     input: &str,
     min_sup: MinSup,
     addr: &str,
     min_conf: f64,
     window: Option<usize>,
+    fault_seed: Option<u64>,
+    deadline_ms: Option<u64>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
@@ -91,6 +105,10 @@ fn serve(
     if abs == 0 {
         return Err("resolved minimum support is zero".into());
     }
+    // One plan shared by server and builder: a chaos run's fault
+    // sequence is a pure function of the seed.
+    let fault =
+        fault_seed.map(|seed| plt_serve::FaultPlan::shared(plt_serve::FaultConfig::chaos(seed)));
     let config = plt_serve::BuilderConfig {
         // Default window: room for the warmup plus as much again of
         // streamed traffic before old transactions age out.
@@ -100,17 +118,22 @@ fn serve(
         rule_config: RuleConfig {
             min_confidence: min_conf,
         },
+        fault: fault.clone(),
     };
     let (engine, builder) = plt_serve::bootstrap(db.transactions(), config)
         .map_err(|e| format!("cannot build snapshot: {e}"))?;
     let snapshot = engine.current();
-    let handle = plt_serve::serve(
-        addr,
-        engine,
-        Some(builder.queue()),
-        plt_serve::ServerConfig::default(),
-    )
-    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut server_config = plt_serve::ServerConfig {
+        fault: fault.clone(),
+        ..plt_serve::ServerConfig::default()
+    };
+    if let Some(ms) = deadline_ms {
+        let deadline = std::time::Duration::from_millis(ms);
+        server_config.read_deadline = Some(deadline);
+        server_config.write_deadline = Some(deadline);
+    }
+    let handle = plt_serve::serve(addr, engine, Some(builder.queue()), server_config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     writeln!(
         out,
         "serving {input} on {}: {} itemsets, {} rules (min_sup = {abs} of {}); \
@@ -121,6 +144,9 @@ fn serve(
         db.len()
     )
     .map_err(|e| e.to_string())?;
+    if let Some(seed) = fault_seed {
+        writeln!(out, "fault injection active (seed {seed})").map_err(|e| e.to_string())?;
+    }
     out.flush().map_err(|e| e.to_string())?;
     handle.join();
     builder.stop();

@@ -6,6 +6,14 @@
 //! to the [`Engine`] — a pointer swap, so in-flight readers keep their
 //! generation and new readers see the new one. Queries never wait on
 //! mining.
+//!
+//! A rebuild that panics does **not** kill the service: the unwind is
+//! caught, the failure is counted ([`Metrics::builder_failures`]
+//! (crate::metrics::Metrics::builder_failures)), the engine is marked
+//! [`Stale`](crate::engine::ServingState::Stale), and the last good
+//! snapshot keeps answering — with `stale: true` on every response —
+//! until a later rebuild succeeds. `flush` acks the *old* generation on
+//! failure, so waiting ingesters never hang on a dead rebuild.
 
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -17,10 +25,11 @@ use plt_rules::RuleConfig;
 use plt_stream::SlidingWindow;
 
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
 use crate::snapshot::Snapshot;
 
 /// Builder configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BuilderConfig {
     /// Sliding-window capacity in transactions.
     pub window_capacity: usize,
@@ -30,6 +39,10 @@ pub struct BuilderConfig {
     pub rank_policy: RankPolicy,
     /// Confidence threshold for precomputed recommendation rules.
     pub rule_config: RuleConfig,
+    /// Deterministic fault injection for rebuilds (the warmup build is
+    /// never faulted — a service that cannot bootstrap should fail
+    /// loudly). `None` in production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for BuilderConfig {
@@ -39,6 +52,7 @@ impl Default for BuilderConfig {
             min_support: 2,
             rank_policy: RankPolicy::default(),
             rule_config: RuleConfig::default(),
+            fault: None,
         }
     }
 }
@@ -141,6 +155,8 @@ pub fn bootstrap(
 
     let (tx, rx) = mpsc::channel::<Msg>();
     let engine_for_thread = engine.clone();
+    let rule_config = config.rule_config;
+    let fault = config.fault.clone();
     let thread = std::thread::Builder::new()
         .name("plt-snapshot-builder".into())
         .spawn(move || {
@@ -159,7 +175,8 @@ pub fn bootstrap(
                                         &engine_for_thread,
                                         std::mem::take(&mut batch),
                                         generation,
-                                        config.rule_config,
+                                        rule_config,
+                                        fault.as_deref(),
                                     );
                                     let _ = ack.send(generation);
                                 }
@@ -175,7 +192,8 @@ pub fn bootstrap(
                                 &engine_for_thread,
                                 batch,
                                 generation,
-                                config.rule_config,
+                                rule_config,
+                                fault.as_deref(),
                             );
                         }
                     }
@@ -185,7 +203,8 @@ pub fn bootstrap(
                             &engine_for_thread,
                             Vec::new(),
                             generation,
-                            config.rule_config,
+                            rule_config,
+                            fault.as_deref(),
                         );
                         let _ = ack.send(generation);
                     }
@@ -204,13 +223,20 @@ pub fn bootstrap(
     ))
 }
 
+/// One rebuild: push the batch, re-rank, re-mine, publish. Returns the
+/// new generation — or the *old* one if the rebuild panicked, in which
+/// case the engine is marked stale and keeps serving the last good
+/// snapshot. The window retains the pushed batch either way, so a later
+/// successful rebuild still covers it.
 fn ingest_and_publish(
     window: &mut SlidingWindow,
     engine: &Engine,
     batch: Vec<Vec<Item>>,
     generation: u64,
     rule_config: RuleConfig,
+    fault: Option<&FaultPlan>,
 ) -> u64 {
+    engine.mark_rebuilding();
     for t in batch {
         // An insert can only fail on pathological input (e.g. items the
         // u32 space can't rank); drop such transactions rather than
@@ -221,8 +247,24 @@ fn ingest_and_publish(
     // snapshot's canonical keys reflect the current window.
     let _ = window.rerank();
     let next = generation + 1;
-    engine.publish(Arc::new(build_snapshot(window, next, rule_config)));
-    next
+    // The window is consistent past this point; mining and snapshot
+    // assembly read it immutably, so catching their unwind is sound.
+    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = fault {
+            plan.maybe_builder_panic();
+        }
+        build_snapshot(window, next, rule_config)
+    }));
+    match rebuilt {
+        Ok(snapshot) => {
+            engine.publish(Arc::new(snapshot));
+            next
+        }
+        Err(_) => {
+            engine.mark_stale();
+            generation
+        }
+    }
 }
 
 fn build_snapshot(window: &SlidingWindow, generation: u64, rule_config: RuleConfig) -> Snapshot {
@@ -233,8 +275,10 @@ fn build_snapshot(window: &SlidingWindow, generation: u64, rule_config: RuleConf
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use crate::json::Json;
     use crate::proto::Request;
+    use std::sync::atomic::Ordering;
 
     fn warmup() -> Vec<Vec<Item>> {
         vec![vec![0, 1], vec![0, 1], vec![0, 2]]
@@ -277,6 +321,37 @@ mod tests {
         let g2 = builder.flush().unwrap();
         assert!(g2 > g1);
         assert_eq!(engine.current().generation(), g2);
+        builder.stop();
+    }
+
+    #[test]
+    fn panicking_rebuilds_degrade_to_the_last_good_snapshot() {
+        // Every rebuild panics: the warmup snapshot must keep serving,
+        // flush must ack (with the old generation) instead of hanging,
+        // and the failures must be counted and surfaced as staleness.
+        let fault = FaultPlan::shared(FaultConfig {
+            builder_panic: 1.0,
+            ..FaultConfig::disabled(11)
+        });
+        let cfg = BuilderConfig {
+            fault: Some(fault),
+            ..config()
+        };
+        let (engine, builder) = bootstrap(&warmup(), cfg).unwrap();
+        assert_eq!(engine.current().generation(), 1);
+
+        assert!(builder.ingest(vec![vec![0, 1], vec![0, 1]]));
+        let acked = builder.flush().expect("flush must ack, not hang");
+        assert_eq!(acked, 1, "failed rebuild acks the old generation");
+        assert!(engine.is_stale());
+        assert_eq!(engine.current().generation(), 1);
+        assert!(engine.metrics().builder_failures.load(Ordering::Relaxed) >= 1);
+
+        // Queries still answer, flagged stale, from the warmup window.
+        let v = Json::parse(&engine.handle(&Request::Support { items: vec![0, 1] })).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("support").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("stale").unwrap().as_bool(), Some(true));
         builder.stop();
     }
 

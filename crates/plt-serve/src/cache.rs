@@ -125,6 +125,56 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_exact_access_order() {
+        // Fill a single shard, touch entries in a scrambled order, then
+        // overflow one at a time: victims must fall out precisely in
+        // last-touch order.
+        let cache = ShardedCache::new(4, 1);
+        for k in ["a", "b", "c", "d"] {
+            cache.put(k.into(), k.to_uppercase());
+        }
+        // Recency (oldest → newest) becomes: b, d, a, c.
+        cache.get("b");
+        cache.get("d");
+        cache.get("a");
+        cache.get("c");
+
+        cache.put("e".into(), "E".into());
+        assert_eq!(cache.get("b"), None, "b was least recently touched");
+        cache.put("f".into(), "F".into());
+        assert_eq!(cache.get("d"), None, "then d");
+        // a and c survive, plus the two newcomers.
+        assert_eq!(cache.get("a").as_deref(), Some("A"));
+        assert_eq!(cache.get("c").as_deref(), Some("C"));
+        assert_eq!(cache.get("e").as_deref(), Some("E"));
+        assert_eq!(cache.get("f").as_deref(), Some("F"));
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn overwriting_a_present_key_never_evicts() {
+        let cache = ShardedCache::new(2, 1);
+        cache.put("a".into(), "1".into());
+        cache.put("b".into(), "2".into());
+        // Shard is full, but "a" is present: replace in place.
+        cache.put("a".into(), "3".into());
+        assert_eq!(cache.get("a").as_deref(), Some("3"));
+        assert_eq!(cache.get("b").as_deref(), Some("2"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_recency_like_get() {
+        let cache = ShardedCache::new(2, 1);
+        cache.put("a".into(), "1".into());
+        cache.put("b".into(), "2".into());
+        cache.put("a".into(), "1b".into()); // a is now the newest
+        cache.put("c".into(), "3".into());
+        assert_eq!(cache.get("b"), None, "b was LRU after a's re-put");
+        assert_eq!(cache.get("a").as_deref(), Some("1b"));
+    }
+
+    #[test]
     fn clear_empties_all_shards() {
         let cache = ShardedCache::new(32, 4);
         for i in 0..20 {

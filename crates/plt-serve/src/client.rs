@@ -1,25 +1,105 @@
 //! Blocking client for the framed protocol — used by the CLI's `query`
 //! subcommand and the end-to-end tests.
+//!
+//! The client is resilient by default: transport failures on idempotent
+//! requests (every read endpoint plus `ping`/`stats`) are retried on a
+//! fresh connection with capped exponential backoff and deterministic
+//! jitter. Non-idempotent requests (`ingest`, `shutdown`) and raw
+//! payloads are never retried — a retry there could double-apply a
+//! batch. A [`FaultPlan`] in the config injects client-side faults for
+//! chaos testing.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use plt_core::item::{Item, Support};
 
+use crate::fault::{FaultPlan, FaultyStream, Site};
 use crate::json::Json;
-use crate::proto::{read_frame, write_frame, Request};
+use crate::proto::{read_frame, write_frame_with, Request};
 
-/// One connection to a plt-serve server. Requests are sent one at a
-/// time (the protocol is strictly request/response per frame).
+/// Retry policy for idempotent requests.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = no retry).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter_seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read deadline (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline.
+    pub write_timeout: Option<Duration>,
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection on the client's own I/O. `None` in
+    /// production.
+    pub fault: Option<std::sync::Arc<FaultPlan>>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
+    }
+}
+
+/// One logical connection to a plt-serve server. Requests are sent one
+/// at a time (the protocol is strictly request/response per frame); the
+/// underlying TCP connection is re-dialed transparently when a retryable
+/// request hits a transport error.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    /// xorshift64 state for backoff jitter.
+    rng: u64,
+}
+
+struct Conn {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: BufWriter<Box<dyn Write + Send>>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Client").finish_non_exhaustive()
+        f.debug_struct("Client")
+            .field("addrs", &self.addrs)
+            .field("connected", &self.conn.is_some())
+            .finish_non_exhaustive()
     }
 }
 
@@ -60,43 +140,149 @@ pub struct SupportReply {
     /// `"index"` or `"oracle"`.
     pub source: String,
     pub generation: u64,
+    /// True when the server is degraded to a snapshot older than the
+    /// data it has accepted (the last rebuild failed).
+    pub stale: bool,
+}
+
+/// Only idempotent requests may be transparently retried: re-sending an
+/// `ingest` could double-apply the batch, and `shutdown` acks race the
+/// server exiting.
+fn is_idempotent(request: &Request) -> bool {
+    !matches!(request, Request::Ingest { .. } | Request::Shutdown)
 }
 
 impl Client {
-    /// Connects with a default 10s read timeout.
+    /// Connects with the default config (10s deadlines, 3 retries).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: BufWriter::new(stream),
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit knobs. Dials eagerly so misconfiguration
+    /// fails here, not on the first request.
+    pub fn with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let mut seed = config.retry.jitter_seed;
+        if seed == 0 {
+            seed = 0x9e3779b97f4a7c15;
+        }
+        let mut client = Client {
+            addrs,
+            config,
+            conn: None,
+            rng: seed,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        let read_stream = stream.try_clone()?;
+        let (read_half, write_half): (Box<dyn Read + Send>, Box<dyn Write + Send>) =
+            match &self.config.fault {
+                Some(plan) => (
+                    Box::new(FaultyStream::new(
+                        read_stream,
+                        plan.clone(),
+                        Site::ClientRead,
+                    )),
+                    Box::new(FaultyStream::new(stream, plan.clone(), Site::ClientWrite)),
+                ),
+                None => (Box::new(read_stream), Box::new(stream)),
+            };
+        Ok(Conn {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(write_half),
         })
     }
 
-    /// Sends one request and reads the matching response. Protocol
-    /// errors (`ok: false`) surface as [`ClientError::Server`].
+    /// Deterministic equal-jitter backoff: `cap(base·2ⁿ)/2` plus a
+    /// jittered half, so synchronized clients spread out.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.retry.base_backoff.as_millis().max(1) as u64;
+        let cap = self.config.retry.max_backoff.as_millis().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(20)).min(cap);
+        // xorshift64 — deterministic per client, seeded by the policy.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        Duration::from_millis(exp / 2 + self.rng % (exp / 2 + 1))
+    }
+
+    /// Sends one request and reads the matching response, re-dialing and
+    /// retrying idempotent requests on transport errors. Protocol errors
+    /// (`ok: false`) surface as [`ClientError::Server`] and are never
+    /// retried.
     pub fn request(&mut self, request: &Request) -> Result<Json, ClientError> {
-        self.request_raw(&request.to_json().to_string())
+        let payload = request.to_json().to_string();
+        let retriable = is_idempotent(request);
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(&payload) {
+                Err(ClientError::Io(_)) if retriable && attempt < self.config.retry.max_retries => {
+                    let delay = self.backoff(attempt);
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Sends a raw JSON payload (already rendered); used by the CLI to
-    /// pass user-authored requests through unchanged.
+    /// pass user-authored requests through unchanged. Never retried —
+    /// the payload's idempotency is unknown.
     pub fn request_raw(&mut self, payload: &str) -> Result<Json, ClientError> {
-        write_frame(&mut self.writer, payload)?;
-        let reply = read_frame(&mut self.reader)?
-            .ok_or_else(|| ClientError::Malformed("connection closed mid-request".into()))?;
-        let v = Json::parse(&reply).map_err(|e| ClientError::Malformed(e.to_string()))?;
-        match v.get("ok").and_then(Json::as_bool) {
-            Some(true) => Ok(v),
-            Some(false) => Err(ClientError::Server(
-                v.get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified")
-                    .to_string(),
-            )),
-            None => Err(ClientError::Malformed("response missing \"ok\"".into())),
+        self.request_once(payload)
+    }
+
+    /// One attempt on the current (or a fresh) connection. Any transport
+    /// failure poisons the connection so the next attempt re-dials.
+    fn request_once(&mut self, payload: &str) -> Result<Json, ClientError> {
+        let fault = self.config.fault.clone();
+        let frame_fault = fault.as_deref().map(|plan| (plan, Site::ClientWrite));
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
         }
+        let conn = self.conn.as_mut().unwrap();
+        let result = (|| -> Result<Json, ClientError> {
+            write_frame_with(&mut conn.writer, payload, frame_fault)?;
+            let reply = read_frame(&mut conn.reader)?.ok_or_else(|| {
+                // Mid-request EOF is a transport failure (server died or
+                // dropped us), not a malformed response — retriable.
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            })?;
+            let v = Json::parse(&reply).map_err(|e| ClientError::Malformed(e.to_string()))?;
+            match v.get("ok").and_then(Json::as_bool) {
+                Some(true) => Ok(v),
+                Some(false) => Err(ClientError::Server(
+                    v.get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified")
+                        .to_string(),
+                )),
+                None => Err(ClientError::Malformed("response missing \"ok\"".into())),
+            }
+        })();
+        if matches!(result, Err(ClientError::Io(_))) {
+            self.conn = None;
+        }
+        result
     }
 
     /// `support` endpoint.
@@ -116,6 +302,7 @@ impl Client {
                 .unwrap_or("")
                 .to_string(),
             generation: field_u64(&v, "generation")?,
+            stale: v.get("stale").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 

@@ -8,7 +8,7 @@
 //! unavailable offline, `std::sync::RwLock` is the swap primitive; the
 //! read path holds it for nanoseconds, so contention is negligible.)
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -18,6 +18,46 @@ use crate::metrics::{Endpoint, Metrics};
 use crate::proto::{err_response, ok_response, Request};
 use crate::snapshot::Snapshot;
 
+/// Degradation state of the serving snapshot. The builder drives the
+/// transitions: `Fresh` after a successful publish, `Rebuilding` while a
+/// re-mine is in flight, `Stale` when a rebuild failed — the engine keeps
+/// answering from the last good snapshot and says so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingState {
+    /// The current snapshot is the newest successful rebuild.
+    Fresh,
+    /// The last rebuild failed; answers come from the last good snapshot.
+    Stale,
+    /// A rebuild is in flight; answers come from the previous snapshot.
+    Rebuilding,
+}
+
+impl ServingState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServingState::Fresh => "fresh",
+            ServingState::Stale => "stale",
+            ServingState::Rebuilding => "rebuilding",
+        }
+    }
+
+    fn from_u8(v: u8) -> ServingState {
+        match v {
+            1 => ServingState::Stale,
+            2 => ServingState::Rebuilding,
+            _ => ServingState::Fresh,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ServingState::Fresh => 0,
+            ServingState::Stale => 1,
+            ServingState::Rebuilding => 2,
+        }
+    }
+}
+
 /// Shared engine state: one per server, `Arc`-cloned into every
 /// connection handler.
 #[derive(Debug)]
@@ -25,6 +65,7 @@ pub struct Engine {
     snapshot: RwLock<Arc<Snapshot>>,
     cache: ShardedCache,
     metrics: Metrics,
+    state: AtomicU8,
 }
 
 impl Engine {
@@ -44,6 +85,7 @@ impl Engine {
             snapshot: RwLock::new(Arc::new(initial)),
             cache: ShardedCache::new(cache_capacity, shards),
             metrics,
+            state: AtomicU8::new(ServingState::Fresh.as_u8()),
         }
     }
 
@@ -57,9 +99,45 @@ impl Engine {
     pub fn publish(&self, snapshot: Arc<Snapshot>) {
         let generation = snapshot.generation();
         *self.snapshot.write().unwrap() = snapshot;
+        self.state
+            .store(ServingState::Fresh.as_u8(), Ordering::SeqCst);
         self.cache.clear();
         self.metrics.generation.store(generation, Ordering::Relaxed);
         self.metrics.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current degradation state.
+    pub fn state(&self) -> ServingState {
+        ServingState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    /// Whether answers come from a snapshot older than the data the
+    /// service has accepted (the last rebuild failed).
+    pub fn is_stale(&self) -> bool {
+        self.state() == ServingState::Stale
+    }
+
+    fn set_state(&self, state: ServingState) {
+        let prev = self.state.swap(state.as_u8(), Ordering::SeqCst);
+        if prev != state.as_u8() {
+            // Cached responses embed the previous `stale` flag.
+            self.cache.clear();
+        }
+    }
+
+    /// Builder hook: a rebuild is starting.
+    pub fn mark_rebuilding(&self) {
+        self.set_state(ServingState::Rebuilding);
+    }
+
+    /// Builder hook: a rebuild died. The last good snapshot keeps
+    /// serving; the failure is counted and surfaced via `STATS` and the
+    /// `stale` response field until a publish succeeds.
+    pub fn mark_stale(&self) {
+        self.metrics
+            .builder_failures
+            .fetch_add(1, Ordering::Relaxed);
+        self.set_state(ServingState::Stale);
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -101,6 +179,10 @@ impl Engine {
 
     fn answer(&self, request: &Request) -> Json {
         let snap = self.current();
+        // Every query response names its generation and whether that
+        // generation is known-stale (last rebuild failed), so clients can
+        // tell degraded answers from fresh ones.
+        let stale = self.is_stale();
         match request {
             Request::Support { items } => {
                 let a = snap.support(items);
@@ -109,6 +191,7 @@ impl Engine {
                     ("frequent", Json::Bool(a.frequent)),
                     ("source", Json::str(a.source.as_str())),
                     ("generation", Json::from(snap.generation())),
+                    ("stale", Json::Bool(stale)),
                 ])
             }
             Request::TopK { k, min_size } => {
@@ -134,6 +217,7 @@ impl Engine {
                 ok_response(vec![
                     ("itemsets", Json::Arr(rows)),
                     ("generation", Json::from(snap.generation())),
+                    ("stale", Json::Bool(stale)),
                 ])
             }
             Request::Extensions { items, k } => {
@@ -150,6 +234,7 @@ impl Engine {
                 ok_response(vec![
                     ("extensions", Json::Arr(rows)),
                     ("generation", Json::from(snap.generation())),
+                    ("stale", Json::Bool(stale)),
                 ])
             }
             Request::Recommend { items, k } => {
@@ -178,6 +263,7 @@ impl Engine {
                 ok_response(vec![
                     ("recommendations", Json::Arr(rows)),
                     ("generation", Json::from(snap.generation())),
+                    ("stale", Json::Bool(stale)),
                 ])
             }
             Request::Stats => {
@@ -198,9 +284,27 @@ impl Engine {
                     .collect();
                 ok_response(vec![
                     ("generation", Json::from(snap.generation())),
+                    ("stale", Json::Bool(stale)),
+                    ("state", Json::str(self.state().as_str())),
                     (
                         "publishes",
                         Json::from(self.metrics.publishes.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "builder_failures",
+                        Json::from(self.metrics.builder_failures.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "protocol_errors",
+                        Json::from(self.metrics.protocol_errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "timeouts",
+                        Json::from(self.metrics.timeouts.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected_connections",
+                        Json::from(self.metrics.rejected_connections.load(Ordering::Relaxed)),
                     ),
                     ("num_transactions", Json::from(snap.num_transactions())),
                     ("min_support", Json::from(snap.min_support())),
@@ -213,6 +317,7 @@ impl Engine {
             Request::Ping => ok_response(vec![
                 ("pong", Json::Bool(true)),
                 ("generation", Json::from(snap.generation())),
+                ("stale", Json::Bool(stale)),
             ]),
             Request::Ingest { .. } => {
                 // Reached only when no builder is attached (e.g. a
@@ -360,6 +465,49 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn degradation_is_surfaced_and_cleared_by_publish() {
+        let engine = engine();
+        let req = Request::Support { items: vec![0] };
+
+        // Fresh: responses say stale=false.
+        let v = Json::parse(&engine.handle(&req)).unwrap();
+        assert_eq!(v.get("stale").unwrap().as_bool(), Some(false));
+        assert_eq!(engine.state(), ServingState::Fresh);
+
+        // A failed rebuild: the cached fresh answer must not leak, the
+        // same (still correct) payload now carries stale=true, and STATS
+        // counts the failure.
+        engine.mark_rebuilding();
+        assert_eq!(engine.state(), ServingState::Rebuilding);
+        engine.mark_stale();
+        assert!(engine.is_stale());
+        let v = Json::parse(&engine.handle(&req)).unwrap();
+        assert_eq!(v.get("stale").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("support").unwrap().as_u64(), Some(4));
+        let stats = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        assert_eq!(stats.get("stale").unwrap().as_bool(), Some(true));
+        assert_eq!(stats.get("state").unwrap().as_str(), Some("stale"));
+        assert_eq!(stats.get("builder_failures").unwrap().as_u64(), Some(1));
+
+        // A successful publish recovers.
+        let db = vec![vec![0, 1], vec![0, 1], vec![0, 2]];
+        let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db, 2);
+        engine.publish(Arc::new(Snapshot::build(
+            2,
+            plt,
+            &result,
+            RuleConfig::default(),
+        )));
+        assert_eq!(engine.state(), ServingState::Fresh);
+        let v = Json::parse(&engine.handle(&req)).unwrap();
+        assert_eq!(v.get("stale").unwrap().as_bool(), Some(false));
+        // Failure count is cumulative, not reset by recovery.
+        let stats = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        assert_eq!(stats.get("builder_failures").unwrap().as_u64(), Some(1));
     }
 
     #[test]

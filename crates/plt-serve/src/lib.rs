@@ -23,7 +23,14 @@
 //!   publishing fresh snapshots (one pointer swap; cache cleared).
 //! * [`server`]/[`client`] — a TCP wire: length-prefixed JSON frames
 //!   ([`proto`]), N acceptor threads sharing one listener, a thread per
-//!   connection. `std::net` only; no async runtime.
+//!   connection. `std::net` only; no async runtime. Connections carry
+//!   read/write deadlines, a max-frame bound, and a capacity cap; the
+//!   client retries idempotent requests with capped backoff.
+//! * [`fault`] — seed-deterministic fault injection (torn/oversized
+//!   frames, short I/O, stalls, builder panics) threaded through all of
+//!   the above for reproducible chaos testing. A failed rebuild degrades
+//!   the service to its last good snapshot (`stale: true` on responses)
+//!   instead of killing it.
 //!
 //! ## Quick start
 //!
@@ -36,7 +43,7 @@
 //! let config = BuilderConfig { min_support: 2, ..BuilderConfig::default() };
 //! let (engine, builder) = bootstrap(&warmup, config).unwrap();
 //! let handle = serve("127.0.0.1:0", engine, Some(builder.queue()),
-//!                    ServerConfig { acceptors: 1 }).unwrap();
+//!                    ServerConfig { acceptors: 1, ..ServerConfig::default() }).unwrap();
 //!
 //! let mut client = Client::connect(handle.addr()).unwrap();
 //! assert_eq!(client.support(&[1, 2]).unwrap().support, 2);
@@ -49,6 +56,7 @@ pub mod builder;
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod proto;
@@ -56,8 +64,9 @@ pub mod server;
 pub mod snapshot;
 
 pub use builder::{bootstrap, BuilderConfig, BuilderHandle, IngestQueue};
-pub use client::{Client, ClientError, SupportReply};
-pub use engine::Engine;
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy, SupportReply};
+pub use engine::{Engine, ServingState};
+pub use fault::{FaultConfig, FaultEvent, FaultPlan, Site};
 pub use proto::Request;
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use snapshot::{Recommendation, Snapshot, SupportAnswer, SupportSource};

@@ -118,6 +118,15 @@ pub struct Metrics {
     pub generation: AtomicU64,
     /// Snapshots published over the service lifetime.
     pub publishes: AtomicU64,
+    /// Builder rebuilds that panicked and were absorbed (the service kept
+    /// answering from the last good snapshot).
+    pub builder_failures: AtomicU64,
+    /// Frames rejected as malformed (bad header, over limit, bad UTF-8).
+    pub protocol_errors: AtomicU64,
+    /// Connections dropped for blowing a read/write deadline.
+    pub timeouts: AtomicU64,
+    /// Connections refused because the server was at capacity.
+    pub rejected_connections: AtomicU64,
 }
 
 impl Metrics {
@@ -196,5 +205,57 @@ mod tests {
         let s = EndpointStats::default();
         s.record(Duration::from_nanos(10), None);
         assert_eq!(s.quantile_micros(1.0), Some(1));
+    }
+
+    #[test]
+    fn exact_power_of_two_latencies_land_in_their_own_bucket() {
+        // Bucket i covers [2^i, 2^(i+1)): an exactly-2^i sample must
+        // report 2^i, not the bucket below.
+        for exp in 0..10u32 {
+            let s = EndpointStats::default();
+            s.record(Duration::from_micros(1u64 << exp), None);
+            assert_eq!(s.quantile_micros(1.0), Some(1u64 << exp), "2^{exp}µs");
+        }
+    }
+
+    #[test]
+    fn one_microsecond_boundary() {
+        let s = EndpointStats::default();
+        s.record(Duration::from_micros(1), None);
+        s.record(Duration::from_nanos(999), None); // clamps up to 1µs
+        assert_eq!(s.quantile_micros(0.5), Some(1));
+        assert_eq!(s.quantile_micros(1.0), Some(1));
+        assert_eq!(s.requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tail_bucket_saturates() {
+        // Anything past the last bucket's lower bound (2^21 µs ≈ 2.1s)
+        // lands in the saturating tail, including absurd durations.
+        let s = EndpointStats::default();
+        s.record(Duration::from_secs(3), None);
+        s.record(Duration::from_secs(3600), None);
+        assert_eq!(s.quantile_micros(0.5), Some(1u64 << 21));
+        assert_eq!(s.quantile_micros(1.0), Some(1u64 << 21));
+    }
+
+    #[test]
+    fn quantile_edge_fractions() {
+        let s = EndpointStats::default();
+        for _ in 0..10 {
+            s.record(Duration::from_micros(4), None);
+        }
+        // Tiny q still selects the first occupied bucket; q = 1.0 the last.
+        assert_eq!(s.quantile_micros(0.0001), Some(4));
+        assert_eq!(s.quantile_micros(1.0), Some(4));
+    }
+
+    #[test]
+    fn service_counters_default_to_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.builder_failures.load(Ordering::Relaxed), 0);
+        assert_eq!(m.protocol_errors.load(Ordering::Relaxed), 0);
+        assert_eq!(m.timeouts.load(Ordering::Relaxed), 0);
+        assert_eq!(m.rejected_connections.load(Ordering::Relaxed), 0);
     }
 }

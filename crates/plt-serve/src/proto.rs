@@ -18,6 +18,7 @@ use std::io::{BufRead, Write};
 
 use plt_core::item::Item;
 
+use crate::fault::{FaultPlan, FrameFault, Site};
 use crate::json::Json;
 
 /// Frames larger than this are rejected before allocation. Generous for
@@ -192,8 +193,54 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Writes one frame, consulting a fault plan first. A torn frame sends a
+/// deterministic prefix of the encoded bytes then fails; an oversized
+/// frame lies in the length header (past [`MAX_FRAME_BYTES`]) then fails.
+/// Either way the caller sees an error and must treat the connection as
+/// dead — exactly what a real half-written frame implies.
+pub fn write_frame_with(
+    w: &mut impl Write,
+    payload: &str,
+    fault: Option<(&FaultPlan, Site)>,
+) -> std::io::Result<()> {
+    if let Some((plan, site)) = fault {
+        let encoded = format!("{}\n{}\n", payload.len(), payload);
+        match plan.frame_fault(site, encoded.len()) {
+            Some(FrameFault::Torn { keep }) => {
+                let keep = keep.min(encoded.len().saturating_sub(1));
+                w.write_all(&encoded.as_bytes()[..keep])?;
+                w.flush()?;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "fault injection: torn frame",
+                ));
+            }
+            Some(FrameFault::Oversized) => {
+                write!(w, "{}\n{}\n", MAX_FRAME_BYTES + 1, payload)?;
+                w.flush()?;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "fault injection: oversized frame header",
+                ));
+            }
+            None => {}
+        }
+    }
+    write_frame(w, payload)
+}
+
 /// Reads one frame; `Ok(None)` on clean EOF before a frame starts.
+/// Frames above [`MAX_FRAME_BYTES`] are rejected.
 pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    read_frame_limited(r, MAX_FRAME_BYTES)
+}
+
+/// Reads one frame with an explicit size limit (the server's configured
+/// backpressure bound). The limit is checked before any allocation.
+pub fn read_frame_limited(
+    r: &mut impl BufRead,
+    max_frame: usize,
+) -> std::io::Result<Option<String>> {
     let mut header = String::new();
     if r.read_line(&mut header)? == 0 {
         return Ok(None);
@@ -204,7 +251,7 @@ pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
             format!("invalid frame header {header:?}"),
         )
     })?;
-    if len > MAX_FRAME_BYTES {
+    if len > max_frame {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds limit"),
@@ -245,6 +292,61 @@ mod tests {
             Some(r#"{"op":"stats"}"#)
         );
         assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn limited_reader_applies_the_given_bound() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"stats"}"#).unwrap();
+        let mut r = std::io::Cursor::new(buf.clone());
+        let err = read_frame_limited(&mut r, 4).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+        let mut r = std::io::Cursor::new(buf);
+        assert!(read_frame_limited(&mut r, 64).unwrap().is_some());
+    }
+
+    #[test]
+    fn fault_aware_writer_tears_and_oversizes_deterministically() {
+        use crate::fault::{FaultConfig, FaultPlan, Site};
+        // torn_frame = 1.0: every frame is torn; the bytes on the wire are
+        // a strict prefix of the clean encoding and the writer errors.
+        let plan = FaultPlan::new(FaultConfig {
+            torn_frame: 1.0,
+            ..FaultConfig::disabled(5)
+        });
+        let mut torn = Vec::new();
+        let err = write_frame_with(
+            &mut torn,
+            r#"{"op":"ping"}"#,
+            Some((&plan, Site::ServerWrite)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        let mut clean = Vec::new();
+        write_frame(&mut clean, r#"{"op":"ping"}"#).unwrap();
+        assert!(!torn.is_empty() && torn.len() < clean.len());
+        assert_eq!(&clean[..torn.len()], &torn[..]);
+
+        // oversized_frame = 1.0: the header lies past the limit and the
+        // receiving side rejects before allocating.
+        let plan = FaultPlan::new(FaultConfig {
+            oversized_frame: 1.0,
+            ..FaultConfig::disabled(5)
+        });
+        let mut big = Vec::new();
+        assert!(write_frame_with(&mut big, "{}", Some((&plan, Site::ClientWrite))).is_err());
+        let mut r = std::io::Cursor::new(big);
+        assert!(read_frame(&mut r).is_err());
+
+        // No fault plan: plain write, round-trips.
+        let mut ok = Vec::new();
+        write_frame_with(&mut ok, r#"{"op":"ping"}"#, None).unwrap();
+        let mut r = std::io::Cursor::new(ok);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(r#"{"op":"ping"}"#)
+        );
     }
 
     #[test]

@@ -7,24 +7,52 @@
 //! connection speaks the framed protocol of [`proto`](crate::proto)
 //! until EOF or a `shutdown` request; handlers only touch the engine
 //! through `Arc`, so a slow connection never blocks another.
+//!
+//! Robustness knobs (all in [`ServerConfig`]): per-connection read and
+//! write deadlines (a stalled peer is timed out, counted, and dropped —
+//! it cannot pin a handler thread forever), a max-frame limit enforced
+//! before allocation, and a connection cap — past it, new connections get
+//! an error frame and are refused rather than queueing unboundedly. A
+//! [`FaultPlan`] wired into the config injects deterministic faults into
+//! the server's own reads and writes for chaos testing.
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::builder::IngestQueue;
 use crate::engine::Engine;
+use crate::fault::{FaultPlan, FaultyStream, Site};
 use crate::json::Json;
-use crate::proto::{err_response, ok_response, read_frame, write_frame, Request};
+use crate::proto::{
+    err_response, ok_response, read_frame_limited, write_frame, write_frame_with, Request,
+    MAX_FRAME_BYTES,
+};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Acceptor threads sharing the listener. Defaults to available
     /// parallelism, capped at 8 (accept is rarely the bottleneck).
     pub acceptors: usize,
+    /// Per-connection read deadline. A peer that sends nothing for this
+    /// long is timed out and dropped. `None` blocks forever.
+    pub read_deadline: Option<Duration>,
+    /// Per-connection write deadline. A peer that stops draining its
+    /// socket for this long is timed out and dropped. `None` blocks
+    /// forever.
+    pub write_deadline: Option<Duration>,
+    /// Largest accepted frame, checked before allocation.
+    pub max_frame: usize,
+    /// Concurrent-connection cap; connections past it are answered with
+    /// an error frame and refused (backpressure, not an unbounded queue).
+    pub max_connections: usize,
+    /// Deterministic fault injection for the server's own I/O. `None` in
+    /// production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +62,11 @@ impl Default for ServerConfig {
             .unwrap_or(1);
         ServerConfig {
             acceptors: cores.min(8),
+            read_deadline: Some(Duration::from_secs(30)),
+            write_deadline: Some(Duration::from_secs(10)),
+            max_frame: MAX_FRAME_BYTES,
+            max_connections: 1024,
+            fault: None,
         }
     }
 }
@@ -78,6 +111,24 @@ impl ServerHandle {
     }
 }
 
+/// Decrements the active-connection count when a handler exits, however
+/// it exits.
+struct ConnectionPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn try_acquire(active: &Arc<AtomicUsize>, max: usize) -> Option<ConnectionPermit> {
+    if active.fetch_add(1, Ordering::SeqCst) >= max {
+        active.fetch_sub(1, Ordering::SeqCst);
+        return None;
+    }
+    Some(ConnectionPermit(active.clone()))
+}
+
 /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
 /// `engine`. `ingest` wires the `INGEST` endpoint to a snapshot
 /// builder; without it, ingest requests are answered with an error.
@@ -90,15 +141,18 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     let acceptors = (0..config.acceptors.max(1))
         .map(|i| {
             let listener = listener.try_clone()?;
             let engine = engine.clone();
             let ingest = ingest.clone();
             let stop = stop.clone();
+            let active = active.clone();
+            let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("plt-serve-acceptor-{i}"))
-                .spawn(move || acceptor_loop(listener, engine, ingest, stop, addr))
+                .spawn(move || acceptor_loop(listener, engine, ingest, stop, active, config, addr))
         })
         .collect::<std::io::Result<Vec<_>>>()?;
     Ok(ServerHandle {
@@ -108,11 +162,14 @@ pub fn serve(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn acceptor_loop(
     listener: TcpListener,
     engine: Arc<Engine>,
     ingest: Option<IngestQueue>,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    config: ServerConfig,
     addr: SocketAddr,
 ) {
     loop {
@@ -124,13 +181,32 @@ fn acceptor_loop(
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                let permit = match try_acquire(&active, config.max_connections) {
+                    Some(p) => p,
+                    None => {
+                        // At capacity: say so and refuse, rather than
+                        // letting the backlog grow without bound.
+                        engine
+                            .metrics()
+                            .rejected_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut w = BufWriter::new(stream);
+                        let _ = write_frame(
+                            &mut w,
+                            &err_response("server at connection capacity").to_string(),
+                        );
+                        continue;
+                    }
+                };
                 let engine = engine.clone();
                 let ingest = ingest.clone();
                 let stop = stop.clone();
+                let config = config.clone();
                 let _ = std::thread::Builder::new()
                     .name("plt-serve-conn".into())
                     .spawn(move || {
-                        if handle_connection(stream, &engine, ingest.as_ref(), &stop)
+                        let _permit = permit;
+                        if handle_connection(stream, &engine, ingest.as_ref(), &stop, &config)
                             == ConnectionOutcome::ShutdownRequested
                         {
                             wake_acceptors(addr, usize::MAX);
@@ -154,37 +230,96 @@ enum ConnectionOutcome {
     ShutdownRequested,
 }
 
+/// Is this I/O error a blown read/write deadline?
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(
     stream: TcpStream,
     engine: &Engine,
     ingest: Option<&IngestQueue>,
     stop: &AtomicBool,
+    config: &ServerConfig,
 ) -> ConnectionOutcome {
-    let mut reader = BufReader::new(match stream.try_clone() {
+    // Deadlines turn a stalled peer into an I/O error on this thread
+    // instead of an eternally parked handler.
+    if stream.set_read_timeout(config.read_deadline).is_err()
+        || stream.set_write_timeout(config.write_deadline).is_err()
+    {
+        return ConnectionOutcome::Closed;
+    }
+    let read_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return ConnectionOutcome::Closed,
-    });
-    let mut writer = BufWriter::new(stream);
+    };
+    // With a fault plan, the server's own byte stream misbehaves too —
+    // boxed so faulted and clean connections share one handler loop.
+    let (read_half, write_half): (Box<dyn Read>, Box<dyn Write>) = match &config.fault {
+        Some(plan) => (
+            Box::new(FaultyStream::new(
+                read_stream,
+                plan.clone(),
+                Site::ServerRead,
+            )),
+            Box::new(FaultyStream::new(stream, plan.clone(), Site::ServerWrite)),
+        ),
+        None => (Box::new(read_stream), Box::new(stream)),
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(write_half);
+    let frame_fault = config
+        .fault
+        .as_deref()
+        .map(|plan| (plan, Site::ServerWrite));
     loop {
-        let payload = match read_frame(&mut reader) {
+        let payload = match read_frame_limited(&mut reader, config.max_frame) {
             Ok(Some(p)) => p,
             Ok(None) => return ConnectionOutcome::Closed,
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 // Tell the peer what was wrong with the frame, then
                 // drop the connection — framing is unrecoverable.
-                let _ = write_frame(&mut writer, &err_response(e.to_string()).to_string());
+                engine
+                    .metrics()
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame_with(
+                    &mut writer,
+                    &err_response(e.to_string()).to_string(),
+                    frame_fault,
+                );
                 return ConnectionOutcome::Closed;
             }
-            Err(_) => return ConnectionOutcome::Closed,
+            Err(e) => {
+                if is_timeout(&e) {
+                    engine.metrics().timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                return ConnectionOutcome::Closed;
+            }
         };
         let response = match Json::parse(&payload) {
-            Err(e) => err_response(e.to_string()).to_string(),
+            Err(e) => {
+                engine
+                    .metrics()
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                err_response(e.to_string()).to_string()
+            }
             Ok(v) => match Request::from_json(&v) {
-                Err(e) => err_response(e).to_string(),
+                Err(e) => {
+                    engine
+                        .metrics()
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    err_response(e).to_string()
+                }
                 Ok(Request::Shutdown) => {
                     stop.store(true, Ordering::SeqCst);
                     let response = engine.handle(&Request::Shutdown);
-                    let _ = write_frame(&mut writer, &response);
+                    let _ = write_frame_with(&mut writer, &response, frame_fault);
                     return ConnectionOutcome::ShutdownRequested;
                 }
                 Ok(Request::Ingest { transactions, wait }) => match ingest {
@@ -199,6 +334,7 @@ fn handle_connection(
                                 Some(generation) => ok_response(vec![
                                     ("accepted", Json::from(accepted)),
                                     ("generation", Json::from(generation)),
+                                    ("stale", Json::Bool(engine.is_stale())),
                                 ])
                                 .to_string(),
                                 None => err_response("snapshot builder has exited").to_string(),
@@ -211,8 +347,14 @@ fn handle_connection(
                 Ok(request) => engine.handle(&request),
             },
         };
-        if write_frame(&mut writer, &response).is_err() {
-            return ConnectionOutcome::Closed;
+        match write_frame_with(&mut writer, &response, frame_fault) {
+            Ok(()) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    engine.metrics().timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                return ConnectionOutcome::Closed;
+            }
         }
     }
 }

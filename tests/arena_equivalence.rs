@@ -4,12 +4,15 @@
 //! miner, and the FP-growth baseline — sequentially, in parallel, and
 //! under pool reuse.
 
+use std::collections::BTreeSet;
+
 use plt::baselines::FpGrowthMiner;
 use plt::core::construct::{construct, ConstructOptions};
 use plt::core::miner::Miner;
+use plt::core::subset::{NaiveChecker, SubsetChecker};
 use plt::data::{DenseConfig, DenseGenerator, QuestConfig, QuestGenerator};
 use plt::parallel::ParallelPltMiner;
-use plt::{ArenaPool, CondEngine, ConditionalMiner, RankPolicy, TopDownMiner};
+use plt::{ArenaPool, CondEngine, ConditionalMiner, PositionVector, RankPolicy, TopDownMiner};
 use proptest::prelude::*;
 
 /// Everything that must agree with the arena engine.
@@ -146,5 +149,126 @@ proptest! {
     ) {
         let db: Vec<Vec<u32>> = db.into_iter().map(|t| t.into_iter().collect()).collect();
         assert_arena_agrees(&db, min_support, "prop dense");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generalised Lemma 4.1.3: position-vector subset derivations vs rank-set
+// oracles. The `(k−1)`-subset machinery in `subset.rs` works entirely in
+// position-vector space (drop the last position, or sum a consecutive
+// pair); these properties pin it to the obvious definition — dropping one
+// rank from the sorted rank set — on random vectors.
+// ---------------------------------------------------------------------------
+
+/// Drop-one oracle over a sorted rank slice: the rank sequence with
+/// element `drop` removed.
+fn drop_one(ranks: &[u32], drop: usize) -> Vec<u32> {
+    ranks
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != drop)
+        .map(|(_, &r)| r)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `level_down_subsets` (parent + consecutive merges) yields exactly
+    /// the `k` vectors obtained by deleting each rank in turn — no more,
+    /// no fewer, no duplicates (Lemma 4.1.2 makes rank sets and vectors
+    /// interchangeable as identities).
+    #[test]
+    fn prop_level_down_matches_drop_one_rank_oracle(
+        ranks in proptest::collection::btree_set(1u32..64, 1..10),
+    ) {
+        let ranks: Vec<u32> = ranks.into_iter().collect();
+        let k = ranks.len();
+        let v = PositionVector::from_ranks(&ranks).unwrap();
+
+        let derived: BTreeSet<Vec<u32>> =
+            v.level_down_subsets().map(|s| s.ranks()).collect();
+        let mut oracle = BTreeSet::new();
+        if k >= 2 {
+            for drop in 0..k {
+                oracle.insert(drop_one(&ranks, drop));
+            }
+        }
+        prop_assert_eq!(derived.len(), if k >= 2 { k } else { 0 });
+        prop_assert_eq!(derived, oracle);
+    }
+
+    /// `SubsetChecker` membership and the Apriori prune test
+    /// (`all_level_down_subsets_present`) agree with a brute-force oracle
+    /// holding plain rank sets, for an arbitrary stored family and
+    /// arbitrary candidates.
+    #[test]
+    fn prop_subset_checker_agrees_with_rank_set_oracle(
+        family in proptest::collection::btree_set(
+            proptest::collection::btree_set(1u32..16, 1..5),
+            1..30,
+        ),
+        candidates in proptest::collection::vec(
+            proptest::collection::btree_set(1u32..16, 1..5),
+            1..20,
+        ),
+    ) {
+        let mut checker = SubsetChecker::new();
+        let mut oracle: BTreeSet<Vec<u32>> = BTreeSet::new();
+        for ranks in &family {
+            let ranks: Vec<u32> = ranks.iter().copied().collect();
+            checker.insert(PositionVector::from_ranks(&ranks).unwrap());
+            oracle.insert(ranks);
+        }
+        prop_assert_eq!(checker.len(), oracle.len());
+
+        for cand in candidates {
+            let ranks: Vec<u32> = cand.into_iter().collect();
+            let v = PositionVector::from_ranks(&ranks).unwrap();
+            prop_assert_eq!(
+                checker.contains(&v),
+                oracle.contains(&ranks),
+                "contains({:?})", &ranks
+            );
+            let brute = ranks.len() == 1
+                || (0..ranks.len()).all(|d| oracle.contains(&drop_one(&ranks, d)));
+            prop_assert_eq!(
+                checker.all_level_down_subsets_present(&v),
+                brute,
+                "all_level_down({:?})", &ranks
+            );
+        }
+    }
+
+    /// On mined families the two production checkers agree with each
+    /// other, and the family is level-down closed (anti-monotonicity):
+    /// every mined itemset passes the prune test in both representations.
+    #[test]
+    fn prop_mined_family_is_level_down_closed(
+        db in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..10, 1..6),
+            1..30,
+        ),
+        min_support in 1u64..4,
+    ) {
+        let db: Vec<Vec<u32>> = db.into_iter().map(|t| t.into_iter().collect()).collect();
+        let plt = construct(&db, min_support, ConstructOptions::conditional()).unwrap();
+        let ranking = plt.ranking().clone();
+        let result = ConditionalMiner::default().mine(&db, min_support);
+        let checker = SubsetChecker::from_result(&result, &ranking);
+        let naive = NaiveChecker::from_result(&result);
+        prop_assert_eq!(checker.len(), naive.len());
+        for (itemset, _) in result.iter() {
+            let v = PositionVector::canonical_for(itemset.items(), &ranking)
+                .expect("mined itemsets are fully ranked");
+            prop_assert!(
+                checker.all_level_down_subsets_present(&v),
+                "vector prune rejects mined {}", itemset
+            );
+            prop_assert!(
+                naive.all_level_down_subsets_present(itemset.items()),
+                "naive prune rejects mined {}", itemset
+            );
+        }
     }
 }

@@ -23,7 +23,10 @@ fn start(
         "127.0.0.1:0",
         engine,
         Some(builder.queue()),
-        ServerConfig { acceptors: 2 },
+        ServerConfig {
+            acceptors: 2,
+            ..ServerConfig::default()
+        },
     )
     .expect("bind ephemeral port");
     (handle, builder)
