@@ -121,8 +121,13 @@ fn run_one(out: &mut impl Write, id: &str, scale: Scale, json_out: Option<&str>)
             writeln!(out, "{}", experiments::x12_table(&cells)).unwrap();
             if let Some(path) = json_out {
                 let json = experiments::x12_json(&cells, scale);
-                std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-                writeln!(out, "wrote {path}").unwrap();
+                match plt_bench::write_json_out(path, &json) {
+                    Ok(()) => writeln!(out, "wrote {path}").unwrap(),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         other => usage(&format!("unknown experiment {other:?}")),

@@ -546,7 +546,8 @@ pub fn x9_rank_policy(scale: Scale) -> Table {
 }
 
 /// One X12 measurement: both conditional-mining engines over a dataset
-/// cell, sequential and parallel.
+/// cell, sequential and parallel, plus the arena engine's own counters
+/// and the construction-phase breakdown for the cell's PLT.
 #[derive(Debug, Clone)]
 pub struct EngineCell {
     /// Dataset label, e.g. `DENSE16.D600`.
@@ -563,6 +564,12 @@ pub struct EngineCell {
     pub par_map_secs: f64,
     /// Parallel arena-engine wall time.
     pub par_arena_secs: f64,
+    /// Item-ranking scan phase of construction (one untimed-loop pass).
+    pub construct_rank_secs: f64,
+    /// Vector-encoding phase of construction.
+    pub construct_encode_secs: f64,
+    /// Arena engine counters from one instrumented sequential run.
+    pub arena_stats: plt_core::MineStats,
 }
 
 impl EngineCell {
@@ -605,8 +612,32 @@ pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
     let mut cells = Vec::new();
     for (dataset, db, min_sup) in workloads {
         // Construct once and time `mine_plt` so the cells isolate the
-        // engines — construction is byte-identical either way.
-        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        // engines — construction is byte-identical either way. One
+        // instrumented pass records the construction-phase breakdown and
+        // the arena engine's counters; the timed runs below stay
+        // recorder-free so the wall-clock numbers are undisturbed.
+        let mut recorder = plt_obs::MetricsRecorder::new();
+        let plt = {
+            let mut obs = plt_obs::Obs::new(&mut recorder);
+            let plt = plt_core::construct::construct_obs(
+                &db,
+                min_sup,
+                ConstructOptions::conditional(),
+                &mut obs,
+            )
+            .unwrap();
+            let _ = ConditionalMiner::default().mine_plt_obs(&plt, &mut obs);
+            plt
+        };
+        let arena_stats = plt_core::MineStats {
+            vectors_folded: recorder.counter_value("arena.vectors_folded"),
+            dedup_hits: recorder.counter_value("arena.dedup_hits"),
+            copy_throughs: recorder.counter_value("arena.copy_throughs"),
+            single_path_shortcuts: recorder.counter_value("arena.single_path_shortcuts"),
+            bytes_peak: recorder.gauge_value("arena.bytes_peak"),
+        };
+        let construct_rank_secs = recorder.span_total_ns("construct/rank") as f64 / 1e9;
+        let construct_encode_secs = recorder.span_total_ns("construct/encode") as f64 / 1e9;
         let map_miner = ConditionalMiner::with_engine(CondEngine::Map);
         let arena_miner = ConditionalMiner::default();
         let par_map = ParallelPltMiner::with_engine(CondEngine::Map);
@@ -630,6 +661,9 @@ pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
             arena_secs: t_arena.as_secs_f64(),
             par_map_secs: t_par_map.as_secs_f64(),
             par_arena_secs: t_par_arena.as_secs_f64(),
+            construct_rank_secs,
+            construct_encode_secs,
+            arena_stats,
         });
     }
     cells
@@ -686,7 +720,11 @@ pub fn x12_json(cells: &[EngineCell], scale: Scale) -> String {
         s.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"min_sup\": {}, \"itemsets\": {}, \
              \"map_secs\": {:.6}, \"arena_secs\": {:.6}, \"speedup\": {:.3}, \
-             \"par_map_secs\": {:.6}, \"par_arena_secs\": {:.6}}}{}\n",
+             \"par_map_secs\": {:.6}, \"par_arena_secs\": {:.6}, \
+             \"construct_rank_secs\": {:.6}, \"construct_encode_secs\": {:.6}, \
+             \"arena\": {{\"vectors_folded\": {}, \"dedup_hits\": {}, \
+             \"copy_throughs\": {}, \"single_path_shortcuts\": {}, \
+             \"bytes_peak\": {}}}}}{}\n",
             c.dataset,
             c.min_sup,
             c.itemsets,
@@ -695,6 +733,13 @@ pub fn x12_json(cells: &[EngineCell], scale: Scale) -> String {
             c.speedup(),
             c.par_map_secs,
             c.par_arena_secs,
+            c.construct_rank_secs,
+            c.construct_encode_secs,
+            c.arena_stats.vectors_folded,
+            c.arena_stats.dedup_hits,
+            c.arena_stats.copy_throughs,
+            c.arena_stats.single_path_shortcuts,
+            c.arena_stats.bytes_peak,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -760,10 +805,22 @@ mod tests {
         for c in &cells {
             assert!(c.itemsets > 0, "empty family on {}", c.dataset);
             assert!(c.map_secs > 0.0 && c.arena_secs > 0.0);
+            assert!(
+                c.construct_rank_secs > 0.0 && c.construct_encode_secs > 0.0,
+                "missing construction phases on {}",
+                c.dataset
+            );
+            assert!(
+                c.arena_stats.bytes_peak > 0,
+                "no arena footprint on {}",
+                c.dataset
+            );
         }
         let json = x12_json(&cells, Scale::Quick);
         assert!(json.contains("\"experiment\": \"x12_engine_compare\""));
         assert_eq!(json.matches("\"dataset\"").count(), 5);
+        assert_eq!(json.matches("\"vectors_folded\"").count(), 5);
+        assert_eq!(json.matches("\"construct_rank_secs\"").count(), 5);
         assert_eq!(x12_table(&cells).num_rows(), 5);
     }
 

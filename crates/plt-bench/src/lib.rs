@@ -125,6 +125,63 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Why a `--json-out` write failed: which step, on which path.
+#[derive(Debug)]
+pub enum JsonOutError {
+    /// Creating the parent directory failed.
+    CreateDir {
+        dir: std::path::PathBuf,
+        source: std::io::Error,
+    },
+    /// Writing the file itself failed.
+    Write {
+        path: std::path::PathBuf,
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for JsonOutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonOutError::CreateDir { dir, source } => {
+                write!(f, "cannot create directory {}: {source}", dir.display())
+            }
+            JsonOutError::Write { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonOutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonOutError::CreateDir { source, .. } | JsonOutError::Write { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+/// Writes a machine-readable record to `path`, creating missing parent
+/// directories. Never panics: unwritable paths come back as a typed
+/// [`JsonOutError`] for the caller to report.
+pub fn write_json_out(path: &str, json: &str) -> Result<(), JsonOutError> {
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|source| JsonOutError::CreateDir {
+                dir: parent.to_path_buf(),
+                source,
+            })?;
+        }
+    }
+    std::fs::write(path, json).map_err(|source| JsonOutError::Write {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
 /// Thread counts for the X5 scaling sweep: powers of two up to the larger
 /// of the host parallelism and 4, so the sweep exercises the machinery
 /// even on small hosts (oversubscribed counts are reported as-is).
@@ -180,6 +237,42 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(500)), "500us");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn write_json_out_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("plt-bench-jsonout-{}", std::process::id()));
+        let path = dir.join("a").join("b").join("out.json");
+        write_json_out(path.to_str().unwrap(), "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_json_out_reports_unwritable_paths_as_typed_errors() {
+        // A path whose "parent directory" is a regular file: create_dir_all
+        // must fail, and the failure must be the typed CreateDir variant —
+        // not a panic.
+        let dir = std::env::temp_dir().join(format!("plt-bench-jsonerr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, "x").unwrap();
+        let bad = file.join("deeper").join("out.json");
+        let err = write_json_out(bad.to_str().unwrap(), "{}").unwrap_err();
+        match &err {
+            JsonOutError::CreateDir { dir: d, .. } => {
+                assert!(d.starts_with(&file), "wrong dir in error: {}", d.display());
+            }
+            other => panic!("expected CreateDir, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cannot create directory"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        // Writing *to* a directory fails at the write step.
+        let err = write_json_out(dir.to_str().unwrap(), "{}").unwrap_err();
+        assert!(matches!(err, JsonOutError::Write { .. }), "{err:?}");
+        assert!(err.to_string().contains("cannot write"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,6 +39,25 @@ pub enum Algo {
 }
 
 impl Algo {
+    /// Canonical name, as accepted by `--algo` and emitted in metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Conditional => "conditional",
+            Algo::TopDown => "topdown",
+            Algo::Hybrid => "hybrid",
+            Algo::Parallel => "parallel",
+            Algo::Apriori => "apriori",
+            Algo::FpGrowth => "fp-growth",
+            Algo::Eclat => "eclat",
+            Algo::DEclat => "declat",
+            Algo::HMine => "h-mine",
+            Algo::Ais => "ais",
+            Algo::Partition => "partition",
+            Algo::Dic => "dic",
+            Algo::Sampling => "sampling",
+        }
+    }
+
     fn from_str(s: &str) -> Option<Algo> {
         Some(match s {
             "conditional" | "plt" => Algo::Conditional,
@@ -72,6 +91,14 @@ pub enum Engine {
 }
 
 impl Engine {
+    /// Canonical name, as accepted by `--engine` and emitted in metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Arena => "arena",
+            Engine::Map => "map",
+        }
+    }
+
     fn from_str(s: &str) -> Option<Engine> {
         Some(match s {
             "arena" => Engine::Arena,
@@ -140,6 +167,8 @@ pub enum Command {
         condense: Condense,
         /// Print at most this many itemsets.
         limit: Option<usize>,
+        /// Write per-phase timings and engine counters as JSON here.
+        metrics_json: Option<String>,
     },
     /// `rules`: print association rules.
     Rules {
@@ -256,6 +285,7 @@ usage:
                  [--algo conditional|topdown|parallel|apriori|fp-growth|
                   eclat|declat|h-mine|ais|partition|dic]
                  [--engine arena|map] [--closed | --maximal] [--limit N]
+                 [--metrics-json <out.json>]
   plt-mine rules --input <file.dat> --min-sup <frac|count> --min-conf <frac>
                  [--top N]
   plt-mine stats --input <file.dat>
@@ -340,6 +370,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let mut engine = Engine::default();
             let mut condense = Condense::default();
             let mut limit = None;
+            let mut metrics_json = None;
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
@@ -362,6 +393,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                                 ParseError(format!("--limit must be an integer: {e}"))
                             })?)
                     }
+                    "--metrics-json" => metrics_json = Some(cur.value(flag)?.to_string()),
                     other => return err(format!("unknown flag {other:?} for mine")),
                 }
             }
@@ -372,6 +404,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 engine,
                 condense,
                 limit,
+                metrics_json,
             })
         }
         "rules" => {
@@ -638,8 +671,39 @@ mod tests {
                 engine: Engine::Arena,
                 condense: Condense::All,
                 limit: None,
+                metrics_json: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_metrics_json_flag() {
+        let c = parse(&argv(&[
+            "mine",
+            "--input",
+            "x.dat",
+            "--min-sup",
+            "2",
+            "--metrics-json",
+            "out/metrics.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Mine { metrics_json, .. } => {
+                assert_eq!(metrics_json.as_deref(), Some("out/metrics.json"));
+            }
+            _ => panic!(),
+        }
+        // The flag requires a value.
+        assert!(parse(&argv(&[
+            "mine",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--metrics-json",
+        ]))
+        .is_err());
     }
 
     #[test]

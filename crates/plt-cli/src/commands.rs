@@ -34,7 +34,17 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             engine,
             condense,
             limit,
-        } => mine(&input, min_sup, algo, engine, condense, limit, out),
+            metrics_json,
+        } => mine(
+            &input,
+            min_sup,
+            algo,
+            engine,
+            condense,
+            limit,
+            metrics_json.as_deref(),
+            out,
+        ),
         Command::Rules {
             input,
             min_sup,
@@ -318,14 +328,33 @@ fn run_miner(
     min_sup: MinSup,
     algo: Algo,
     engine: Engine,
+    obs: &mut plt_obs::Obs,
 ) -> Result<MiningResult, String> {
     let abs = min_sup.resolve(db.len());
     if abs == 0 {
         return Err("resolved minimum support is zero".into());
     }
-    Ok(miner_for(algo, engine).mine(db.transactions(), abs))
+    Ok(miner_for(algo, engine).mine_with_obs(db.transactions(), abs, obs))
 }
 
+/// Renders the recorder plus run context as schema-v1 JSON and writes it
+/// to `path`, creating parent directories as needed.
+fn write_metrics_json(
+    path: &str,
+    recorder: &plt_obs::MetricsRecorder,
+    context: &[(&str, String)],
+) -> CmdResult {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory {}: {e}", parent.display()))?;
+        }
+    }
+    let json = recorder.to_json_with(context);
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn mine(
     input: &str,
     min_sup: MinSup,
@@ -333,26 +362,47 @@ fn mine(
     engine: Engine,
     condense: Condense,
     limit: Option<usize>,
+    metrics_json: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
+    let mut recorder = plt_obs::MetricsRecorder::new();
+    let started = std::time::Instant::now();
     // `--closed` under the default algorithm uses the native closed miner
     // (never materialises the full frequent family); other combinations
     // mine completely and filter.
-    let (family, label) = if condense == Condense::Closed && algo == Algo::Conditional {
-        let abs = min_sup.resolve(db.len());
-        (
-            plt_closed::ClosedMiner::default().mine(db.transactions(), abs),
-            "closed frequent",
-        )
-    } else {
-        let result = run_miner(&db, min_sup, algo, engine)?;
-        match condense {
-            Condense::All => (result, "frequent"),
-            Condense::Closed => (closed_itemsets(&result), "closed frequent"),
-            Condense::Maximal => (maximal_itemsets(&result), "maximal frequent"),
+    let (family, label) = {
+        // Always record: one BTreeMap insert per phase is noise next to
+        // the mining run itself, and it keeps the borrow simple. The
+        // recorder is only rendered when `--metrics-json` was given.
+        let mut obs = plt_obs::Obs::new(&mut recorder);
+        if condense == Condense::Closed && algo == Algo::Conditional {
+            let abs = min_sup.resolve(db.len());
+            let family = obs.time("mine/closed", || {
+                plt_closed::ClosedMiner::default().mine(db.transactions(), abs)
+            });
+            (family, "closed frequent")
+        } else {
+            let result = run_miner(&db, min_sup, algo, engine, &mut obs)?;
+            match condense {
+                Condense::All => (result, "frequent"),
+                Condense::Closed => (closed_itemsets(&result), "closed frequent"),
+                Condense::Maximal => (maximal_itemsets(&result), "maximal frequent"),
+            }
         }
     };
+    if let Some(path) = metrics_json {
+        let context = [
+            ("input", format!("{:?}", input)),
+            ("algo", format!("{:?}", algo.name())),
+            ("engine", format!("{:?}", engine.name())),
+            ("min_support", family.min_support().to_string()),
+            ("num_transactions", db.len().to_string()),
+            ("itemsets", family.len().to_string()),
+            ("wall_ns", started.elapsed().as_nanos().to_string()),
+        ];
+        write_metrics_json(path, &recorder, &context)?;
+    }
     let sorted = family.sorted();
     let shown = limit.unwrap_or(sorted.len()).min(sorted.len());
     writeln!(
@@ -380,7 +430,13 @@ fn rules(
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
-    let result = run_miner(&db, min_sup, Algo::Conditional, Engine::default())?;
+    let result = run_miner(
+        &db,
+        min_sup,
+        Algo::Conditional,
+        Engine::default(),
+        &mut plt_obs::Obs::none(),
+    )?;
     let rules = top_rules(
         &result,
         RuleConfig {

@@ -101,6 +101,78 @@ fn full_pipeline_gen_stats_index_mine_query() {
 }
 
 #[test]
+fn mine_metrics_json_emits_schema_v1_and_creates_parent_dirs() {
+    let dat = tmp("metrics-db.dat");
+    let out = plt_mine()
+        .args([
+            "gen",
+            "--kind",
+            "quest",
+            "--transactions",
+            "200",
+            "--seed",
+            "11",
+            "--output",
+            dat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The metrics path points into a directory that does not exist yet:
+    // the CLI must create it rather than fail.
+    let dir = tmp("metrics-out");
+    let json_path = dir.join("nested").join("metrics.json");
+    let out = plt_mine()
+        .args([
+            "mine",
+            "--input",
+            dat.to_str().unwrap(),
+            "--min-sup",
+            "0.02",
+            "--limit",
+            "0",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let json = std::fs::read_to_string(&json_path).expect("metrics file written");
+    for needle in [
+        "\"schema_version\": 1",
+        "\"context\"",
+        "\"input\"",
+        "\"algo\": \"conditional\"",
+        "\"engine\": \"arena\"",
+        "\"num_transactions\": 200",
+        "\"wall_ns\"",
+        "\"spans\"",
+        "construct/rank",
+        "construct/encode",
+        "mine/conditional",
+        "\"counters\"",
+        "arena.vectors_folded",
+        "\"gauges\"",
+        "arena.bytes_peak",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+
+    std::fs::remove_file(&dat).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_message() {
     let out = plt_mine().args(["mine"]).output().unwrap();
     assert!(!out.status.success());

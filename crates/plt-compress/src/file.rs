@@ -64,6 +64,7 @@ mod tests {
     use super::*;
     use plt_core::construct::{construct, ConstructOptions};
     use plt_core::ranking::RankPolicy;
+    use proptest::prelude::*;
 
     fn sample(policy: RankPolicy) -> CompressedPlt {
         let db: Vec<Vec<u32>> = (0..200u32)
@@ -157,5 +158,69 @@ mod tests {
         bytes[body_len..].copy_from_slice(&sum);
         let err = CompressedPlt::from_bytes(&bytes).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// compress → file → decode round trip on random databases: the
+        /// reloaded PLT carries the identical vector → frequency table,
+        /// and — Lemma 4.1.2 — assigns every itemset the same canonical
+        /// position-vector key as the original, so index lookups built
+        /// against one answer correctly against the other.
+        #[test]
+        fn prop_file_roundtrip_preserves_canonical_keys(
+            rows in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..30, 1..7),
+                1..40,
+            ),
+            min_support in 1u64..5,
+        ) {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            static CASE: AtomicUsize = AtomicUsize::new(0);
+
+            let db: Vec<Vec<u32>> =
+                rows.into_iter().map(|t| t.into_iter().collect()).collect();
+            let plt = construct(&db, min_support, ConstructOptions::conditional()).unwrap();
+            let compressed = CompressedPlt::from_plt(&plt);
+
+            let path = std::env::temp_dir().join(format!(
+                "plt-file-prop-{}-{}.pltc",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed),
+            ));
+            save(&path, &compressed).unwrap();
+            let decoded = load(&path).unwrap().to_plt();
+            std::fs::remove_file(&path).ok();
+
+            // The stored table survives byte-for-byte in meaning: same
+            // ranking, same (positions, frequency) multiset.
+            prop_assert_eq!(plt.ranking(), decoded.ranking());
+            prop_assert_eq!(plt.min_support(), decoded.min_support());
+            prop_assert_eq!(plt.num_transactions(), decoded.num_transactions());
+            let table = |p: &plt_core::Plt| -> std::collections::BTreeSet<(Vec<u32>, u64)> {
+                p.iter()
+                    .map(|(v, e)| (v.positions().to_vec(), e.freq))
+                    .collect()
+            };
+            prop_assert_eq!(table(&plt), table(&decoded));
+
+            // Canonical keys: every source row (restricted to its frequent
+            // items) keys identically through both PLTs.
+            for row in &db {
+                let frequent: Vec<u32> = row
+                    .iter()
+                    .copied()
+                    .filter(|&i| plt.ranking().rank(i).is_some())
+                    .collect();
+                if frequent.is_empty() {
+                    continue;
+                }
+                let original = plt_core::canonical_key(&frequent, &plt);
+                let reloaded = plt_core::canonical_key(&frequent, &decoded);
+                prop_assert!(original.is_some(), "no key for {:?}", frequent);
+                prop_assert_eq!(original, reloaded, "keys diverge for {:?}", frequent);
+            }
+        }
     }
 }

@@ -106,6 +106,63 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "truncated")]
+    fn empty_buffer_decode_panics() {
+        let mut slice: &[u8] = &[];
+        get_u64(&mut slice);
+    }
+
+    #[test]
+    fn empty_value_stream_is_zero_bytes() {
+        let values: [u64; 0] = [];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn u64_max_takes_ten_bytes_and_round_trips() {
+        assert_eq!(encoded_len(u64::MAX), 10);
+        assert_eq!(roundtrip(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_valid_encoding_panics_as_truncated() {
+        for v in [128u64, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            for cut in 0..buf.len() {
+                let prefix = buf[..cut].to_vec();
+                let err = std::panic::catch_unwind(move || {
+                    let mut slice = prefix.as_slice();
+                    get_u64(&mut slice)
+                })
+                .expect_err("prefix of len {cut} for {v} must not decode");
+                let msg = err
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_owned)
+                    .or_else(|| err.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                assert!(msg.contains("truncated"), "value {v} cut {cut}: {msg}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "varint too long")]
+    fn overlong_encoding_panics() {
+        // Ten continuation bytes push the shift past 63; the decoder must
+        // reject rather than silently wrap.
+        let mut bytes = vec![0x80u8; 10];
+        bytes.push(0x00);
+        let mut slice = bytes.as_slice();
+        get_u64(&mut slice);
+    }
+
+    #[test]
     #[should_panic(expected = "exceeds u32")]
     fn get_u32_overflow_panics() {
         let mut buf = Vec::new();

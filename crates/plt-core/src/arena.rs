@@ -37,9 +37,52 @@ use crate::item::{Itemset, Rank, Support};
 use crate::miner::MiningResult;
 use crate::plt::Plt;
 use crate::posvec::PositionVector;
+use plt_obs::Obs;
 
 /// Index of an entry within its [`Level`].
 type EntryId = u32;
+
+/// Engine counters accumulated by every arena mining call. Kept always-on
+/// (plain `u64` adds are far below measurement noise) so the numbers exist
+/// whether or not an observability recorder is installed; [`MineStats::record`]
+/// flushes them into a recorder under the `arena.*` names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MineStats {
+    /// Prefix fold-backs performed in the bucket drains (the O(1) re-tags).
+    pub vectors_folded: u64,
+    /// Fold-backs absorbed by an existing identical vector (frequency merge).
+    pub dedup_hits: u64,
+    /// Entries copied through verbatim because every local rank stayed
+    /// frequent (the fast path of `Conditional_Construct`'s scan 2).
+    pub copy_throughs: u64,
+    /// Single-entry databases emitted via the subset shortcut.
+    pub single_path_shortcuts: u64,
+    /// Peak bytes held across the pool's level storage (positions, entries,
+    /// scratch, dedup table; excludes per-bucket spine capacity).
+    pub bytes_peak: u64,
+}
+
+impl MineStats {
+    /// Folds another stats block into this one (counters add, peak maxes) —
+    /// used when merging per-worker pools.
+    pub fn merge(&mut self, other: &MineStats) {
+        self.vectors_folded += other.vectors_folded;
+        self.dedup_hits += other.dedup_hits;
+        self.copy_throughs += other.copy_throughs;
+        self.single_path_shortcuts += other.single_path_shortcuts;
+        self.bytes_peak = self.bytes_peak.max(other.bytes_peak);
+    }
+
+    /// Flushes the counters into an observability recorder under the
+    /// `arena.*` names (`bytes_peak` as a gauge, the rest as counters).
+    pub fn record(&self, obs: &mut Obs) {
+        obs.counter("arena.vectors_folded", self.vectors_folded);
+        obs.counter("arena.dedup_hits", self.dedup_hits);
+        obs.counter("arena.copy_throughs", self.copy_throughs);
+        obs.counter("arena.single_path_shortcuts", self.single_path_shortcuts);
+        obs.gauge("arena.bytes_peak", self.bytes_peak);
+    }
+}
 
 /// One packed conditional-database entry: a window into the level's
 /// position buffer plus its frequency and cached position sum (Lemma
@@ -269,6 +312,8 @@ pub struct ArenaPool {
     levels: Vec<Level>,
     /// Rank capacity the levels are currently sized for.
     max_rank: usize,
+    /// Engine counters accumulated across mining calls on this pool.
+    stats: MineStats,
 }
 
 impl ArenaPool {
@@ -309,7 +354,38 @@ impl ArenaPool {
         }
         let mut suffix = Vec::new();
         mine_or_shortcut(self, 0, plt, &mut suffix, &mut result);
+        self.note_bytes_peak();
         result
+    }
+
+    /// Engine counters accumulated so far on this pool.
+    pub fn stats(&self) -> &MineStats {
+        &self.stats
+    }
+
+    /// Takes the accumulated counters, resetting them to zero — the
+    /// per-worker handoff used by the parallel miner's reduce step.
+    pub fn take_stats(&mut self) -> MineStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Folds the current level storage footprint into `stats.bytes_peak`.
+    /// O(levels) with constant work per level, so it runs once per mining
+    /// call; the per-bucket spine vectors are deliberately excluded.
+    fn note_bytes_peak(&mut self) {
+        let mut bytes = 0u64;
+        for level in &self.levels {
+            bytes += (level.positions.capacity() * std::mem::size_of::<Rank>()
+                + level.entries.capacity() * std::mem::size_of::<Entry>()
+                + level.buckets.capacity() * std::mem::size_of::<Vec<EntryId>>()
+                + level.counts.capacity() * std::mem::size_of::<Support>()
+                + level.touched.capacity() * std::mem::size_of::<Rank>()
+                + level.kept.capacity() * std::mem::size_of::<Rank>()
+                + level.cond.capacity() * std::mem::size_of::<EntryId>()
+                + level.dedup.capacity() * std::mem::size_of::<(u32, EntryId)>())
+                as u64;
+        }
+        self.stats.bytes_peak = self.stats.bytes_peak.max(bytes);
     }
 
     /// Mines a conditional database under a fixed suffix of global ranks —
@@ -369,6 +445,7 @@ impl ArenaPool {
 
         let mut sfx = suffix.to_vec();
         mine_or_shortcut(self, 0, plt, &mut sfx, &mut result);
+        self.note_bytes_peak();
         result
     }
 }
@@ -382,9 +459,10 @@ fn mine_or_shortcut(
     suffix: &mut Vec<Rank>,
     result: &mut MiningResult,
 ) {
-    let level = &mut pool.levels[depth];
+    let level = &pool.levels[depth];
     if level.entries.len() == 1 && level.entries[0].len <= MAX_SINGLE_PATH {
-        emit_single_path(level, plt, suffix, result);
+        pool.stats.single_path_shortcuts += 1;
+        emit_single_path(&mut pool.levels[depth], plt, suffix, result);
     } else {
         mine_level(pool, depth, plt, suffix, result);
     }
@@ -464,6 +542,8 @@ fn mine_level(
         // same O(len)-per-entry cost, without allocating.
         let mut ids = std::mem::take(&mut level.buckets[j as usize]);
         let mut support: Support = 0;
+        let mut folded: u64 = 0;
+        let mut dedup_hits: u64 = 0;
         level.dedup_reset();
         level.dedup_reserve(ids.len());
         level.cond.clear();
@@ -475,8 +555,10 @@ fn mine_level(
                 let last = level.positions[(entry.offset + entry.len - 1) as usize];
                 entry.len -= 1;
                 entry.sum -= last;
+                folded += 1;
                 match level.dedup_entry(id) {
                     Some(other) => {
+                        dedup_hits += 1;
                         level.entries[other as usize].freq += level.entries[id as usize].freq;
                     }
                     None => {
@@ -489,6 +571,8 @@ fn mine_level(
         }
         ids.clear();
         level.buckets[j as usize] = ids; // hand the capacity back
+        pool.stats.vectors_folded += folded;
+        pool.stats.dedup_hits += dedup_hits;
 
         if support < min_support {
             // "If the new extension is no longer frequent, there is no
@@ -504,7 +588,12 @@ fn mine_level(
         // construction, writing into the next depth's reusable level.
         pool.ensure_level(depth + 1);
         let (parents, children) = pool.levels.split_at_mut(depth + 1);
-        if construct_child(&mut parents[depth], &mut children[0], min_support) {
+        if construct_child(
+            &mut parents[depth],
+            &mut children[0],
+            min_support,
+            &mut pool.stats,
+        ) {
             mine_or_shortcut(pool, depth + 1, plt, suffix, result);
         }
         suffix.pop();
@@ -515,7 +604,12 @@ fn mine_level(
 /// (scan 1: count ranks; scan 2: filter and re-encode). Returns whether
 /// the child holds any entries. All work runs over the levels' scratch
 /// buffers; nothing is allocated once capacities are warm.
-fn construct_child(parent: &mut Level, child: &mut Level, min_support: Support) -> bool {
+fn construct_child(
+    parent: &mut Level,
+    child: &mut Level,
+    min_support: Support,
+    stats: &mut MineStats,
+) -> bool {
     child.reset();
     // Scan 1 (local): rank frequencies within CD_j. The prefix of entry
     // `id` is its *current* (already shrunk) position window.
@@ -541,6 +635,7 @@ fn construct_child(parent: &mut Level, child: &mut Level, min_support: Support) 
         .iter()
         .all(|&r| parent.counts[r as usize] >= min_support);
     if all_frequent {
+        stats.copy_throughs += parent.cond.len() as u64;
         for &id in &parent.cond {
             let e = parent.entries[id as usize];
             child.push_positions(
@@ -664,6 +759,42 @@ mod tests {
         let db: Vec<Vec<Item>> = vec![];
         let plt = build(&db, 1);
         assert!(mine_plt_arena(&plt).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_and_take_resets() {
+        let mut pool = ArenaPool::new();
+        let plt = build(&table1(), 2);
+        pool.mine_plt(&plt);
+        let stats = *pool.stats();
+        assert!(stats.vectors_folded > 0, "{stats:?}");
+        assert!(stats.bytes_peak > 0, "{stats:?}");
+        // Taking hands the counters over and resets the pool's block.
+        let taken = pool.take_stats();
+        assert_eq!(taken, stats);
+        assert_eq!(*pool.stats(), MineStats::default());
+        // Merge adds counters and maxes the peak.
+        let mut merged = taken;
+        merged.merge(&taken);
+        assert_eq!(merged.vectors_folded, 2 * taken.vectors_folded);
+        assert_eq!(merged.bytes_peak, taken.bytes_peak);
+        // Recording flushes under the arena.* names.
+        let mut rec = plt_obs::MetricsRecorder::new();
+        taken.record(&mut Obs::new(&mut rec));
+        assert_eq!(
+            rec.counter_value("arena.vectors_folded"),
+            taken.vectors_folded
+        );
+        assert_eq!(rec.gauge_value("arena.bytes_peak"), taken.bytes_peak);
+    }
+
+    #[test]
+    fn single_path_shortcut_is_counted() {
+        let db = vec![vec![1, 2, 3]; 5];
+        let plt = build(&db, 3);
+        let mut pool = ArenaPool::new();
+        pool.mine_plt(&plt);
+        assert!(pool.stats().single_path_shortcuts >= 1);
     }
 
     #[test]

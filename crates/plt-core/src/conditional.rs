@@ -103,6 +103,24 @@ impl ConditionalMiner {
         }
     }
 
+    /// [`mine_plt`](Self::mine_plt) with observability: the recursion is
+    /// reported as a `mine/conditional` span, and the arena engine flushes
+    /// its `arena.*` counters into the recorder.
+    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+        let t0 = obs.start();
+        let result = match self.engine {
+            CondEngine::Arena => {
+                let mut pool = crate::arena::ArenaPool::new();
+                let result = pool.mine_plt(plt);
+                pool.take_stats().record(obs);
+                result
+            }
+            CondEngine::Map => self.mine_plt_map(plt),
+        };
+        obs.stop("mine/conditional", t0);
+        result
+    }
+
     /// The map-engine path: rebuild sum-groups from the PLT and recurse.
     fn mine_plt_map(&self, plt: &Plt) -> MiningResult {
         let mut groups: SumGroups = BTreeMap::new();
@@ -225,6 +243,25 @@ impl Miner for ConditionalMiner {
         )
         .expect("invalid transaction database");
         self.mine_plt(&plt)
+    }
+
+    fn mine_with_obs(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+        obs: &mut plt_obs::Obs,
+    ) -> MiningResult {
+        let plt = crate::construct::construct_obs(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+            obs,
+        )
+        .expect("invalid transaction database");
+        self.mine_plt_obs(&plt, obs)
     }
 }
 

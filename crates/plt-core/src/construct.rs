@@ -58,14 +58,38 @@ pub fn construct<T: AsRef<[Item]>>(
     min_support: Support,
     options: ConstructOptions,
 ) -> Result<Plt> {
+    construct_obs(
+        transactions,
+        min_support,
+        options,
+        &mut plt_obs::Obs::none(),
+    )
+}
+
+/// [`construct`] with observability: the two scans are reported as
+/// `construct/rank` and `construct/encode` spans, plus gauges for the
+/// sizes that determine downstream mining cost.
+pub fn construct_obs<T: AsRef<[Item]>>(
+    transactions: &[T],
+    min_support: Support,
+    options: ConstructOptions,
+    obs: &mut plt_obs::Obs,
+) -> Result<Plt> {
     // Scan 1: frequent items and ranks.
-    let ranking = ItemRanking::scan(transactions, min_support, options.rank_policy);
+    let ranking = obs.time("construct/rank", || {
+        ItemRanking::scan(transactions, min_support, options.rank_policy)
+    });
     let mut plt = Plt::new(ranking, min_support)?;
 
     // Scan 2: encode and insert.
+    let t0 = obs.start();
     for t in transactions {
         insert_one(&mut plt, t.as_ref(), options.with_prefixes)?;
     }
+    obs.stop("construct/encode", t0);
+    obs.gauge("construct.frequent_items", plt.ranking().len() as u64);
+    obs.gauge("construct.vectors", plt.num_vectors() as u64);
+    obs.gauge("construct.transactions", plt.num_transactions());
     Ok(plt)
 }
 

@@ -73,7 +73,7 @@ pub mod subset;
 pub mod topdown;
 pub mod tree;
 
-pub use arena::ArenaPool;
+pub use arena::{ArenaPool, MineStats};
 pub use conditional::{CondEngine, ConditionalMiner};
 pub use error::{PltError, Result};
 pub use hybrid::HybridMiner;

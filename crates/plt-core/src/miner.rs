@@ -149,6 +149,22 @@ pub trait Miner {
     /// Implementations may panic on `min_support == 0`; every provided
     /// miner treats it as a programming error.
     fn mine(&self, transactions: &[Vec<Item>], min_support: Support) -> MiningResult;
+
+    /// Like [`Miner::mine`], reporting spans and counters into `obs`.
+    ///
+    /// The default wraps the whole run in a single `mine/total` span;
+    /// miners with internal phases override it to attribute time to
+    /// `construct/*` and `mine/*` sub-spans and to flush engine counters.
+    /// With `Obs::none()` this is exactly `mine` (the handle is inert),
+    /// so implementations need no disabled-path special-casing.
+    fn mine_with_obs(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+        obs: &mut plt_obs::Obs,
+    ) -> MiningResult {
+        obs.time("mine/total", || self.mine(transactions, min_support))
+    }
 }
 
 /// Ground-truth miner: enumerates every subset of every transaction and

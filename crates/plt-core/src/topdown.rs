@@ -184,13 +184,22 @@ impl TopDownMiner {
 
     /// Mines from an already-constructed PLT (built *without* prefixes).
     pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
+        self.mine_plt_obs(plt, &mut plt_obs::Obs::none())
+    }
+
+    /// [`mine_plt`](Self::mine_plt) with observability: the propagation
+    /// and the support filter are reported as `mine/topdown/propagate`
+    /// and `mine/topdown/filter` spans, plus a gauge for the table size.
+    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
         assert!(
             plt.max_len() <= self.max_transaction_len,
             "top-down mining would enumerate 2^{} subsets; raise \
              max_transaction_len explicitly if this is intended",
             plt.max_len()
         );
-        let table = all_subset_supports(plt);
+        let table = obs.time("mine/topdown/propagate", || all_subset_supports(plt));
+        obs.gauge("topdown.table_entries", table.len() as u64);
+        let t0 = obs.start();
         let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
         for (v, support) in table.iter() {
             if support >= plt.min_support() {
@@ -198,6 +207,7 @@ impl TopDownMiner {
                 result.insert(Itemset::from_sorted(items), support);
             }
         }
+        obs.stop("mine/topdown/filter", t0);
         result
     }
 
@@ -238,6 +248,25 @@ impl Miner for TopDownMiner {
         )
         .expect("invalid transaction database");
         self.mine_plt(&plt)
+    }
+
+    fn mine_with_obs(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+        obs: &mut plt_obs::Obs,
+    ) -> MiningResult {
+        let plt = crate::construct::construct_obs(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+            obs,
+        )
+        .expect("invalid transaction database");
+        self.mine_plt_obs(&plt, obs)
     }
 }
 

@@ -14,7 +14,7 @@
 
 use rayon::prelude::*;
 
-use plt_core::arena::ArenaPool;
+use plt_core::arena::{ArenaPool, MineStats};
 use plt_core::conditional::{mine_conditional, CondEngine};
 use plt_core::construct::ConstructOptions;
 use plt_core::item::{Item, Itemset, Rank, Support};
@@ -53,11 +53,21 @@ impl ParallelPltMiner {
 
     /// Mines an already-constructed PLT in parallel.
     pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
-        let projections = project_all(plt);
+        self.mine_plt_obs(plt, &mut plt_obs::Obs::none())
+    }
+
+    /// [`mine_plt`](Self::mine_plt) with observability: the projection
+    /// pass and the fan-out are reported as `mine/project` and
+    /// `mine/items` spans, and the per-worker arena counters are merged
+    /// at reduce time and flushed into the recorder (with a
+    /// `parallel.workers` gauge for the pool width).
+    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+        let projections = obs.time("mine/project", || project_all(plt));
         let n = plt.ranking().len() as Rank;
         let engine = self.engine;
         let empty = || MiningResult::new(plt.min_support(), plt.num_transactions());
-        (1..=n)
+        let t0 = obs.start();
+        let (result, stats) = (1..=n)
             .into_par_iter()
             // Per-worker fold: the (pool, local-result) accumulator lives
             // on one worker for its whole run of items, so every item it
@@ -80,13 +90,23 @@ impl ParallelPltMiner {
                     (pool, local)
                 },
             )
-            .map(|(_pool, local)| local)
+            // The pool hands its accumulated engine counters over as the
+            // worker's fold state retires.
+            .map(|(mut pool, local)| (local, pool.take_stats()))
             // Tree-shaped merge on the pool instead of a sequential loop
             // on the calling thread.
-            .reduce(empty, |mut a, b| {
-                a.merge(b);
-                a
-            })
+            .reduce(
+                || (empty(), MineStats::default()),
+                |(mut a, mut sa), (b, sb)| {
+                    a.merge(b);
+                    sa.merge(&sb);
+                    (a, sa)
+                },
+            );
+        obs.stop("mine/items", t0);
+        stats.record(obs);
+        obs.gauge("parallel.workers", rayon::current_num_threads() as u64);
+        result
     }
 }
 
@@ -106,6 +126,26 @@ impl Miner for ParallelPltMiner {
         )
         .expect("invalid transaction database");
         self.mine_plt(&plt)
+    }
+
+    fn mine_with_obs(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+        obs: &mut plt_obs::Obs,
+    ) -> MiningResult {
+        let t0 = obs.start();
+        let plt = par_construct(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+        )
+        .expect("invalid transaction database");
+        obs.stop("construct/parallel", t0);
+        self.mine_plt_obs(&plt, obs)
     }
 }
 
@@ -146,6 +186,21 @@ mod tests {
         let seq = ConditionalMiner::default().mine(&table1(), 2);
         let par = crate::run_with_threads(1, || ParallelPltMiner::default().mine(&table1(), 2));
         assert_eq!(par.sorted(), seq.sorted());
+    }
+
+    #[test]
+    fn per_worker_stats_merge_into_recorder() {
+        let mut rec = plt_obs::MetricsRecorder::new();
+        let miner = ParallelPltMiner::default();
+        let with_obs = miner.mine_with_obs(&table1(), 2, &mut plt_obs::Obs::new(&mut rec));
+        assert_eq!(with_obs.sorted(), miner.mine(&table1(), 2).sorted());
+        assert_eq!(rec.span_count("mine/project"), 1);
+        assert_eq!(rec.span_count("mine/items"), 1);
+        assert!(rec.gauge_value("parallel.workers") >= 1);
+        // Table 1 has non-trivial conditional databases, so the merged
+        // per-worker arena counters must be non-zero.
+        assert!(rec.counter_value("arena.vectors_folded") > 0);
+        assert!(rec.gauge_value("arena.bytes_peak") > 0);
     }
 
     #[test]

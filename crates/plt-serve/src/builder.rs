@@ -236,6 +236,7 @@ fn ingest_and_publish(
     rule_config: RuleConfig,
     fault: Option<&FaultPlan>,
 ) -> u64 {
+    let started = std::time::Instant::now();
     engine.mark_rebuilding();
     for t in batch {
         // An insert can only fail on pathological input (e.g. items the
@@ -243,9 +244,11 @@ fn ingest_and_publish(
         // killing the service.
         let _ = window.push(t);
     }
+    let pushed = started.elapsed();
     // Streams drift away from their warmup ranking; re-rank so the new
     // snapshot's canonical keys reflect the current window.
     let _ = window.rerank();
+    let reranked = started.elapsed();
     let next = generation + 1;
     // The window is consistent past this point; mining and snapshot
     // assembly read it immutably, so catching their unwind is sound.
@@ -255,6 +258,15 @@ fn ingest_and_publish(
         }
         build_snapshot(window, next, rule_config)
     }));
+    let snapshotted = started.elapsed();
+    // Phase durations feed the metrics registry whether the rebuild
+    // landed or was absorbed — failed passes cost real time too.
+    engine.metrics().record_rebuild(
+        pushed,
+        reranked - pushed,
+        snapshotted - reranked,
+        snapshotted,
+    );
     match rebuilt {
         Ok(snapshot) => {
             engine.publish(Arc::new(snapshot));
@@ -352,6 +364,22 @@ mod tests {
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("support").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("stale").unwrap().as_bool(), Some(true));
+        builder.stop();
+    }
+
+    #[test]
+    fn rebuild_phases_are_recorded_and_served() {
+        let (engine, builder) = bootstrap(&warmup(), config()).unwrap();
+        builder.ingest(vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        builder.flush().expect("builder alive");
+        let (rebuilds, _push, _rerank, _snap, total) = engine.metrics().rebuild_report();
+        assert!(rebuilds >= 1, "flush must record a rebuild pass");
+        assert!(total >= 1, "a real rebuild takes at least a microsecond");
+        // And the stats endpoint exposes the same accumulators.
+        let v = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        let rebuild = v.get("rebuild").expect("stats carries a rebuild block");
+        assert_eq!(rebuild.get("rebuilds").unwrap().as_u64(), Some(rebuilds));
+        assert_eq!(rebuild.get("total_us").unwrap().as_u64(), Some(total));
         builder.stop();
     }
 

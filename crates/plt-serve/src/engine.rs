@@ -311,6 +311,17 @@ impl Engine {
                     ("num_itemsets", Json::from(snap.num_itemsets() as u64)),
                     ("num_rules", Json::from(snap.num_rules() as u64)),
                     ("cache_entries", Json::from(self.cache.len() as u64)),
+                    ("rebuild", {
+                        let (rebuilds, push_us, rerank_us, snapshot_us, total_us) =
+                            self.metrics.rebuild_report();
+                        Json::obj(vec![
+                            ("rebuilds", Json::from(rebuilds)),
+                            ("push_us", Json::from(push_us)),
+                            ("rerank_us", Json::from(rerank_us)),
+                            ("snapshot_us", Json::from(snapshot_us)),
+                            ("total_us", Json::from(total_us)),
+                        ])
+                    }),
                     ("endpoints", Json::Arr(endpoints)),
                 ])
             }

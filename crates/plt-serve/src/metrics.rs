@@ -127,6 +127,16 @@ pub struct Metrics {
     pub timeouts: AtomicU64,
     /// Connections refused because the server was at capacity.
     pub rejected_connections: AtomicU64,
+    /// Snapshot rebuilds completed (successful or absorbed-failure).
+    pub rebuilds: AtomicU64,
+    /// Cumulative µs spent pushing batch transactions into the window.
+    pub rebuild_push_us: AtomicU64,
+    /// Cumulative µs spent reranking the window vocabulary.
+    pub rebuild_rerank_us: AtomicU64,
+    /// Cumulative µs spent mining + building the new snapshot index.
+    pub rebuild_snapshot_us: AtomicU64,
+    /// Cumulative µs across whole rebuild passes (push → publish).
+    pub rebuild_total_us: AtomicU64,
 }
 
 impl Metrics {
@@ -140,6 +150,39 @@ impl Metrics {
             Endpoint::Ingest => 5,
             Endpoint::Ping => 6,
         }]
+    }
+
+    /// Records one completed rebuild pass with its per-phase durations.
+    /// Cumulative sums (not histograms): rebuilds are rare relative to
+    /// reads, and the `stats` endpoint divides by `rebuilds` for means.
+    pub fn record_rebuild(
+        &self,
+        push: Duration,
+        rerank: Duration,
+        snapshot: Duration,
+        total: Duration,
+    ) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.rebuild_push_us
+            .fetch_add(push.as_micros() as u64, Ordering::Relaxed);
+        self.rebuild_rerank_us
+            .fetch_add(rerank.as_micros() as u64, Ordering::Relaxed);
+        self.rebuild_snapshot_us
+            .fetch_add(snapshot.as_micros() as u64, Ordering::Relaxed);
+        self.rebuild_total_us
+            .fetch_add(total.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the rebuild-phase accumulators:
+    /// `(rebuilds, push_us, rerank_us, snapshot_us, total_us)`.
+    pub fn rebuild_report(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.rebuilds.load(Ordering::Relaxed),
+            self.rebuild_push_us.load(Ordering::Relaxed),
+            self.rebuild_rerank_us.load(Ordering::Relaxed),
+            self.rebuild_snapshot_us.load(Ordering::Relaxed),
+            self.rebuild_total_us.load(Ordering::Relaxed),
+        )
     }
 
     /// Snapshot of every endpoint's counters:
@@ -257,5 +300,24 @@ mod tests {
         assert_eq!(m.protocol_errors.load(Ordering::Relaxed), 0);
         assert_eq!(m.timeouts.load(Ordering::Relaxed), 0);
         assert_eq!(m.rejected_connections.load(Ordering::Relaxed), 0);
+        assert_eq!(m.rebuild_report(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn rebuild_phases_accumulate() {
+        let m = Metrics::default();
+        m.record_rebuild(
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(300),
+            Duration::from_micros(340),
+        );
+        m.record_rebuild(
+            Duration::from_micros(5),
+            Duration::from_micros(5),
+            Duration::from_micros(100),
+            Duration::from_micros(115),
+        );
+        assert_eq!(m.rebuild_report(), (2, 15, 25, 400, 455));
     }
 }

@@ -1,0 +1,154 @@
+//! Cross-structure invariant suite for the streaming substrate: the
+//! intended deployment drives a [`LossyCounter`] (whole-stream sketch)
+//! and a [`SlidingWindow`] (exact recent past) from the same arriving
+//! transactions. These properties interleave inserts, window slides, and
+//! reranks arbitrarily and check, *at every step*:
+//!
+//! * Lossy Counting error: estimates never exceed truth and undercount
+//!   by at most ⌈εN⌉ — untracked items included (estimate 0 forces their
+//!   true count under the bound, i.e. no frequent item is ever dropped);
+//! * the window never exceeds its capacity, and at the end its exact
+//!   mining result equals batch-mining the retained suffix.
+
+use std::collections::BTreeMap;
+
+use plt_core::miner::{BruteForceMiner, Miner};
+use plt_core::ranking::RankPolicy;
+use plt_stream::{LossyCounter, SlidingWindow};
+use proptest::prelude::*;
+
+/// Folds one transaction into an exact count table.
+fn count_into(truth: &mut BTreeMap<u32, u64>, row: &[u32]) {
+    for &item in row {
+        *truth.entry(item).or_insert(0) += 1;
+    }
+}
+
+/// Checks the Lossy Counting bound against exact counts; `Err` carries
+/// the violating item with both counts.
+fn lossy_bound_holds(
+    lc: &LossyCounter,
+    truth: &BTreeMap<u32, u64>,
+    step: usize,
+) -> Result<(), String> {
+    let bound = (lc.epsilon() * lc.observed() as f64).ceil() as u64;
+    for (&item, &count) in truth {
+        let est = lc.estimate(item);
+        if est > count {
+            return Err(format!(
+                "step {step}: overcount on item {item}: estimate {est} > true {count}"
+            ));
+        }
+        if count - est > bound {
+            return Err(format!(
+                "step {step}: item {item} undercounts by {} > εN = {bound} \
+                 (true {count}, estimate {est}, N {})",
+                count - est,
+                lc.observed()
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary interleavings of lossy observations, window pushes
+    /// (slides once full), and reranks: the εN bound holds after every
+    /// single operation, and the window stays exact.
+    #[test]
+    fn prop_lossy_error_bounded_under_arbitrary_interleavings(
+        ops in proptest::collection::vec(0u8..4, 20..120),
+        rows in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..14, 1..6),
+            20..120,
+        ),
+        eps_thousandths in 5u64..120,
+        capacity in 3usize..12,
+    ) {
+        let epsilon = eps_thousandths as f64 / 1000.0;
+        let rows: Vec<Vec<u32>> = rows
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect();
+
+        let mut lc = LossyCounter::new(epsilon);
+        let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
+        let warm: Vec<Vec<u32>> = rows.iter().take(capacity).cloned().collect();
+        let mut window =
+            SlidingWindow::new(capacity, 2, RankPolicy::Lexicographic, &warm).unwrap();
+        let mut pushed = warm;
+
+        for (step, &op) in ops.iter().enumerate() {
+            let row = rows[step % rows.len()].clone();
+            match op {
+                // Arrival feeding both structures — the common path.
+                0 => {
+                    lc.observe_transaction(&row);
+                    count_into(&mut truth, &row);
+                    window.push(row.clone()).unwrap();
+                    pushed.push(row);
+                }
+                // Window slide without a lossy observation.
+                1 => {
+                    window.push(row.clone()).unwrap();
+                    pushed.push(row);
+                }
+                // Vocabulary refresh mid-stream.
+                2 => window.rerank().unwrap(),
+                // Lossy observation without a window push.
+                _ => {
+                    lc.observe_transaction(&row);
+                    count_into(&mut truth, &row);
+                }
+            }
+            prop_assert!(
+                window.len() <= capacity,
+                "step {}: window holds {} > capacity {}",
+                step, window.len(), capacity
+            );
+            let verdict = lossy_bound_holds(&lc, &truth, step);
+            prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+        }
+
+        // End state: the window still mines its contents exactly.
+        window.rerank().unwrap();
+        let lo = pushed.len().saturating_sub(capacity);
+        let expect = BruteForceMiner.mine(&pushed[lo..], 2);
+        prop_assert_eq!(window.mine().sorted(), expect.sorted());
+    }
+
+    /// A heavy hitter stays reportable no matter how slides and reranks
+    /// interleave with its arrivals: `frequent(s)` has no false
+    /// negatives (Manku & Motwani guarantee 1).
+    #[test]
+    fn prop_heavy_hitter_never_lost(
+        filler in proptest::collection::vec(1u32..50, 50..400),
+        eps_thousandths in 5u64..50,
+    ) {
+        let epsilon = eps_thousandths as f64 / 1000.0;
+        let mut lc = LossyCounter::new(epsilon);
+        let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
+        // Item 0 rides along with every third filler item: a guaranteed
+        // ≥ 25% heavy hitter in a stream of otherwise scattered items.
+        for (i, &f) in filler.iter().enumerate() {
+            let row: Vec<u32> = if i % 3 == 0 { vec![0, f] } else { vec![f] };
+            lc.observe_transaction(&row);
+            count_into(&mut truth, &row);
+        }
+        let n = lc.observed() as f64;
+        let s = 0.2;
+        let reported: Vec<u32> = lc.frequent(s).into_iter().map(|(i, _)| i).collect();
+        for (&item, &count) in &truth {
+            if count as f64 >= s * n {
+                prop_assert!(
+                    reported.contains(&item),
+                    "missed {}x-frequent item {} (N = {}, s = {})",
+                    count, item, n, s
+                );
+            }
+        }
+        prop_assert!(reported.contains(&0), "heavy hitter 0 dropped");
+    }
+}

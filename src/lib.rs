@@ -5,7 +5,8 @@
 //! ([`baselines`]), parallel mining ([`parallel`]), compressed storage
 //! ([`compress`]), association-rule generation ([`rules`]),
 //! closed/maximal mining ([`closed`]), streaming maintenance
-//! ([`stream`]) and the online query service ([`serve`]).
+//! ([`stream`]), the online query service ([`serve`]) and the
+//! observability layer ([`obs`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -15,6 +16,7 @@ pub use plt_closed as closed;
 pub use plt_compress as compress;
 pub use plt_core as core;
 pub use plt_data as data;
+pub use plt_obs as obs;
 pub use plt_parallel as parallel;
 pub use plt_rules as rules;
 pub use plt_serve as serve;

@@ -3,17 +3,20 @@
 //! generated workloads — PLT (both approaches, sequential and parallel)
 //! against every baseline.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use plt::baselines::apriori::{AprioriMiner, CountingStrategy, PruneStrategy};
 use plt::baselines::{
     AisMiner, DicMiner, EclatMiner, FpGrowthMiner, HMineMiner, PartitionMiner, SamplingMiner,
 };
-use plt::core::miner::Miner;
+use plt::core::miner::{Miner, MiningResult};
 use plt::core::HybridMiner;
 use plt::data::{
     BasketConfig, BasketGenerator, DenseConfig, DenseGenerator, QuestConfig, QuestGenerator,
 };
 use plt::parallel::{ParallelEclatMiner, ParallelPltMiner};
-use plt::{ConditionalMiner, RankPolicy, TopDownMiner};
+use plt::{CondEngine, ConditionalMiner, RankPolicy, TopDownMiner};
+use proptest::prelude::*;
 
 fn all_miners() -> Vec<Box<dyn Miner>> {
     vec![
@@ -172,5 +175,129 @@ fn agree_on_degenerate_databases() {
     ];
     for (db, ms) in cases {
         assert_all_agree(&db, ms, "degenerate");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential property harness: on random skewed databases with
+// duplicated rows, every engine pair must agree on the *full*
+// itemset → support map, across a min_support sweep that always includes
+// the extremes 1 (everything non-empty is frequent) and |D| (only
+// itemsets present in every transaction survive).
+//
+// The vendored proptest shim does not shrink, so disagreements are
+// reported with the complete database, the support threshold, and a
+// per-itemset diff — everything needed to replay the failure by hand.
+// ---------------------------------------------------------------------------
+
+/// The engine pairs under differential test: the arena conditional engine
+/// against every other implementation family.
+fn differential_roster() -> Vec<Box<dyn Miner>> {
+    vec![
+        Box::new(ConditionalMiner::with_engine(CondEngine::Map)),
+        Box::new(TopDownMiner::default()),
+        Box::new(FpGrowthMiner),
+        Box::new(EclatMiner::default()),
+    ]
+}
+
+/// The complete frequent family as an itemset → support map.
+fn support_map(result: &MiningResult) -> BTreeMap<Vec<u32>, u64> {
+    result
+        .iter()
+        .map(|(itemset, support)| (itemset.items().to_vec(), support))
+        .collect()
+}
+
+/// Human-replayable diff between two support maps: what is missing, what
+/// is extra, and where supports differ (first few entries of each).
+fn diff_support_maps(
+    reference: &BTreeMap<Vec<u32>, u64>,
+    got: &BTreeMap<Vec<u32>, u64>,
+) -> Option<String> {
+    let mut lines = Vec::new();
+    for (itemset, &sup) in reference {
+        match got.get(itemset) {
+            None => lines.push(format!("  missing {itemset:?} (support {sup})")),
+            Some(&g) if g != sup => {
+                lines.push(format!("  support mismatch {itemset:?}: {sup} vs {g}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (itemset, &sup) in got {
+        if !reference.contains_key(itemset) {
+            lines.push(format!("  extra {itemset:?} (support {sup})"));
+        }
+    }
+    if lines.is_empty() {
+        return None;
+    }
+    let shown = lines.len().min(8);
+    let mut msg = lines[..shown].join("\n");
+    if lines.len() > shown {
+        msg.push_str(&format!("\n  ... ({} more)", lines.len() - shown));
+    }
+    Some(msg)
+}
+
+/// Runs every engine pair over one `(db, min_support)` cell; `Err` carries
+/// the full failing case.
+fn engines_agree(db: &[Vec<u32>], min_support: u64) -> Result<(), String> {
+    let arena = ConditionalMiner::default().mine(db, min_support);
+    arena
+        .check_anti_monotone()
+        .map_err(|e| format!("arena family not anti-monotone at min_support {min_support}: {e}"))?;
+    let reference = support_map(&arena);
+    for miner in differential_roster() {
+        let got = support_map(&miner.mine(db, min_support));
+        if let Some(diff) = diff_support_maps(&reference, &got) {
+            return Err(format!(
+                "arena vs {} disagree at min_support {min_support} on db ({} rows):\n\
+                 {db:?}\ndiff (reference = arena):\n{diff}",
+                miner.name(),
+                db.len(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Skewed item draws + duplicated rows, swept across min_support
+    /// 1, a mid value, and |D|.
+    #[test]
+    fn prop_engine_pairs_agree_on_full_support_maps(
+        raw in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..400, 1..7),
+            4..24,
+        ),
+        dup_rows in 0usize..16,
+        mid_support in 2u64..7,
+    ) {
+        // Skew: squaring a uniform draw concentrates mass near item 0,
+        // approximating the head-heavy distributions of retail data
+        // (duplicates introduced by the mapping collapse within a row).
+        let mut db: Vec<Vec<u32>> = raw
+            .iter()
+            .map(|t| {
+                let s: BTreeSet<u32> = t.iter().map(|&x| (x * x) / 400).collect();
+                s.into_iter().collect()
+            })
+            .collect();
+        // Duplicate a prefix of rows verbatim: exact repeats must fold
+        // into counts, never into extra itemsets.
+        let copies = dup_rows % db.len();
+        for i in 0..copies {
+            let row = db[i].clone();
+            db.push(row);
+        }
+        let n = db.len() as u64;
+        for min_support in [1, mid_support.min(n), n] {
+            let outcome = engines_agree(&db, min_support);
+            prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+        }
     }
 }
