@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use plt_bench::datasets;
 use plt_core::construct::{construct, ConstructOptions};
-use plt_core::{CondEngine, ConditionalMiner};
+use plt_core::{CondEngine, ConditionalMiner, Mine};
 use plt_parallel::ParallelPltMiner;
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,88 @@
+//! X13 — incremental rebuild vs full re-mine. The pipeline absorbs a 1%
+//! delta of already-frequent items (localized to one rank band, or
+//! spread uniformly) and re-mines only the dirtied shards; the baseline
+//! re-mines the whole grown database from scratch. Each incremental
+//! iteration applies the delta and then removes it again, so the
+//! pipeline returns to its base state and every iteration measures the
+//! same two dirty-shard rebuilds — no per-iteration reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::{ConditionalMiner, Miner};
+use plt_shard::{Delta, ShardConfig, ShardedPipeline};
+
+/// A deterministic delta transaction over the frequent-item slice.
+fn delta_txn(items: &[u32], start: usize, stride: usize, width: usize, modulo: usize) -> Vec<u32> {
+    let mut t: Vec<u32> = (0..width)
+        .map(|k| items[(start + k * stride) % modulo])
+        .collect();
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000;
+    let min_sup = 20;
+    let shards = 16;
+    let workloads: Vec<(&str, Vec<Vec<u32>>)> = vec![
+        ("sparse", datasets::sparse(n)),
+        ("zipf", datasets::zipf(n, 1.1)),
+    ];
+    let config = ShardConfig {
+        shard_count: shards,
+        min_support: min_sup,
+        ..ShardConfig::default()
+    };
+    for (name, base) in &workloads {
+        let probe = ShardedPipeline::new(base, config).unwrap();
+        let ranking = probe.plt().ranking();
+        let items: Vec<u32> = (1..=ranking.len() as u32)
+            .map(|r| ranking.item(r))
+            .collect();
+        let delta_size = n / 100;
+        let band = (items.len() / shards).max(2);
+        let stride = (items.len() / 8).max(1);
+        let deltas: Vec<(&str, Vec<Vec<u32>>)> = vec![
+            (
+                "localized",
+                (0..delta_size)
+                    .map(|i| delta_txn(&items, i, 1, 6, band))
+                    .collect(),
+            ),
+            (
+                "uniform",
+                (0..delta_size)
+                    .map(|i| delta_txn(&items, i, stride, 8, items.len()))
+                    .collect(),
+            ),
+        ];
+
+        let mut group = c.benchmark_group(format!("x13/{name}"));
+        group.sample_size(10);
+        for (mode, delta) in &deltas {
+            let mut pipeline = ShardedPipeline::new(base, config).unwrap();
+            group.bench_with_input(BenchmarkId::new("incremental", *mode), delta, |b, delta| {
+                b.iter(|| {
+                    pipeline.apply(Delta::add(delta.clone())).unwrap();
+                    pipeline
+                        .apply(Delta {
+                            adds: Vec::new(),
+                            removes: delta.clone(),
+                        })
+                        .unwrap();
+                })
+            });
+            let mut all = base.clone();
+            all.extend(delta.iter().cloned());
+            group.bench_with_input(BenchmarkId::new("full", *mode), &all, |b, all| {
+                b.iter(|| ConditionalMiner::default().mine(all, min_sup))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,8 +23,16 @@ use plt_core::{CondEngine, ConditionalMiner, HybridMiner, TopDownMiner};
 use plt_data::vertical::VerticalDb;
 use plt_data::TransactionDb;
 use plt_parallel::{par_construct, run_with_threads, ParallelEclatMiner, ParallelPltMiner};
+use plt_shard::{Delta, ShardConfig, ShardedPipeline};
 
 use crate::{datasets, fmt_duration, time_best, Table};
+
+/// Dispatches a PLT-level miner through the `Mine` trait object without
+/// importing `Mine` into this module (its `mine` method would collide with
+/// `Miner::mine` on the concrete miner types used elsewhere here).
+fn mine_plt(miner: &dyn plt_core::Mine, plt: &plt_core::Plt) -> MiningResult {
+    plt_core::Mine::mine_plt(miner, plt)
+}
 
 /// Workload scale: `Quick` finishes in seconds (CI / laptops); `Full`
 /// approximates evaluation-section sizes.
@@ -626,7 +634,7 @@ pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
                 &mut obs,
             )
             .unwrap();
-            let _ = ConditionalMiner::default().mine_plt_obs(&plt, &mut obs);
+            let _ = plt_core::Mine::mine(&ConditionalMiner::default(), &plt, &mut obs);
             plt
         };
         let arena_stats = plt_core::MineStats {
@@ -638,19 +646,23 @@ pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
         };
         let construct_rank_secs = recorder.span_total_ns("construct/rank") as f64 / 1e9;
         let construct_encode_secs = recorder.span_total_ns("construct/encode") as f64 / 1e9;
-        let map_miner = ConditionalMiner::with_engine(CondEngine::Map);
-        let arena_miner = ConditionalMiner::default();
-        let par_map = ParallelPltMiner::with_engine(CondEngine::Map);
-        let par_arena = ParallelPltMiner::default();
-        let (map_result, t_map) = time_best(runs, || map_miner.mine_plt(&plt));
-        let (arena_result, t_arena) = time_best(runs, || arena_miner.mine_plt(&plt));
+        // The engines dispatch through `Box<dyn Mine>` — the cells vary
+        // only in which trait object they time.
+        let map_miner: Box<dyn plt_core::Mine> =
+            Box::new(ConditionalMiner::with_engine(CondEngine::Map));
+        let arena_miner: Box<dyn plt_core::Mine> = Box::new(ConditionalMiner::default());
+        let par_map: Box<dyn plt_core::Mine> =
+            Box::new(ParallelPltMiner::with_engine(CondEngine::Map));
+        let par_arena: Box<dyn plt_core::Mine> = Box::new(ParallelPltMiner::default());
+        let (map_result, t_map) = time_best(runs, || mine_plt(map_miner.as_ref(), &plt));
+        let (arena_result, t_arena) = time_best(runs, || mine_plt(arena_miner.as_ref(), &plt));
         assert_eq!(
             map_result.sorted(),
             arena_result.sorted(),
             "engines disagree on {dataset}"
         );
-        let (pm_result, t_par_map) = time_best(runs, || par_map.mine_plt(&plt));
-        let (pa_result, t_par_arena) = time_best(runs, || par_arena.mine_plt(&plt));
+        let (pm_result, t_par_map) = time_best(runs, || mine_plt(par_map.as_ref(), &plt));
+        let (pa_result, t_par_arena) = time_best(runs, || mine_plt(par_arena.as_ref(), &plt));
         assert_eq!(pm_result.len(), map_result.len(), "parallel map |F|");
         assert_eq!(pa_result.len(), map_result.len(), "parallel arena |F|");
         cells.push(EngineCell {
@@ -747,6 +759,224 @@ pub fn x12_json(cells: &[EngineCell], scale: Scale) -> String {
     s
 }
 
+/// One X13 measurement: an incremental rebuild of a delta through the
+/// sharded pipeline vs a full re-mine from scratch, on one dataset and
+/// one delta placement mode.
+#[derive(Debug, Clone)]
+pub struct IncrementalCell {
+    /// Dataset label, e.g. `T10.I4.D2000`.
+    pub dataset: String,
+    /// Where the delta's items land: `localized` (a single rank band —
+    /// the paper's partition criteria at their best) or `uniform`
+    /// (spread across the whole rank space — the honest worst case).
+    pub mode: &'static str,
+    /// Base database size.
+    pub transactions: usize,
+    /// Delta size (1% of the base).
+    pub delta_size: usize,
+    /// Shard count of the pipeline.
+    pub shards: usize,
+    /// How many shards the delta dirtied.
+    pub dirty_shards: usize,
+    /// Frequent itemsets after the delta (identical across paths — asserted).
+    pub itemsets: usize,
+    /// Best wall time of `apply(delta)` on a freshly built pipeline.
+    pub incremental_secs: f64,
+    /// Best wall time of a full re-mine over base + delta.
+    pub full_secs: f64,
+}
+
+impl IncrementalCell {
+    /// How much faster the incremental rebuild is than mining from scratch.
+    pub fn speedup(&self) -> f64 {
+        self.full_secs / self.incremental_secs
+    }
+}
+
+/// A deterministic synthetic delta transaction: `width` items taken from
+/// `items` starting at `start` with the given `stride`, wrapped modulo
+/// `modulo`, deduplicated. No RNG — X13 cells are exactly reproducible.
+fn delta_txn(
+    items: &[Item],
+    start: usize,
+    stride: usize,
+    width: usize,
+    modulo: usize,
+) -> Vec<Item> {
+    let mut t: Vec<Item> = (0..width)
+        .map(|k| items[(start + k * stride) % modulo])
+        .collect();
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// X13 — incremental vs full rebuild at a 1% delta. Raw cells; see
+/// [`x13_table`] for the rendered table and [`x13_json`] for the
+/// machine-readable record (the committed `BENCH_incremental.json`).
+///
+/// Delta transactions use only items that are already frequent in the
+/// base, so the vocabulary never drifts and the cells measure the
+/// dirty-shard path rather than the re-rank fallback. Each cell is run
+/// in two placements: `localized` deltas fall into one rank band (few
+/// dirty shards — where the ≥5× win lives), `uniform` deltas stride the
+/// whole rank space (most shards dirty — the honest lower bound).
+pub fn x13_incremental_cells(scale: Scale) -> Vec<IncrementalCell> {
+    let runs = scale.runs().max(2);
+    let shards = 16;
+    let n = scale.pick(2_000, 20_000);
+    let workloads: Vec<(String, Vec<Vec<Item>>)> = vec![
+        (format!("T10.I4.D{n}"), datasets::sparse(n)),
+        (format!("ZIPF1.1.D{n}"), datasets::zipf(n, 1.1)),
+    ];
+
+    let mut cells = Vec::new();
+    for (dataset, base) in workloads {
+        let min_sup = ((0.01 * n as f64).ceil() as Support).max(2);
+        let config = ShardConfig {
+            shard_count: shards,
+            min_support: min_sup,
+            ..ShardConfig::default()
+        };
+        // One probe build exposes the frequent-item ranking the deltas
+        // are synthesized from.
+        let probe = ShardedPipeline::new(&base, config).expect("probe pipeline");
+        let ranking = probe.plt().ranking();
+        let items: Vec<Item> = (1..=ranking.len() as u32)
+            .map(|r| ranking.item(r))
+            .collect();
+        assert!(items.len() >= shards, "rank space too small on {dataset}");
+        let delta_size = (n / 100).max(1);
+        // The localized band is one shard's worth of the lowest ranks;
+        // the uniform stride visits every region of the rank space.
+        let band = (items.len() / shards).max(2);
+        let stride = (items.len() / 8).max(1);
+        let deltas: Vec<(&'static str, Vec<Vec<Item>>)> = vec![
+            (
+                "localized",
+                (0..delta_size)
+                    .map(|i| delta_txn(&items, i, 1, 6, band))
+                    .collect(),
+            ),
+            (
+                "uniform",
+                (0..delta_size)
+                    .map(|i| delta_txn(&items, i, stride, 8, items.len()))
+                    .collect(),
+            ),
+        ];
+
+        for (mode, delta) in deltas {
+            let mut all = base.clone();
+            all.extend(delta.iter().cloned());
+            let (full_result, t_full) =
+                time_best(runs, || ConditionalMiner::default().mine(&all, min_sup));
+
+            // The pipeline must be rebuilt per run (apply mutates it);
+            // only the apply itself is timed.
+            let mut t_incremental = Duration::MAX;
+            let mut dirty_shards = 0;
+            for _ in 0..runs {
+                let mut pipeline = ShardedPipeline::new(&base, config).expect("pipeline");
+                let started = std::time::Instant::now();
+                let report = pipeline.apply(Delta::add(delta.clone())).expect("apply");
+                t_incremental = t_incremental.min(started.elapsed());
+                assert!(
+                    !report.reranked,
+                    "a delta over frequent items must not drift ({dataset} {mode})"
+                );
+                dirty_shards = report.dirty_shards;
+                assert_eq!(
+                    pipeline.result().sorted(),
+                    full_result.sorted(),
+                    "incremental diverged from full re-mine on {dataset} {mode}"
+                );
+            }
+            cells.push(IncrementalCell {
+                dataset: dataset.clone(),
+                mode,
+                transactions: n,
+                delta_size,
+                shards,
+                dirty_shards,
+                itemsets: full_result.len(),
+                incremental_secs: t_incremental.as_secs_f64(),
+                full_secs: t_full.as_secs_f64(),
+            });
+        }
+    }
+    cells
+}
+
+/// X13 rendered as a table.
+pub fn x13_table(cells: &[IncrementalCell]) -> Table {
+    let mut table = Table::new(
+        "X13: incremental (dirty shards) vs full re-mine, 1% delta",
+        &[
+            "dataset",
+            "mode",
+            "|F|",
+            "dirty",
+            "incremental",
+            "full",
+            "speedup",
+        ],
+    );
+    for c in cells {
+        table.row(vec![
+            c.dataset.clone(),
+            c.mode.to_string(),
+            c.itemsets.to_string(),
+            format!("{}/{}", c.dirty_shards, c.shards),
+            fmt_duration(Duration::from_secs_f64(c.incremental_secs)),
+            fmt_duration(Duration::from_secs_f64(c.full_secs)),
+            format!("{:.2}x", c.speedup()),
+        ]);
+    }
+    table
+}
+
+/// X13 — incremental rebuild comparison (table form, for the binary).
+pub fn x13_incremental(scale: Scale) -> Table {
+    x13_table(&x13_incremental_cells(scale))
+}
+
+/// Machine-readable record of an X13 run (the committed
+/// `BENCH_incremental.json`). Hand-rolled JSON, same as [`x12_json`].
+pub fn x13_json(cells: &[IncrementalCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x13_incremental\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"transactions\": {}, \
+             \"delta_size\": {}, \"shards\": {}, \"dirty_shards\": {}, \
+             \"itemsets\": {}, \"incremental_secs\": {:.6}, \"full_secs\": {:.6}, \
+             \"speedup\": {:.3}}}{}\n",
+            c.dataset,
+            c.mode,
+            c.transactions,
+            c.delta_size,
+            c.shards,
+            c.dirty_shards,
+            c.itemsets,
+            c.incremental_secs,
+            c.full_secs,
+            c.speedup(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -822,6 +1052,36 @@ mod tests {
         assert_eq!(json.matches("\"vectors_folded\"").count(), 5);
         assert_eq!(json.matches("\"construct_rank_secs\"").count(), 5);
         assert_eq!(x12_table(&cells).num_rows(), 5);
+    }
+
+    #[test]
+    fn x13_incremental_agrees_and_emits_json() {
+        let cells = x13_incremental_cells(Scale::Quick);
+        // 2 datasets x 2 placement modes. Correctness (incremental ==
+        // full re-mine) is asserted inside the cell builder itself.
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.itemsets > 0, "empty family on {}", c.dataset);
+            assert!(c.incremental_secs > 0.0 && c.full_secs > 0.0);
+            assert!(
+                c.dirty_shards >= 1 && c.dirty_shards <= c.shards,
+                "dirty count out of range on {} {}",
+                c.dataset,
+                c.mode
+            );
+            if c.mode == "localized" {
+                assert!(
+                    c.dirty_shards < c.shards,
+                    "a localized delta must leave clean shards on {}",
+                    c.dataset
+                );
+            }
+        }
+        let json = x13_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x13_incremental\""));
+        assert_eq!(json.matches("\"dataset\"").count(), 4);
+        assert_eq!(json.matches("\"speedup\"").count(), 4);
+        assert_eq!(x13_table(&cells).num_rows(), 4);
     }
 
     #[test]

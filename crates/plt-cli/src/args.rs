@@ -212,6 +212,23 @@ pub enum Command {
         /// Print at most this many itemsets.
         limit: Option<usize>,
     },
+    /// `mine-incremental`: mine a base dataset, then apply a delta file
+    /// through the sharded incremental pipeline, reporting which shards
+    /// were re-mined.
+    MineIncremental {
+        /// FIMI base dataset path.
+        input: String,
+        /// FIMI delta path (transactions to add on top of the base).
+        delta: String,
+        /// Support threshold (resolved against base + delta size).
+        min_sup: MinSup,
+        /// Number of rank-range shards.
+        shards: usize,
+        /// Print at most this many itemsets.
+        limit: Option<usize>,
+        /// Re-mine base + delta from scratch and fail on any mismatch.
+        verify_full: bool,
+    },
     /// `query`: support of specific itemsets against a `.pltc` index.
     Query {
         /// `.pltc` input path.
@@ -295,6 +312,9 @@ usage:
   plt-mine index --input <file.dat> --min-sup <frac|count>
                  --output <file.pltc>
   plt-mine mine-index --index <file.pltc> [--topdown] [--limit N]
+  plt-mine mine-incremental --input <base.dat> --delta <delta.dat>
+                 --min-sup <frac|count> [--shards N] [--limit N]
+                 [--verify-full]
   plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]
   plt-mine serve --input <file.dat> --min-sup <frac|count>
                  [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
@@ -502,6 +522,45 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 index: index.ok_or(ParseError("mine-index requires --index".into()))?,
                 topdown,
                 limit,
+            })
+        }
+        "mine-incremental" => {
+            let (mut input, mut delta, mut min_sup) = (None, None, None);
+            let mut shards = plt_shard::DEFAULT_SHARD_COUNT;
+            let mut limit = None;
+            let mut verify_full = false;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--input" => input = Some(cur.value(flag)?.to_string()),
+                    "--delta" => delta = Some(cur.value(flag)?.to_string()),
+                    "--min-sup" => min_sup = Some(parse_min_sup(cur.value(flag)?)?),
+                    "--shards" => {
+                        let v: usize = cur
+                            .value(flag)?
+                            .parse()
+                            .map_err(|e| ParseError(format!("--shards must be an integer: {e}")))?;
+                        if v == 0 {
+                            return err("--shards must be at least 1");
+                        }
+                        shards = v;
+                    }
+                    "--limit" => {
+                        limit =
+                            Some(cur.value(flag)?.parse().map_err(|e| {
+                                ParseError(format!("--limit must be an integer: {e}"))
+                            })?)
+                    }
+                    "--verify-full" => verify_full = true,
+                    other => return err(format!("unknown flag {other:?} for mine-incremental")),
+                }
+            }
+            Ok(Command::MineIncremental {
+                input: input.ok_or(ParseError("mine-incremental requires --input".into()))?,
+                delta: delta.ok_or(ParseError("mine-incremental requires --delta".into()))?,
+                min_sup: min_sup.ok_or(ParseError("mine-incremental requires --min-sup".into()))?,
+                shards,
+                limit,
+                verify_full,
             })
         }
         "query" => {
@@ -958,6 +1017,84 @@ mod tests {
         .is_err());
         // Server mode needs at least one action.
         assert!(parse(&argv(&["query", "--addr", "y"])).is_err());
+    }
+
+    #[test]
+    fn parses_mine_incremental() {
+        let c = parse(&argv(&[
+            "mine-incremental",
+            "--input",
+            "base.dat",
+            "--delta",
+            "delta.dat",
+            "--min-sup",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::MineIncremental {
+                input: "base.dat".into(),
+                delta: "delta.dat".into(),
+                min_sup: MinSup::Absolute(2),
+                shards: plt_shard::DEFAULT_SHARD_COUNT,
+                limit: None,
+                verify_full: false,
+            }
+        );
+        let c = parse(&argv(&[
+            "mine-incremental",
+            "--input",
+            "b",
+            "--delta",
+            "d",
+            "--min-sup",
+            "0.01",
+            "--shards",
+            "8",
+            "--limit",
+            "10",
+            "--verify-full",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::MineIncremental {
+                shards: 8,
+                limit: Some(10),
+                verify_full: true,
+                ..
+            }
+        ));
+        // Both inputs are required; zero shards are rejected.
+        assert!(parse(&argv(&[
+            "mine-incremental",
+            "--input",
+            "b",
+            "--min-sup",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "mine-incremental",
+            "--delta",
+            "d",
+            "--min-sup",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "mine-incremental",
+            "--input",
+            "b",
+            "--delta",
+            "d",
+            "--min-sup",
+            "2",
+            "--shards",
+            "0",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -11,13 +11,13 @@ use plt_compress::CompressedPlt;
 use plt_core::construct::{construct, ConstructOptions};
 use plt_core::miner::{Miner, MiningResult};
 use plt_core::tree::LexTree;
-use plt_core::{CondEngine, ConditionalMiner, TopDownMiner};
+use plt_core::CondEngine;
 use plt_data::gen::basket::{BasketConfig, BasketGenerator};
 use plt_data::gen::dense::{DenseConfig, DenseGenerator};
 use plt_data::gen::quest::{QuestConfig, QuestGenerator};
 use plt_data::{fimi, DbStats, TransactionDb};
-use plt_parallel::ParallelPltMiner;
 use plt_rules::{top_rules, RuleConfig};
+use plt_shard::{Delta, MineStrategy, MinerBuilder};
 
 use crate::args::{Algo, Command, Condense, Engine, GenKind, MinSup};
 
@@ -69,6 +69,14 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             topdown,
             limit,
         } => mine_index(&index, topdown, limit, out),
+        Command::MineIncremental {
+            input,
+            delta,
+            min_sup,
+            shards,
+            limit,
+            verify_full,
+        } => mine_incremental(&input, &delta, min_sup, shards, limit, verify_full, out),
         Command::Query { index, itemsets } => query(&index, &itemsets, out),
         Command::Serve {
             input,
@@ -125,6 +133,7 @@ fn serve(
         window_capacity: window.unwrap_or_else(|| (db.len() * 2).max(1)),
         min_support: abs,
         rank_policy: plt_core::RankPolicy::default(),
+        shard_count: plt_shard::DEFAULT_SHARD_COUNT,
         rule_config: RuleConfig {
             min_confidence: min_conf,
         },
@@ -253,11 +262,15 @@ fn index(input: &str, min_sup: MinSup, output: &str, out: &mut dyn Write) -> Cmd
 
 fn mine_index(path: &str, topdown: bool, limit: Option<usize>, out: &mut dyn Write) -> CmdResult {
     let plt = load_index(path)?;
-    let result = if topdown {
-        TopDownMiner::default().mine_plt(&plt)
+    let strategy = if topdown {
+        MineStrategy::TopDown
     } else {
-        ConditionalMiner::default().mine_plt(&plt)
+        MineStrategy::Conditional
     };
+    let result = MinerBuilder::new()
+        .strategy(strategy)
+        .build()
+        .mine_plt(&plt);
     let sorted = result.sorted();
     let shown = limit.unwrap_or(sorted.len()).min(sorted.len());
     writeln!(
@@ -268,6 +281,98 @@ fn mine_index(path: &str, topdown: bool, limit: Option<usize>, out: &mut dyn Wri
         plt.num_transactions()
     )
     .map_err(|e| e.to_string())?;
+    for (itemset, support) in &sorted[..shown] {
+        writeln!(out, "{itemset}  support={support}").map_err(|e| e.to_string())?;
+    }
+    if shown < sorted.len() {
+        writeln!(out, "... ({} more)", sorted.len() - shown).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn mine_incremental(
+    input: &str,
+    delta_path: &str,
+    min_sup: MinSup,
+    shards: usize,
+    limit: Option<usize>,
+    verify_full: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let base = load(input)?;
+    let delta = load(delta_path)?;
+    let abs = min_sup.resolve(base.len() + delta.len());
+    if abs == 0 {
+        return Err("resolved minimum support is zero".into());
+    }
+    let builder = MinerBuilder::new().min_support(abs).shard_count(shards);
+
+    let started = std::time::Instant::now();
+    let mut pipeline = builder
+        .build_pipeline(base.transactions(), None)
+        .map_err(|e| format!("cannot build pipeline over {input}: {e}"))?;
+    let base_build = started.elapsed();
+    let report = pipeline
+        .apply(Delta::add(delta.transactions().to_vec()))
+        .map_err(|e| format!("cannot apply {delta_path}: {e}"))?;
+
+    writeln!(
+        out,
+        "base: {} transactions mined in {:.1?} across {} shards (min_sup = {abs})",
+        base.len(),
+        base_build,
+        pipeline.shard_count(),
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "delta: {} transactions applied in {:.1?}: {}/{} shards re-mined{}",
+        delta.len(),
+        report.total(),
+        report.dirty_shards,
+        report.total_shards,
+        if report.reranked {
+            " (vocabulary drift: re-ranked, full re-mine)"
+        } else {
+            ""
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for &(s, d) in &report.shard_timings {
+        writeln!(out, "  shard {s}: re-mined in {d:.1?}").map_err(|e| e.to_string())?;
+    }
+
+    if verify_full {
+        let mut all = base.transactions().to_vec();
+        all.extend(delta.transactions().iter().cloned());
+        let full = builder.build_miner().mine(&all, abs);
+        let incremental: std::collections::BTreeMap<Vec<u32>, u64> = pipeline
+            .result()
+            .iter()
+            .map(|(is, s)| (is.items().to_vec(), s))
+            .collect();
+        let reference: std::collections::BTreeMap<Vec<u32>, u64> = full
+            .iter()
+            .map(|(is, s)| (is.items().to_vec(), s))
+            .collect();
+        if incremental != reference {
+            return Err(format!(
+                "verify-full FAILED: incremental found {} itemsets, full re-mine {}",
+                incremental.len(),
+                reference.len()
+            ));
+        }
+        writeln!(
+            out,
+            "verify-full: incremental result matches full re-mine ({} itemsets)",
+            reference.len()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+
+    let sorted = pipeline.result().sorted();
+    let shown = limit.unwrap_or(sorted.len()).min(sorted.len());
+    writeln!(out, "{} frequent itemsets", sorted.len()).map_err(|e| e.to_string())?;
     for (itemset, support) in &sorted[..shown] {
         writeln!(out, "{itemset}  support={support}").map_err(|e| e.to_string())?;
     }
@@ -305,12 +410,19 @@ fn cond_engine(engine: Engine) -> CondEngine {
     }
 }
 
+fn plt_miner(strategy: MineStrategy, engine: Engine) -> Box<dyn Miner> {
+    MinerBuilder::new()
+        .strategy(strategy)
+        .engine(cond_engine(engine))
+        .build_miner()
+}
+
 fn miner_for(algo: Algo, engine: Engine) -> Box<dyn Miner> {
     match algo {
-        Algo::Conditional => Box::new(ConditionalMiner::with_engine(cond_engine(engine))),
-        Algo::TopDown => Box::new(TopDownMiner::default()),
-        Algo::Hybrid => Box::new(plt_core::HybridMiner::default()),
-        Algo::Parallel => Box::new(ParallelPltMiner::with_engine(cond_engine(engine))),
+        Algo::Conditional => plt_miner(MineStrategy::Conditional, engine),
+        Algo::TopDown => plt_miner(MineStrategy::TopDown, engine),
+        Algo::Hybrid => plt_miner(MineStrategy::Hybrid, engine),
+        Algo::Parallel => plt_miner(MineStrategy::Parallel, engine),
         Algo::Apriori => Box::new(AprioriMiner::default()),
         Algo::FpGrowth => Box::new(FpGrowthMiner),
         Algo::Eclat => Box::new(EclatMiner::default()),

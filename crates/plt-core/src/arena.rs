@@ -695,7 +695,7 @@ mod tests {
     use crate::conditional::{mine_conditional, CondEngine, ConditionalMiner};
     use crate::construct::{construct, ConstructOptions};
     use crate::item::Item;
-    use crate::miner::{BruteForceMiner, Miner};
+    use crate::miner::{BruteForceMiner, Mine, Miner};
     use crate::ranking::RankPolicy;
     use proptest::prelude::*;
 

@@ -80,6 +80,9 @@ pub struct ConditionalMiner {
 
 impl ConditionalMiner {
     /// Miner with a specific rank policy.
+    ///
+    /// Prefer constructing miners through `plt-shard`'s `MinerBuilder`,
+    /// which configures every engine through one path.
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
         ConditionalMiner {
             rank_policy,
@@ -88,37 +91,14 @@ impl ConditionalMiner {
     }
 
     /// Miner with a specific engine.
+    ///
+    /// Prefer constructing miners through `plt-shard`'s `MinerBuilder`,
+    /// which configures every engine through one path.
     pub fn with_engine(engine: CondEngine) -> Self {
         ConditionalMiner {
             rank_policy: RankPolicy::default(),
             engine,
         }
-    }
-
-    /// Mines an already-constructed PLT (built *without* prefix insertion).
-    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
-        match self.engine {
-            CondEngine::Arena => crate::arena::mine_plt_arena(plt),
-            CondEngine::Map => self.mine_plt_map(plt),
-        }
-    }
-
-    /// [`mine_plt`](Self::mine_plt) with observability: the recursion is
-    /// reported as a `mine/conditional` span, and the arena engine flushes
-    /// its `arena.*` counters into the recorder.
-    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
-        let t0 = obs.start();
-        let result = match self.engine {
-            CondEngine::Arena => {
-                let mut pool = crate::arena::ArenaPool::new();
-                let result = pool.mine_plt(plt);
-                pool.take_stats().record(obs);
-                result
-            }
-            CondEngine::Map => self.mine_plt_map(plt),
-        };
-        obs.stop("mine/conditional", t0);
-        result
     }
 
     /// The map-engine path: rebuild sum-groups from the PLT and recurse.
@@ -224,6 +204,27 @@ pub(crate) fn conditional_construct(
     groups
 }
 
+/// The PLT-level entry point: the recursion is reported as a
+/// `mine/conditional` span, and the arena engine flushes its `arena.*`
+/// counters into the recorder. (Implemented with a qualified path so the
+/// two `mine` methods never collide inside this module.)
+impl crate::miner::Mine for ConditionalMiner {
+    fn mine(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+        let t0 = obs.start();
+        let result = match self.engine {
+            CondEngine::Arena => {
+                let mut pool = crate::arena::ArenaPool::new();
+                let result = pool.mine_plt(plt);
+                pool.take_stats().record(obs);
+                result
+            }
+            CondEngine::Map => self.mine_plt_map(plt),
+        };
+        obs.stop("mine/conditional", t0);
+        result
+    }
+}
+
 impl Miner for ConditionalMiner {
     fn name(&self) -> &'static str {
         match self.engine {
@@ -242,7 +243,7 @@ impl Miner for ConditionalMiner {
             },
         )
         .expect("invalid transaction database");
-        self.mine_plt(&plt)
+        crate::miner::Mine::mine_plt(self, &plt)
     }
 
     fn mine_with_obs(
@@ -261,7 +262,7 @@ impl Miner for ConditionalMiner {
             obs,
         )
         .expect("invalid transaction database");
-        self.mine_plt_obs(&plt, obs)
+        crate::miner::Mine::mine(self, &plt, obs)
     }
 }
 

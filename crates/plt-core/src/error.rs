@@ -34,6 +34,21 @@ pub enum PltError {
     /// A removal referenced a transaction whose vector is not stored (it
     /// was never inserted, or already removed).
     NotPresent,
+    /// A mining result violated the anti-monotone property: a subset of a
+    /// frequent itemset was missing, or had a smaller support than its
+    /// superset. Produced by [`MiningResult::check_anti_monotone`]
+    /// (`crate::miner::MiningResult::check_anti_monotone`); a correct miner
+    /// never produces such a family.
+    AntiMonotoneViolation {
+        /// The offending subset.
+        subset: crate::item::Itemset,
+        /// The frequent superset whose subset is missing or undercounted.
+        superset: crate::item::Itemset,
+        /// Support of the subset, `None` when it is missing entirely.
+        subset_support: Option<u64>,
+        /// Support of the superset.
+        superset_support: u64,
+    },
 }
 
 impl fmt::Display for PltError {
@@ -48,6 +63,18 @@ impl fmt::Display for PltError {
             PltError::UnknownItem { item } => write!(f, "item {item} has no rank"),
             PltError::ZeroMinSupport => write!(f, "minimum support must be at least 1"),
             PltError::NotPresent => write!(f, "transaction vector is not stored in the PLT"),
+            PltError::AntiMonotoneViolation {
+                subset,
+                superset,
+                subset_support,
+                superset_support,
+            } => match subset_support {
+                None => write!(f, "{subset} missing though superset {superset} is frequent"),
+                Some(s) => write!(
+                    f,
+                    "{subset} has support {s} < superset {superset}'s {superset_support}"
+                ),
+            },
         }
     }
 }
@@ -71,6 +98,20 @@ mod tests {
         assert!(!PltError::Empty.to_string().is_empty());
         assert!(!PltError::UnsortedRanks.to_string().is_empty());
         assert!(!PltError::ZeroMinSupport.to_string().is_empty());
+        let missing = PltError::AntiMonotoneViolation {
+            subset: crate::item::Itemset::from([1u32, 2]),
+            superset: crate::item::Itemset::from([1u32, 2, 3]),
+            subset_support: None,
+            superset_support: 4,
+        };
+        assert!(missing.to_string().contains("missing"));
+        let undercount = PltError::AntiMonotoneViolation {
+            subset: crate::item::Itemset::from([1u32]),
+            superset: crate::item::Itemset::from([1u32, 2]),
+            subset_support: Some(2),
+            superset_support: 4,
+        };
+        assert!(undercount.to_string().contains("support 2"));
     }
 
     #[test]

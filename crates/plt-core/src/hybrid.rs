@@ -59,9 +59,12 @@ impl Default for HybridMiner {
     }
 }
 
-impl HybridMiner {
-    /// Mines an already-constructed PLT (no prefixes).
-    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
+/// The PLT-level entry point: the whole run (conditional recursion plus any
+/// top-down finishes) is reported as one `mine/hybrid` span, with the
+/// budget surfaced as a gauge.
+impl crate::miner::Mine for HybridMiner {
+    fn mine(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+        let t0 = obs.start();
         let mut groups: SumGroups = SumGroups::new();
         for (v, e) in plt.iter() {
             *groups
@@ -73,9 +76,13 @@ impl HybridMiner {
         let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
         let mut suffix = Vec::new();
         self.mine_groups(groups, plt, &mut suffix, &mut result);
+        obs.gauge("hybrid.topdown_budget", self.topdown_budget);
+        obs.stop("mine/hybrid", t0);
         result
     }
+}
 
+impl HybridMiner {
     /// Conditional recursion with the top-down finish.
     fn mine_groups(
         &self,
@@ -178,7 +185,7 @@ impl Miner for HybridMiner {
             },
         )
         .expect("invalid transaction database");
-        self.mine_plt(&plt)
+        crate::miner::Mine::mine_plt(self, &plt)
     }
 }
 

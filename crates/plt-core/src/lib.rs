@@ -78,7 +78,7 @@ pub use conditional::{CondEngine, ConditionalMiner};
 pub use error::{PltError, Result};
 pub use hybrid::HybridMiner;
 pub use item::{Item, Itemset, Rank, Support};
-pub use miner::{Miner, MiningResult};
+pub use miner::{Mine, Miner, MiningResult};
 pub use plt::{Plt, PltEntry};
 pub use posvec::PositionVector;
 pub use query::{canonical_key, SupportOracle};

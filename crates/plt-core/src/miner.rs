@@ -91,20 +91,28 @@ impl MiningResult {
 
     /// Verifies the anti-monotone property internally: every non-empty
     /// subset of a frequent itemset must be frequent with at least the same
-    /// support. Used by tests and debug assertions; `O(Σ 2^k)`.
-    pub fn check_anti_monotone(&self) -> Result<(), String> {
+    /// support. Used by tests and debug assertions; `O(Σ 2^k)`. Violations
+    /// are reported as [`PltError::AntiMonotoneViolation`]
+    /// (crate::error::PltError::AntiMonotoneViolation).
+    pub fn check_anti_monotone(&self) -> crate::error::Result<()> {
         for (itemset, support) in self.iter() {
             for sub in itemset.subsets() {
                 match self.support(sub.items()) {
                     None => {
-                        return Err(format!(
-                            "{sub} missing though superset {itemset} is frequent"
-                        ))
+                        return Err(crate::error::PltError::AntiMonotoneViolation {
+                            subset: sub,
+                            superset: itemset.clone(),
+                            subset_support: None,
+                            superset_support: support,
+                        })
                     }
                     Some(s) if s < support => {
-                        return Err(format!(
-                            "{sub} has support {s} < superset {itemset}'s {support}"
-                        ))
+                        return Err(crate::error::PltError::AntiMonotoneViolation {
+                            subset: sub,
+                            superset: itemset.clone(),
+                            subset_support: Some(s),
+                            superset_support: support,
+                        })
                     }
                     _ => {}
                 }
@@ -164,6 +172,32 @@ pub trait Miner {
         obs: &mut plt_obs::Obs,
     ) -> MiningResult {
         obs.time("mine/total", || self.mine(transactions, min_support))
+    }
+}
+
+/// A frequent-itemset miner over an already-constructed [`Plt`]
+/// (`crate::plt::Plt`).
+///
+/// This is the single PLT-level entry point: one obs-taking method, plus a
+/// convenience wrapper for callers without an observability pipeline. It is
+/// object-safe, so services and benchmarks dispatch engines through
+/// `Box<dyn Mine>` instead of per-type match arms. All four PLT miners
+/// implement it: `ConditionalMiner`, `TopDownMiner`, `HybridMiner`
+/// (plt-core) and `ParallelPltMiner` (plt-parallel).
+///
+/// Note: types implementing both [`Miner`] and [`Mine`] have two `mine`
+/// methods of different arity; when both traits are in scope on a concrete
+/// receiver, disambiguate with `Mine::mine(&miner, &plt, &mut obs)`.
+/// `Box<dyn Mine>` receivers never hit the ambiguity.
+pub trait Mine {
+    /// Mines every frequent itemset of `plt` (at the PLT's construction
+    /// `min_support`), reporting spans and counters into `obs`. With
+    /// `Obs::none()` the handle is inert and this costs nothing extra.
+    fn mine(&self, plt: &crate::plt::Plt, obs: &mut plt_obs::Obs) -> MiningResult;
+
+    /// Convenience wrapper: [`Mine::mine`] with observability disabled.
+    fn mine_plt(&self, plt: &crate::plt::Plt) -> MiningResult {
+        self.mine(plt, &mut plt_obs::Obs::none())
     }
 }
 

@@ -175,6 +175,9 @@ impl Default for TopDownMiner {
 
 impl TopDownMiner {
     /// Miner with a specific rank policy.
+    ///
+    /// Prefer constructing miners through `plt-shard`'s `MinerBuilder`,
+    /// which configures every engine through one path.
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
         TopDownMiner {
             rank_policy,
@@ -182,15 +185,32 @@ impl TopDownMiner {
         }
     }
 
-    /// Mines from an already-constructed PLT (built *without* prefixes).
-    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
-        self.mine_plt_obs(plt, &mut plt_obs::Obs::none())
+    /// Convenience: construct + mine, returning both the result and the
+    /// all-subsets table (Figure 4).
+    pub fn mine_with_table(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+    ) -> Result<(MiningResult, AllSubsetSupports, Plt)> {
+        let plt = construct(
+            transactions,
+            min_support,
+            ConstructOptions {
+                rank_policy: self.rank_policy,
+                with_prefixes: false,
+            },
+        )?;
+        let result = crate::miner::Mine::mine_plt(self, &plt);
+        let table = all_subset_supports(&plt);
+        Ok((result, table, plt))
     }
+}
 
-    /// [`mine_plt`](Self::mine_plt) with observability: the propagation
-    /// and the support filter are reported as `mine/topdown/propagate`
-    /// and `mine/topdown/filter` spans, plus a gauge for the table size.
-    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+/// The PLT-level entry point: the propagation and the support filter are
+/// reported as `mine/topdown/propagate` and `mine/topdown/filter` spans,
+/// plus a gauge for the table size.
+impl crate::miner::Mine for TopDownMiner {
+    fn mine(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
         assert!(
             plt.max_len() <= self.max_transaction_len,
             "top-down mining would enumerate 2^{} subsets; raise \
@@ -210,26 +230,6 @@ impl TopDownMiner {
         obs.stop("mine/topdown/filter", t0);
         result
     }
-
-    /// Convenience: construct + mine, returning both the result and the
-    /// all-subsets table (Figure 4).
-    pub fn mine_with_table(
-        &self,
-        transactions: &[Vec<Item>],
-        min_support: Support,
-    ) -> Result<(MiningResult, AllSubsetSupports, Plt)> {
-        let plt = construct(
-            transactions,
-            min_support,
-            ConstructOptions {
-                rank_policy: self.rank_policy,
-                with_prefixes: false,
-            },
-        )?;
-        let result = self.mine_plt(&plt);
-        let table = all_subset_supports(&plt);
-        Ok((result, table, plt))
-    }
 }
 
 impl Miner for TopDownMiner {
@@ -247,7 +247,7 @@ impl Miner for TopDownMiner {
             },
         )
         .expect("invalid transaction database");
-        self.mine_plt(&plt)
+        crate::miner::Mine::mine_plt(self, &plt)
     }
 
     fn mine_with_obs(
@@ -266,7 +266,7 @@ impl Miner for TopDownMiner {
             obs,
         )
         .expect("invalid transaction database");
-        self.mine_plt_obs(&plt, obs)
+        crate::miner::Mine::mine(self, &plt, obs)
     }
 }
 

@@ -117,6 +117,17 @@ impl<'a> Obs<'a> {
         r
     }
 
+    /// Records an externally timed span — for durations measured where no
+    /// `Obs` handle can travel (e.g. inside a rayon worker) and reported
+    /// after the join. One call is one span observation, exactly as if the
+    /// work had been wrapped in [`Obs::start`]/[`Obs::stop`].
+    #[inline]
+    pub fn span(&mut self, path: &'static str, elapsed: std::time::Duration) {
+        if let Some(rec) = self.0.as_deref_mut() {
+            rec.span(path, elapsed.as_nanos() as u64);
+        }
+    }
+
     /// Adds to a counter.
     #[inline]
     pub fn counter(&mut self, name: &'static str, delta: u64) {

@@ -36,6 +36,9 @@ pub struct ParallelPltMiner {
 
 impl ParallelPltMiner {
     /// Miner with a specific rank policy.
+    ///
+    /// Prefer constructing miners through `plt-shard`'s `MinerBuilder`,
+    /// which configures every engine through one path.
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
         ParallelPltMiner {
             rank_policy,
@@ -44,24 +47,23 @@ impl ParallelPltMiner {
     }
 
     /// Miner with a specific engine.
+    ///
+    /// Prefer constructing miners through `plt-shard`'s `MinerBuilder`,
+    /// which configures every engine through one path.
     pub fn with_engine(engine: CondEngine) -> Self {
         ParallelPltMiner {
             rank_policy: RankPolicy::default(),
             engine,
         }
     }
+}
 
-    /// Mines an already-constructed PLT in parallel.
-    pub fn mine_plt(&self, plt: &Plt) -> MiningResult {
-        self.mine_plt_obs(plt, &mut plt_obs::Obs::none())
-    }
-
-    /// [`mine_plt`](Self::mine_plt) with observability: the projection
-    /// pass and the fan-out are reported as `mine/project` and
-    /// `mine/items` spans, and the per-worker arena counters are merged
-    /// at reduce time and flushed into the recorder (with a
-    /// `parallel.workers` gauge for the pool width).
-    pub fn mine_plt_obs(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
+/// The PLT-level entry point: the projection pass and the fan-out are
+/// reported as `mine/project` and `mine/items` spans, and the per-worker
+/// arena counters are merged at reduce time and flushed into the recorder
+/// (with a `parallel.workers` gauge for the pool width).
+impl plt_core::miner::Mine for ParallelPltMiner {
+    fn mine(&self, plt: &Plt, obs: &mut plt_obs::Obs) -> MiningResult {
         let projections = obs.time("mine/project", || project_all(plt));
         let n = plt.ranking().len() as Rank;
         let engine = self.engine;
@@ -125,7 +127,7 @@ impl Miner for ParallelPltMiner {
             },
         )
         .expect("invalid transaction database");
-        self.mine_plt(&plt)
+        plt_core::miner::Mine::mine_plt(self, &plt)
     }
 
     fn mine_with_obs(
@@ -145,7 +147,7 @@ impl Miner for ParallelPltMiner {
         )
         .expect("invalid transaction database");
         obs.stop("construct/parallel", t0);
-        self.mine_plt_obs(&plt, obs)
+        plt_core::miner::Mine::mine(self, &plt, obs)
     }
 }
 

@@ -1,11 +1,14 @@
 //! Background snapshot builder: ingests transactions, republishes.
 //!
-//! The builder owns a [`SlidingWindow`] (plt-stream) on its own thread.
+//! The builder owns a [`ShardedPipeline`] (plt-shard) on its own thread.
 //! `INGEST` batches arrive over a channel; after each batch the builder
-//! re-mines the window, assembles a fresh [`Snapshot`], and publishes it
-//! to the [`Engine`] — a pointer swap, so in-flight readers keep their
-//! generation and new readers see the new one. Queries never wait on
-//! mining.
+//! applies the delta **incrementally** — only the rank-range shards the
+//! batch touches are re-mined, clean fragments are reused, and a
+//! vocabulary drift falls back to a full re-rank on its own — assembles
+//! a fresh [`Snapshot`], and publishes it to the [`Engine`] — a pointer
+//! swap, so in-flight readers keep their generation and new readers see
+//! the new one. Queries never wait on mining, and rebuild cost scales
+//! with the dirty shards, not the window.
 //!
 //! A rebuild that panics does **not** kill the service: the unwind is
 //! caught, the failure is counted ([`Metrics::builder_failures`]
@@ -22,7 +25,7 @@ use std::thread::JoinHandle;
 use plt_core::item::{Item, Support};
 use plt_core::RankPolicy;
 use plt_rules::RuleConfig;
-use plt_stream::SlidingWindow;
+use plt_shard::{Delta, ShardConfig, ShardedPipeline, DEFAULT_SHARD_COUNT};
 
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
@@ -37,6 +40,9 @@ pub struct BuilderConfig {
     pub min_support: Support,
     /// Item-ranking policy for the window's PLT.
     pub rank_policy: RankPolicy,
+    /// Number of rank-range shards the incremental pipeline partitions
+    /// the tree into (see [`plt_shard`]).
+    pub shard_count: usize,
     /// Confidence threshold for precomputed recommendation rules.
     pub rule_config: RuleConfig,
     /// Deterministic fault injection for rebuilds (the warmup build is
@@ -51,6 +57,7 @@ impl Default for BuilderConfig {
             window_capacity: 100_000,
             min_support: 2,
             rank_policy: RankPolicy::default(),
+            shard_count: DEFAULT_SHARD_COUNT,
             rule_config: RuleConfig::default(),
             fault: None,
         }
@@ -144,13 +151,17 @@ pub fn bootstrap(
     warmup: &[Vec<Item>],
     config: BuilderConfig,
 ) -> plt_core::Result<(Arc<Engine>, BuilderHandle)> {
-    let mut window = SlidingWindow::new(
-        config.window_capacity,
-        config.min_support,
-        config.rank_policy,
+    let mut pipeline = ShardedPipeline::new(
         warmup,
+        ShardConfig {
+            shard_count: config.shard_count,
+            min_support: config.min_support,
+            rank_policy: config.rank_policy,
+            capacity: Some(config.window_capacity),
+            ..ShardConfig::default()
+        },
     )?;
-    let snapshot = build_snapshot(&window, 1, config.rule_config);
+    let snapshot = build_snapshot(&pipeline, 1, config.rule_config);
     let engine = Arc::new(Engine::new(snapshot));
 
     let (tx, rx) = mpsc::channel::<Msg>();
@@ -171,7 +182,7 @@ pub fn bootstrap(
                                 Ok(Msg::Ingest(more)) => batch.extend(more),
                                 Ok(Msg::Flush(ack)) => {
                                     generation = ingest_and_publish(
-                                        &mut window,
+                                        &mut pipeline,
                                         &engine_for_thread,
                                         std::mem::take(&mut batch),
                                         generation,
@@ -188,7 +199,7 @@ pub fn bootstrap(
                         }
                         if !batch.is_empty() {
                             generation = ingest_and_publish(
-                                &mut window,
+                                &mut pipeline,
                                 &engine_for_thread,
                                 batch,
                                 generation,
@@ -199,7 +210,7 @@ pub fn bootstrap(
                     }
                     Msg::Flush(ack) => {
                         generation = ingest_and_publish(
-                            &mut window,
+                            &mut pipeline,
                             &engine_for_thread,
                             Vec::new(),
                             generation,
@@ -223,13 +234,13 @@ pub fn bootstrap(
     ))
 }
 
-/// One rebuild: push the batch, re-rank, re-mine, publish. Returns the
-/// new generation — or the *old* one if the rebuild panicked, in which
-/// case the engine is marked stale and keeps serving the last good
-/// snapshot. The window retains the pushed batch either way, so a later
-/// successful rebuild still covers it.
+/// One rebuild: apply the batch as an incremental delta, re-mine the
+/// dirty shards, publish. Returns the new generation — or the *old* one
+/// if the rebuild panicked, in which case the engine is marked stale and
+/// keeps serving the last good snapshot. The pipeline retains the applied
+/// batch either way, so a later successful rebuild still covers it.
 fn ingest_and_publish(
-    window: &mut SlidingWindow,
+    pipeline: &mut ShardedPipeline,
     engine: &Engine,
     batch: Vec<Vec<Item>>,
     generation: u64,
@@ -238,34 +249,45 @@ fn ingest_and_publish(
 ) -> u64 {
     let started = std::time::Instant::now();
     engine.mark_rebuilding();
-    for t in batch {
-        // An insert can only fail on pathological input (e.g. items the
-        // u32 space can't rank); drop such transactions rather than
-        // killing the service.
-        let _ = window.push(t);
-    }
-    let pushed = started.elapsed();
-    // Streams drift away from their warmup ranking; re-rank so the new
-    // snapshot's canonical keys reflect the current window.
-    let _ = window.rerank();
-    let reranked = started.elapsed();
+    // Incremental update: the delta dirties only the shards whose rank
+    // ranges it touches; clean fragments are reused, and a vocabulary
+    // drift falls back to a full re-rank + re-mine inside `apply`.
+    let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pipeline.apply(Delta::add(batch))
+    }));
+    let report = match applied {
+        Ok(Ok(report)) => report,
+        // An apply error or panic is absorbed like a failed rebuild: the
+        // last good snapshot keeps answering. The pipeline documents that
+        // it stays internally consistent, so later batches can still land.
+        Ok(Err(_)) | Err(_) => {
+            engine.mark_stale();
+            return generation;
+        }
+    };
+    engine
+        .metrics()
+        .record_shards(report.dirty_shards as u64, report.total_shards as u64);
+    let applied_at = started.elapsed();
     let next = generation + 1;
-    // The window is consistent past this point; mining and snapshot
-    // assembly read it immutably, so catching their unwind is sound.
+    // The pipeline is consistent past this point; snapshot assembly reads
+    // it immutably, so catching its unwind is sound.
     let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(plan) = fault {
             plan.maybe_builder_panic();
         }
-        build_snapshot(window, next, rule_config)
+        build_snapshot(pipeline, next, rule_config)
     }));
-    let snapshotted = started.elapsed();
+    let total = started.elapsed();
     // Phase durations feed the metrics registry whether the rebuild
-    // landed or was absorbed — failed passes cost real time too.
+    // landed or was absorbed — failed passes cost real time too. Phase
+    // mapping: push = structural update, rerank = dirty-shard re-mine +
+    // fragment merge, snapshot = snapshot assembly.
     engine.metrics().record_rebuild(
-        pushed,
-        reranked - pushed,
-        snapshotted - reranked,
-        snapshotted,
+        report.update,
+        report.remine + report.merge,
+        total - applied_at,
+        total,
     );
     match rebuilt {
         Ok(snapshot) => {
@@ -279,9 +301,17 @@ fn ingest_and_publish(
     }
 }
 
-fn build_snapshot(window: &SlidingWindow, generation: u64, rule_config: RuleConfig) -> Snapshot {
-    let result = window.mine();
-    Snapshot::build(generation, window.plt().clone(), &result, rule_config)
+fn build_snapshot(
+    pipeline: &ShardedPipeline,
+    generation: u64,
+    rule_config: RuleConfig,
+) -> Snapshot {
+    Snapshot::build(
+        generation,
+        pipeline.plt().clone(),
+        pipeline.result(),
+        rule_config,
+    )
 }
 
 #[cfg(test)]

@@ -320,6 +320,14 @@ impl Engine {
                             ("rerank_us", Json::from(rerank_us)),
                             ("snapshot_us", Json::from(snapshot_us)),
                             ("total_us", Json::from(total_us)),
+                            (
+                                "dirty_shards",
+                                Json::from(self.metrics.shards_remined.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "shard_count",
+                                Json::from(self.metrics.shard_count.load(Ordering::Relaxed)),
+                            ),
                         ])
                     }),
                     ("endpoints", Json::Arr(endpoints)),

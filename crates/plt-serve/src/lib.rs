@@ -19,8 +19,9 @@
 //!   a sharded LRU [`cache`] of rendered responses, per-endpoint
 //!   [`metrics`] with p50/p99 latency.
 //! * [`builder`] — a background thread folding `INGEST` batches into a
-//!   [`SlidingWindow`](plt_stream::SlidingWindow), re-mining, and
-//!   publishing fresh snapshots (one pointer swap; cache cleared).
+//!   [`ShardedPipeline`](plt_shard::ShardedPipeline): only the rank-range
+//!   shards a batch touches are re-mined before a fresh snapshot is
+//!   published (one pointer swap; cache cleared).
 //! * [`server`]/[`client`] — a TCP wire: length-prefixed JSON frames
 //!   ([`proto`]), N acceptor threads sharing one listener, a thread per
 //!   connection. `std::net` only; no async runtime. Connections carry

@@ -137,6 +137,11 @@ pub struct Metrics {
     pub rebuild_snapshot_us: AtomicU64,
     /// Cumulative µs across whole rebuild passes (push → publish).
     pub rebuild_total_us: AtomicU64,
+    /// Cumulative dirty shards re-mined across all incremental rebuilds
+    /// (divide by `rebuilds` for the mean dirty fraction).
+    pub shards_remined: AtomicU64,
+    /// Current shard count of the incremental pipeline (gauge).
+    pub shard_count: AtomicU64,
 }
 
 impl Metrics {
@@ -171,6 +176,12 @@ impl Metrics {
             .fetch_add(snapshot.as_micros() as u64, Ordering::Relaxed);
         self.rebuild_total_us
             .fetch_add(total.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Records the dirty-shard work of one incremental rebuild.
+    pub fn record_shards(&self, dirty: u64, total: u64) {
+        self.shards_remined.fetch_add(dirty, Ordering::Relaxed);
+        self.shard_count.store(total, Ordering::Relaxed);
     }
 
     /// Snapshot of the rebuild-phase accumulators:

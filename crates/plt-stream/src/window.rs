@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use plt_core::conditional::ConditionalMiner;
 use plt_core::item::{Item, Support};
-use plt_core::miner::MiningResult;
+use plt_core::miner::{Mine, MiningResult};
 use plt_core::plt::Plt;
 use plt_core::ranking::{ItemRanking, RankPolicy};
 use plt_core::Result;

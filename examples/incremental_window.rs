@@ -10,7 +10,7 @@
 
 use plt::core::plt::Plt;
 use plt::core::ranking::{ItemRanking, RankPolicy};
-use plt::core::ConditionalMiner;
+use plt::core::{ConditionalMiner, Mine};
 use plt::data::{QuestConfig, QuestGenerator};
 
 fn main() {

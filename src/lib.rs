@@ -5,8 +5,8 @@
 //! ([`baselines`]), parallel mining ([`parallel`]), compressed storage
 //! ([`compress`]), association-rule generation ([`rules`]),
 //! closed/maximal mining ([`closed`]), streaming maintenance
-//! ([`stream`]), the online query service ([`serve`]) and the
-//! observability layer ([`obs`]).
+//! ([`stream`]), sharded incremental mining ([`shard`]), the online
+//! query service ([`serve`]) and the observability layer ([`obs`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -20,9 +20,11 @@ pub use plt_obs as obs;
 pub use plt_parallel as parallel;
 pub use plt_rules as rules;
 pub use plt_serve as serve;
+pub use plt_shard as shard;
 pub use plt_stream as stream;
 
 pub use plt_core::{
-    ArenaPool, CondEngine, ConditionalMiner, Itemset, Miner, MiningResult, Plt, PositionVector,
-    RankPolicy, Support, TopDownMiner,
+    ArenaPool, CondEngine, ConditionalMiner, Itemset, Mine, Miner, MiningResult, Plt,
+    PositionVector, RankPolicy, Support, TopDownMiner,
 };
+pub use plt_shard::{MineStrategy, MinerBuilder, ShardedPipeline};

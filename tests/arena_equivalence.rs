@@ -116,7 +116,8 @@ fn one_pool_across_heterogeneous_databases() {
         for min_support in [3u64, 20, 60] {
             let plt = construct(db, min_support, ConstructOptions::conditional()).unwrap();
             let reused = pool.mine_plt(&plt);
-            let fresh = ConditionalMiner::with_engine(CondEngine::Map).mine_plt(&plt);
+            let fresh =
+                plt::core::Mine::mine_plt(&ConditionalMiner::with_engine(CondEngine::Map), &plt);
             assert_eq!(reused.sorted(), fresh.sorted(), "min_support {min_support}");
         }
     }

@@ -1,0 +1,50 @@
+//! Helpers shared by the differential integration tests: the complete
+//! frequent family as a comparable map, plus a human-replayable diff for
+//! reporting disagreements (the vendored proptest shim does not shrink,
+//! so failures must carry everything needed to replay them by hand).
+
+#![allow(dead_code)]
+
+use std::collections::BTreeMap;
+
+use plt::core::miner::MiningResult;
+
+/// The complete frequent family as an itemset → support map.
+pub fn support_map(result: &MiningResult) -> BTreeMap<Vec<u32>, u64> {
+    result
+        .iter()
+        .map(|(itemset, support)| (itemset.items().to_vec(), support))
+        .collect()
+}
+
+/// Human-replayable diff between two support maps: what is missing, what
+/// is extra, and where supports differ (first few entries of each).
+pub fn diff_support_maps(
+    reference: &BTreeMap<Vec<u32>, u64>,
+    got: &BTreeMap<Vec<u32>, u64>,
+) -> Option<String> {
+    let mut lines = Vec::new();
+    for (itemset, &sup) in reference {
+        match got.get(itemset) {
+            None => lines.push(format!("  missing {itemset:?} (support {sup})")),
+            Some(&g) if g != sup => {
+                lines.push(format!("  support mismatch {itemset:?}: {sup} vs {g}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (itemset, &sup) in got {
+        if !reference.contains_key(itemset) {
+            lines.push(format!("  extra {itemset:?} (support {sup})"));
+        }
+    }
+    if lines.is_empty() {
+        return None;
+    }
+    let shown = lines.len().min(8);
+    let mut msg = lines[..shown].join("\n");
+    if lines.len() > shown {
+        msg.push_str(&format!("\n  ... ({} more)", lines.len() - shown));
+    }
+    Some(msg)
+}

@@ -3,13 +3,13 @@
 //! generated workloads — PLT (both approaches, sequential and parallel)
 //! against every baseline.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use plt::baselines::apriori::{AprioriMiner, CountingStrategy, PruneStrategy};
 use plt::baselines::{
     AisMiner, DicMiner, EclatMiner, FpGrowthMiner, HMineMiner, PartitionMiner, SamplingMiner,
 };
-use plt::core::miner::{Miner, MiningResult};
+use plt::core::miner::Miner;
 use plt::core::HybridMiner;
 use plt::data::{
     BasketConfig, BasketGenerator, DenseConfig, DenseGenerator, QuestConfig, QuestGenerator,
@@ -17,6 +17,9 @@ use plt::data::{
 use plt::parallel::{ParallelEclatMiner, ParallelPltMiner};
 use plt::{CondEngine, ConditionalMiner, RankPolicy, TopDownMiner};
 use proptest::prelude::*;
+
+mod common;
+use common::{diff_support_maps, support_map};
 
 fn all_miners() -> Vec<Box<dyn Miner>> {
     vec![
@@ -199,46 +202,6 @@ fn differential_roster() -> Vec<Box<dyn Miner>> {
         Box::new(FpGrowthMiner),
         Box::new(EclatMiner::default()),
     ]
-}
-
-/// The complete frequent family as an itemset → support map.
-fn support_map(result: &MiningResult) -> BTreeMap<Vec<u32>, u64> {
-    result
-        .iter()
-        .map(|(itemset, support)| (itemset.items().to_vec(), support))
-        .collect()
-}
-
-/// Human-replayable diff between two support maps: what is missing, what
-/// is extra, and where supports differ (first few entries of each).
-fn diff_support_maps(
-    reference: &BTreeMap<Vec<u32>, u64>,
-    got: &BTreeMap<Vec<u32>, u64>,
-) -> Option<String> {
-    let mut lines = Vec::new();
-    for (itemset, &sup) in reference {
-        match got.get(itemset) {
-            None => lines.push(format!("  missing {itemset:?} (support {sup})")),
-            Some(&g) if g != sup => {
-                lines.push(format!("  support mismatch {itemset:?}: {sup} vs {g}"))
-            }
-            Some(_) => {}
-        }
-    }
-    for (itemset, &sup) in got {
-        if !reference.contains_key(itemset) {
-            lines.push(format!("  extra {itemset:?} (support {sup})"));
-        }
-    }
-    if lines.is_empty() {
-        return None;
-    }
-    let shown = lines.len().min(8);
-    let mut msg = lines[..shown].join("\n");
-    if lines.len() > shown {
-        msg.push_str(&format!("\n  ... ({} more)", lines.len() - shown));
-    }
-    Some(msg)
 }
 
 /// Runs every engine pair over one `(db, min_support)` cell; `Err` carries

@@ -50,8 +50,9 @@ fn compressed_plt_is_a_faithful_store() {
     // Mining the decompressed PLT gives the same answer as mining the
     // original.
     let miner = ConditionalMiner::default();
-    let from_original = miner.mine_plt(&plt);
-    let from_roundtrip = miner.mine_plt(&compressed.to_plt());
+    // Qualified: `Miner` is also in scope, and both traits have a `mine`.
+    let from_original = plt::core::Mine::mine_plt(&miner, &plt);
+    let from_roundtrip = plt::core::Mine::mine_plt(&miner, &compressed.to_plt());
     assert_eq!(from_original.sorted(), from_roundtrip.sorted());
 
     // The sum index returns exactly the conditional extraction of the

@@ -1,0 +1,217 @@
+//! Incremental-mining differential tests: after ANY sequence of deltas —
+//! adds, removes, vocabulary drift, capacity evictions — the sharded
+//! pipeline's merged result must equal a full re-mine of the surviving
+//! window at the same minimum support. The proptest mirrors the
+//! pipeline's window semantics in a plain model (removes first, matched
+//! by normalized equality against the oldest occurrence; per-add
+//! front-eviction at capacity) so the reference database is always known
+//! exactly.
+
+use std::collections::BTreeSet;
+
+use plt::core::miner::Miner;
+use plt::shard::{Delta, MinerBuilder, ShardConfig, ShardedPipeline};
+use plt::ConditionalMiner;
+use proptest::prelude::*;
+
+mod common;
+use common::{diff_support_maps, support_map};
+
+fn normalize(t: &[u32]) -> Vec<u32> {
+    let mut t = t.to_vec();
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Asserts the pipeline's merged result equals a from-scratch mine of
+/// `window`; `Err` carries a replayable diff.
+fn matches_full_mine(
+    pipeline: &ShardedPipeline,
+    window: &[Vec<u32>],
+    min_support: u64,
+    label: &str,
+) -> Result<(), String> {
+    let reference = support_map(&ConditionalMiner::default().mine(window, min_support));
+    let got = support_map(pipeline.result());
+    if let Some(diff) = diff_support_maps(&reference, &got) {
+        return Err(format!(
+            "{label}: incremental diverged from full re-mine at min_support \
+             {min_support} on window ({} rows):\n{window:?}\ndiff (reference = full):\n{diff}",
+            window.len(),
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn interleaved_adds_and_removes_match_full_remine() {
+    let base = vec![
+        vec![1, 2, 3],
+        vec![1, 2, 4],
+        vec![2, 3, 4],
+        vec![1, 3],
+        vec![1, 2, 3, 4],
+    ];
+    let config = ShardConfig {
+        shard_count: 4,
+        min_support: 2,
+        ..ShardConfig::default()
+    };
+    let mut pipeline = ShardedPipeline::new(&base, config).unwrap();
+    let mut window = base.clone();
+
+    // Add two, remove one, add one more — checking after every step.
+    let steps: Vec<Delta> = vec![
+        Delta::add(vec![vec![1, 2], vec![3, 4]]),
+        Delta {
+            adds: Vec::new(),
+            removes: vec![vec![1, 2, 4]],
+        },
+        Delta::add(vec![vec![1, 2, 3]]),
+    ];
+    for (i, delta) in steps.into_iter().enumerate() {
+        for r in &delta.removes {
+            let t = normalize(r);
+            let pos = window.iter().position(|w| normalize(w) == t).unwrap();
+            window.remove(pos);
+        }
+        window.extend(delta.adds.iter().cloned());
+        pipeline.apply(delta).unwrap();
+        matches_full_mine(&pipeline, &window, 2, &format!("step {i}")).unwrap();
+    }
+}
+
+#[test]
+fn drift_inducing_delta_matches_full_remine() {
+    // Items 90..94 are absent from the base; the delta pushes them over
+    // the threshold, forcing a full re-rank — the answer must still match.
+    let base = vec![vec![1, 2], vec![1, 3], vec![2, 3], vec![1, 2, 3]];
+    let config = ShardConfig {
+        shard_count: 4,
+        min_support: 2,
+        ..ShardConfig::default()
+    };
+    let mut pipeline = ShardedPipeline::new(&base, config).unwrap();
+    let delta = vec![vec![90, 91], vec![90, 91, 92], vec![91, 92]];
+    let report = pipeline.apply(Delta::add(delta.clone())).unwrap();
+    assert!(report.reranked, "new frequent items must force a re-rank");
+    let mut window = base;
+    window.extend(delta);
+    matches_full_mine(&pipeline, &window, 2, "drift").unwrap();
+}
+
+#[test]
+fn builder_pipeline_matches_direct_construction() {
+    let base = vec![vec![1, 2, 3], vec![1, 2], vec![2, 3], vec![1, 2, 3]];
+    let via_builder = MinerBuilder::new()
+        .min_support(2)
+        .shard_count(4)
+        .build_pipeline(&base, None)
+        .unwrap();
+    let config = ShardConfig {
+        shard_count: 4,
+        min_support: 2,
+        ..ShardConfig::default()
+    };
+    let direct = ShardedPipeline::new(&base, config).unwrap();
+    assert_eq!(
+        support_map(via_builder.result()),
+        support_map(direct.result())
+    );
+}
+
+/// Mirrors one delta through the model window with the pipeline's exact
+/// semantics: removes first (oldest normalized match), then adds with
+/// per-transaction front-eviction at capacity.
+fn model_apply(window: &mut Vec<Vec<u32>>, delta: &Delta, capacity: Option<usize>) {
+    for r in &delta.removes {
+        let t = normalize(r);
+        if let Some(pos) = window.iter().position(|w| *w == t) {
+            window.remove(pos);
+        }
+    }
+    for a in &delta.adds {
+        match capacity {
+            Some(0) => continue,
+            Some(cap) if window.len() >= cap => {
+                window.remove(0);
+            }
+            _ => {}
+        }
+        window.push(normalize(a));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary delta sequences — skewed adds, removes of both present
+    /// and novel-vocabulary rows, with and without a capacity bound —
+    /// always leave the pipeline equal to a full re-mine of the window.
+    #[test]
+    fn prop_any_delta_sequence_matches_full_remine(
+        base in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..40, 1..6),
+            3..10,
+        ),
+        deltas in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    proptest::collection::btree_set(0u32..60, 1..5),
+                    0..4,
+                ),
+                proptest::collection::vec(0usize..8, 0..3),
+            ),
+            1..5,
+        ),
+        shard_count in 1usize..6,
+        min_support in 1u64..4,
+        bounded in any::<bool>(),
+        capacity in 6usize..14,
+    ) {
+        let base: Vec<Vec<u32>> =
+            base.iter().map(|t| t.iter().copied().collect()).collect();
+        let capacity = if bounded { Some(capacity) } else { None };
+        let config = ShardConfig {
+            shard_count,
+            min_support,
+            capacity,
+            ..ShardConfig::default()
+        };
+        let mut pipeline = ShardedPipeline::new(&base, config).unwrap();
+        let mut window: Vec<Vec<u32>> = base.iter().map(|t| normalize(t)).collect();
+        if let Some(cap) = capacity {
+            // The initial build is itself a delta, so the model must
+            // absorb the same evictions.
+            while window.len() > cap {
+                window.remove(0);
+            }
+        }
+
+        for (i, (adds, remove_picks)) in deltas.iter().enumerate() {
+            let adds: Vec<Vec<u32>> =
+                adds.iter().map(|t: &BTreeSet<u32>| t.iter().copied().collect()).collect();
+            // Remove picks index into the current window, so every
+            // remove is guaranteed present; duplicates across picks are
+            // deduped to keep one occurrence per removal.
+            let mut removes: Vec<Vec<u32>> = Vec::new();
+            let mut taken: BTreeSet<usize> = BTreeSet::new();
+            for &pick in remove_picks {
+                if window.is_empty() {
+                    break;
+                }
+                let pos = pick % window.len();
+                if taken.insert(pos) {
+                    removes.push(window[pos].clone());
+                }
+            }
+            let delta = Delta { adds, removes };
+            model_apply(&mut window, &delta, capacity);
+            pipeline.apply(delta).unwrap();
+            let outcome =
+                matches_full_mine(&pipeline, &window, min_support, &format!("delta {i}"));
+            prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+        }
+    }
+}

@@ -96,6 +96,23 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
 /// A strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
