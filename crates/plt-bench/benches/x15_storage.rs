@@ -1,0 +1,94 @@
+//! X15 — durable-store costs. Three measurements over the same data
+//! directory: recovery that replays the whole WAL (no checkpoint),
+//! recovery from a checkpoint manifest (empty tail), and cold
+//! `support_of` point lookups with a 2-shard resident budget so answers
+//! come from mmap segments through the block index rather than a merged
+//! in-memory snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_bench::datasets;
+use plt_core::{ConditionalMiner, Miner};
+use plt_shard::{Delta, ShardConfig};
+use plt_store::{DurableOptions, DurablePipeline};
+
+fn bench(c: &mut Criterion) {
+    let n = 2_000;
+    let min_sup = 20;
+    let config = ShardConfig {
+        shard_count: 16,
+        min_support: min_sup,
+        ..ShardConfig::default()
+    };
+    let db = datasets::sparse(n);
+    let dir = std::env::temp_dir().join(format!("plt-bench-x15-crit-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Ingest once, journaling every batch with no checkpoints: the
+    // first recovery replays the entire ingest from the WAL.
+    let journal_only = DurableOptions {
+        checkpoint_every: None,
+        ..DurableOptions::default()
+    };
+    let mut pipeline = DurablePipeline::open(&dir, config, journal_only).unwrap();
+    for chunk in db.chunks(64) {
+        pipeline.apply(Delta::add(chunk.to_vec())).unwrap();
+    }
+    drop(pipeline);
+
+    let mut group = c.benchmark_group("x15/sparse");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("recover", "wal_tail"), |b| {
+        b.iter(|| {
+            DurablePipeline::open(&dir, config, journal_only)
+                .unwrap()
+                .len()
+        })
+    });
+
+    // Checkpoint once; recovery is then manifest + window, no replay.
+    let mut pipeline = DurablePipeline::open(&dir, config, journal_only).unwrap();
+    pipeline.checkpoint().unwrap();
+    drop(pipeline);
+    group.bench_function(BenchmarkId::new("recover", "checkpoint"), |b| {
+        b.iter(|| {
+            DurablePipeline::open(&dir, config, journal_only)
+                .unwrap()
+                .len()
+        })
+    });
+
+    // Cold reads: 2 resident shards, no merged snapshot — every lookup
+    // routes through a resident fragment or an mmap segment.
+    let cold_options = DurableOptions {
+        resident_shards: Some(2),
+        materialize_merged: false,
+        checkpoint_every: None,
+        ..DurableOptions::default()
+    };
+    let pipeline = DurablePipeline::open(&dir, config, cold_options).unwrap();
+    let family: Vec<Vec<u32>> = ConditionalMiner::default()
+        .mine(&db, min_sup)
+        .iter()
+        .map(|(itemset, _)| itemset.items().to_vec())
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("cold_support_of", family.len()),
+        &family,
+        |b, family| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for items in family {
+                    acc += pipeline.support_of(items).unwrap_or(0);
+                }
+                acc
+            })
+        },
+    );
+    group.finish();
+    drop(pipeline);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

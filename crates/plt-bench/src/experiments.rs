@@ -977,6 +977,236 @@ pub fn x13_json(cells: &[IncrementalCell], scale: Scale) -> String {
     s
 }
 
+/// One row of X15: durable-store recovery and cold-read costs for one
+/// dataset. See [`x15_table`] for the rendered table and [`x15_json`]
+/// for the committed `BENCH_storage.json` record.
+#[derive(Debug, Clone)]
+pub struct StorageCell {
+    /// Dataset label, e.g. `T10.I4.D2000`.
+    pub dataset: String,
+    /// Database size (every transaction journaled).
+    pub transactions: usize,
+    /// Delta records in the WAL when recovery replays the full tail.
+    pub wal_deltas: u64,
+    /// Best wall time of `open()` replaying the whole WAL (no checkpoint).
+    pub recovery_wal_secs: f64,
+    /// Best wall time of `open()` from a checkpoint (empty WAL tail).
+    pub recovery_ckpt_secs: f64,
+    /// Point lookups issued against the cold store (2-shard budget, no
+    /// merged snapshot): the full frequent family, each verified.
+    pub cold_lookups: usize,
+    /// Mean microseconds per cold lookup.
+    pub cold_lookup_us: f64,
+    /// How many of those lookups were served from mmap segments.
+    pub segment_lookups: u64,
+    /// Live segment files after the checkpoint.
+    pub segments: u64,
+    /// Bytes across live segments.
+    pub segment_bytes: u64,
+    /// WAL bytes before the checkpoint (the replayed volume).
+    pub wal_bytes: u64,
+}
+
+/// X15 — durable storage: recovery time vs WAL length, and cold-read
+/// throughput from mmap segments. Ingests each dataset through the
+/// durable pipeline (journaling every batch, no checkpoints), then
+/// measures (a) recovery replaying the full WAL, (b) recovery from a
+/// checkpoint, (c) `support_of` point lookups with a 2-shard resident
+/// budget so almost every answer comes off disk. Recovered and cold
+/// answers are asserted against an in-memory full re-mine.
+pub fn x15_storage_cells(scale: Scale) -> Vec<StorageCell> {
+    use plt_store::{DurableOptions, DurablePipeline};
+
+    let runs = scale.runs().max(2);
+    let n = scale.pick(1_500, 12_000);
+    let batch = 64;
+    let workloads: Vec<(String, Vec<Vec<Item>>)> = vec![
+        (format!("T10.I4.D{n}"), datasets::sparse(n)),
+        (format!("ZIPF1.1.D{n}"), datasets::zipf(n, 1.1)),
+    ];
+
+    let mut cells = Vec::new();
+    for (dataset, db) in workloads {
+        let min_sup = ((0.01 * n as f64).ceil() as Support).max(2);
+        let config = ShardConfig {
+            shard_count: 16,
+            min_support: min_sup,
+            ..ShardConfig::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("plt-bench-x15-{}-{dataset}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Journal-only policy: every batch lands in the WAL and stays
+        // there, so the first recovery replays the entire ingest.
+        let journal_only = DurableOptions {
+            checkpoint_every: None,
+            ..DurableOptions::default()
+        };
+        let mut pipeline =
+            DurablePipeline::open(&dir, config, journal_only).expect("open fresh dir");
+        let mut wal_deltas = 0u64;
+        for chunk in db.chunks(batch) {
+            pipeline.apply(Delta::add(chunk.to_vec())).expect("apply");
+            wal_deltas += 1;
+        }
+        let wal_bytes = pipeline.store_stats().wal_bytes;
+        let reference = ConditionalMiner::default().mine(&db, min_sup);
+        assert_eq!(
+            pipeline.result().sorted(),
+            reference.sorted(),
+            "durable ingest diverged from full mine on {dataset}"
+        );
+        drop(pipeline);
+
+        // (a) Recovery replaying the whole WAL.
+        let mut t_wal = Duration::MAX;
+        for _ in 0..runs {
+            let started = std::time::Instant::now();
+            let recovered =
+                DurablePipeline::open(&dir, config, journal_only).expect("recover from WAL");
+            t_wal = t_wal.min(started.elapsed());
+            assert_eq!(
+                recovered.recovery().replayed_deltas,
+                wal_deltas,
+                "{dataset}"
+            );
+            assert_eq!(
+                recovered.result().sorted(),
+                reference.sorted(),
+                "WAL recovery diverged on {dataset}"
+            );
+        }
+
+        // Checkpoint, then (b) recovery with an empty tail.
+        let mut pipeline =
+            DurablePipeline::open(&dir, config, journal_only).expect("reopen to checkpoint");
+        pipeline.checkpoint().expect("checkpoint");
+        let after_ckpt = pipeline.store_stats();
+        drop(pipeline);
+        let mut t_ckpt = Duration::MAX;
+        for _ in 0..runs {
+            let started = std::time::Instant::now();
+            let recovered =
+                DurablePipeline::open(&dir, config, journal_only).expect("recover from ckpt");
+            t_ckpt = t_ckpt.min(started.elapsed());
+            assert_eq!(recovered.recovery().replayed_deltas, 0, "{dataset}");
+        }
+
+        // (c) Cold reads: a 2-shard budget with no merged snapshot, so
+        // point lookups route to resident fragments or mmap segments.
+        let cold = DurableOptions {
+            resident_shards: Some(2),
+            materialize_merged: false,
+            checkpoint_every: None,
+            ..DurableOptions::default()
+        };
+        let pipeline = DurablePipeline::open(&dir, config, cold).expect("open cold");
+        let family: Vec<(Vec<Item>, Support)> = reference
+            .iter()
+            .map(|(itemset, support)| (itemset.items().to_vec(), support))
+            .collect();
+        assert!(!family.is_empty(), "{dataset} must induce frequent sets");
+        let started = std::time::Instant::now();
+        for (items, support) in &family {
+            assert_eq!(
+                pipeline.support_of(items),
+                Some(*support),
+                "cold lookup {items:?} on {dataset}"
+            );
+        }
+        let cold_elapsed = started.elapsed();
+        let segment_lookups = pipeline.store_stats().segment_lookups;
+        drop(pipeline);
+        std::fs::remove_dir_all(&dir).ok();
+
+        cells.push(StorageCell {
+            dataset,
+            transactions: n,
+            wal_deltas,
+            recovery_wal_secs: t_wal.as_secs_f64(),
+            recovery_ckpt_secs: t_ckpt.as_secs_f64(),
+            cold_lookups: family.len(),
+            cold_lookup_us: cold_elapsed.as_secs_f64() * 1e6 / family.len() as f64,
+            segment_lookups,
+            segments: after_ckpt.segments,
+            segment_bytes: after_ckpt.segment_bytes,
+            wal_bytes,
+        });
+    }
+    cells
+}
+
+/// X15 rendered as a table.
+pub fn x15_table(cells: &[StorageCell]) -> Table {
+    let mut table = Table::new(
+        "X15: durable store — recovery vs WAL length, cold reads from mmap segments",
+        &[
+            "dataset",
+            "WAL deltas",
+            "recover(WAL)",
+            "recover(ckpt)",
+            "cold lookup",
+            "mmap hits",
+            "seg bytes",
+        ],
+    );
+    for c in cells {
+        table.row(vec![
+            c.dataset.clone(),
+            c.wal_deltas.to_string(),
+            fmt_duration(Duration::from_secs_f64(c.recovery_wal_secs)),
+            fmt_duration(Duration::from_secs_f64(c.recovery_ckpt_secs)),
+            format!("{:.1}us", c.cold_lookup_us),
+            format!("{}/{}", c.segment_lookups, c.cold_lookups),
+            c.segment_bytes.to_string(),
+        ]);
+    }
+    table
+}
+
+/// X15 — durable-storage costs (table form, for the binary).
+pub fn x15_storage(scale: Scale) -> Table {
+    x15_table(&x15_storage_cells(scale))
+}
+
+/// Machine-readable record of an X15 run (the committed
+/// `BENCH_storage.json`). Hand-rolled JSON, same as [`x13_json`].
+pub fn x15_json(cells: &[StorageCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x15_storage\",\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"transactions\": {}, \"wal_deltas\": {}, \
+             \"wal_bytes\": {}, \"recovery_wal_secs\": {:.6}, \
+             \"recovery_ckpt_secs\": {:.6}, \"cold_lookups\": {}, \
+             \"cold_lookup_us\": {:.3}, \"segment_lookups\": {}, \
+             \"segments\": {}, \"segment_bytes\": {}}}{}\n",
+            c.dataset,
+            c.transactions,
+            c.wal_deltas,
+            c.wal_bytes,
+            c.recovery_wal_secs,
+            c.recovery_ckpt_secs,
+            c.cold_lookups,
+            c.cold_lookup_us,
+            c.segment_lookups,
+            c.segments,
+            c.segment_bytes,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1082,6 +1312,30 @@ mod tests {
         assert_eq!(json.matches("\"dataset\"").count(), 4);
         assert_eq!(json.matches("\"speedup\"").count(), 4);
         assert_eq!(x13_table(&cells).num_rows(), 4);
+    }
+
+    #[test]
+    fn x15_storage_recovers_and_emits_json() {
+        let cells = x15_storage_cells(Scale::Quick);
+        // 2 datasets. Correctness (WAL recovery == full re-mine, cold
+        // lookups == exact supports) is asserted inside the cell builder.
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert!(c.wal_deltas > 0 && c.wal_bytes > 0, "{}", c.dataset);
+            assert!(c.recovery_wal_secs > 0.0 && c.recovery_ckpt_secs > 0.0);
+            assert!(c.cold_lookups > 0 && c.cold_lookup_us > 0.0);
+            assert!(
+                c.segment_lookups > 0,
+                "a 2-shard budget must push lookups to mmap on {}",
+                c.dataset
+            );
+            assert!(c.segments >= 1 && c.segment_bytes > 0);
+        }
+        let json = x15_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x15_storage\""));
+        assert_eq!(json.matches("\"dataset\"").count(), 2);
+        assert_eq!(json.matches("\"recovery_wal_secs\"").count(), 2);
+        assert_eq!(x15_table(&cells).num_rows(), 2);
     }
 
     #[test]

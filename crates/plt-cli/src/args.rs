@@ -254,6 +254,17 @@ pub enum Command {
         /// Per-connection read/write deadline in milliseconds; `None`
         /// keeps the server defaults.
         deadline_ms: Option<u64>,
+        /// Durable-store data directory (WAL + segments + manifest).
+        /// `None` serves fully in memory. An existing directory is
+        /// recovered and the `--input` warmup is only applied on a fresh
+        /// one.
+        data_dir: Option<String>,
+    },
+    /// `store inspect`: dump a durable data directory as JSON (manifest,
+    /// WAL record counts, per-segment block-index stats).
+    StoreInspect {
+        /// Data directory written by `serve --data-dir`.
+        data_dir: String,
     },
     /// `query --addr`: one-shot client against a running `serve`.
     QueryServer {
@@ -318,7 +329,8 @@ usage:
   plt-mine query --index <file.pltc> --itemset \"1 2 3\" [--itemset ...]
   plt-mine serve --input <file.dat> --min-sup <frac|count>
                  [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
-                 [--fault-seed S] [--deadline-ms MS]
+                 [--fault-seed S] [--deadline-ms MS] [--data-dir <dir>]
+  plt-mine store inspect --data-dir <dir>
   plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
                  [--recommend \"1 2\"] [--stats] [--shutdown]";
 
@@ -626,6 +638,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let mut addr = "127.0.0.1:7878".to_string();
             let mut min_conf = 0.5;
             let (mut fault_seed, mut deadline_ms) = (None, None);
+            let mut data_dir = None;
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
@@ -657,6 +670,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                             ParseError(format!("--deadline-ms must be an integer: {e}"))
                         })?)
                     }
+                    "--data-dir" => data_dir = Some(cur.value(flag)?.to_string()),
                     other => return err(format!("unknown flag {other:?} for serve")),
                 }
             }
@@ -668,6 +682,23 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 window,
                 fault_seed,
                 deadline_ms,
+                data_dir,
+            })
+        }
+        "store" => {
+            let action = cur.next_flag();
+            if action != Some("inspect") {
+                return err("store supports one action: store inspect --data-dir <dir>");
+            }
+            let mut data_dir = None;
+            while let Some(flag) = cur.next_flag() {
+                match flag {
+                    "--data-dir" => data_dir = Some(cur.value(flag)?.to_string()),
+                    other => return err(format!("unknown flag {other:?} for store inspect")),
+                }
+            }
+            Ok(Command::StoreInspect {
+                data_dir: data_dir.ok_or(ParseError("store inspect requires --data-dir".into()))?,
             })
         }
         "gen" => {
@@ -909,6 +940,7 @@ mod tests {
                 window: None,
                 fault_seed: None,
                 deadline_ms: None,
+                data_dir: None,
             }
         );
         let c = parse(&argv(&[
@@ -976,6 +1008,52 @@ mod tests {
             "-1",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_serve_data_dir() {
+        let c = parse(&argv(&[
+            "serve",
+            "--input",
+            "x.dat",
+            "--min-sup",
+            "2",
+            "--data-dir",
+            "/tmp/plt-data",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { data_dir, .. } => {
+                assert_eq!(data_dir.as_deref(), Some("/tmp/plt-data"));
+            }
+            _ => panic!(),
+        }
+        // The flag requires a value.
+        assert!(parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--data-dir",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_store_inspect() {
+        let c = parse(&argv(&["store", "inspect", "--data-dir", "/tmp/d"])).unwrap();
+        assert_eq!(
+            c,
+            Command::StoreInspect {
+                data_dir: "/tmp/d".into(),
+            }
+        );
+        // The action and the directory are both required.
+        assert!(parse(&argv(&["store"])).is_err());
+        assert!(parse(&argv(&["store", "inspect"])).is_err());
+        assert!(parse(&argv(&["store", "compact", "--data-dir", "/tmp/d"])).is_err());
+        assert!(parse(&argv(&["store", "inspect", "--bogus", "x"])).is_err());
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             window,
             fault_seed,
             deadline_ms,
+            data_dir,
         } => serve(
             &input,
             min_sup,
@@ -94,8 +95,10 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             window,
             fault_seed,
             deadline_ms,
+            data_dir.as_deref(),
             out,
         ),
+        Command::StoreInspect { data_dir } => store_inspect(&data_dir, out),
         Command::QueryServer {
             addr,
             itemsets,
@@ -116,6 +119,7 @@ fn serve(
     window: Option<usize>,
     fault_seed: Option<u64>,
     deadline_ms: Option<u64>,
+    data_dir: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
@@ -138,6 +142,8 @@ fn serve(
             min_confidence: min_conf,
         },
         fault: fault.clone(),
+        data_dir: data_dir.map(std::path::PathBuf::from),
+        durable: plt_store::DurableOptions::default(),
     };
     let (engine, builder) = plt_serve::bootstrap(db.transactions(), config)
         .map_err(|e| format!("cannot build snapshot: {e}"))?;
@@ -169,6 +175,15 @@ fn serve(
     out.flush().map_err(|e| e.to_string())?;
     handle.join();
     builder.stop();
+    Ok(())
+}
+
+/// Dumps a durable data directory as JSON: manifest epoch/ranking,
+/// WAL record counts by type, per-segment block-index stats.
+fn store_inspect(data_dir: &str, out: &mut dyn Write) -> CmdResult {
+    let json = plt_store::inspect_json(std::path::Path::new(data_dir))
+        .map_err(|e| format!("cannot inspect {data_dir}: {e}"))?;
+    writeln!(out, "{json}").map_err(|e| e.to_string())?;
     Ok(())
 }
 

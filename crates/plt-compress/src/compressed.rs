@@ -277,14 +277,18 @@ impl CompressedPlt {
 }
 
 impl CompressedPlt {
-    /// Serialises to the `PLTC` byte format (see [`crate::file`]):
-    /// header, ranking table, per-partition payloads, trailing checksum.
-    /// Indexes are *not* stored — they are derived data, rebuilt on load.
+    /// Serialises to the `PLTC` v2 byte format (see [`crate::file`]):
+    /// header with CRC32, ranking table, per-partition payloads, trailing
+    /// checksum. Indexes are *not* stored — they are derived data,
+    /// rebuilt on load.
     pub fn to_bytes(&self) -> Vec<u8> {
         use crate::varint::{put_u32, put_u64};
         let mut out: Vec<u8> = Vec::new();
         out.extend_from_slice(crate::file::MAGIC);
         put_u32(&mut out, crate::file::VERSION);
+        // Reserve the header CRC32; patched once the body is complete.
+        let crc_pos = out.len();
+        out.extend_from_slice(&[0u8; 4]);
         put_u64(&mut out, self.min_support);
         put_u64(&mut out, self.num_transactions);
         out.push(match self.ranking.policy() {
@@ -304,13 +308,16 @@ impl CompressedPlt {
             put_u64(&mut out, p.data.len() as u64);
             out.extend_from_slice(&p.data);
         }
+        let crc = crate::crc::crc32(&out[crc_pos + 4..]);
+        out[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
         let checksum = crate::file::checksum(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
 
-    /// Deserialises the `PLTC` byte format, validating magic, version and
-    /// checksum, and rebuilding the restart tables and sum indexes.
+    /// Deserialises the `PLTC` byte format, validating magic, version,
+    /// CRC32 and checksum, and rebuilding the restart tables and sum
+    /// indexes.
     pub fn from_bytes(bytes: &[u8]) -> std::io::Result<CompressedPlt> {
         use crate::varint::{get_u32, get_u64};
         use std::io::{Error, ErrorKind};
@@ -332,6 +339,14 @@ impl CompressedPlt {
         let version = get_u32(&mut buf);
         if version != crate::file::VERSION {
             return Err(bad(&format!("unsupported PLTC version {version}")));
+        }
+        if buf.len() < 4 {
+            return Err(bad("truncated PLTC header"));
+        }
+        let stored_crc = u32::from_le_bytes(buf[..4].try_into().expect("4-byte crc"));
+        buf = &buf[4..];
+        if crate::crc::crc32(buf) != stored_crc {
+            return Err(bad("PLTC CRC32 mismatch"));
         }
         let min_support = get_u64(&mut buf);
         let num_transactions = get_u64(&mut buf);

@@ -1,0 +1,82 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! The workspace Fx hash is fast but was designed for hash tables, not
+//! error detection; CRC32 has guaranteed burst-error detection properties
+//! that make it the right frame check for on-disk formats. The PLTC v2
+//! header and every plt-store WAL record and segment file carry one.
+//!
+//! Table-driven, one table, no dependencies. Byte-identical to the common
+//! `crc32fast`/zlib CRC so externally written files can be checked with
+//! standard tooling.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Continues a CRC32 computation: `crc32_update(crc32(a), b) == crc32(a ++ b)`.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib/PNG test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn update_is_concatenation() {
+        let whole = crc32(b"hello world");
+        let split = crc32_update(crc32(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"positional lexicographic tree".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! The `PLTC` on-disk format.
+//! The `PLTC` on-disk format (version 2).
 //!
 //! ```text
-//! "PLTC" | version varint | min_support varint | num_transactions varint
+//! "PLTC" | version varint | crc32 u32 LE
+//! | min_support varint | num_transactions varint
 //! | rank policy u8 | n_items varint | (item varint, support varint)×n
 //! | n_partitions varint
 //! | (k varint, entries varint, data_len varint, front-coded payload)×p
@@ -15,8 +16,14 @@
 //! * the ranking is stored as `(item, support)` in rank order plus the
 //!   policy byte; `ItemRanking::from_frequent_items` is deterministic, so
 //!   reload reproduces the identical `Rank` function;
-//! * the trailing checksum (the crate's Fx hash over the body) detects
-//!   corruption, not tampering — the format trusts its producer.
+//! * two independent integrity checks: the v2 header CRC32 covers every
+//!   byte after the CRC field up to the trailing checksum (standard
+//!   polynomial, so external tools can verify it), and the trailing Fx
+//!   hash covers the whole body including magic, version and the CRC
+//!   field itself. Both detect corruption, not tampering — the format
+//!   trusts its producer;
+//! * version 1 files (no CRC field) are no longer readable; the version
+//!   check rejects them with a clear error rather than misparsing.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -26,8 +33,9 @@ use crate::compressed::CompressedPlt;
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"PLTC";
 
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. v2 added the header CRC32 and overlong-varint
+/// rejection on decode.
+pub const VERSION: u32 = 2;
 
 /// Integrity checksum: the workspace Fx hash over a byte slice.
 pub fn checksum(bytes: &[u8]) -> u64 {
@@ -144,6 +152,30 @@ mod tests {
         assert!(CompressedPlt::from_bytes(&bytes[..bytes.len() - 1]).is_err());
         assert!(CompressedPlt::from_bytes(&bytes[..4]).is_err());
         assert!(CompressedPlt::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn crc32_catches_body_corruption_even_with_restamped_checksum() {
+        // Flip a body byte *and* re-stamp the trailing Fx checksum: only
+        // the independent header CRC32 can catch this.
+        let mut bytes = sample(RankPolicy::Lexicographic).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let body_len = bytes.len() - 8;
+        let sum = checksum(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        let err = CompressedPlt::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("CRC32"), "{err}");
+    }
+
+    #[test]
+    fn header_crc_field_sits_after_magic_and_version() {
+        let bytes = sample(RankPolicy::Lexicographic).to_bytes();
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(bytes[4], VERSION as u8); // varint, single byte
+        let stored = u32::from_le_bytes(bytes[5..9].try_into().unwrap());
+        let computed = crate::crc::crc32(&bytes[9..bytes.len() - 8]);
+        assert_eq!(stored, computed);
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! without decompressing unrelated blocks.
 
 pub mod compressed;
+pub mod crc;
 pub mod file;
 pub mod varint;
 
 pub use compressed::{CompressedPlt, CompressionReport};
+pub use crc::{crc32, crc32_update};

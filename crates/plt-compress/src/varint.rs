@@ -26,9 +26,17 @@ pub fn put_u32<B: BufMut>(buf: &mut B, value: u32) {
 
 /// Decodes a LEB128 `u64` from `buf`.
 ///
+/// Only *minimal* encodings are accepted: a terminator byte of `0x00`
+/// after a continuation byte (a trailing zero group the encoder would
+/// never emit), or data bits in the tenth byte beyond bit 63, are
+/// rejected as overlong. This keeps the encoding canonical — exactly one
+/// byte string per value — which on-disk formats rely on for
+/// deterministic, checksummable output.
+///
 /// # Panics
-/// Panics on truncated input or on encodings longer than 10 bytes — both
-/// indicate corruption of an internal buffer, not user error.
+/// Panics on truncated input, on encodings longer than 10 bytes, and on
+/// overlong (non-minimal) encodings — all indicate corruption of an
+/// internal buffer or file, not user error.
 pub fn get_u64<B: Buf>(buf: &mut B) -> u64 {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -36,6 +44,8 @@ pub fn get_u64<B: Buf>(buf: &mut B) -> u64 {
         assert!(buf.has_remaining(), "truncated varint");
         let byte = buf.get_u8();
         assert!(shift < 64, "varint too long");
+        assert!(shift == 0 || byte != 0, "overlong varint");
+        assert!(shift < 63 || byte & 0x7f <= 1, "overlong varint");
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return value;
@@ -160,6 +170,40 @@ mod tests {
         bytes.push(0x00);
         let mut slice = bytes.as_slice();
         get_u64(&mut slice);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlong varint")]
+    fn non_minimal_trailing_zero_panics() {
+        // [0x80, 0x00] decodes to 0 but the minimal encoding of 0 is the
+        // single byte 0x00; the padded form must be rejected.
+        let mut slice: &[u8] = &[0x80, 0x00];
+        get_u64(&mut slice);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlong varint")]
+    fn non_minimal_long_padding_panics() {
+        let mut slice: &[u8] = &[0xff, 0x80, 0x00];
+        get_u64(&mut slice);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlong varint")]
+    fn tenth_byte_overflow_bits_panic() {
+        // Ten bytes with data bits above bit 63: the old decoder silently
+        // truncated these; they must be rejected.
+        let mut bytes = vec![0xffu8; 9];
+        bytes.push(0x7f);
+        let mut slice = bytes.as_slice();
+        get_u64(&mut slice);
+    }
+
+    #[test]
+    fn zero_decodes_from_its_minimal_byte() {
+        let mut slice: &[u8] = &[0x00];
+        assert_eq!(get_u64(&mut slice), 0);
+        assert!(slice.is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! until a later rebuild succeeds. `flush` acks the *old* generation on
 //! failure, so waiting ingesters never hang on a dead rebuild.
 
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,7 +26,8 @@ use std::thread::JoinHandle;
 use plt_core::item::{Item, Support};
 use plt_core::RankPolicy;
 use plt_rules::RuleConfig;
-use plt_shard::{Delta, ShardConfig, ShardedPipeline, DEFAULT_SHARD_COUNT};
+use plt_shard::{Delta, RebuildReport, ShardConfig, ShardedPipeline, DEFAULT_SHARD_COUNT};
+use plt_store::{DurableOptions, DurablePipeline, StoreError};
 
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
@@ -49,6 +51,15 @@ pub struct BuilderConfig {
     /// never faulted — a service that cannot bootstrap should fail
     /// loudly). `None` in production.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Data directory for the durable store (WAL + segments + manifest,
+    /// see [`plt_store`]). `None` runs fully in memory. When set,
+    /// [`bootstrap`] recovers any existing state first and the `warmup`
+    /// transactions are applied only on a fresh (empty) directory, so a
+    /// restarted service does not double-count its seed data.
+    pub data_dir: Option<PathBuf>,
+    /// Durable-store policy (fsync batching, resident-shard budget,
+    /// checkpoint cadence). Ignored unless `data_dir` is set.
+    pub durable: DurableOptions,
 }
 
 impl Default for BuilderConfig {
@@ -60,6 +71,57 @@ impl Default for BuilderConfig {
             shard_count: DEFAULT_SHARD_COUNT,
             rule_config: RuleConfig::default(),
             fault: None,
+            data_dir: None,
+            durable: DurableOptions::default(),
+        }
+    }
+}
+
+/// The builder's mining state: plain in-memory pipeline, or the same
+/// pipeline wrapped in the durable store (WAL-before-apply, cold-shard
+/// spilling, checkpoints).
+enum Pipe {
+    Memory(Box<ShardedPipeline>),
+    Durable(Box<DurablePipeline>),
+}
+
+impl Pipe {
+    fn apply(&mut self, delta: Delta) -> Result<RebuildReport, StoreError> {
+        match self {
+            Pipe::Memory(p) => p.apply(delta).map_err(StoreError::from),
+            Pipe::Durable(p) => p.apply(delta),
+        }
+    }
+
+    fn snapshot(&self, generation: u64, rule_config: RuleConfig) -> Snapshot {
+        match self {
+            Pipe::Memory(p) => {
+                Snapshot::build(generation, p.plt().clone(), p.result(), rule_config)
+            }
+            // The durable pipeline owns the merged result (its inner
+            // pipeline runs with deferred merging).
+            Pipe::Durable(p) => Snapshot::build(
+                generation,
+                p.pipeline().plt().clone(),
+                p.result(),
+                rule_config,
+            ),
+        }
+    }
+
+    /// Mirrors store gauges into the metrics registry (no-op in memory).
+    fn record_storage(&self, engine: &Engine) {
+        if let Pipe::Durable(p) = self {
+            engine.metrics().storage.record(&p.store_stats());
+        }
+    }
+
+    /// Final durability point on clean shutdown: checkpoint + fsync, so
+    /// the next open replays an empty WAL tail.
+    fn shutdown(&mut self) {
+        if let Pipe::Durable(p) = self {
+            let _ = p.checkpoint();
+            let _ = p.sync();
         }
     }
 }
@@ -145,24 +207,56 @@ impl IngestQueue {
 /// Builds the initial snapshot from `warmup`, wraps it in an engine, and
 /// spawns the background builder.
 ///
+/// With [`BuilderConfig::data_dir`] set, the service opens the durable
+/// store first: an existing directory is recovered (manifest + WAL-tail
+/// replay) and becomes the authoritative state — `warmup` is applied
+/// only when the recovered window is empty, so restarting with the same
+/// seed file does not double-count it.
+///
 /// Returns the shared engine (for servers / direct callers) and the
 /// builder handle (for the ingest path).
 pub fn bootstrap(
     warmup: &[Vec<Item>],
     config: BuilderConfig,
-) -> plt_core::Result<(Arc<Engine>, BuilderHandle)> {
-    let mut pipeline = ShardedPipeline::new(
-        warmup,
-        ShardConfig {
-            shard_count: config.shard_count,
-            min_support: config.min_support,
-            rank_policy: config.rank_policy,
-            capacity: Some(config.window_capacity),
-            ..ShardConfig::default()
-        },
-    )?;
-    let snapshot = build_snapshot(&pipeline, 1, config.rule_config);
+) -> Result<(Arc<Engine>, BuilderHandle), StoreError> {
+    let shard_config = ShardConfig {
+        shard_count: config.shard_count,
+        min_support: config.min_support,
+        rank_policy: config.rank_policy,
+        capacity: Some(config.window_capacity),
+        ..ShardConfig::default()
+    };
+    let mut pipeline = match &config.data_dir {
+        Some(dir) => {
+            // The snapshot index is built from the merged result, so the
+            // builder always materializes it regardless of the caller's
+            // durable options.
+            let mut durable_options = config.durable;
+            durable_options.materialize_merged = true;
+            let mut durable = DurablePipeline::open(dir, shard_config, durable_options)?;
+            if durable.is_empty() && !warmup.is_empty() {
+                durable.apply(Delta::add(warmup.to_vec()))?;
+            }
+            Pipe::Durable(Box::new(durable))
+        }
+        None => Pipe::Memory(Box::new(ShardedPipeline::new(warmup, shard_config)?)),
+    };
+    let snapshot = pipeline.snapshot(1, config.rule_config);
     let engine = Arc::new(Engine::new(snapshot));
+    pipeline.record_storage(&engine);
+    if let Pipe::Durable(p) = &pipeline {
+        let r = p.recovery();
+        engine
+            .metrics()
+            .storage
+            .recovery_ms
+            .store(r.recovery_ms, std::sync::atomic::Ordering::Relaxed);
+        engine
+            .metrics()
+            .storage
+            .replayed_records
+            .store(r.replayed_deltas, std::sync::atomic::Ordering::Relaxed);
+    }
 
     let (tx, rx) = mpsc::channel::<Msg>();
     let engine_for_thread = engine.clone();
@@ -172,7 +266,7 @@ pub fn bootstrap(
         .name("plt-snapshot-builder".into())
         .spawn(move || {
             let mut generation = 1u64;
-            while let Ok(msg) = rx.recv() {
+            'serve: while let Ok(msg) = rx.recv() {
                 match msg {
                     Msg::Ingest(mut batch) => {
                         // Drain any queued batches so one rebuild covers
@@ -192,7 +286,7 @@ pub fn bootstrap(
                                     let _ = ack.send(generation);
                                 }
                                 Ok(Msg::Stop) | Err(mpsc::TryRecvError::Disconnected) => {
-                                    return;
+                                    break 'serve;
                                 }
                                 Err(mpsc::TryRecvError::Empty) => break,
                             }
@@ -219,9 +313,12 @@ pub fn bootstrap(
                         );
                         let _ = ack.send(generation);
                     }
-                    Msg::Stop => return,
+                    Msg::Stop => break 'serve,
                 }
             }
+            // Clean shutdown: checkpoint + fsync the durable store so
+            // the next open has no WAL tail to replay.
+            pipeline.shutdown();
         })
         .expect("spawn builder thread");
 
@@ -240,7 +337,7 @@ pub fn bootstrap(
 /// keeps serving the last good snapshot. The pipeline retains the applied
 /// batch either way, so a later successful rebuild still covers it.
 fn ingest_and_publish(
-    pipeline: &mut ShardedPipeline,
+    pipeline: &mut Pipe,
     engine: &Engine,
     batch: Vec<Vec<Item>>,
     generation: u64,
@@ -251,7 +348,8 @@ fn ingest_and_publish(
     engine.mark_rebuilding();
     // Incremental update: the delta dirties only the shards whose rank
     // ranges it touches; clean fragments are reused, and a vocabulary
-    // drift falls back to a full re-rank + re-mine inside `apply`.
+    // drift falls back to a full re-rank + re-mine inside `apply`. On the
+    // durable path the delta hits the WAL before the in-memory apply.
     let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pipeline.apply(Delta::add(batch))
     }));
@@ -268,6 +366,7 @@ fn ingest_and_publish(
     engine
         .metrics()
         .record_shards(report.dirty_shards as u64, report.total_shards as u64);
+    pipeline.record_storage(engine);
     let applied_at = started.elapsed();
     let next = generation + 1;
     // The pipeline is consistent past this point; snapshot assembly reads
@@ -276,7 +375,7 @@ fn ingest_and_publish(
         if let Some(plan) = fault {
             plan.maybe_builder_panic();
         }
-        build_snapshot(pipeline, next, rule_config)
+        pipeline.snapshot(next, rule_config)
     }));
     let total = started.elapsed();
     // Phase durations feed the metrics registry whether the rebuild
@@ -299,19 +398,6 @@ fn ingest_and_publish(
             generation
         }
     }
-}
-
-fn build_snapshot(
-    pipeline: &ShardedPipeline,
-    generation: u64,
-    rule_config: RuleConfig,
-) -> Snapshot {
-    Snapshot::build(
-        generation,
-        pipeline.plt().clone(),
-        pipeline.result(),
-        rule_config,
-    )
 }
 
 #[cfg(test)]
@@ -411,6 +497,38 @@ mod tests {
         assert_eq!(rebuild.get("rebuilds").unwrap().as_u64(), Some(rebuilds));
         assert_eq!(rebuild.get("total_us").unwrap().as_u64(), Some(total));
         builder.stop();
+    }
+
+    #[test]
+    fn durable_bootstrap_recovers_across_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "plt-serve-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = BuilderConfig {
+            data_dir: Some(dir.clone()),
+            ..config()
+        };
+        let (engine, builder) = bootstrap(&warmup(), cfg.clone()).unwrap();
+        assert!(builder.ingest(vec![vec![0, 2], vec![0, 2]]));
+        builder.flush().expect("builder alive");
+        assert_eq!(engine.current().support(&[0, 2]).support, 3);
+        builder.stop(); // checkpoints + fsyncs on the way out
+        drop(engine);
+
+        // Restart with the same warmup: the recovered state is
+        // authoritative, so the warmup must not be double-counted.
+        let (engine, builder) = bootstrap(&warmup(), cfg).unwrap();
+        assert_eq!(engine.current().support(&[0, 2]).support, 3);
+        assert_eq!(engine.current().support(&[0, 1]).support, 2);
+        // The stats endpoint now carries the storage block.
+        let v = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        let storage = v.get("storage").expect("storage block present");
+        assert!(storage.get("segments").unwrap().as_u64().unwrap() >= 1);
+        builder.stop();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -331,6 +331,46 @@ impl Engine {
                         ])
                     }),
                     ("endpoints", Json::Arr(endpoints)),
+                    ("storage", {
+                        let s = &self.metrics.storage;
+                        if s.is_enabled() {
+                            Json::obj(vec![
+                                ("wal_bytes", Json::from(s.wal_bytes.load(Ordering::Relaxed))),
+                                (
+                                    "wal_records",
+                                    Json::from(s.wal_records.load(Ordering::Relaxed)),
+                                ),
+                                ("segments", Json::from(s.segments.load(Ordering::Relaxed))),
+                                (
+                                    "segment_bytes",
+                                    Json::from(s.segment_bytes.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "compactions",
+                                    Json::from(s.compactions.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "checkpoints",
+                                    Json::from(s.checkpoints.load(Ordering::Relaxed)),
+                                ),
+                                ("spills", Json::from(s.spills.load(Ordering::Relaxed))),
+                                (
+                                    "segment_lookups",
+                                    Json::from(s.segment_lookups.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "recovery_ms",
+                                    Json::from(s.recovery_ms.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "replayed_records",
+                                    Json::from(s.replayed_records.load(Ordering::Relaxed)),
+                                ),
+                            ])
+                        } else {
+                            Json::Null
+                        }
+                    }),
                 ])
             }
             Request::Ping => ok_response(vec![

@@ -142,6 +142,50 @@ pub struct Metrics {
     pub shards_remined: AtomicU64,
     /// Current shard count of the incremental pipeline (gauge).
     pub shard_count: AtomicU64,
+    /// Durable-store gauges; all zero (and hidden from `STATS`) when the
+    /// service runs without a data directory.
+    pub storage: StorageMetrics,
+}
+
+/// Gauges mirrored from [`plt_store::StoreStats`] after every apply and
+/// checkpoint. `enabled` flips to 1 the first time they are recorded, so
+/// the `stats` endpoint can omit the block for in-memory services.
+#[derive(Debug, Default)]
+pub struct StorageMetrics {
+    pub enabled: AtomicU64,
+    pub wal_bytes: AtomicU64,
+    pub wal_records: AtomicU64,
+    pub segments: AtomicU64,
+    pub segment_bytes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub checkpoints: AtomicU64,
+    pub spills: AtomicU64,
+    pub segment_lookups: AtomicU64,
+    pub recovery_ms: AtomicU64,
+    pub replayed_records: AtomicU64,
+}
+
+impl StorageMetrics {
+    /// Overwrites every gauge from a store-stats snapshot.
+    pub fn record(&self, s: &plt_store::StoreStats) {
+        self.enabled.store(1, Ordering::Relaxed);
+        self.wal_bytes.store(s.wal_bytes, Ordering::Relaxed);
+        self.wal_records.store(s.wal_records, Ordering::Relaxed);
+        self.segments.store(s.segments, Ordering::Relaxed);
+        self.segment_bytes.store(s.segment_bytes, Ordering::Relaxed);
+        self.compactions.store(s.compactions, Ordering::Relaxed);
+        self.checkpoints.store(s.checkpoints, Ordering::Relaxed);
+        self.spills.store(s.spills, Ordering::Relaxed);
+        self.segment_lookups
+            .store(s.segment_lookups, Ordering::Relaxed);
+        self.recovery_ms.store(s.recovery_ms, Ordering::Relaxed);
+        self.replayed_records
+            .store(s.replayed_records, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) != 0
+    }
 }
 
 impl Metrics {

@@ -169,6 +169,7 @@ impl MinerBuilder {
             rank_policy: self.rank_policy,
             engine: self.engine,
             capacity,
+            defer_merge: false,
         }
     }
 

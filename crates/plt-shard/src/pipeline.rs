@@ -45,6 +45,12 @@ pub struct ShardConfig {
     /// capacity evicts the oldest transaction first (counted as a removal
     /// for dirty-shard purposes). `None` means the window is unbounded.
     pub capacity: Option<usize>,
+    /// When true, [`ShardedPipeline::apply`] does *not* merge the shard
+    /// fragments into the snapshot after re-mining; `result()` stays
+    /// empty. Set by storage layers (plt-store's `DurablePipeline`) that
+    /// spill cold fragments to disk and assemble query answers per shard,
+    /// where an eager merge would force every spilled shard resident.
+    pub defer_merge: bool,
 }
 
 impl Default for ShardConfig {
@@ -55,6 +61,7 @@ impl Default for ShardConfig {
             rank_policy: RankPolicy::Lexicographic,
             engine: CondEngine::Arena,
             capacity: None,
+            defer_merge: false,
         }
     }
 }
@@ -146,7 +153,10 @@ pub struct ShardedPipeline {
     /// `bounds.len() == shards + 1`; shard `s` covers ranks
     /// `(bounds[s], bounds[s+1]]`.
     bounds: Vec<Rank>,
-    fragments: Vec<MiningResult>,
+    /// One fragment per shard; `None` when the fragment has been evicted
+    /// by a storage layer (spilled to disk). A dirty shard's fragment is
+    /// recomputed from the PLT regardless, so eviction never loses data.
+    fragments: Vec<Option<MiningResult>>,
     dirty: Vec<bool>,
     merged: MiningResult,
     last_report: RebuildReport,
@@ -173,7 +183,7 @@ impl ShardedPipeline {
             counts: FxHashMap::default(),
             plt,
             bounds: vec![0, 0],
-            fragments: vec![MiningResult::new(config.min_support, 0)],
+            fragments: vec![None],
             dirty: vec![true],
             merged: MiningResult::new(config.min_support, 0),
             last_report: RebuildReport::default(),
@@ -244,7 +254,9 @@ impl ShardedPipeline {
         let (remine, shard_timings) = self.remine_dirty();
 
         let merge_started = Instant::now();
-        self.merged = self.merge_fragments();
+        if !self.config.defer_merge {
+            self.merged = self.merge_fragments();
+        }
         let merge = merge_started.elapsed();
 
         obs.span("shard/update", update);
@@ -363,9 +375,7 @@ impl ShardedPipeline {
         let n = self.plt.ranking().len();
         let shards = self.config.shard_count.clamp(1, n.max(1));
         self.bounds = (0..=shards).map(|s| (s * n / shards) as Rank).collect();
-        self.fragments = (0..shards)
-            .map(|_| MiningResult::new(self.config.min_support, self.plt.num_transactions()))
-            .collect();
+        self.fragments = (0..shards).map(|_| None).collect();
         self.dirty = vec![true; shards];
         Ok(())
     }
@@ -435,7 +445,7 @@ impl ShardedPipeline {
 
         let mut timings = Vec::with_capacity(mined.len());
         for (s, frag, d) in mined {
-            self.fragments[s] = frag;
+            self.fragments[s] = Some(frag);
             self.dirty[s] = false;
             timings.push((s, d));
         }
@@ -446,9 +456,127 @@ impl ShardedPipeline {
     fn merge_fragments(&self) -> MiningResult {
         let mut merged = MiningResult::new(self.config.min_support, self.plt.num_transactions());
         for frag in &self.fragments {
-            merged.merge(frag.clone());
+            debug_assert!(
+                frag.is_some(),
+                "merging with an evicted fragment loses itemsets; \
+                 evicting callers must set defer_merge"
+            );
+            if let Some(frag) = frag {
+                merged.merge(frag.clone());
+            }
         }
         merged
+    }
+}
+
+/// Storage hooks: fragment eviction/restoration and crash recovery.
+/// Consumed by plt-store's `DurablePipeline`; of no use to in-memory
+/// callers (the pipeline manages its fragments itself).
+impl ShardedPipeline {
+    /// The live transaction window, oldest first. Transactions are stored
+    /// normalized (sorted, deduped).
+    pub fn window(&self) -> impl ExactSizeIterator<Item = &[Item]> {
+        self.window.iter().map(Vec::as_slice)
+    }
+
+    /// Shard index covering rank `r` under the current bounds.
+    pub fn shard_of_rank(&self, r: Rank) -> usize {
+        self.shard_of(r)
+    }
+
+    /// True when shard `s`'s fragment is stale (will be re-mined on the
+    /// next apply).
+    pub fn is_dirty(&self, s: usize) -> bool {
+        self.dirty[s]
+    }
+
+    /// Shard `s`'s fragment, `None` if evicted.
+    pub fn fragment(&self, s: usize) -> Option<&MiningResult> {
+        self.fragments[s].as_ref()
+    }
+
+    /// Removes shard `s`'s fragment from memory and returns it, leaving a
+    /// spilled hole. Only meaningful under `defer_merge` — see
+    /// [`ShardConfig::defer_merge`].
+    pub fn evict_fragment(&mut self, s: usize) -> Option<MiningResult> {
+        self.fragments[s].take()
+    }
+
+    /// Re-installs a previously evicted (spilled) fragment. Does not touch
+    /// the dirty flag: a shard dirtied after eviction is re-mined from the
+    /// PLT on the next apply regardless of what is installed here.
+    pub fn restore_fragment(&mut self, s: usize, fragment: MiningResult) {
+        self.fragments[s] = Some(fragment);
+    }
+
+    /// Rebuilds a pipeline from checkpointed state: the window, the exact
+    /// ranking in force at checkpoint time, and per-shard fragments
+    /// (`None` for shards whose fragments stayed on disk). Shards with no
+    /// fragment are *not* dirty — their contents live in segment files;
+    /// pass `dirty` to mark shards whose fragments were stale at the
+    /// checkpoint.
+    ///
+    /// The PLT is reconstructed by re-projecting the window under the
+    /// given ranking, which is deterministic (Lemma 4.1.2), so the
+    /// rebuilt structure is byte-equivalent to the one that was
+    /// checkpointed.
+    pub fn restore(
+        window: Vec<Vec<Item>>,
+        ranking: ItemRanking,
+        config: ShardConfig,
+        fragments: Vec<Option<MiningResult>>,
+        dirty: Vec<bool>,
+    ) -> Result<ShardedPipeline> {
+        if config.min_support == 0 {
+            return Err(PltError::ZeroMinSupport);
+        }
+        let mut counts: FxHashMap<Item, Support> = FxHashMap::default();
+        let mut plt = Plt::new(ranking, config.min_support)?;
+        let mut normalized: VecDeque<Vec<Item>> = VecDeque::with_capacity(window.len());
+        for raw in window {
+            let t = normalize(&raw);
+            for &item in &t {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+            plt.insert_transaction(&t)?;
+            normalized.push_back(t);
+        }
+        let n = plt.ranking().len();
+        let shards = fragments.len().max(1);
+        assert_eq!(
+            dirty.len(),
+            fragments.len(),
+            "fragment/dirty length mismatch"
+        );
+        let bounds: Vec<Rank> = (0..=shards).map(|s| (s * n / shards) as Rank).collect();
+        let mut pipeline = ShardedPipeline {
+            window: normalized,
+            counts,
+            plt,
+            bounds,
+            fragments,
+            dirty,
+            merged: MiningResult::new(config.min_support, 0),
+            last_report: RebuildReport::default(),
+            config,
+        };
+        if pipeline.fragments.is_empty() {
+            pipeline.fragments = vec![None];
+            pipeline.dirty = vec![true];
+        }
+        if !config.defer_merge {
+            // An eager-merge pipeline has no disk tier to serve holes
+            // from: re-mine every missing fragment, then merge via a
+            // no-op apply. Deferred-merge callers skip this — their
+            // fragments may intentionally stay on disk.
+            for s in 0..pipeline.fragments.len() {
+                if pipeline.fragments[s].is_none() {
+                    pipeline.dirty[s] = true;
+                }
+            }
+            pipeline.apply(Delta::default())?;
+        }
+        Ok(pipeline)
     }
 }
 

@@ -1,0 +1,58 @@
+//! # plt-store — durable segmented storage for the PLT pipeline
+//!
+//! Everything upstream of this crate lives in memory and dies with the
+//! process. This crate gives the sharded incremental pipeline a durable
+//! spine, built from four pieces that mirror a classic LSM-ish design
+//! but exploit one PLT-specific fact throughout: canonical position
+//! vectors (Lemma 4.1.2) are *already* sorted, delta-friendly, bijective
+//! keys for frequent itemsets, so "persist a mining fragment" reduces to
+//! "write a sorted run of small varints".
+//!
+//! * [`wal`] — an append-only journal of ingest deltas with CRC-framed
+//!   records, fsync batching and torn-tail truncation on replay;
+//! * [`segment`] — immutable, mmap-backed segment files extending the
+//!   PLTC encoding (front-coded varint position vectors) with a
+//!   prefix-sum block index + first-key table for `O(log B)` point
+//!   lookups without decoding the shard;
+//! * [`manifest`] — the atomic checkpoint protocol: window snapshot,
+//!   exact ranking, live segment set and shard map, published by
+//!   tmp-rename-fsync;
+//! * [`store`] / [`DurablePipeline`] — the policy layer: WAL-before-
+//!   apply, cold-shard spilling under a resident budget, size-tiered
+//!   compaction keyed by the shard sum-key, and crash recovery =
+//!   manifest + WAL-tail replay.
+//!
+//! ## Example
+//!
+//! ```
+//! use plt_shard::{Delta, ShardConfig};
+//! use plt_store::{DurableOptions, DurablePipeline};
+//!
+//! let dir = std::env::temp_dir().join(format!("plt-store-doc-{}", std::process::id()));
+//! let config = ShardConfig { min_support: 2, ..ShardConfig::default() };
+//! let mut pipeline = DurablePipeline::open(&dir, config, DurableOptions::default()).unwrap();
+//! pipeline.apply(Delta::add(vec![vec![1, 2], vec![1, 2, 3], vec![2, 3]])).unwrap();
+//! assert_eq!(pipeline.support_of(&[2]), Some(3));
+//! pipeline.checkpoint().unwrap();
+//! drop(pipeline);
+//!
+//! // Reopen: the window and snapshot come back from disk.
+//! let reopened = DurablePipeline::open(&dir, config, DurableOptions::default()).unwrap();
+//! assert_eq!(reopened.len(), 3);
+//! assert_eq!(reopened.support_of(&[1, 2]), Some(2));
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod manifest;
+pub mod mmap;
+pub mod pipeline;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use manifest::Manifest;
+pub use mmap::Mmap;
+pub use pipeline::{DurableOptions, DurablePipeline, RecoveryReport, StoreError};
+pub use segment::{encode_segment, write_segment, SegmentReader, ShardEntries, BLOCK_ENTRIES};
+pub use store::{inspect_json, Store, StoreOptions, StoreStats};
+pub use wal::{SeqRecord, Wal, WalRecord};

@@ -1,0 +1,200 @@
+//! Read-only memory mapping without external crates.
+//!
+//! Segment files are immutable once published (the manifest only ever
+//! references sealed files), so a private read-only mapping is safe: no
+//! writer exists to mutate the pages under us. On Unix we call `mmap(2)`
+//! directly through the C ABI — the two constants used are part of the
+//! Linux/POSIX ABI and stable. Elsewhere (or for empty files, which
+//! `mmap` rejects) we fall back to reading the file into a `Vec`, which
+//! keeps every caller correct, just not lazily paged.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A read-only view of an entire file: mmap-backed where possible,
+/// heap-backed otherwise. Deref to `&[u8]` via [`Mmap::as_slice`].
+pub struct Mmap {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only and never mutated; sharing the raw pointer
+// across threads is the whole point of serving lookups from segments.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mmap {
+    /// Maps `path` read-only. Empty files produce an empty heap view
+    /// (zero-length `mmap` is an `EINVAL` on Linux).
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        Self::map_file(&file, len)
+    }
+
+    #[cfg(unix)]
+    fn map_file(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            // MAP_FAILED: fall back to a heap copy rather than error out —
+            // some filesystems (and seccomp profiles) refuse mmap.
+            return Self::read_owned(file, len);
+        }
+        Ok(Mmap {
+            backing: Backing::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map_file(file: &File, len: usize) -> io::Result<Mmap> {
+        Self::read_owned(file, len)
+    }
+
+    fn read_owned(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut f = file;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(v) => v.as_slice(),
+        }
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the view is an actual memory mapping (vs a heap copy) —
+    /// exposed so tests can assert the fast path is taken on Linux.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("plt-mmap-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("basic", b"hello segment");
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.as_slice(), b"hello segment");
+        #[cfg(target_os = "linux")]
+        assert!(map.is_mapped(), "expected a real mapping on linux");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_view() {
+        let path = tmp("empty", b"");
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(Mmap::open(Path::new("/nonexistent/plt-store-mmap")).is_err());
+    }
+
+    #[test]
+    fn view_survives_file_deletion() {
+        // POSIX semantics: the mapping holds the inode alive.
+        let path = tmp("unlink", b"still here");
+        let map = Mmap::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map.as_slice(), b"still here");
+    }
+}

@@ -1,0 +1,610 @@
+//! The storage engine: one data directory holding a WAL, segment files,
+//! window snapshots and the `MANIFEST` that ties them together.
+//!
+//! Crash-consistency protocol (all ordering, no magic):
+//!
+//! 1. every mutation is WAL-appended before it is applied in memory;
+//! 2. segment / window files are written and fsynced *before* the
+//!    manifest that references them is published;
+//! 3. the manifest is replaced atomically (tmp + rename + dir fsync);
+//! 4. files superseded by a manifest are deleted only *after* the rename
+//!    — a crash anywhere leaves either the old or the new file set fully
+//!    intact, plus possibly some orphans;
+//! 5. recovery trusts only `MANIFEST` + the WAL it names: everything
+//!    else in the directory that the manifest does not reference is an
+//!    orphan from a crashed checkpoint and is deleted at open.
+//!
+//! Compaction is size-tiered: live segments are grouped by the binary
+//! order of magnitude of their byte size, and any tier holding
+//! `compact_threshold`+ segments is merged into one segment (shards in
+//! sum-key order, since shard ids *are* rank ranges ordered by the
+//! vector-sum key). Merging happens inside the checkpoint, so the old
+//! files stay referenced by the old manifest until the new one lands.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use plt_core::item::{Item, Rank, Support};
+use plt_core::ranking::RankPolicy;
+use plt_shard::Delta;
+
+use crate::manifest::{
+    read_window, segment_name, sync_dir, wal_name, window_name, write_window, Manifest,
+    MANIFEST_NAME,
+};
+use crate::segment::{write_segment, SegmentReader, ShardEntries};
+use crate::wal::{SeqRecord, Wal, WalRecord};
+
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Fsync the WAL every this many appends (fsync batching). 1 = every
+    /// record.
+    pub sync_every: usize,
+    /// Merge a size tier once it holds this many live segments.
+    pub compact_threshold: usize,
+    /// Deterministic fault injection for crash tests: panic right after
+    /// the Nth successful WAL delta append (the record is durable, the
+    /// in-memory apply never happens — a crash mid-batch).
+    pub fault_after_appends: Option<u64>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            sync_every: 32,
+            compact_threshold: 4,
+            fault_after_appends: None,
+        }
+    }
+}
+
+/// Counters the observability layer and `stats` endpoint expose.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Bytes in the live WAL.
+    pub wal_bytes: u64,
+    /// Records in the live WAL.
+    pub wal_records: u64,
+    /// Live segment files.
+    pub segments: u64,
+    /// Bytes across live segment files.
+    pub segment_bytes: u64,
+    /// Size-tiered merges performed.
+    pub compactions: u64,
+    /// Checkpoints published.
+    pub checkpoints: u64,
+    /// Shard fragments spilled to segments.
+    pub spills: u64,
+    /// Point lookups served from mmap segments.
+    pub segment_lookups: u64,
+    /// Wall-clock milliseconds of the last recovery (0 on a fresh dir).
+    pub recovery_ms: u64,
+    /// Delta records replayed by the last recovery.
+    pub replayed_records: u64,
+}
+
+/// State recovered from a data directory at open.
+pub struct Recovered {
+    /// The checkpoint manifest (`None` when the directory had never been
+    /// checkpointed but a WAL with records existed).
+    pub manifest: Option<Manifest>,
+    /// The checkpointed window (empty without a manifest).
+    pub window: Vec<Vec<Item>>,
+    /// WAL records past the checkpoint, to replay in order.
+    pub tail: Vec<SeqRecord>,
+}
+
+struct LiveSegment {
+    name: String,
+    reader: SegmentReader,
+}
+
+/// Everything a checkpoint captures, handed over by the pipeline.
+pub struct CheckpointInput<'a> {
+    /// The live window, oldest first.
+    pub window: Vec<&'a [Item]>,
+    /// Exact ranking entries in rank order: `(item, support-at-rank)`.
+    pub ranking_items: Vec<(Item, Support)>,
+    /// Ranking policy.
+    pub policy: RankPolicy,
+    /// Pipeline minimum support.
+    pub min_support: Support,
+    /// Current shard count.
+    pub shard_count: usize,
+    /// Per-shard dirty flags (normally all false between applies).
+    pub dirty: Vec<bool>,
+    /// Fragments that must be persisted now: every shard that changed
+    /// since the last checkpoint or has never been written.
+    pub persist: Vec<ShardEntries>,
+}
+
+/// A data directory: WAL, segments, manifest. File-level only — the
+/// pipeline-level composition lives in
+/// [`DurablePipeline`](crate::DurablePipeline).
+pub struct Store {
+    dir: PathBuf,
+    options: StoreOptions,
+    wal: Wal,
+    /// Epoch of the last published checkpoint (0 before the first).
+    epoch: u64,
+    seg_counter: u64,
+    segments: Vec<LiveSegment>,
+    /// shard → index into `segments` (grows on demand).
+    shard_map: Vec<Option<usize>>,
+    /// Names of the window file the current manifest references.
+    window_file: Option<String>,
+    delta_appends: u64,
+    compactions: u64,
+    checkpoints: u64,
+    spills: u64,
+    segment_lookups: AtomicU64,
+    recovery_ms: u64,
+    replayed_records: u64,
+}
+
+impl Store {
+    /// Opens (or initialises) a data directory, performing recovery:
+    /// load the manifest, map its segments, read the window snapshot,
+    /// truncate the WAL's torn tail, collect the replayable records, and
+    /// delete orphans from crashed checkpoints.
+    pub fn open(dir: &Path, options: StoreOptions) -> io::Result<(Store, Recovered)> {
+        std::fs::create_dir_all(dir)?;
+        let manifest = Manifest::read(dir)?;
+
+        let mut segments = Vec::new();
+        let mut shard_map = Vec::new();
+        let mut window = Vec::new();
+        let mut window_file = None;
+        let mut epoch = 0;
+        let (wal, tail) = match &manifest {
+            Some(m) => {
+                epoch = m.epoch;
+                for name in &m.segments {
+                    segments.push(LiveSegment {
+                        reader: SegmentReader::open(&dir.join(name))?,
+                        name: name.clone(),
+                    });
+                }
+                shard_map = m.shard_map.clone();
+                window = read_window(&dir.join(&m.window))?;
+                window_file = Some(m.window.clone());
+                let (wal, records) = Wal::open(&dir.join(&m.wal), options.sync_every)?;
+                // Everything in this WAL postdates the checkpoint; keep
+                // the seq filter anyway as a belt-and-braces invariant.
+                let tail: Vec<SeqRecord> = records
+                    .into_iter()
+                    .filter(|r| r.seq >= m.last_seq)
+                    .collect();
+                (wal, tail)
+            }
+            None => {
+                // Never checkpointed: epoch-0 WAL is the whole history.
+                let path = dir.join(wal_name(0));
+                if path.exists() {
+                    Wal::open(&path, options.sync_every)?
+                } else {
+                    (Wal::create(&path, 0, options.sync_every)?, Vec::new())
+                }
+            }
+        };
+
+        let store = Store {
+            dir: dir.to_path_buf(),
+            options,
+            wal,
+            epoch,
+            seg_counter: 0,
+            segments,
+            shard_map,
+            window_file,
+            delta_appends: 0,
+            compactions: 0,
+            checkpoints: 0,
+            spills: 0,
+            segment_lookups: AtomicU64::new(0),
+            recovery_ms: 0,
+            replayed_records: tail
+                .iter()
+                .filter(|r| matches!(r.record, WalRecord::Delta { .. }))
+                .count() as u64,
+        };
+        store.remove_orphans()?;
+        Ok((
+            store,
+            Recovered {
+                manifest,
+                window,
+                tail,
+            },
+        ))
+    }
+
+    /// Deletes every store-owned file the manifest does not reference.
+    fn remove_orphans(&self) -> io::Result<()> {
+        let mut referenced: Vec<String> = vec![
+            MANIFEST_NAME.to_string(),
+            self.wal
+                .path()
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        ];
+        if let Some(w) = &self.window_file {
+            referenced.push(w.clone());
+        }
+        referenced.extend(self.segments.iter().map(|s| s.name.clone()));
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let ours = name.starts_with("wal-")
+                || name.starts_with("seg-")
+                || name.starts_with("window-")
+                || name == "MANIFEST.tmp";
+            if ours && !referenced.contains(&name) {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_shards(&mut self, n: usize) {
+        if self.shard_map.len() < n {
+            self.shard_map.resize(n, None);
+        }
+    }
+
+    /// Journals a delta. Returns its WAL sequence number. This is where
+    /// the deterministic crash fault fires (after the append — the
+    /// record is durable, the apply is not).
+    pub fn append_delta(&mut self, delta: &Delta) -> io::Result<u64> {
+        let seq = self.wal.append(&WalRecord::from(delta))?;
+        self.delta_appends += 1;
+        if let Some(n) = self.options.fault_after_appends {
+            if self.delta_appends >= n {
+                self.wal.sync()?;
+                panic!("plt-store fault injection: crash after {n} WAL delta appends");
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Journals a re-rank (informational).
+    pub fn note_rerank(&mut self, ranked_items: u64) -> io::Result<()> {
+        self.wal.append(&WalRecord::Rerank { ranked_items })?;
+        Ok(())
+    }
+
+    /// Invalidates every segment mapping: stored position vectors were
+    /// canonical under the old ranking and key nothing under the new
+    /// one. The dead files are garbage-collected at the next checkpoint.
+    pub fn invalidate_segments(&mut self) {
+        for entry in &mut self.shard_map {
+            *entry = None;
+        }
+    }
+
+    /// Forces the WAL batch to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// True when `shard` has a current on-disk copy.
+    pub fn has_persisted(&self, shard: usize) -> bool {
+        self.shard_map.get(shard).copied().flatten().is_some()
+    }
+
+    /// Point lookup of a canonical position vector in `shard`'s segment.
+    pub fn lookup(&self, shard: usize, positions: &[Rank]) -> Option<Support> {
+        let seg = self.shard_map.get(shard).copied().flatten()?;
+        self.segment_lookups.fetch_add(1, Ordering::Relaxed);
+        self.segments[seg].reader.lookup(shard as u32, positions)
+    }
+
+    /// Full decode of `shard`'s persisted entries.
+    pub fn load_shard(&self, shard: usize) -> Option<Vec<(Vec<Rank>, Support)>> {
+        let seg = self.shard_map.get(shard).copied().flatten()?;
+        self.segments[seg].reader.iter_shard(shard as u32)
+    }
+
+    /// Writes `shards` into a fresh spill segment, remaps them to it and
+    /// journals the evictions. The segment joins the manifest at the
+    /// next checkpoint; if the process dies first, recovery re-derives
+    /// the fragments from the WAL tail (a changed shard's deltas are by
+    /// definition in the tail).
+    pub fn spill(&mut self, num_transactions: u64, shards: &[ShardEntries]) -> io::Result<()> {
+        if shards.is_empty() {
+            return Ok(());
+        }
+        let name = segment_name(self.epoch + 1, self.seg_counter);
+        self.seg_counter += 1;
+        write_segment(&self.dir.join(&name), num_transactions, shards)?;
+        let reader = SegmentReader::open(&self.dir.join(&name))?;
+        let idx = self.segments.len();
+        self.segments.push(LiveSegment { name, reader });
+        for sh in shards {
+            self.ensure_shards(sh.shard as usize + 1);
+            self.shard_map[sh.shard as usize] = Some(idx);
+            self.wal.append(&WalRecord::Evict { shard: sh.shard })?;
+            self.spills += 1;
+        }
+        Ok(())
+    }
+
+    /// Publishes a checkpoint: persist outstanding fragments, compact,
+    /// snapshot the window, rotate the WAL, write the manifest
+    /// atomically, then delete superseded files.
+    pub fn checkpoint(&mut self, input: CheckpointInput<'_>) -> io::Result<()> {
+        let new_epoch = self.epoch + 1;
+        let num_transactions = input.window.len() as u64;
+        self.ensure_shards(input.shard_count);
+
+        // Files live under the *current* manifest; deletable afterwards.
+        let mut old_files: Vec<String> = Vec::new();
+        if let Some(w) = &self.window_file {
+            old_files.push(w.clone());
+        }
+        old_files.push(
+            self.wal
+                .path()
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        );
+        old_files.extend(self.segments.iter().map(|s| s.name.clone()));
+
+        // 1. Persist outstanding fragments into one checkpoint segment.
+        if !input.persist.is_empty() {
+            let name = segment_name(new_epoch, self.seg_counter);
+            self.seg_counter += 1;
+            write_segment(&self.dir.join(&name), num_transactions, &input.persist)?;
+            let reader = SegmentReader::open(&self.dir.join(&name))?;
+            let idx = self.segments.len();
+            self.segments.push(LiveSegment { name, reader });
+            for sh in &input.persist {
+                self.ensure_shards(sh.shard as usize + 1);
+                self.shard_map[sh.shard as usize] = Some(idx);
+            }
+        }
+
+        // 2. Size-tiered compaction over the live segment set.
+        self.compact(new_epoch, num_transactions)?;
+
+        // 3. Window snapshot.
+        let window = window_name(new_epoch);
+        write_window(&self.dir.join(&window), input.window.iter().copied())?;
+
+        // 4. Rotate the WAL: new epoch file continues the sequence.
+        self.wal.sync()?;
+        let last_seq = self.wal.next_seq();
+        let new_wal_name = wal_name(new_epoch);
+        let mut new_wal = Wal::create(
+            &self.dir.join(&new_wal_name),
+            last_seq,
+            self.options.sync_every,
+        )?;
+        new_wal.append(&WalRecord::Checkpoint { epoch: new_epoch })?;
+        new_wal.sync()?;
+
+        // 5. Compacted live set, reindexed densely for the manifest.
+        let live: Vec<usize> = (0..self.segments.len())
+            .filter(|&i| self.shard_map.contains(&Some(i)))
+            .collect();
+        let mut dense = vec![None; self.segments.len()];
+        let mut kept = Vec::with_capacity(live.len());
+        for (new_idx, &old_idx) in live.iter().enumerate() {
+            dense[old_idx] = Some(new_idx);
+            kept.push(old_idx);
+        }
+        let segment_names: Vec<String> = kept
+            .iter()
+            .map(|&i| self.segments[i].name.clone())
+            .collect();
+        let shard_map: Vec<Option<usize>> = (0..input.shard_count)
+            .map(|s| self.shard_map[s].and_then(|old| dense[old]))
+            .collect();
+
+        // 6. Publish.
+        let manifest = Manifest {
+            epoch: new_epoch,
+            last_seq,
+            min_support: input.min_support,
+            shard_count: input.shard_count,
+            policy: input.policy,
+            items: input.ranking_items,
+            wal: new_wal_name.clone(),
+            window: window.clone(),
+            segments: segment_names.clone(),
+            shard_map: shard_map.clone(),
+            dirty: input.dirty,
+        };
+        manifest.write_atomic(&self.dir)?;
+
+        // 7. Swap in the new state and delete what the old manifest
+        // referenced but the new one does not.
+        let mut new_segments = Vec::with_capacity(kept.len());
+        let mut remaining: Vec<Option<LiveSegment>> = self.segments.drain(..).map(Some).collect();
+        for &old_idx in &kept {
+            new_segments.push(remaining[old_idx].take().expect("kept segment present"));
+        }
+        self.segments = new_segments;
+        self.shard_map = shard_map;
+        self.wal = new_wal;
+        self.window_file = Some(window);
+        self.epoch = new_epoch;
+        self.checkpoints += 1;
+        for name in old_files {
+            if !segment_names.contains(&name) {
+                std::fs::remove_file(self.dir.join(&name)).ok();
+            }
+        }
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Size-tiered merge: group live segments by the binary order of
+    /// magnitude of their size; any tier with `compact_threshold`+
+    /// members is merged into one segment carrying the union of the
+    /// shards currently mapped to its members, ordered by shard id
+    /// (= sum-key order). Repeats until stable.
+    fn compact(&mut self, epoch: u64, num_transactions: u64) -> io::Result<()> {
+        loop {
+            let mut tiers: std::collections::BTreeMap<u32, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (i, seg) in self.segments.iter().enumerate() {
+                if self.shard_map.contains(&Some(i)) {
+                    let class = 64 - seg.reader.bytes().max(1).leading_zeros();
+                    tiers.entry(class).or_default().push(i);
+                }
+            }
+            let Some((_, members)) = tiers
+                .into_iter()
+                .find(|(_, m)| m.len() >= self.options.compact_threshold)
+            else {
+                return Ok(());
+            };
+
+            let mut merged: Vec<ShardEntries> = Vec::new();
+            for s in 0..self.shard_map.len() {
+                if let Some(seg) = self.shard_map[s] {
+                    if members.contains(&seg) {
+                        let entries = self.segments[seg]
+                            .reader
+                            .iter_shard(s as u32)
+                            .expect("mapped shard present in segment");
+                        merged.push(ShardEntries {
+                            shard: s as u32,
+                            entries,
+                        });
+                    }
+                }
+            }
+            let name = segment_name(epoch, self.seg_counter);
+            self.seg_counter += 1;
+            write_segment(&self.dir.join(&name), num_transactions, &merged)?;
+            let reader = SegmentReader::open(&self.dir.join(&name))?;
+            let idx = self.segments.len();
+            self.segments.push(LiveSegment { name, reader });
+            for sh in &merged {
+                self.shard_map[sh.shard as usize] = Some(idx);
+            }
+            self.compactions += 1;
+            // Old members are now unreferenced; the next loop iteration
+            // recomputes tiers without them. Their files die after the
+            // manifest rename.
+        }
+    }
+
+    /// Records how long recovery took (set by the pipeline layer, which
+    /// owns the replay).
+    pub fn set_recovery(&mut self, ms: u64, replayed: u64) {
+        self.recovery_ms = ms;
+        self.replayed_records = replayed;
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let live: Vec<usize> = (0..self.segments.len())
+            .filter(|&i| self.shard_map.contains(&Some(i)))
+            .collect();
+        StoreStats {
+            wal_bytes: self.wal.bytes(),
+            wal_records: self.wal.records(),
+            segments: live.len() as u64,
+            segment_bytes: live.iter().map(|&i| self.segments[i].reader.bytes()).sum(),
+            compactions: self.compactions,
+            checkpoints: self.checkpoints,
+            spills: self.spills,
+            segment_lookups: self.segment_lookups.load(Ordering::Relaxed),
+            recovery_ms: self.recovery_ms,
+            replayed_records: self.replayed_records,
+        }
+    }
+}
+
+/// Read-only introspection of a data directory for `store inspect`:
+/// manifest summary, WAL record counts by type, and per-segment
+/// block-index statistics, rendered as JSON.
+pub fn inspect_json(dir: &Path) -> io::Result<String> {
+    let manifest = Manifest::read(dir)?;
+    let mut out = String::from("{\n");
+    match &manifest {
+        Some(m) => {
+            out.push_str(&format!(
+                "  \"manifest\": {{\"epoch\": {}, \"last_seq\": {}, \"min_support\": {}, \
+                 \"shard_count\": {}, \"ranked_items\": {}, \"wal\": \"{}\", \"window\": \"{}\", \
+                 \"segments\": {}, \"spilled_shards\": {}}},\n",
+                m.epoch,
+                m.last_seq,
+                m.min_support,
+                m.shard_count,
+                m.items.len(),
+                m.wal,
+                m.window,
+                m.segments.len(),
+                m.shard_map.iter().filter(|e| e.is_some()).count(),
+            ));
+        }
+        None => out.push_str("  \"manifest\": null,\n"),
+    }
+
+    let wal_path = match &manifest {
+        Some(m) => dir.join(&m.wal),
+        None => dir.join(wal_name(0)),
+    };
+    if wal_path.exists() {
+        let records = crate::wal::read_records(&wal_path)?;
+        let count = |f: fn(&WalRecord) -> bool| records.iter().filter(|r| f(&r.record)).count();
+        out.push_str(&format!(
+            "  \"wal\": {{\"file\": \"{}\", \"bytes\": {}, \"records\": {}, \"deltas\": {}, \
+             \"reranks\": {}, \"checkpoints\": {}, \"evictions\": {}}},\n",
+            wal_path.file_name().unwrap_or_default().to_string_lossy(),
+            std::fs::metadata(&wal_path)?.len(),
+            records.len(),
+            count(|r| matches!(r, WalRecord::Delta { .. })),
+            count(|r| matches!(r, WalRecord::Rerank { .. })),
+            count(|r| matches!(r, WalRecord::Checkpoint { .. })),
+            count(|r| matches!(r, WalRecord::Evict { .. })),
+        ));
+    } else {
+        out.push_str("  \"wal\": null,\n");
+    }
+
+    out.push_str("  \"segments\": [");
+    let names: Vec<String> = manifest.map(|m| m.segments).unwrap_or_default();
+    for (i, name) in names.iter().enumerate() {
+        let reader = SegmentReader::open(&dir.join(name))?;
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"bytes\": {}, \"num_transactions\": {}, \"shards\": [",
+            name,
+            reader.bytes(),
+            reader.num_transactions(),
+        ));
+        for (j, st) in reader.stats().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"shard\": {}, \"entries\": {}, \"blocks\": {}, \"payload_bytes\": {}}}",
+                st.shard, st.entries, st.blocks, st.payload_bytes
+            ));
+        }
+        out.push_str("]}");
+    }
+    if names.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push('}');
+    Ok(out)
+}

@@ -1,0 +1,479 @@
+//! The append-only write-ahead log.
+//!
+//! Every mutation of the durable pipeline is journaled *before* it is
+//! applied in memory. One file per checkpoint epoch; records are framed
+//! so a torn tail (crash mid-write) is detected and discarded:
+//!
+//! ```text
+//! file   := "PLTJ" version u32 LE | record*
+//! record := len u32 LE | crc32 u32 LE (over payload) | payload
+//! payload:= type u8 | seq u64 LE | body
+//! ```
+//!
+//! Record types:
+//!
+//! | type | name       | body                                   | replayed? |
+//! |------|------------|----------------------------------------|-----------|
+//! | 1    | Delta      | removes then adds, varint-encoded      | yes       |
+//! | 2    | Rerank     | ranked-item count varint               | no (info) |
+//! | 3    | Checkpoint | epoch varint                           | no (info) |
+//! | 4    | Evict      | shard varint                           | no (info) |
+//!
+//! Only `Delta` records change state on replay — re-ranks, evictions and
+//! checkpoints are consequences the pipeline re-derives deterministically
+//! from the delta sequence. They are still journaled because the
+//! `store inspect` tooling and the recovery log want the operational
+//! history.
+//!
+//! Durability: appends are buffered and `fdatasync`ed every
+//! `sync_every` records (fsync batching); [`Wal::sync`] forces the
+//! batch out, and checkpointing always syncs before the manifest rename.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use plt_compress::crc::crc32;
+use plt_compress::varint;
+use plt_core::item::Item;
+use plt_shard::Delta;
+
+/// WAL file magic.
+pub const WAL_MAGIC: &[u8; 4] = b"PLTJ";
+
+/// WAL format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Upper bound on a single record's payload — anything larger is treated
+/// as a torn/corrupt frame rather than an allocation request.
+const MAX_RECORD: u32 = 1 << 30;
+
+/// One journaled operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A transaction batch (the only record replayed into state).
+    Delta {
+        /// Transactions removed by the batch.
+        removes: Vec<Vec<Item>>,
+        /// Transactions added by the batch.
+        adds: Vec<Vec<Item>>,
+    },
+    /// The vocabulary drifted and the pipeline re-ranked.
+    Rerank {
+        /// Number of ranked items after the re-rank.
+        ranked_items: u64,
+    },
+    /// A checkpoint completed; earlier WAL content is superseded.
+    Checkpoint {
+        /// Checkpoint epoch.
+        epoch: u64,
+    },
+    /// A clean shard fragment was spilled to a segment and evicted.
+    Evict {
+        /// The evicted shard.
+        shard: u32,
+    },
+}
+
+/// A record plus its log sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqRecord {
+    /// Monotone sequence number assigned at append time.
+    pub seq: u64,
+    /// The journaled operation.
+    pub record: WalRecord,
+}
+
+fn put_transactions(out: &mut Vec<u8>, transactions: &[Vec<Item>]) {
+    varint::put_u64(out, transactions.len() as u64);
+    for t in transactions {
+        varint::put_u64(out, t.len() as u64);
+        for &item in t {
+            varint::put_u32(out, item);
+        }
+    }
+}
+
+fn get_transactions(buf: &mut &[u8]) -> Vec<Vec<Item>> {
+    let n = varint::get_u64(buf) as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let len = varint::get_u64(buf) as usize;
+        let mut t = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            t.push(varint::get_u32(buf));
+        }
+        out.push(t);
+    }
+    out
+}
+
+impl WalRecord {
+    fn type_byte(&self) -> u8 {
+        match self {
+            WalRecord::Delta { .. } => 1,
+            WalRecord::Rerank { .. } => 2,
+            WalRecord::Checkpoint { .. } => 3,
+            WalRecord::Evict { .. } => 4,
+        }
+    }
+
+    fn encode(&self, seq: u64) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.push(self.type_byte());
+        payload.extend_from_slice(&seq.to_le_bytes());
+        match self {
+            WalRecord::Delta { removes, adds } => {
+                put_transactions(&mut payload, removes);
+                put_transactions(&mut payload, adds);
+            }
+            WalRecord::Rerank { ranked_items } => varint::put_u64(&mut payload, *ranked_items),
+            WalRecord::Checkpoint { epoch } => varint::put_u64(&mut payload, *epoch),
+            WalRecord::Evict { shard } => varint::put_u32(&mut payload, *shard),
+        }
+        payload
+    }
+
+    /// Decodes a CRC-verified payload. Returns `None` on any structural
+    /// inconsistency (possible only through a CRC collision).
+    fn decode(payload: &[u8]) -> Option<SeqRecord> {
+        std::panic::catch_unwind(|| {
+            let mut buf = payload;
+            let kind = buf.first().copied()?;
+            buf = &buf[1..];
+            if buf.len() < 8 {
+                return None;
+            }
+            let seq = u64::from_le_bytes(buf[..8].try_into().ok()?);
+            buf = &buf[8..];
+            let record = match kind {
+                1 => {
+                    let removes = get_transactions(&mut buf);
+                    let adds = get_transactions(&mut buf);
+                    WalRecord::Delta { removes, adds }
+                }
+                2 => WalRecord::Rerank {
+                    ranked_items: varint::get_u64(&mut buf),
+                },
+                3 => WalRecord::Checkpoint {
+                    epoch: varint::get_u64(&mut buf),
+                },
+                4 => WalRecord::Evict {
+                    shard: varint::get_u32(&mut buf),
+                },
+                _ => return None,
+            };
+            if !buf.is_empty() {
+                return None;
+            }
+            Some(SeqRecord { seq, record })
+        })
+        .ok()
+        .flatten()
+    }
+}
+
+impl From<&Delta> for WalRecord {
+    fn from(delta: &Delta) -> WalRecord {
+        WalRecord::Delta {
+            removes: delta.removes.clone(),
+            adds: delta.adds.clone(),
+        }
+    }
+}
+
+impl WalRecord {
+    /// Converts a replayable record back into a pipeline delta.
+    pub fn to_delta(&self) -> Option<Delta> {
+        match self {
+            WalRecord::Delta { removes, adds } => Some(Delta {
+                adds: adds.clone(),
+                removes: removes.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Append handle over one WAL file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    bytes: u64,
+    records: u64,
+    unsynced: usize,
+    sync_every: usize,
+}
+
+impl Wal {
+    /// Creates a fresh (truncated) WAL whose first record will carry
+    /// `first_seq`.
+    pub fn create(path: &Path, first_seq: u64, sync_every: usize) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: first_seq,
+            bytes: 8,
+            records: 0,
+            unsynced: 0,
+            sync_every: sync_every.max(1),
+        })
+    }
+
+    /// Opens an existing WAL: replays every intact record, truncates any
+    /// torn tail, and positions the handle for appending. Returns the
+    /// handle plus the replayed records in append order.
+    pub fn open(path: &Path, sync_every: usize) -> io::Result<(Wal, Vec<SeqRecord>)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < 8 || &bytes[..4] != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a PLT WAL file (bad magic)",
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != WAL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported WAL version {version}"),
+            ));
+        }
+
+        let (records, valid_len) = Self::scan(&bytes);
+        if valid_len < bytes.len() as u64 {
+            // Torn tail from a crash mid-append: cut it off so future
+            // appends do not interleave with garbage.
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let next_seq = records.last().map(|r| r.seq + 1).unwrap_or(0);
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                next_seq,
+                bytes: valid_len,
+                records: records.len() as u64,
+                unsynced: 0,
+                sync_every: sync_every.max(1),
+            },
+            records,
+        ))
+    }
+
+    /// Walks the framed records, stopping at the first torn or corrupt
+    /// frame. Returns the intact records and the byte length of the valid
+    /// prefix.
+    fn scan(bytes: &[u8]) -> (Vec<SeqRecord>, u64) {
+        let mut records = Vec::new();
+        let mut pos = 8usize; // past magic + version
+        while bytes.len() - pos >= 8 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD || bytes.len() - pos - 8 < len as usize {
+                break; // torn frame
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len as usize];
+            if crc32(payload) != crc {
+                break; // corrupt frame — everything after is suspect
+            }
+            match WalRecord::decode(payload) {
+                Some(record) => records.push(record),
+                None => break,
+            }
+            pos += 8 + len as usize;
+        }
+        (records, pos as u64)
+    }
+
+    /// Appends a record, assigning it the next sequence number. Syncs to
+    /// disk every `sync_every` appends.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let payload = record.encode(seq);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.next_seq += 1;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces buffered appends to disk (`fdatasync`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bytes in the log, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Intact records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads every intact record of a WAL file without taking an append
+/// handle (used by `store inspect` and recovery).
+pub fn read_records(path: &Path) -> io::Result<Vec<SeqRecord>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 || &bytes[..4] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a PLT WAL file (bad magic)",
+        ));
+    }
+    Ok(Wal::scan(&bytes).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("plt-wal-{}-{name}.wal", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Delta {
+                removes: vec![],
+                adds: vec![vec![1, 2, 3], vec![4, 5]],
+            },
+            WalRecord::Rerank { ranked_items: 42 },
+            WalRecord::Delta {
+                removes: vec![vec![1, 2, 3]],
+                adds: vec![vec![6]],
+            },
+            WalRecord::Evict { shard: 7 },
+            WalRecord::Checkpoint { epoch: 3 },
+        ]
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::create(&path, 0, 2).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (wal, replayed) = Wal::open(&path, 2).unwrap();
+        assert_eq!(replayed.len(), 5);
+        for (i, (got, want)) in replayed.iter().zip(sample_records()).enumerate() {
+            assert_eq!(got.seq, i as u64);
+            assert_eq!(got.record, want);
+        }
+        assert_eq!(wal.next_seq(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path, 0, 1).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        // Chop the file mid-record: the last frame becomes torn.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut wal, replayed) = Wal::open(&path, 1).unwrap();
+        assert_eq!(replayed.len(), 4, "torn final record dropped");
+        // The handle appends cleanly after the truncation point.
+        wal.append(&WalRecord::Evict { shard: 1 }).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, 1).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(replayed[4].record, WalRecord::Evict { shard: 1 });
+        assert_eq!(replayed[4].seq, 4, "seq continues after the torn record");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::create(&path, 0, 1).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte in the middle of the file: replay stops there.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = Wal::open(&path, 1).unwrap();
+        assert!(replayed.len() < 5, "corruption must drop the tail");
+    }
+
+    #[test]
+    fn first_seq_offsets_the_log() {
+        let path = tmp("seq");
+        let mut wal = Wal::create(&path, 100, 1).unwrap();
+        let seq = wal.append(&WalRecord::Evict { shard: 0 }).unwrap();
+        assert_eq!(seq, 100);
+        drop(wal);
+        let (wal, replayed) = Wal::open(&path, 1).unwrap();
+        assert_eq!(replayed[0].seq, 100);
+        assert_eq!(wal.next_seq(), 101);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_wal_replays_empty() {
+        let path = tmp("empty");
+        Wal::create(&path, 0, 1).unwrap();
+        let (wal, replayed) = Wal::open(&path, 1).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.next_seq(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPExxxx").unwrap();
+        assert!(Wal::open(&path, 1).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

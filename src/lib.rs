@@ -5,8 +5,9 @@
 //! ([`baselines`]), parallel mining ([`parallel`]), compressed storage
 //! ([`compress`]), association-rule generation ([`rules`]),
 //! closed/maximal mining ([`closed`]), streaming maintenance
-//! ([`stream`]), sharded incremental mining ([`shard`]), the online
-//! query service ([`serve`]) and the observability layer ([`obs`]).
+//! ([`stream`]), sharded incremental mining ([`shard`]), durable
+//! segmented storage ([`store`]), the online query service ([`serve`])
+//! and the observability layer ([`obs`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -21,6 +22,7 @@ pub use plt_parallel as parallel;
 pub use plt_rules as rules;
 pub use plt_serve as serve;
 pub use plt_shard as shard;
+pub use plt_store as store;
 pub use plt_stream as stream;
 
 pub use plt_core::{
