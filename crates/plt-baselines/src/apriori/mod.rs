@@ -29,6 +29,9 @@ use plt_core::miner::{Miner, MiningResult};
 use plt_core::posvec::PositionVector;
 use plt_core::ranking::{ItemRanking, RankPolicy};
 use plt_core::subset::{NaiveChecker, SubsetChecker};
+use plt_data::bitset::BitsetTidDb;
+use plt_data::transaction::TransactionDb;
+use plt_data::vertical::VerticalDb;
 
 /// How the anti-monotone prune of candidate generation is implemented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +53,12 @@ pub enum CountingStrategy {
     /// Enumerate each transaction's `k`-subsets against a candidate map;
     /// falls back to per-candidate subset tests for long transactions.
     SubsetEnumeration,
+    /// Probe each candidate against per-item TID bitmaps: support is the
+    /// popcount of the AND across its items' rows (`AND`+popcount through
+    /// the kernel layer, AVX2 under the `simd` feature). Replaces the
+    /// per-transaction subset tests entirely; best on dense data, where
+    /// [`BitsetTidDb::prefer_bitmaps`] holds.
+    BitsetProbe,
 }
 
 /// The Apriori miner.
@@ -123,6 +132,18 @@ impl Miner for AprioriMiner {
             })
             .collect();
 
+        // Bitmap rows for the probe-counting strategy, built once over the
+        // filtered view and reused by every level's pass.
+        let bitdb = match self.counting {
+            CountingStrategy::BitsetProbe => {
+                let db = TransactionDb::from_sorted(filtered.clone());
+                Some(BitsetTidDb::from_vertical(&VerticalDb::from_horizontal(
+                    &db,
+                )))
+            }
+            _ => None,
+        };
+
         // L_{k−1} as sorted itemsets.
         let mut prev_level: Vec<Vec<Item>> = frequent.iter().map(|&(i, _)| vec![i]).collect();
 
@@ -135,6 +156,9 @@ impl Miner for AprioriMiner {
                 CountingStrategy::HashTree => count_hash_tree(k, candidates, &filtered),
                 CountingStrategy::SubsetEnumeration => {
                     count_subset_enumeration(k, candidates, &filtered)
+                }
+                CountingStrategy::BitsetProbe => {
+                    count_bitset_probe(candidates, bitdb.as_ref().expect("built above"))
                 }
             };
             let mut level: Vec<Vec<Item>> = Vec::new();
@@ -275,6 +299,22 @@ fn count_subset_enumeration(
     counts.into_iter().collect()
 }
 
+/// Bitmap-probe counting pass: one AND+popcount chain per candidate, no
+/// transaction loop at all.
+fn count_bitset_probe(
+    candidates: Vec<Vec<Item>>,
+    bitdb: &BitsetTidDb,
+) -> Vec<(Vec<Item>, Support)> {
+    let mut scratch: Vec<u64> = Vec::with_capacity(bitdb.words_per_row());
+    candidates
+        .into_iter()
+        .map(|cand| {
+            let support = bitdb.support(&cand, &mut scratch);
+            (cand, support)
+        })
+        .collect()
+}
+
 /// `C(n, k)` saturating at `u64::MAX`.
 fn n_choose_k(n: u64, k: u64) -> u64 {
     if k > n {
@@ -338,6 +378,7 @@ mod tests {
             for counting in [
                 CountingStrategy::HashTree,
                 CountingStrategy::SubsetEnumeration,
+                CountingStrategy::BitsetProbe,
             ] {
                 v.push(AprioriMiner { prune, counting });
             }

@@ -12,34 +12,102 @@
 //! `d(Pxy) = d(Py) \ d(Px)` below, with
 //! `support(Pxy) = support(Px) − |d(Pxy)|`. Dense data makes diffsets much
 //! smaller than tidsets — the classic trade measured in experiment X1.
+//!
+//! Two **TID representations** are supported (see `DESIGN.md` §11):
+//!
+//! * sorted `Vec<Tid>` lists joined by sorted-merge (the classic layout,
+//!   best when the database is sparse);
+//! * packed `u64` bitmap rows joined by `AND`+popcount (or
+//!   `AND NOT`+popcount for diffsets) through the [`plt_core::kernels`]
+//!   layer, which dispatches to the AVX2 backend when compiled in.
+//!
+//! [`TidRepr::Auto`] picks bitmaps exactly when they are smaller than the
+//! sorted lists ([`BitsetTidDb::prefer_bitmaps`]), i.e. on dense data.
+//! Either way the recursion recycles its intermediate buffers through a
+//! free-list pool, so steady-state mining allocates nothing per candidate.
 
 use plt_core::item::{Item, Itemset, Support};
 use plt_core::miner::{Miner, MiningResult};
+use plt_data::bitset::BitsetTidDb;
 use plt_data::transaction::TransactionDb;
 use plt_data::vertical::{Tid, VerticalDb};
+
+/// How equivalence-class members store their TID sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TidRepr {
+    /// Bitmaps when [`BitsetTidDb::prefer_bitmaps`] says they are smaller
+    /// than the sorted lists, sorted lists otherwise.
+    #[default]
+    Auto,
+    /// Always sorted `Vec<Tid>` lists (the classic Eclat layout).
+    Tidset,
+    /// Always packed `u64` bitmap rows.
+    Bitset,
+}
 
 /// The Eclat miner.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EclatMiner {
     /// Switch to diffsets below the first level (dEclat).
     pub use_diffsets: bool,
+    /// TID-set representation policy.
+    pub repr: TidRepr,
 }
 
 impl EclatMiner {
     /// The dEclat variant.
     pub fn with_diffsets() -> Self {
-        EclatMiner { use_diffsets: true }
+        EclatMiner {
+            use_diffsets: true,
+            ..Default::default()
+        }
+    }
+
+    /// The same miner pinned to a TID representation.
+    pub fn with_repr(mut self, repr: TidRepr) -> Self {
+        self.repr = repr;
+        self
     }
 }
 
-/// One member of an equivalence class: the extending item, its TID-list or
-/// diffset, and its exact support.
+/// One member of an equivalence class over sorted TID lists: the extending
+/// item, its TID-list or diffset, and its exact support.
 #[derive(Debug, Clone)]
 struct Member {
     item: Item,
     /// TID set (`diffset == false`) or diffset against the class prefix.
     tids: Vec<Tid>,
     support: Support,
+}
+
+/// One member of an equivalence class over bitmap rows.
+#[derive(Debug, Clone)]
+struct BitMember {
+    item: Item,
+    /// Bitmap of the TID set or diffset, `ceil(n/64)` words.
+    words: Vec<u64>,
+    support: Support,
+}
+
+/// Free-list recycling pool for the recursion's intermediate buffers.
+/// Candidates that fail the support test hand their buffer straight back;
+/// surviving members return theirs when their class has been fully
+/// extended — so the whole depth-first walk touches a bounded set of
+/// allocations instead of one `Vec` per candidate pair.
+#[derive(Debug, Default)]
+struct FreeList<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> FreeList<T> {
+    fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut v: Vec<T>) {
+        v.clear();
+        self.free.push(v);
+    }
 }
 
 impl Miner for EclatMiner {
@@ -57,40 +125,87 @@ impl Miner for EclatMiner {
         let db = TransactionDb::from_sorted(transactions.to_vec());
         let vertical = VerticalDb::from_horizontal(&db);
 
-        // Root class: frequent items with their tidsets, ordered by
-        // ascending support (the standard Eclat ordering: small classes
-        // first keeps intermediate sets small).
-        let mut root: Vec<Member> = vertical
+        // Frequent items with their tidsets, ordered by ascending support
+        // (the standard Eclat ordering: small classes first keeps
+        // intermediate sets small).
+        let mut frequent: Vec<(Item, &[Tid])> = vertical
             .columns()
             .filter(|(_, tids)| tids.len() as Support >= min_support)
-            .map(|(item, tids)| Member {
-                item,
-                tids: tids.to_vec(),
-                support: tids.len() as Support,
-            })
             .collect();
-        root.sort_by(|a, b| a.support.cmp(&b.support).then(a.item.cmp(&b.item)));
-
-        for m in &root {
-            result.insert(Itemset::from_sorted(vec![m.item]), m.support);
+        frequent.sort_by_key(|&(item, tids)| (tids.len(), item));
+        for &(item, tids) in &frequent {
+            result.insert(Itemset::from_sorted(vec![item]), tids.len() as Support);
         }
 
+        let total_tids: usize = frequent.iter().map(|&(_, t)| t.len()).sum();
+        let use_bitmaps = match self.repr {
+            TidRepr::Tidset => false,
+            TidRepr::Bitset => true,
+            TidRepr::Auto => BitsetTidDb::prefer_bitmaps(db.len(), frequent.len(), total_tids),
+        };
+
         let mut prefix: Vec<Item> = Vec::new();
-        // The root level always holds tidsets; diffsets begin one level in.
-        self.extend_class(&root, false, min_support, &mut prefix, &mut result);
+        if use_bitmaps {
+            let words_per_row = db.len().div_ceil(64);
+            let root: Vec<BitMember> = frequent
+                .iter()
+                .map(|&(item, tids)| {
+                    let mut words = vec![0u64; words_per_row];
+                    for &t in tids {
+                        words[t as usize >> 6] |= 1u64 << (t & 63);
+                    }
+                    BitMember {
+                        item,
+                        words,
+                        support: tids.len() as Support,
+                    }
+                })
+                .collect();
+            let mut pool = FreeList::default();
+            // The root level always holds tidsets; diffsets begin one
+            // level in.
+            self.extend_class_bits(
+                &root,
+                false,
+                min_support,
+                &mut prefix,
+                &mut pool,
+                &mut result,
+            );
+        } else {
+            let root: Vec<Member> = frequent
+                .iter()
+                .map(|&(item, tids)| Member {
+                    item,
+                    tids: tids.to_vec(),
+                    support: tids.len() as Support,
+                })
+                .collect();
+            let mut pool = FreeList::default();
+            self.extend_class_tids(
+                &root,
+                false,
+                min_support,
+                &mut prefix,
+                &mut pool,
+                &mut result,
+            );
+        }
         result
     }
 }
 
 impl EclatMiner {
-    /// Recursively extends an equivalence class. `diffset_mode` says how
-    /// the *members'* tid vectors are to be interpreted.
-    fn extend_class(
+    /// Recursively extends an equivalence class over sorted TID lists.
+    /// `diffset_mode` says how the *members'* tid vectors are to be
+    /// interpreted.
+    fn extend_class_tids(
         &self,
         class: &[Member],
         diffset_mode: bool,
         min_support: Support,
         prefix: &mut Vec<Item>,
+        pool: &mut FreeList<Tid>,
         result: &mut MiningResult,
     ) {
         for i in 0..class.len() {
@@ -98,23 +213,20 @@ impl EclatMiner {
             prefix.push(a.item);
             let mut child: Vec<Member> = Vec::new();
             for b in &class[i + 1..] {
-                let (tids, support) = if self.use_diffsets {
+                let mut tids = pool.take();
+                let support = if self.use_diffsets {
                     if diffset_mode {
                         // d(Pab) = d(Pb) \ d(Pa); support = sup(Pa) − |d|.
-                        let d = VerticalDb::difference(&b.tids, &a.tids);
-                        let support = a.support - d.len() as Support;
-                        (d, support)
+                        VerticalDb::difference_into(&b.tids, &a.tids, &mut tids);
                     } else {
                         // Transition level: members hold tidsets;
                         // d(ab) = t(a) \ t(b); support = sup(a) − |d|.
-                        let d = VerticalDb::difference(&a.tids, &b.tids);
-                        let support = a.support - d.len() as Support;
-                        (d, support)
+                        VerticalDb::difference_into(&a.tids, &b.tids, &mut tids);
                     }
+                    a.support - tids.len() as Support
                 } else {
-                    let t = VerticalDb::intersect(&a.tids, &b.tids);
-                    let support = t.len() as Support;
-                    (t, support)
+                    VerticalDb::intersect_into(&a.tids, &b.tids, &mut tids);
+                    tids.len() as Support
                 };
                 if support >= min_support {
                     let mut items = prefix.clone();
@@ -125,10 +237,82 @@ impl EclatMiner {
                         tids,
                         support,
                     });
+                } else {
+                    pool.put(tids);
                 }
             }
             if !child.is_empty() {
-                self.extend_class(&child, self.use_diffsets, min_support, prefix, result);
+                self.extend_class_tids(
+                    &child,
+                    self.use_diffsets,
+                    min_support,
+                    prefix,
+                    pool,
+                    result,
+                );
+            }
+            for m in child {
+                pool.put(m.tids);
+            }
+            prefix.pop();
+        }
+    }
+
+    /// Recursively extends an equivalence class over bitmap rows. The
+    /// joins are kernel calls: `AND`+popcount for tidsets,
+    /// `AND NOT`+popcount for diffsets.
+    fn extend_class_bits(
+        &self,
+        class: &[BitMember],
+        diffset_mode: bool,
+        min_support: Support,
+        prefix: &mut Vec<Item>,
+        pool: &mut FreeList<u64>,
+        result: &mut MiningResult,
+    ) {
+        for i in 0..class.len() {
+            let a = &class[i];
+            prefix.push(a.item);
+            let mut child: Vec<BitMember> = Vec::new();
+            for b in &class[i + 1..] {
+                let mut words = pool.take();
+                let support = if self.use_diffsets {
+                    let d = if diffset_mode {
+                        // d(Pab) = d(Pb) \ d(Pa).
+                        plt_simd::andnot_into(&b.words, &a.words, &mut words)
+                    } else {
+                        // Transition level: d(ab) = t(a) \ t(b).
+                        plt_simd::andnot_into(&a.words, &b.words, &mut words)
+                    };
+                    a.support - d
+                } else {
+                    plt_simd::and_into(&a.words, &b.words, &mut words)
+                };
+                if support >= min_support {
+                    let mut items = prefix.clone();
+                    items.push(b.item);
+                    result.insert(Itemset::new(items), support);
+                    child.push(BitMember {
+                        item: b.item,
+                        words,
+                        support,
+                    });
+                } else {
+                    pool.put(words);
+                }
+            }
+            if !child.is_empty() {
+                self.extend_class_bits(
+                    &child,
+                    self.use_diffsets,
+                    min_support,
+                    prefix,
+                    pool,
+                    result,
+                );
+            }
+            for m in child {
+                pool.put(m.words);
             }
             prefix.pop();
         }
@@ -152,6 +336,16 @@ mod tests {
         ]
     }
 
+    fn all_variants() -> Vec<EclatMiner> {
+        let mut v = Vec::new();
+        for use_diffsets in [false, true] {
+            for repr in [TidRepr::Auto, TidRepr::Tidset, TidRepr::Bitset] {
+                v.push(EclatMiner { use_diffsets, repr });
+            }
+        }
+        v
+    }
+
     #[test]
     fn tidset_variant_matches_brute_force() {
         let expect = BruteForceMiner.mine(&table1(), 2);
@@ -167,6 +361,15 @@ mod tests {
     }
 
     #[test]
+    fn bitset_variants_match_brute_force() {
+        let expect = BruteForceMiner.mine(&table1(), 2);
+        for miner in all_variants() {
+            let got = miner.mine(&table1(), 2);
+            assert_eq!(got.sorted(), expect.sorted(), "{miner:?}");
+        }
+    }
+
+    #[test]
     fn diffsets_and_tidsets_agree_at_min_support_one() {
         let a = EclatMiner::default().mine(&table1(), 1);
         let b = EclatMiner::with_diffsets().mine(&table1(), 1);
@@ -175,24 +378,39 @@ mod tests {
 
     #[test]
     fn empty_and_infrequent() {
-        assert!(EclatMiner::default().mine(&[], 1).is_empty());
-        assert!(EclatMiner::with_diffsets().mine(&table1(), 10).is_empty());
+        for miner in all_variants() {
+            assert!(miner.mine(&[], 1).is_empty(), "{miner:?}");
+            assert!(miner.mine(&table1(), 10).is_empty(), "{miner:?}");
+        }
     }
 
     #[test]
     fn dense_db_deep_lattice() {
+        // Dense enough that Auto picks bitmaps: 4 items over 5
+        // transactions with every row fully set.
         let db = vec![vec![1, 2, 3, 4]; 5];
-        for miner in [EclatMiner::default(), EclatMiner::with_diffsets()] {
+        for miner in all_variants() {
             let r = miner.mine(&db, 3);
-            assert_eq!(r.len(), 15);
-            assert_eq!(r.support(&[1, 2, 3, 4]), Some(5));
+            assert_eq!(r.len(), 15, "{miner:?}");
+            assert_eq!(r.support(&[1, 2, 3, 4]), Some(5), "{miner:?}");
         }
+    }
+
+    #[test]
+    fn bitmap_joins_are_counted() {
+        let before = plt_simd::KernelStats::snapshot_thread();
+        EclatMiner::default()
+            .with_repr(TidRepr::Bitset)
+            .mine(&table1(), 2);
+        let delta = plt_simd::KernelStats::snapshot_thread().since(&before);
+        assert!(delta.bitmap_intersections > 0, "{delta:?}");
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// Both Eclat variants agree with brute force on random databases.
+        /// Every Eclat variant (tidset/diffset × representation) agrees
+        /// with brute force on random databases.
         #[test]
         fn prop_matches_brute_force(
             db in proptest::collection::vec(
@@ -205,10 +423,10 @@ mod tests {
                 .map(|t| t.into_iter().collect())
                 .collect();
             let expect = BruteForceMiner.mine(&db, min_support);
-            let tid = EclatMiner::default().mine(&db, min_support);
-            let diff = EclatMiner::with_diffsets().mine(&db, min_support);
-            prop_assert_eq!(tid.sorted(), expect.sorted());
-            prop_assert_eq!(diff.sorted(), expect.sorted());
+            for miner in all_variants() {
+                let got = miner.mine(&db, min_support);
+                prop_assert_eq!(got.sorted(), expect.sorted(), "{:?}", miner);
+            }
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod sampling;
 pub use ais::AisMiner;
 pub use apriori::{AprioriMiner, CountingStrategy, PruneStrategy};
 pub use dic::DicMiner;
-pub use eclat::EclatMiner;
+pub use eclat::{EclatMiner, TidRepr};
 pub use fpgrowth::FpGrowthMiner;
 pub use hmine::HMineMiner;
 pub use partition::PartitionMiner;

@@ -1,0 +1,79 @@
+//! X14 — SIMD/bitset kernels: the arena engine pinned to each kernel
+//! backend, Eclat under each tidset representation, and the raw
+//! `plt_core::kernels` primitives on both backends. Build with
+//! `--features simd` to compare against the AVX2 path; without it the
+//! "simd" groups measure the scalar fallback (the dispatch degrades).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use plt_baselines::{EclatMiner, TidRepr};
+use plt_bench::datasets;
+use plt_core::construct::{construct, ConstructOptions};
+use plt_core::kernels::{self, Backend};
+use plt_core::miner::Miner;
+use plt_core::{ConditionalMiner, Mine};
+
+fn bench(c: &mut Criterion) {
+    let workloads: Vec<(&str, Vec<Vec<u32>>, u64)> = vec![
+        ("sparse", datasets::sparse(2_000), 20),
+        ("dense", datasets::dense(600, 16), 180),
+        ("zipf", datasets::zipf(2_000, 1.1), 20),
+    ];
+    for (name, db, min_sup) in &workloads {
+        let plt = construct(db, *min_sup, ConstructOptions::conditional()).unwrap();
+        let mut group = c.benchmark_group(format!("x14/{name}"));
+        group.sample_size(10);
+        for (label, backend) in [("scalar", Backend::Scalar), ("simd", Backend::Simd)] {
+            group.bench_with_input(BenchmarkId::new("arena", label), &plt, |b, plt| {
+                kernels::set_thread_backend(Some(backend));
+                let miner = ConditionalMiner::default();
+                b.iter(|| miner.mine_plt(plt));
+                kernels::set_thread_backend(None);
+            });
+        }
+        for (label, repr) in [("tidset", TidRepr::Tidset), ("bitset", TidRepr::Bitset)] {
+            let miner = EclatMiner::default().with_repr(repr);
+            group.bench_with_input(BenchmarkId::new("eclat", label), db, |b, db| {
+                b.iter(|| miner.mine(db, *min_sup))
+            });
+        }
+        group.finish();
+    }
+
+    // Raw kernel primitives over deterministic synthetic inputs.
+    let deltas: Vec<u32> = (0..65_536u32).map(|i| i % 7).collect();
+    let counts: Vec<u64> = (0..65_536u64)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 1_000)
+        .collect();
+    let ids: Vec<u32> = (0..65_536u32).collect();
+    let words_a: Vec<u64> = (0..4_096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let words_b: Vec<u64> = (0..4_096u64)
+        .map(|i| i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .collect();
+    let mut group = c.benchmark_group("x14/kernels");
+    for (label, backend) in [("scalar", Backend::Scalar), ("simd", Backend::Simd)] {
+        group.bench_function(BenchmarkId::new("prefix_sum", label), |b| {
+            kernels::set_thread_backend(Some(backend));
+            let mut out = Vec::new();
+            b.iter(|| kernels::prefix_sum_into(&deltas, &mut out));
+            kernels::set_thread_backend(None);
+        });
+        group.bench_function(BenchmarkId::new("filter_ge", label), |b| {
+            kernels::set_thread_backend(Some(backend));
+            let mut kept = Vec::new();
+            b.iter(|| kernels::filter_ge_into(&counts, &ids, 500, &mut kept));
+            kernels::set_thread_backend(None);
+        });
+        group.bench_function(BenchmarkId::new("and_popcount", label), |b| {
+            kernels::set_thread_backend(Some(backend));
+            b.iter(|| kernels::and_popcount(&words_a, &words_b));
+            kernels::set_thread_backend(None);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

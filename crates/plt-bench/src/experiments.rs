@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use plt_baselines::apriori::AprioriMiner;
 use plt_baselines::fpgrowth::{build_fp_tree, FpGrowthMiner};
-use plt_baselines::{AisMiner, DicMiner, EclatMiner, HMineMiner, PartitionMiner};
+use plt_baselines::{AisMiner, DicMiner, EclatMiner, HMineMiner, PartitionMiner, TidRepr};
 use plt_compress::CompressedPlt;
 use plt_core::construct::{construct, ConstructOptions};
 use plt_core::item::{Item, Support};
@@ -643,6 +643,9 @@ pub fn x12_engine_cells(scale: Scale) -> Vec<EngineCell> {
             copy_throughs: recorder.counter_value("arena.copy_throughs"),
             single_path_shortcuts: recorder.counter_value("arena.single_path_shortcuts"),
             bytes_peak: recorder.gauge_value("arena.bytes_peak"),
+            simd_calls: recorder.counter_value("kernel.simd_calls"),
+            scalar_calls: recorder.counter_value("kernel.scalar_calls"),
+            bitmap_intersections: recorder.counter_value("kernel.bitmap_intersections"),
         };
         let construct_rank_secs = recorder.span_total_ns("construct/rank") as f64 / 1e9;
         let construct_encode_secs = recorder.span_total_ns("construct/encode") as f64 / 1e9;
@@ -720,6 +723,10 @@ pub fn x12_engine_compare(scale: Scale) -> Table {
 pub fn x12_json(cells: &[EngineCell], scale: Scale) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"x12_engine_compare\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -946,6 +953,10 @@ pub fn x13_incremental(scale: Scale) -> Table {
 pub fn x13_json(cells: &[IncrementalCell], scale: Scale) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"x13_incremental\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -1175,6 +1186,10 @@ pub fn x15_json(cells: &[StorageCell], scale: Scale) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"x15_storage\",\n");
     s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
+    s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
             Scale::Quick => "quick",
@@ -1201,6 +1216,419 @@ pub fn x15_json(cells: &[StorageCell], scale: Scale) -> String {
             c.segments,
             c.segment_bytes,
             if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One X14 end-to-end measurement: the arena engine pinned to each
+/// kernel backend, and Eclat over sorted tidsets vs packed bitsets, on
+/// one dataset cell. The answers are asserted identical across all four
+/// runs before any number is reported.
+#[derive(Debug, Clone)]
+pub struct SimdCell {
+    /// Dataset label, e.g. `DENSE16.D600@30%`.
+    pub dataset: String,
+    /// Absolute minimum support used.
+    pub min_sup: Support,
+    /// Number of frequent itemsets (identical across runs — asserted).
+    pub itemsets: usize,
+    /// Arena engine with every kernel forced onto the scalar backend —
+    /// this is the committed X12 baseline the issue's speedup target is
+    /// measured against.
+    pub arena_scalar_secs: f64,
+    /// Arena engine with every kernel forced onto the SIMD backend
+    /// (degrades to scalar when the build or CPU lacks it).
+    pub arena_simd_secs: f64,
+    /// Eclat over sorted tidsets (transaction-level, includes its own
+    /// vertical-database build).
+    pub eclat_tidset_secs: f64,
+    /// Eclat over packed `u64` bitsets (AND + popcount joins).
+    pub eclat_bitset_secs: f64,
+    /// Kernel calls dispatched to the vector backend during one
+    /// instrumented SIMD arena pass plus one bitset Eclat pass.
+    pub simd_calls: u64,
+    /// Kernel calls dispatched to the scalar backend in the same passes.
+    pub scalar_calls: u64,
+    /// Bitset joins performed by the instrumented bitset Eclat pass.
+    pub bitmap_intersections: u64,
+}
+
+impl SimdCell {
+    /// Arena speedup from the backend pin alone.
+    pub fn arena_speedup(&self) -> f64 {
+        self.arena_scalar_secs / self.arena_simd_secs
+    }
+
+    /// Eclat speedup from the bitset representation.
+    pub fn eclat_speedup(&self) -> f64 {
+        self.eclat_tidset_secs / self.eclat_bitset_secs
+    }
+
+    /// Headline: the largest backend/representation speedup the kernel
+    /// layer delivers on this cell. In practice this is the bitset join
+    /// kernels for Eclat (the arena engine is fold-bound, not scan-bound,
+    /// so the backend pin alone moves it little — see DESIGN.md §11).
+    pub fn speedup(&self) -> f64 {
+        self.arena_speedup().max(self.eclat_speedup())
+    }
+}
+
+/// One X14 microbenchmark: a single `plt_core::kernels` primitive timed
+/// on both backends over the same synthetic input, with the results
+/// checksummed and asserted equal — the differential check runs inside
+/// the benchmark itself.
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// Kernel name (`prefix_sum`, `filter_ge`, `and_popcount`).
+    pub kernel: String,
+    /// Input length in elements (words for the bitset kernel).
+    pub len: usize,
+    /// Best wall time on the forced scalar backend.
+    pub scalar_secs: f64,
+    /// Best wall time on the forced SIMD backend.
+    pub simd_secs: f64,
+}
+
+impl KernelCell {
+    /// Scalar-over-SIMD speedup (1.0 when the build has no SIMD).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.simd_secs
+    }
+}
+
+/// Deterministic synthetic `u32` values in `0..modulo` (xorshift; the
+/// workspace carries no RNG dependency).
+fn synth_u32(len: usize, seed: u64, modulo: u32) -> Vec<u32> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as u32) % modulo
+        })
+        .collect()
+}
+
+/// Deterministic synthetic `u64` words (same generator, full width).
+fn synth_u64(len: usize, seed: u64) -> Vec<u64> {
+    let mut x = seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// X14 — end-to-end kernel cells: the arena engine under each backend
+/// pin and Eclat under each tidset representation, on the same sparse,
+/// dense, and power-law workloads as X12. The scalar arena column is the
+/// committed `BENCH_conditional.json` baseline, so `speedup()` reads
+/// directly as "gain over current arena numbers".
+pub fn x14_simd_cells(scale: Scale) -> Vec<SimdCell> {
+    use plt_core::kernels::{self, Backend, KernelStats};
+
+    let runs = scale.runs().max(2);
+    let mut workloads: Vec<(String, Vec<Vec<Item>>, Support)> = Vec::new();
+    {
+        let n = scale.pick(2_000, 10_000);
+        let db = datasets::sparse(n);
+        let ms = ((0.01 * n as f64).ceil() as Support).max(1);
+        workloads.push((format!("T10.I4.D{n}@1.0%"), db, ms));
+    }
+    {
+        let n = scale.pick(600, 3_000);
+        let db = datasets::dense(n, 16);
+        let ms = ((0.3 * n as f64).ceil() as Support).max(1);
+        workloads.push((format!("DENSE16.D{n}@30%"), db, ms));
+    }
+    {
+        let n = scale.pick(2_000, 10_000);
+        let db = datasets::zipf(n, 1.1);
+        let ms = ((0.01 * n as f64).ceil() as Support).max(1);
+        workloads.push((format!("ZIPF1.1.D{n}@1.0%"), db, ms));
+    }
+
+    let mut cells = Vec::new();
+    for (dataset, db, min_sup) in workloads {
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).unwrap();
+        let arena: Box<dyn plt_core::Mine> = Box::new(ConditionalMiner::default());
+        // Pin the timing thread to one backend per run; both timed runs
+        // mine the same PLT, so the cells isolate the kernel dispatch.
+        kernels::set_thread_backend(Some(Backend::Scalar));
+        let (scalar_result, t_scalar) = time_best(runs, || mine_plt(arena.as_ref(), &plt));
+        kernels::set_thread_backend(Some(Backend::Simd));
+        let (simd_result, t_simd) = time_best(runs, || mine_plt(arena.as_ref(), &plt));
+        // One untimed instrumented pass for the dispatch counters.
+        let before = KernelStats::snapshot_thread();
+        let _ = mine_plt(arena.as_ref(), &plt);
+        let arena_kernels = KernelStats::snapshot_thread().since(&before);
+        kernels::set_thread_backend(None);
+        assert_eq!(
+            scalar_result.sorted(),
+            simd_result.sorted(),
+            "kernel backends disagree on {dataset}"
+        );
+
+        // Eclat cells run unpinned: the bitset path's joins auto-select
+        // the best available backend, same as production use.
+        let tidset = EclatMiner::default().with_repr(TidRepr::Tidset);
+        let bitset = EclatMiner::default().with_repr(TidRepr::Bitset);
+        let (tid_result, t_tid) = time_best(runs, || tidset.mine(&db, min_sup));
+        let (bit_result, t_bit) = time_best(runs, || bitset.mine(&db, min_sup));
+        assert_eq!(
+            tid_result.sorted(),
+            bit_result.sorted(),
+            "Eclat representations disagree on {dataset}"
+        );
+        assert_eq!(
+            tid_result.len(),
+            scalar_result.len(),
+            "Eclat and arena disagree on |F| at {dataset}"
+        );
+        let before = KernelStats::snapshot_thread();
+        let _ = bitset.mine(&db, min_sup);
+        let bit_kernels = KernelStats::snapshot_thread().since(&before);
+
+        cells.push(SimdCell {
+            dataset,
+            min_sup,
+            itemsets: scalar_result.len(),
+            arena_scalar_secs: t_scalar.as_secs_f64(),
+            arena_simd_secs: t_simd.as_secs_f64(),
+            eclat_tidset_secs: t_tid.as_secs_f64(),
+            eclat_bitset_secs: t_bit.as_secs_f64(),
+            simd_calls: arena_kernels.simd_calls + bit_kernels.simd_calls,
+            scalar_calls: arena_kernels.scalar_calls + bit_kernels.scalar_calls,
+            bitmap_intersections: bit_kernels.bitmap_intersections,
+        });
+    }
+    cells
+}
+
+/// X14 — raw kernel microcells: each `plt_core::kernels` primitive timed
+/// on both backends over deterministic synthetic inputs at two sizes.
+/// Each op folds its outputs into a checksum that must match across
+/// backends, so every timing doubles as an equivalence check.
+pub fn x14_kernel_cells(scale: Scale) -> Vec<KernelCell> {
+    use plt_core::kernels::{self, Backend};
+
+    let runs = scale.runs().max(3);
+    let reps = scale.pick(64, 512);
+    let mut cells = Vec::new();
+    for len in [4_096usize, 65_536] {
+        let deltas = synth_u32(len, 1, 7);
+        let counts: Vec<u64> = synth_u32(len, 2, 1_000)
+            .into_iter()
+            .map(u64::from)
+            .collect();
+        let ids: Vec<u32> = (0..len as u32).collect();
+        let words_a = synth_u64(len / 16, 3);
+        let words_b = synth_u64(len / 16, 4);
+
+        type KernelOp<'a> = (&'a str, usize, Box<dyn FnMut() -> u64>);
+        let mut ops: Vec<KernelOp<'_>> = Vec::new();
+        {
+            let deltas = deltas.clone();
+            let mut out = Vec::new();
+            ops.push((
+                "prefix_sum",
+                len,
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..reps {
+                        kernels::prefix_sum_into(&deltas, &mut out);
+                        acc = acc.wrapping_add(u64::from(*out.last().unwrap()));
+                    }
+                    acc
+                }),
+            ));
+        }
+        {
+            let counts = counts.clone();
+            let ids = ids.clone();
+            let mut kept = Vec::new();
+            ops.push((
+                "filter_ge",
+                len,
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..reps {
+                        kernels::filter_ge_into(&counts, &ids, 500, &mut kept);
+                        acc = acc.wrapping_add(kept.len() as u64);
+                    }
+                    acc
+                }),
+            ));
+        }
+        {
+            let counts = counts.clone();
+            let ids = ids.clone();
+            ops.push((
+                "count_ge",
+                len,
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..reps {
+                        acc = acc.wrapping_add(kernels::count_ge(&counts, &ids, 500) as u64);
+                    }
+                    acc
+                }),
+            ));
+        }
+        {
+            let counts = counts.clone();
+            let ids = ids.clone();
+            ops.push((
+                "sum_gather",
+                len,
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..reps {
+                        acc = acc.wrapping_add(kernels::sum_gather(&counts, &ids));
+                    }
+                    acc
+                }),
+            ));
+        }
+        {
+            let a = words_a.clone();
+            let b = words_b.clone();
+            ops.push((
+                "and_popcount",
+                len / 16,
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..reps {
+                        acc = acc.wrapping_add(kernels::and_popcount(&a, &b));
+                    }
+                    acc
+                }),
+            ));
+        }
+
+        for (kernel, cell_len, mut op) in ops {
+            kernels::set_thread_backend(Some(Backend::Scalar));
+            let (sum_scalar, t_scalar) = time_best(runs, &mut op);
+            kernels::set_thread_backend(Some(Backend::Simd));
+            let (sum_simd, t_simd) = time_best(runs, &mut op);
+            kernels::set_thread_backend(None);
+            assert_eq!(
+                sum_scalar, sum_simd,
+                "{kernel}[{cell_len}] backends disagree"
+            );
+            cells.push(KernelCell {
+                kernel: kernel.to_string(),
+                len: cell_len,
+                scalar_secs: t_scalar.as_secs_f64(),
+                simd_secs: t_simd.as_secs_f64(),
+            });
+        }
+    }
+    cells
+}
+
+/// X14 rendered as a table: two rows per dataset cell (arena pin, Eclat
+/// representation) then one row per kernel microcell.
+pub fn x14_table(cells: &[SimdCell], kernels: &[KernelCell]) -> Table {
+    let mut table = Table::new(
+        "X14: SIMD/bitset kernels — backend pin, Eclat representation, raw kernels",
+        &["cell", "|F|/len", "scalar", "simd", "speedup", "headline"],
+    );
+    for c in cells {
+        table.row(vec![
+            format!("{} arena", c.dataset),
+            c.itemsets.to_string(),
+            fmt_duration(Duration::from_secs_f64(c.arena_scalar_secs)),
+            fmt_duration(Duration::from_secs_f64(c.arena_simd_secs)),
+            format!("{:.2}x", c.arena_speedup()),
+            format!("{:.2}x", c.speedup()),
+        ]);
+        table.row(vec![
+            format!("{} eclat", c.dataset),
+            c.itemsets.to_string(),
+            fmt_duration(Duration::from_secs_f64(c.eclat_tidset_secs)),
+            fmt_duration(Duration::from_secs_f64(c.eclat_bitset_secs)),
+            format!("{:.2}x", c.eclat_speedup()),
+            String::new(),
+        ]);
+    }
+    for k in kernels {
+        table.row(vec![
+            k.kernel.clone(),
+            k.len.to_string(),
+            fmt_duration(Duration::from_secs_f64(k.scalar_secs)),
+            fmt_duration(Duration::from_secs_f64(k.simd_secs)),
+            format!("{:.2}x", k.speedup()),
+            String::new(),
+        ]);
+    }
+    table
+}
+
+/// X14 — SIMD kernel comparison (table form, for the binary).
+pub fn x14_simd_kernels(scale: Scale) -> Table {
+    x14_table(&x14_simd_cells(scale), &x14_kernel_cells(scale))
+}
+
+/// Machine-readable record of an X14 run (the committed
+/// `BENCH_simd.json`). Hand-rolled JSON, same as [`x12_json`].
+pub fn x14_json(cells: &[SimdCell], kernels: &[KernelCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x14_simd_kernels\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"min_sup\": {}, \"itemsets\": {}, \
+             \"arena_scalar_secs\": {:.6}, \"arena_simd_secs\": {:.6}, \
+             \"arena_speedup\": {:.3}, \"eclat_tidset_secs\": {:.6}, \
+             \"eclat_bitset_secs\": {:.6}, \"eclat_speedup\": {:.3}, \
+             \"speedup\": {:.3}, \"kernel\": {{\"simd_calls\": {}, \
+             \"scalar_calls\": {}, \"bitmap_intersections\": {}}}}}{}\n",
+            c.dataset,
+            c.min_sup,
+            c.itemsets,
+            c.arena_scalar_secs,
+            c.arena_simd_secs,
+            c.arena_speedup(),
+            c.eclat_tidset_secs,
+            c.eclat_bitset_secs,
+            c.eclat_speedup(),
+            c.speedup(),
+            c.simd_calls,
+            c.scalar_calls,
+            c.bitmap_intersections,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"len\": {}, \"scalar_secs\": {:.6}, \
+             \"simd_secs\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            k.kernel,
+            k.len,
+            k.scalar_secs,
+            k.simd_secs,
+            k.speedup(),
+            if i + 1 < kernels.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -1278,6 +1706,8 @@ mod tests {
         }
         let json = x12_json(&cells, Scale::Quick);
         assert!(json.contains("\"experiment\": \"x12_engine_compare\""));
+        assert!(json.contains("\"bench_meta\""));
+        assert!(json.contains("\"rustc\""));
         assert_eq!(json.matches("\"dataset\"").count(), 5);
         assert_eq!(json.matches("\"vectors_folded\"").count(), 5);
         assert_eq!(json.matches("\"construct_rank_secs\"").count(), 5);
@@ -1309,6 +1739,7 @@ mod tests {
         }
         let json = x13_json(&cells, Scale::Quick);
         assert!(json.contains("\"experiment\": \"x13_incremental\""));
+        assert!(json.contains("\"bench_meta\""));
         assert_eq!(json.matches("\"dataset\"").count(), 4);
         assert_eq!(json.matches("\"speedup\"").count(), 4);
         assert_eq!(x13_table(&cells).num_rows(), 4);
@@ -1333,9 +1764,51 @@ mod tests {
         }
         let json = x15_json(&cells, Scale::Quick);
         assert!(json.contains("\"experiment\": \"x15_storage\""));
+        assert!(json.contains("\"bench_meta\""));
         assert_eq!(json.matches("\"dataset\"").count(), 2);
         assert_eq!(json.matches("\"recovery_wal_secs\"").count(), 2);
         assert_eq!(x15_table(&cells).num_rows(), 2);
+    }
+
+    #[test]
+    fn x14_kernels_agree_and_emit_json() {
+        let cells = x14_simd_cells(Scale::Quick);
+        // 3 datasets; cross-backend and cross-representation agreement
+        // is asserted inside the cell builder itself.
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(c.itemsets > 0, "empty family on {}", c.dataset);
+            assert!(c.arena_scalar_secs > 0.0 && c.arena_simd_secs > 0.0);
+            assert!(c.eclat_tidset_secs > 0.0 && c.eclat_bitset_secs > 0.0);
+            assert!(
+                c.simd_calls + c.scalar_calls > 0,
+                "no kernel dispatches recorded on {}",
+                c.dataset
+            );
+            assert!(
+                c.bitmap_intersections > 0,
+                "bitset Eclat must join through the bitmap kernels on {}",
+                c.dataset
+            );
+            // Without the `simd` feature every dispatch must be scalar.
+            if !plt_core::kernels::simd_available() {
+                assert_eq!(c.simd_calls, 0, "phantom SIMD calls on {}", c.dataset);
+            }
+        }
+        let kernels = x14_kernel_cells(Scale::Quick);
+        // 5 primitives x 2 sizes; checksums compared inside the builder.
+        assert_eq!(kernels.len(), 10);
+        for k in &kernels {
+            assert!(k.scalar_secs > 0.0 && k.simd_secs > 0.0, "{}", k.kernel);
+        }
+        let json = x14_json(&cells, &kernels, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x14_simd_kernels\""));
+        assert!(json.contains("\"bench_meta\""));
+        assert_eq!(json.matches("\"dataset\"").count(), 3);
+        assert_eq!(json.matches("\"arena_speedup\"").count(), 3);
+        assert_eq!(json.matches("\"bitmap_intersections\"").count(), 3);
+        assert_eq!(json.matches("\"kernel\":").count(), 13); // 3 nested + 10 micro
+        assert_eq!(x14_table(&cells, &kernels).num_rows(), 3 * 2 + 10);
     }
 
     #[test]

@@ -125,6 +125,58 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Provenance block stamped into every machine-readable benchmark record
+/// (`BENCH_*.json`): the commit and toolchain that produced the numbers,
+/// the host CPU, and whether the SIMD backend was compiled in and live at
+/// run time. Returned as one hand-rolled JSON object (the workspace is
+/// dependency-free by design) for the `xNN_json` emitters to splice in
+/// under a `"bench_meta"` key.
+pub fn bench_meta_json() -> String {
+    format!(
+        "{{\"git_commit\": \"{}\", \"rustc\": \"{}\", \"cpu\": \"{}\", \
+         \"simd_compiled\": {}, \"simd_available\": {}}}",
+        json_escape(&command_line("git", &["rev-parse", "--short=12", "HEAD"])),
+        json_escape(&command_line("rustc", &["--version"])),
+        json_escape(&cpu_model()),
+        plt_core::kernels::simd_compiled(),
+        plt_core::kernels::simd_available(),
+    )
+}
+
+/// One line of a subprocess's stdout, or `"unknown"` if the tool is
+/// missing, fails, or prints nothing (benchmarks may run from an
+/// exported tarball with no `.git`).
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The host CPU model from `/proc/cpuinfo`, or `"unknown"` off Linux.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Minimal JSON string escaping for the metadata fields.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Why a `--json-out` write failed: which step, on which path.
 #[derive(Debug)]
 pub enum JsonOutError {
@@ -273,6 +325,34 @@ mod tests {
         assert!(matches!(err, JsonOutError::Write { .. }), "{err:?}");
         assert!(err.to_string().contains("cannot write"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_meta_carries_provenance_fields() {
+        let meta = bench_meta_json();
+        for key in [
+            "\"git_commit\"",
+            "\"rustc\"",
+            "\"cpu\"",
+            "\"simd_compiled\"",
+            "\"simd_available\"",
+        ] {
+            assert!(meta.contains(key), "missing {key} in {meta}");
+        }
+        // The flags must reflect the build: without the `simd` feature
+        // both are necessarily false; with it, availability never
+        // exceeds compilation.
+        assert!(meta.starts_with('{') && meta.trim_end().ends_with('}'));
+        if !plt_core::kernels::simd_compiled() {
+            assert!(meta.contains("\"simd_compiled\": false"));
+            assert!(meta.contains("\"simd_available\": false"));
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("plain"), "plain");
     }
 
     #[test]

@@ -108,6 +108,41 @@ impl Engine {
     }
 }
 
+/// Kernel backend for the data-parallel primitives (`mine` subcommand;
+/// applies to every algorithm that routes through the kernel layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Runtime detection: AVX2 when compiled in and available, scalar
+    /// otherwise — the default.
+    #[default]
+    Auto,
+    /// Force the SIMD backend (silently degrades to scalar when the
+    /// build or CPU lacks it).
+    Simd,
+    /// Force the scalar backend.
+    Scalar,
+}
+
+impl Kernel {
+    /// Canonical name, as accepted by `--kernel` and emitted in metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Auto => "auto",
+            Kernel::Simd => "simd",
+            Kernel::Scalar => "scalar",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Kernel> {
+        Some(match s {
+            "auto" => Kernel::Auto,
+            "simd" => Kernel::Simd,
+            "scalar" => Kernel::Scalar,
+            _ => return None,
+        })
+    }
+}
+
 /// Condensation applied to `mine` output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Condense {
@@ -163,6 +198,8 @@ pub enum Command {
         algo: Algo,
         /// Conditional-mining engine (PLT algorithms only).
         engine: Engine,
+        /// Kernel backend for the data-parallel primitives.
+        kernel: Kernel,
         /// Condensation filter.
         condense: Condense,
         /// Print at most this many itemsets.
@@ -312,7 +349,8 @@ usage:
   plt-mine mine  --input <file.dat> --min-sup <frac|count>
                  [--algo conditional|topdown|parallel|apriori|fp-growth|
                   eclat|declat|h-mine|ais|partition|dic]
-                 [--engine arena|map] [--closed | --maximal] [--limit N]
+                 [--engine arena|map] [--kernel auto|simd|scalar]
+                 [--closed | --maximal] [--limit N]
                  [--metrics-json <out.json>]
   plt-mine rules --input <file.dat> --min-sup <frac|count> --min-conf <frac>
                  [--top N]
@@ -400,6 +438,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "mine" => {
             let (mut input, mut min_sup, mut algo) = (None, None, Algo::default());
             let mut engine = Engine::default();
+            let mut kernel = Kernel::default();
             let mut condense = Condense::default();
             let mut limit = None;
             let mut metrics_json = None;
@@ -416,6 +455,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         let v = cur.value(flag)?;
                         engine = Engine::from_str(v)
                             .ok_or_else(|| ParseError(format!("unknown engine {v:?}")))?;
+                    }
+                    "--kernel" => {
+                        let v = cur.value(flag)?;
+                        kernel = Kernel::from_str(v)
+                            .ok_or_else(|| ParseError(format!("unknown kernel {v:?}")))?;
                     }
                     "--closed" => condense = Condense::Closed,
                     "--maximal" => condense = Condense::Maximal,
@@ -434,6 +478,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 min_sup: min_sup.ok_or(ParseError("mine requires --min-sup".into()))?,
                 algo,
                 engine,
+                kernel,
                 condense,
                 limit,
                 metrics_json,
@@ -759,11 +804,46 @@ mod tests {
                 min_sup: MinSup::Relative(0.01),
                 algo: Algo::Conditional,
                 engine: Engine::Arena,
+                kernel: Kernel::Auto,
                 condense: Condense::All,
                 limit: None,
                 metrics_json: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_kernel_flag() {
+        for (name, kernel) in [
+            ("auto", Kernel::Auto),
+            ("simd", Kernel::Simd),
+            ("scalar", Kernel::Scalar),
+        ] {
+            let c = parse(&argv(&[
+                "mine",
+                "--input",
+                "x",
+                "--min-sup",
+                "2",
+                "--kernel",
+                name,
+            ]))
+            .unwrap();
+            match c {
+                Command::Mine { kernel: k, .. } => assert_eq!(k, kernel, "{name}"),
+                _ => panic!(),
+            }
+        }
+        assert!(parse(&argv(&[
+            "mine",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--kernel",
+            "avx512",
+        ]))
+        .is_err());
     }
 
     #[test]

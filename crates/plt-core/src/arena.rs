@@ -1,4 +1,4 @@
-//! Arena-backed, allocation-free conditional mining (`DESIGN.md` §6).
+//! Arena-backed, allocation-free conditional mining (`DESIGN.md` §6, §11).
 //!
 //! The map-based engine in [`crate::conditional`] is a literal rendering of
 //! Algorithm 3: a `BTreeMap<Rank, FxHashMap<PositionVector, Support>>` of
@@ -9,28 +9,36 @@
 //! extraction a lookup, not a rebuild:
 //!
 //! * a (conditional) database is **one contiguous position buffer**
-//!   (`Vec<Rank>`) plus packed `(offset, len, freq, sum)` entries — no
-//!   per-vector allocation, no hashing;
+//!   (`Vec<Rank>`) plus packed per-entry columns — no per-vector
+//!   allocation, no hashing;
+//! * entries are stored **SoA-style** (`offsets` / `lens` / `freqs` /
+//!   `sums` as four parallel arrays rather than an array of structs), so
+//!   the data-parallel kernels load whole lanes of one field
+//!   contiguously — the bucket-drain support accumulation is a single
+//!   gathered sum over the `freqs` column;
 //! * sum-groups are **dense rank-indexed buckets** (`Vec<Vec<EntryId>>`
 //!   over `1..=max_rank`) instead of an ordered map — "for j = Max down
 //!   to 1" is a cursor walk, and Lemma 4.1.1 guarantees every entry sits
 //!   in the bucket of its last item's rank;
 //! * prefix fold-back ("a new vector is constructed by removing the last
 //!   position value and inserting this vector into the proper partition")
-//!   is an **O(1) re-tag**: shrink `len` by one, subtract the dropped
-//!   position from the cached `sum`, push the entry id into the bucket of
+//!   is an **O(1) re-tag**: shrink `lens` by one, subtract the dropped
+//!   position from the cached sum, push the entry id into the bucket of
 //!   the new sum. The map engine pays an allocation plus a hash insert for
 //!   the same step;
-//! * the two local scans of `Conditional_Construct` (count ranks, filter
-//!   and re-encode) run over per-depth **scratch buffers** — a rank-count
-//!   array reset in O(touched) and a kept-ranks buffer — held in a
-//!   recursion-level [`ArenaPool`], so steady-state mining performs zero
-//!   allocations: every buffer is reused across siblings at the same depth
-//!   and across successive mining calls on the same pool.
+//! * the two local scans of `Conditional_Construct` run over per-depth
+//!   **scratch buffers** held in a recursion-level [`ArenaPool`], so
+//!   steady-state mining performs zero allocations; the scans themselves
+//!   run through the [`crate::kernels`] layer — the Lemma 4.1.1 rank
+//!   recovery is a prefix-sum kernel, the locally-frequent filter is a
+//!   gathered compare — so they pick up the AVX2 backend when the `simd`
+//!   feature and the CPU allow, with the scalar path as the
+//!   always-available differential oracle.
 //!
 //! Equivalence with the map engine (same itemsets, same supports) is
-//! enforced by the property suites here, in `tests/arena_equivalence.rs`,
-//! and by the differential `CondEngine::Map` path kept on
+//! enforced by the property suites here, in `tests/arena_equivalence.rs`
+//! and `tests/kernel_equivalence.rs`, and by the differential
+//! `CondEngine::Map` path kept on
 //! [`ConditionalMiner`](crate::conditional::ConditionalMiner).
 
 use crate::item::{Itemset, Rank, Support};
@@ -38,6 +46,7 @@ use crate::miner::MiningResult;
 use crate::plt::Plt;
 use crate::posvec::PositionVector;
 use plt_obs::Obs;
+use plt_simd::KernelStats;
 
 /// Index of an entry within its [`Level`].
 type EntryId = u32;
@@ -45,7 +54,7 @@ type EntryId = u32;
 /// Engine counters accumulated by every arena mining call. Kept always-on
 /// (plain `u64` adds are far below measurement noise) so the numbers exist
 /// whether or not an observability recorder is installed; [`MineStats::record`]
-/// flushes them into a recorder under the `arena.*` names.
+/// flushes them into a recorder under the `arena.*` and `kernel.*` names.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MineStats {
     /// Prefix fold-backs performed in the bucket drains (the O(1) re-tags).
@@ -57,9 +66,17 @@ pub struct MineStats {
     pub copy_throughs: u64,
     /// Single-entry databases emitted via the subset shortcut.
     pub single_path_shortcuts: u64,
-    /// Peak bytes held across the pool's level storage (positions, entries,
-    /// scratch, dedup table; excludes per-bucket spine capacity).
+    /// Peak bytes held across the pool's level storage (positions, entry
+    /// columns, scratch, dedup table; excludes per-bucket spine capacity).
     pub bytes_peak: u64,
+    /// Kernel calls dispatched to the SIMD backend during mining.
+    pub simd_calls: u64,
+    /// Kernel calls dispatched to the scalar backend during mining.
+    pub scalar_calls: u64,
+    /// Bitset AND/ANDNOT intersections run through the kernel layer on
+    /// this thread while mining (zero for the arena itself; populated
+    /// when bitmap-backed baselines share the counters).
+    pub bitmap_intersections: u64,
 }
 
 impl MineStats {
@@ -71,43 +88,46 @@ impl MineStats {
         self.copy_throughs += other.copy_throughs;
         self.single_path_shortcuts += other.single_path_shortcuts;
         self.bytes_peak = self.bytes_peak.max(other.bytes_peak);
+        self.simd_calls += other.simd_calls;
+        self.scalar_calls += other.scalar_calls;
+        self.bitmap_intersections += other.bitmap_intersections;
     }
 
     /// Flushes the counters into an observability recorder under the
-    /// `arena.*` names (`bytes_peak` as a gauge, the rest as counters).
+    /// `arena.*` and `kernel.*` names (`bytes_peak` as a gauge, the rest
+    /// as counters).
     pub fn record(&self, obs: &mut Obs) {
         obs.counter("arena.vectors_folded", self.vectors_folded);
         obs.counter("arena.dedup_hits", self.dedup_hits);
         obs.counter("arena.copy_throughs", self.copy_throughs);
         obs.counter("arena.single_path_shortcuts", self.single_path_shortcuts);
         obs.gauge("arena.bytes_peak", self.bytes_peak);
+        obs.counter("kernel.simd_calls", self.simd_calls);
+        obs.counter("kernel.scalar_calls", self.scalar_calls);
+        obs.counter("kernel.bitmap_intersections", self.bitmap_intersections);
     }
-}
-
-/// One packed conditional-database entry: a window into the level's
-/// position buffer plus its frequency and cached position sum (Lemma
-/// 4.1.1: the sum is the rank of the last item still encoded).
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    /// Start of the entry's positions in [`Level::positions`].
-    offset: u32,
-    /// Current number of live positions (fold-back shrinks this).
-    len: u32,
-    /// Transactions supporting this vector.
-    freq: Support,
-    /// Cached sum of the live positions.
-    sum: Rank,
 }
 
 /// One recursion depth's working storage. A level is built by its parent
 /// (or from the PLT at depth 0), mined to exhaustion, and then reused by
 /// the next sibling conditional database at the same depth.
+///
+/// Entry storage is SoA: the packed `(offset, len, freq, sum)` of the old
+/// layout lives in four parallel columns indexed by [`EntryId`], so the
+/// kernels gather one field across many entries from contiguous memory.
 #[derive(Debug, Default)]
 struct Level {
     /// Contiguous position storage for every entry of this level.
     positions: Vec<Rank>,
-    /// Packed entries windowing into `positions`.
-    entries: Vec<Entry>,
+    /// Column: start of each entry's positions in `positions`.
+    offsets: Vec<u32>,
+    /// Column: current number of live positions (fold-back shrinks this).
+    lens: Vec<u32>,
+    /// Column: transactions supporting each vector. Contiguous so the
+    /// bucket-drain support accumulation is one gathered-sum kernel call.
+    freqs: Vec<Support>,
+    /// Column: cached sum of each entry's live positions.
+    sums: Vec<Rank>,
     /// `buckets[s]` holds the ids of entries whose *current* sum is `s`
     /// (index 0 unused). Entries move strictly downwards as they shrink,
     /// so a bucket is complete by the time the descending cursor reaches
@@ -122,6 +142,10 @@ struct Level {
     touched: Vec<Rank>,
     /// Scratch: locally frequent ranks of the entry being re-encoded.
     kept: Vec<Rank>,
+    /// Scratch: decoded (prefix-summed) ranks of the window being scanned.
+    ranks: Vec<Rank>,
+    /// Scratch: re-deltaed positions of the entry being appended.
+    enc: Vec<Rank>,
     /// Scratch: ids of the entries forming the conditional database of
     /// the bucket currently being peeled.
     cond: Vec<EntryId>,
@@ -164,46 +188,50 @@ impl Level {
     /// already empty: mining drains every bucket it fills.
     fn reset(&mut self) {
         self.positions.clear();
-        self.entries.clear();
+        self.offsets.clear();
+        self.lens.clear();
+        self.freqs.clear();
+        self.sums.clear();
         self.max_sum = 0;
         debug_assert!(self.buckets.iter().all(Vec::is_empty));
         debug_assert!(self.counts.iter().all(|&c| c == 0));
     }
 
+    /// Number of live entries.
+    fn num_entries(&self) -> usize {
+        self.offsets.len()
+    }
+
     /// Appends an entry encoding the strictly increasing rank sequence
-    /// `ranks` (re-deltaed per Definition 4.1.2). If the ranks equal those
-    /// of the previously appended entry, the frequencies merge instead —
-    /// a free partial dedup that catches runs of identical prefixes.
+    /// `ranks` (re-deltaed per Definition 4.1.2 through the encode
+    /// kernel). If the ranks equal those of the previously appended
+    /// entry, the frequencies merge instead — a free partial dedup that
+    /// catches runs of identical prefixes.
     fn push_ranks(&mut self, ranks: &[Rank], freq: Support) {
         debug_assert!(!ranks.is_empty());
         let sum = *ranks.last().expect("non-empty ranks");
-        if let Some(last) = self.entries.last_mut() {
-            if last.sum == sum && last.len as usize == ranks.len() {
-                let start = last.offset as usize;
-                let prev = &self.positions[start..start + last.len as usize];
+        if let Some(last) = self.num_entries().checked_sub(1) {
+            if self.sums[last] == sum && self.lens[last] as usize == ranks.len() {
+                let start = self.offsets[last] as usize;
+                let prev = &self.positions[start..start + ranks.len()];
                 let mut acc = 0;
                 if prev.iter().zip(ranks).all(|(&p, &r)| {
                     acc += p;
                     acc == r
                 }) {
-                    last.freq += freq;
+                    self.freqs[last] += freq;
                     return;
                 }
             }
         }
         let offset = self.positions.len() as u32;
-        let mut prev = 0;
-        for &r in ranks {
-            self.positions.push(r - prev);
-            prev = r;
-        }
-        let id = self.entries.len() as EntryId;
-        self.entries.push(Entry {
-            offset,
-            len: ranks.len() as u32,
-            freq,
-            sum,
-        });
+        plt_simd::delta_encode_into(ranks, &mut self.enc);
+        self.positions.extend_from_slice(&self.enc);
+        let id = self.num_entries() as EntryId;
+        self.offsets.push(offset);
+        self.lens.push(ranks.len() as u32);
+        self.freqs.push(freq);
+        self.sums.push(sum);
         self.buckets[sum as usize].push(id);
         self.max_sum = self.max_sum.max(sum);
     }
@@ -231,9 +259,9 @@ impl Level {
         let mask = cap - 1;
         for (v, id) in old {
             if v == self.dedup_version {
-                let e = &self.entries[id as usize];
-                let h =
-                    hash_window(&self.positions[e.offset as usize..(e.offset + e.len) as usize]);
+                let o = self.offsets[id as usize] as usize;
+                let l = self.lens[id as usize] as usize;
+                let h = hash_window(&self.positions[o..o + l]);
                 let mut i = h as usize & mask;
                 while self.dedup[i].0 == self.dedup_version {
                     i = (i + 1) & mask;
@@ -243,15 +271,16 @@ impl Level {
         }
     }
 
-    /// Looks up a live entry with the same content as `entries[id]`,
+    /// Looks up a live entry with the same content as entry `id`,
     /// recording `id` in the table if there is none. Returns the
     /// already-present duplicate on a hit.
     fn dedup_entry(&mut self, id: EntryId) -> Option<EntryId> {
         debug_assert!(!self.dedup.is_empty());
         let mask = self.dedup.len() - 1;
-        let e = self.entries[id as usize];
-        let window = |o: &Entry| &self.positions[o.offset as usize..(o.offset + o.len) as usize];
-        let h = hash_window(window(&e));
+        let eo = self.offsets[id as usize] as usize;
+        let el = self.lens[id as usize] as usize;
+        let esum = self.sums[id as usize];
+        let h = hash_window(&self.positions[eo..eo + el]);
         let mut i = h as usize & mask;
         loop {
             let (v, other) = self.dedup[i];
@@ -260,9 +289,12 @@ impl Level {
                 self.dedup_len += 1;
                 return None;
             }
-            let o = self.entries[other as usize];
-            if o.len == e.len && o.sum == e.sum && window(&o) == window(&e) {
-                return Some(other);
+            let ou = other as usize;
+            if self.lens[ou] as usize == el && self.sums[ou] == esum {
+                let oo = self.offsets[ou] as usize;
+                if self.positions[oo..oo + el] == self.positions[eo..eo + el] {
+                    return Some(other);
+                }
             }
             i = (i + 1) & mask;
         }
@@ -275,13 +307,11 @@ impl Level {
         debug_assert_eq!(positions.iter().sum::<Rank>(), sum);
         let offset = self.positions.len() as u32;
         self.positions.extend_from_slice(positions);
-        let id = self.entries.len() as EntryId;
-        self.entries.push(Entry {
-            offset,
-            len: positions.len() as u32,
-            freq,
-            sum,
-        });
+        let id = self.num_entries() as EntryId;
+        self.offsets.push(offset);
+        self.lens.push(positions.len() as u32);
+        self.freqs.push(freq);
+        self.sums.push(sum);
         self.buckets[sum as usize].push(id);
         self.max_sum = self.max_sum.max(sum);
     }
@@ -347,6 +377,7 @@ impl ArenaPool {
     /// feeding the arena straight from the partition storage — no
     /// per-vector clone, no intermediate map.
     pub fn mine_plt(&mut self, plt: &Plt) -> MiningResult {
+        let kernels_before = KernelStats::snapshot_thread();
         let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
         let level = self.prepare(plt.ranking().len());
         for (v, e) in plt.iter() {
@@ -355,6 +386,7 @@ impl ArenaPool {
         let mut suffix = Vec::new();
         mine_or_shortcut(self, 0, plt, &mut suffix, &mut result);
         self.note_bytes_peak();
+        self.note_kernel_stats(kernels_before);
         result
     }
 
@@ -376,16 +408,30 @@ impl ArenaPool {
         let mut bytes = 0u64;
         for level in &self.levels {
             bytes += (level.positions.capacity() * std::mem::size_of::<Rank>()
-                + level.entries.capacity() * std::mem::size_of::<Entry>()
+                + level.offsets.capacity() * std::mem::size_of::<u32>()
+                + level.lens.capacity() * std::mem::size_of::<u32>()
+                + level.freqs.capacity() * std::mem::size_of::<Support>()
+                + level.sums.capacity() * std::mem::size_of::<Rank>()
                 + level.buckets.capacity() * std::mem::size_of::<Vec<EntryId>>()
                 + level.counts.capacity() * std::mem::size_of::<Support>()
                 + level.touched.capacity() * std::mem::size_of::<Rank>()
                 + level.kept.capacity() * std::mem::size_of::<Rank>()
+                + level.ranks.capacity() * std::mem::size_of::<Rank>()
+                + level.enc.capacity() * std::mem::size_of::<Rank>()
                 + level.cond.capacity() * std::mem::size_of::<EntryId>()
                 + level.dedup.capacity() * std::mem::size_of::<(u32, EntryId)>())
                 as u64;
         }
         self.stats.bytes_peak = self.stats.bytes_peak.max(bytes);
+    }
+
+    /// Folds the kernel-dispatch counters spent since `before` (on this
+    /// thread) into the pool's stats block.
+    fn note_kernel_stats(&mut self, before: KernelStats) {
+        let delta = KernelStats::snapshot_thread().since(&before);
+        self.stats.simd_calls += delta.simd_calls;
+        self.stats.scalar_calls += delta.scalar_calls;
+        self.stats.bitmap_intersections += delta.bitmap_intersections;
     }
 
     /// Mines a conditional database under a fixed suffix of global ranks —
@@ -405,34 +451,32 @@ impl ArenaPool {
     where
         I: Iterator<Item = (&'a [Rank], Support)> + Clone,
     {
+        let kernels_before = KernelStats::snapshot_thread();
         let mut result = MiningResult::new(plt.min_support(), plt.num_transactions());
         let min_support = plt.min_support();
         let level = self.prepare(plt.ranking().len());
 
-        // Scan 1 (local): rank frequencies within the conditional database.
+        // Scan 1 (local): rank frequencies within the conditional
+        // database. The Lemma 4.1.1 rank recovery runs through the
+        // prefix-sum kernel; the scatter-add over `counts` stays scalar
+        // (its writes are data-dependent).
         for (positions, freq) in conditional.clone() {
-            let mut acc = 0;
-            for &p in positions {
-                acc += p;
-                if level.counts[acc as usize] == 0 {
-                    level.touched.push(acc);
+            plt_simd::prefix_sum_into(positions, &mut level.ranks);
+            for &r in &level.ranks {
+                if level.counts[r as usize] == 0 {
+                    level.touched.push(r);
                 }
-                level.counts[acc as usize] += freq;
+                level.counts[r as usize] += freq;
             }
         }
 
-        // Scan 2 (local): filter infrequent ranks and re-encode survivors.
+        // Scan 2 (local): filter infrequent ranks (gathered-compare
+        // kernel) and re-encode survivors.
         for (positions, freq) in conditional {
-            let mut acc = 0;
+            plt_simd::prefix_sum_into(positions, &mut level.ranks);
             // Taken out so `push_ranks` can borrow the level mutably.
             let mut kept = std::mem::take(&mut level.kept);
-            kept.clear();
-            for &p in positions {
-                acc += p;
-                if level.counts[acc as usize] >= min_support {
-                    kept.push(acc);
-                }
-            }
+            plt_simd::filter_ge_into(&level.counts, &level.ranks, min_support, &mut kept);
             if !kept.is_empty() {
                 level.push_ranks(&kept, freq);
             }
@@ -446,6 +490,7 @@ impl ArenaPool {
         let mut sfx = suffix.to_vec();
         mine_or_shortcut(self, 0, plt, &mut sfx, &mut result);
         self.note_bytes_peak();
+        self.note_kernel_stats(kernels_before);
         result
     }
 }
@@ -460,7 +505,7 @@ fn mine_or_shortcut(
     result: &mut MiningResult,
 ) {
     let level = &pool.levels[depth];
-    if level.entries.len() == 1 && level.entries[0].len <= MAX_SINGLE_PATH {
+    if level.num_entries() == 1 && level.lens[0] <= MAX_SINGLE_PATH {
         pool.stats.single_path_shortcuts += 1;
         emit_single_path(&mut pool.levels[depth], plt, suffix, result);
     } else {
@@ -485,17 +530,14 @@ fn emit_single_path(
     suffix: &mut Vec<Rank>,
     result: &mut MiningResult,
 ) {
-    debug_assert_eq!(level.entries.len(), 1);
-    let e = level.entries[0];
+    debug_assert_eq!(level.num_entries(), 1);
+    let freq = level.freqs[0];
     // The entry is parked in its bucket; consume it so the level resets
     // clean for the next sibling.
-    level.buckets[e.sum as usize].clear();
-    let mut acc = 0;
-    level.kept.clear();
-    for &p in &level.positions[e.offset as usize..(e.offset + e.len) as usize] {
-        acc += p;
-        level.kept.push(acc);
-    }
+    level.buckets[level.sums[0] as usize].clear();
+    let off = level.offsets[0] as usize;
+    let len = level.lens[0] as usize;
+    plt_simd::prefix_sum_into(&level.positions[off..off + len], &mut level.kept);
     let k = level.kept.len();
     let base = suffix.len();
     for mask in 1u64..(1u64 << k) {
@@ -505,7 +547,7 @@ fn emit_single_path(
             }
         }
         let items = plt.ranking().items_for_ranks(suffix);
-        result.insert(Itemset::from_sorted(items), e.freq);
+        result.insert(Itemset::from_sorted(items), freq);
         suffix.truncate(base);
     }
 }
@@ -532,37 +574,42 @@ fn mine_level(
             continue;
         }
         // Peel bucket j: its entries are exactly the vectors whose last
-        // item has rank j (Lemma 4.1.1). Fold each prefix back with an
-        // O(1) re-tag and collect the survivors as CD_j.
-        // Folding merges duplicate prefixes as it goes: distinct vectors
-        // `[P, x]` and `[P, y]` both fold to `P`, and on dense data those
-        // duplicates compound through the recursion. The map engine merges
-        // them in its hash insert; the drain-scoped dedup table restores
-        // the same invariant (each bucket holds distinct vectors) at the
-        // same O(len)-per-entry cost, without allocating.
+        // item has rank j (Lemma 4.1.1). The extension's support is a
+        // branchless gathered sum over the contiguous `freqs` column —
+        // the SoA payoff — computed before the fold loop mutates
+        // anything (folding only merges frequencies *into* entries after
+        // their original value was already counted, so the pre-fold sum
+        // equals the old accumulate-as-you-drain total).
         let mut ids = std::mem::take(&mut level.buckets[j as usize]);
-        let mut support: Support = 0;
+        let support: Support = plt_simd::sum_gather(&level.freqs, &ids);
+        // Fold each prefix back with an O(1) re-tag and collect the
+        // survivors as CD_j. Folding merges duplicate prefixes as it
+        // goes: distinct vectors `[P, x]` and `[P, y]` both fold to `P`,
+        // and on dense data those duplicates compound through the
+        // recursion. The map engine merges them in its hash insert; the
+        // drain-scoped dedup table restores the same invariant (each
+        // bucket holds distinct vectors) at the same O(len)-per-entry
+        // cost, without allocating.
         let mut folded: u64 = 0;
         let mut dedup_hits: u64 = 0;
         level.dedup_reset();
         level.dedup_reserve(ids.len());
         level.cond.clear();
         for &id in &ids {
-            let entry = &mut level.entries[id as usize];
-            debug_assert_eq!(entry.sum, j);
-            support += entry.freq;
-            if entry.len > 1 {
-                let last = level.positions[(entry.offset + entry.len - 1) as usize];
-                entry.len -= 1;
-                entry.sum -= last;
+            let idu = id as usize;
+            debug_assert_eq!(level.sums[idu], j);
+            if level.lens[idu] > 1 {
+                let last = level.positions[(level.offsets[idu] + level.lens[idu] - 1) as usize];
+                level.lens[idu] -= 1;
+                level.sums[idu] -= last;
                 folded += 1;
                 match level.dedup_entry(id) {
                     Some(other) => {
                         dedup_hits += 1;
-                        level.entries[other as usize].freq += level.entries[id as usize].freq;
+                        level.freqs[other as usize] += level.freqs[idu];
                     }
                     None => {
-                        let sum = level.entries[id as usize].sum;
+                        let sum = level.sums[idu];
                         level.buckets[sum as usize].push(id);
                         level.cond.push(id);
                     }
@@ -603,7 +650,10 @@ fn mine_level(
 /// Builds `child` from the conditional entry ids staged in `parent.cond`
 /// (scan 1: count ranks; scan 2: filter and re-encode). Returns whether
 /// the child holds any entries. All work runs over the levels' scratch
-/// buffers; nothing is allocated once capacities are warm.
+/// buffers; nothing is allocated once capacities are warm. Both scans
+/// route their vectorizable halves through the kernel layer: rank
+/// recovery is the prefix-sum kernel, the all-locally-frequent test and
+/// the survivor filter are gathered compares.
 fn construct_child(
     parent: &mut Level,
     child: &mut Level,
@@ -614,14 +664,16 @@ fn construct_child(
     // Scan 1 (local): rank frequencies within CD_j. The prefix of entry
     // `id` is its *current* (already shrunk) position window.
     for &id in &parent.cond {
-        let e = parent.entries[id as usize];
-        let mut acc = 0;
-        for &p in &parent.positions[e.offset as usize..(e.offset + e.len) as usize] {
-            acc += p;
-            if parent.counts[acc as usize] == 0 {
-                parent.touched.push(acc);
+        let idu = id as usize;
+        let o = parent.offsets[idu] as usize;
+        let l = parent.lens[idu] as usize;
+        let freq = parent.freqs[idu];
+        plt_simd::prefix_sum_into(&parent.positions[o..o + l], &mut parent.ranks);
+        for &r in &parent.ranks {
+            if parent.counts[r as usize] == 0 {
+                parent.touched.push(r);
             }
-            parent.counts[acc as usize] += e.freq;
+            parent.counts[r as usize] += freq;
         }
     }
     // Scan 2 (local): drop locally infrequent ranks, re-delta the rest.
@@ -630,33 +682,29 @@ fn construct_child(
     // a raw slice with no per-position branching. Entries in `cond` are
     // distinct (the drain merged duplicates), so the copy needs no
     // dedup.
-    let all_frequent = parent
-        .touched
-        .iter()
-        .all(|&r| parent.counts[r as usize] >= min_support);
+    let all_frequent =
+        plt_simd::count_ge(&parent.counts, &parent.touched, min_support) == parent.touched.len();
     if all_frequent {
         stats.copy_throughs += parent.cond.len() as u64;
         for &id in &parent.cond {
-            let e = parent.entries[id as usize];
+            let idu = id as usize;
+            let o = parent.offsets[idu] as usize;
+            let l = parent.lens[idu] as usize;
             child.push_positions(
-                &parent.positions[e.offset as usize..(e.offset + e.len) as usize],
-                e.freq,
-                e.sum,
+                &parent.positions[o..o + l],
+                parent.freqs[idu],
+                parent.sums[idu],
             );
         }
     } else {
         for &id in &parent.cond {
-            let e = parent.entries[id as usize];
-            parent.kept.clear();
-            let mut acc = 0;
-            for &p in &parent.positions[e.offset as usize..(e.offset + e.len) as usize] {
-                acc += p;
-                if parent.counts[acc as usize] >= min_support {
-                    parent.kept.push(acc);
-                }
-            }
+            let idu = id as usize;
+            let o = parent.offsets[idu] as usize;
+            let l = parent.lens[idu] as usize;
+            plt_simd::prefix_sum_into(&parent.positions[o..o + l], &mut parent.ranks);
+            plt_simd::filter_ge_into(&parent.counts, &parent.ranks, min_support, &mut parent.kept);
             if !parent.kept.is_empty() {
-                child.push_ranks(&parent.kept, e.freq);
+                child.push_ranks(&parent.kept, parent.freqs[idu]);
             }
         }
     }
@@ -665,7 +713,7 @@ fn construct_child(
         parent.counts[r as usize] = 0;
     }
     parent.touched.clear();
-    !child.entries.is_empty()
+    child.num_entries() > 0
 }
 
 /// One-shot arena mining of a PLT with a throwaway pool. Callers mining
@@ -769,6 +817,8 @@ mod tests {
         let stats = *pool.stats();
         assert!(stats.vectors_folded > 0, "{stats:?}");
         assert!(stats.bytes_peak > 0, "{stats:?}");
+        // Every kernel call during the mine landed on exactly one backend.
+        assert!(stats.simd_calls + stats.scalar_calls > 0, "{stats:?}");
         // Taking hands the counters over and resets the pool's block.
         let taken = pool.take_stats();
         assert_eq!(taken, stats);
@@ -777,13 +827,18 @@ mod tests {
         let mut merged = taken;
         merged.merge(&taken);
         assert_eq!(merged.vectors_folded, 2 * taken.vectors_folded);
+        assert_eq!(merged.scalar_calls, 2 * taken.scalar_calls);
         assert_eq!(merged.bytes_peak, taken.bytes_peak);
-        // Recording flushes under the arena.* names.
+        // Recording flushes under the arena.* and kernel.* names.
         let mut rec = plt_obs::MetricsRecorder::new();
         taken.record(&mut Obs::new(&mut rec));
         assert_eq!(
             rec.counter_value("arena.vectors_folded"),
             taken.vectors_folded
+        );
+        assert_eq!(
+            rec.counter_value("kernel.simd_calls") + rec.counter_value("kernel.scalar_calls"),
+            taken.simd_calls + taken.scalar_calls
         );
         assert_eq!(rec.gauge_value("arena.bytes_peak"), taken.bytes_peak);
     }
@@ -806,6 +861,20 @@ mod tests {
         let r = mine_plt_arena(&plt);
         assert_eq!(r.support(&[1, 2, 3]), Some(5));
         assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn forced_backends_agree() {
+        // The same pool, mined under each forced backend, must produce
+        // identical answers — the in-crate rendering of the differential
+        // suite in tests/kernel_equivalence.rs.
+        let plt = build(&table1(), 2);
+        plt_simd::set_thread_backend(Some(plt_simd::Backend::Scalar));
+        let scalar = mine_plt_arena(&plt);
+        plt_simd::set_thread_backend(Some(plt_simd::Backend::Simd));
+        let simd = mine_plt_arena(&plt);
+        plt_simd::set_thread_backend(None);
+        assert_eq!(scalar.sorted(), simd.sorted());
     }
 
     proptest! {

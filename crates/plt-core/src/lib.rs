@@ -59,6 +59,15 @@
 
 pub mod arena;
 pub mod conditional;
+/// Data-parallel kernel layer — re-export of the [`plt_simd`] crate.
+///
+/// The mining hot paths (arena scans, support accumulation, bitset
+/// intersection in the baselines) call these kernels; backend selection
+/// (`scalar` oracle vs the AVX2 path under the `simd` feature) and the
+/// dispatch counters live here. See `DESIGN.md` §11.
+pub mod kernels {
+    pub use plt_simd::*;
+}
 pub mod construct;
 pub mod error;
 pub mod hash;

@@ -111,11 +111,7 @@ impl PositionVector {
     /// Lemma 4.1.1: recover the rank sequence by prefix-summing.
     pub fn ranks(&self) -> Vec<Rank> {
         let mut out = Vec::with_capacity(self.0.len());
-        let mut acc = 0;
-        for &p in self.0.iter() {
-            acc += p;
-            out.push(acc);
-        }
+        plt_simd::prefix_sum_into(&self.0, &mut out);
         out
     }
 

@@ -8,6 +8,7 @@
 //! The generators are deterministic given a seed, so every experiment in
 //! `EXPERIMENTS.md` is exactly reproducible.
 
+pub mod bitset;
 pub mod catalog;
 pub mod fimi;
 pub mod gen;
@@ -15,6 +16,7 @@ pub mod stats;
 pub mod transaction;
 pub mod vertical;
 
+pub use bitset::BitsetTidDb;
 pub use catalog::ItemCatalog;
 pub use gen::basket::{BasketConfig, BasketGenerator};
 pub use gen::dense::{DenseConfig, DenseGenerator};

@@ -62,8 +62,23 @@ impl VerticalDb {
     }
 
     /// Sorted-merge intersection of two TID lists — the Eclat join.
+    ///
+    /// Allocates the result; hot loops should prefer
+    /// [`intersect_into`](VerticalDb::intersect_into) with a reused
+    /// scratch buffer.
     pub fn intersect(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
-        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let mut out = Vec::new();
+        VerticalDb::intersect_into(a, b, &mut out);
+        out
+    }
+
+    /// Sorted-merge intersection written into `out` (cleared first) —
+    /// the allocation-free Eclat join: callers thread one scratch buffer
+    /// through the whole equivalence-class recursion instead of paying a
+    /// `Vec` per candidate.
+    pub fn intersect_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
+        out.clear();
+        out.reserve(a.len().min(b.len()));
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
             match a[i].cmp(&b[j]) {
@@ -76,13 +91,23 @@ impl VerticalDb {
                 }
             }
         }
-        out
     }
 
     /// Sorted-merge difference `a \ b` — the diffset primitive
     /// (Zaki & Gouda, the paper's reference \[16\]).
+    ///
+    /// Allocates the result; hot loops should prefer
+    /// [`difference_into`](VerticalDb::difference_into).
     pub fn difference(a: &[Tid], b: &[Tid]) -> Vec<Tid> {
         let mut out = Vec::new();
+        VerticalDb::difference_into(a, b, &mut out);
+        out
+    }
+
+    /// Sorted-merge difference written into `out` (cleared first) — the
+    /// allocation-free diffset primitive.
+    pub fn difference_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
+        out.clear();
         let (mut i, mut j) = (0, 0);
         while i < a.len() {
             if j >= b.len() || a[i] < b[j] {
@@ -95,7 +120,6 @@ impl VerticalDb {
                 j += 1;
             }
         }
-        out
     }
 }
 

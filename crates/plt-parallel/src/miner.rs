@@ -32,6 +32,11 @@ pub struct ParallelPltMiner {
     pub rank_policy: RankPolicy,
     /// Working-set layout for the per-item conditional miners.
     pub engine: CondEngine,
+    /// Kernel backend pinned onto every worker for the duration of its
+    /// fold (`None` = inherit the process-global/auto selection). Pinning
+    /// happens once per worker fold state, so the per-call dispatch in
+    /// the hot loops reads a warm thread-local.
+    pub kernel: Option<plt_simd::Backend>,
 }
 
 impl ParallelPltMiner {
@@ -42,7 +47,7 @@ impl ParallelPltMiner {
     pub fn with_policy(rank_policy: RankPolicy) -> Self {
         ParallelPltMiner {
             rank_policy,
-            engine: CondEngine::default(),
+            ..Default::default()
         }
     }
 
@@ -52,9 +57,15 @@ impl ParallelPltMiner {
     /// which configures every engine through one path.
     pub fn with_engine(engine: CondEngine) -> Self {
         ParallelPltMiner {
-            rank_policy: RankPolicy::default(),
             engine,
+            ..Default::default()
         }
+    }
+
+    /// The same miner with a pinned kernel backend (`None` = auto).
+    pub fn with_kernel(mut self, kernel: Option<plt_simd::Backend>) -> Self {
+        self.kernel = kernel;
+        self
     }
 }
 
@@ -67,15 +78,23 @@ impl plt_core::miner::Mine for ParallelPltMiner {
         let projections = obs.time("mine/project", || project_all(plt));
         let n = plt.ranking().len() as Rank;
         let engine = self.engine;
+        let kernel = self.kernel;
         let empty = || MiningResult::new(plt.min_support(), plt.num_transactions());
         let t0 = obs.start();
         let (result, stats) = (1..=n)
             .into_par_iter()
             // Per-worker fold: the (pool, local-result) accumulator lives
             // on one worker for its whole run of items, so every item it
-            // mines reuses the same warmed arena storage.
+            // mines reuses the same warmed arena storage. The kernel
+            // backend is pinned (or unpinned) on the worker thread here,
+            // once per fold state rather than per kernel call; rayon
+            // workers persist across runs, so `None` must clear any pin a
+            // previous run left behind.
             .fold(
-                || (ArenaPool::new(), empty()),
+                || {
+                    plt_simd::set_thread_backend(kernel);
+                    (ArenaPool::new(), empty())
+                },
                 |(mut pool, mut local), j| {
                     let support = projections.support(j);
                     if support >= plt.min_support() {
@@ -203,6 +222,20 @@ mod tests {
         // per-worker arena counters must be non-zero.
         assert!(rec.counter_value("arena.vectors_folded") > 0);
         assert!(rec.gauge_value("arena.bytes_peak") > 0);
+    }
+
+    #[test]
+    fn pinned_kernel_backends_agree() {
+        // The same database mined with every worker pinned to each
+        // backend; answers must match (Simd degrades to Scalar when the
+        // CPU or build lacks it, so this is safe in every configuration).
+        let auto = ParallelPltMiner::default().mine(&table1(), 2);
+        for backend in [plt_simd::Backend::Scalar, plt_simd::Backend::Simd] {
+            let pinned = ParallelPltMiner::default()
+                .with_kernel(Some(backend))
+                .mine(&table1(), 2);
+            assert_eq!(pinned.sorted(), auto.sorted(), "{backend:?}");
+        }
     }
 
     #[test]

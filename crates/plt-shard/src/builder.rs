@@ -61,6 +61,7 @@ pub struct MinerBuilder {
     rank_policy: RankPolicy,
     min_support: Support,
     shard_count: usize,
+    kernel: Option<plt_core::kernels::Backend>,
 }
 
 impl Default for MinerBuilder {
@@ -71,6 +72,7 @@ impl Default for MinerBuilder {
             rank_policy: RankPolicy::Lexicographic,
             min_support: 2,
             shard_count: DEFAULT_SHARD_COUNT,
+            kernel: None,
         }
     }
 }
@@ -116,6 +118,14 @@ impl MinerBuilder {
         self
     }
 
+    /// Pins the kernel backend the parallel strategy's workers use
+    /// (`None` = inherit the process-global/auto selection). Sequential
+    /// strategies read the ambient selection and ignore this knob.
+    pub fn kernel(mut self, kernel: Option<plt_core::kernels::Backend>) -> MinerBuilder {
+        self.kernel = kernel;
+        self
+    }
+
     /// The PLT-level miner as a [`Mine`] trait object.
     pub fn build(&self) -> Box<dyn Mine> {
         match self.strategy {
@@ -134,6 +144,7 @@ impl MinerBuilder {
             MineStrategy::Parallel => Box::new(ParallelPltMiner {
                 rank_policy: self.rank_policy,
                 engine: self.engine,
+                kernel: self.kernel,
             }),
         }
     }
@@ -157,6 +168,7 @@ impl MinerBuilder {
             MineStrategy::Parallel => Box::new(ParallelPltMiner {
                 rank_policy: self.rank_policy,
                 engine: self.engine,
+                kernel: self.kernel,
             }),
         }
     }
