@@ -4,10 +4,10 @@
 //! ```text
 //! experiments [--exp <id>[,<id>…]] [--full] [--json-out <path>]
 //!
-//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x12 x13 x14 x15 paper all
+//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x12 x13 x14 x15 x16 paper all
 //!        (default: paper — the exhibits that come straight from the text)
 //!   --full: evaluation-scale workloads instead of the quick ones
-//!   --json-out: also write x12/x13/x14/x15's machine-readable record to this path
+//!   --json-out: also write x12/x13/x14/x15/x16's machine-readable record to this path
 //! ```
 
 use std::io::Write;
@@ -17,6 +17,17 @@ use plt_bench::figures;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden helper mode: X16's idle-connection herd runs in a child
+    // process so its sockets draw on a separate fd budget.
+    #[cfg(target_os = "linux")]
+    if args.first().map(String::as_str) == Some("--x16-herd") {
+        let addr = args.get(1).unwrap_or_else(|| usage("missing herd addr"));
+        let count: usize = args
+            .get(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage("missing herd count"));
+        experiments::x16_idle_herd_child(addr, count);
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut json_out: Option<String> = None;
@@ -56,7 +67,7 @@ fn main() {
             "all" => expanded.extend(
                 [
                     "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6", "x7",
-                    "x8", "x9", "x10", "x12", "x13", "x14", "x15",
+                    "x8", "x9", "x10", "x12", "x13", "x14", "x15", "x16",
                 ]
                 .map(str::to_owned),
             ),
@@ -74,7 +85,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [--exp t1|f1..f5|x1..x10|x12..x15|paper|all[,..]] [--full] \
+        "usage: experiments [--exp t1|f1..f5|x1..x10|x12..x16|paper|all[,..]] [--full] \
          [--json-out <path>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -164,6 +175,20 @@ fn run_one(out: &mut impl Write, id: &str, scale: Scale, json_out: Option<&str>)
             writeln!(out, "{}", experiments::x15_table(&cells)).unwrap();
             if let Some(path) = json_out {
                 let json = experiments::x15_json(&cells, scale);
+                match plt_bench::write_json_out(path, &json) {
+                    Ok(()) => writeln!(out, "wrote {path}").unwrap(),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "x16" => {
+            let cells = experiments::x16_serve_cells(scale);
+            writeln!(out, "{}", experiments::x16_table(&cells)).unwrap();
+            if let Some(path) = json_out {
+                let json = experiments::x16_json(&cells, scale);
                 match plt_bench::write_json_out(path, &json) {
                     Ok(()) => writeln!(out, "wrote {path}").unwrap(),
                     Err(e) => {

@@ -1635,6 +1635,528 @@ pub fn x14_json(cells: &[SimdCell], kernels: &[KernelCell], scale: Scale) -> Str
     s
 }
 
+/// One X16 load measurement: `clients` concurrent connections driving
+/// point queries through one serving model over real TCP sockets.
+#[derive(Debug, Clone)]
+pub struct ServeLoadCell {
+    /// Serving model, `threads` or `reactor`.
+    pub model: String,
+    /// Concurrent connections held open for the whole measurement.
+    pub clients: usize,
+    /// Total requests answered (every reply is asserted byte-identical
+    /// to the engine's local answer before it is counted).
+    pub ops: usize,
+    /// Wall time from the post-connect barrier to the last reply.
+    pub elapsed_secs: f64,
+    /// `ops / elapsed_secs`.
+    pub throughput: f64,
+    /// Median request latency (write of the frame to read of the reply).
+    pub p50_us: f64,
+    /// 99th-percentile request latency.
+    pub p99_us: f64,
+}
+
+/// The X16 idle-connection ceiling probe: how many open-but-silent
+/// connections one reactor holds while still answering an active client.
+#[derive(Debug, Clone)]
+pub struct IdleCell {
+    /// Connections the probe asked for.
+    pub target: usize,
+    /// Client-side sockets successfully connected and held.
+    pub opened: usize,
+    /// The server's own `reactor.active_connections` gauge at steady
+    /// state (includes the probe client's connection).
+    pub active_connections: u64,
+    /// Reactor threads serving the idle herd.
+    pub reactors: usize,
+    /// `RLIMIT_NOFILE` soft limit in effect during the probe.
+    pub nofile: u64,
+    /// Median latency of live queries issued while the herd is resident.
+    pub probe_p50_us: f64,
+    /// 99th-percentile latency of those same queries.
+    pub probe_p99_us: f64,
+}
+
+/// Everything X16 measures. `idle` is `None` off Linux, where the
+/// reactor model (and so the ceiling probe) does not exist.
+#[derive(Debug, Clone)]
+pub struct ServeCells {
+    /// Idle-connection ceiling (reactor only).
+    pub idle: Option<IdleCell>,
+    /// Throughput/latency grid: models x client counts.
+    pub load: Vec<ServeLoadCell>,
+}
+
+/// Raises the `RLIMIT_NOFILE` soft limit so the idle-connection probe
+/// can hold tens of thousands of sockets — each in-process connection
+/// costs two descriptors (client end + server end). Returns the soft
+/// limit in effect afterwards.
+#[cfg(target_os = "linux")]
+fn raise_nofile(want: u64) -> u64 {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 0;
+        }
+        if lim.cur >= want {
+            return lim.cur;
+        }
+        // Root may raise the hard limit too; ask for the full amount
+        // first, then settle for the existing hard cap.
+        let ask = Rlimit {
+            cur: want,
+            max: want.max(lim.max),
+        };
+        if setrlimit(RLIMIT_NOFILE, &ask) == 0 {
+            return want;
+        }
+        let capped = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if setrlimit(RLIMIT_NOFILE, &capped) == 0 {
+            return lim.max;
+        }
+        lim.cur
+    }
+}
+
+/// Connects with bounded retries: under a burst the listener's SYN
+/// queue can transiently refuse, which is load — not failure. `None`
+/// means the peer (or the fd budget) is genuinely exhausted.
+fn x16_try_connect(addr: std::net::SocketAddr, attempts: u64) -> Option<std::net::TcpStream> {
+    for attempt in 0..attempts {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return Some(s),
+            Err(_) => std::thread::sleep(Duration::from_millis(2 + attempt / 10)),
+        }
+    }
+    None
+}
+
+/// Connects with retries, panicking if the server never answers.
+fn x16_connect(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    x16_try_connect(addr, 200).expect("connect after retries")
+}
+
+/// Entry point for the `--x16-herd` helper process: connects `count`
+/// idle sockets to `addr`, reports `held <n>` on stdout, and keeps them
+/// open until stdin closes. The herd lives in its own process so its
+/// client-side fds come out of a separate `RLIMIT_NOFILE` budget — the
+/// measuring process only pays for the server ends.
+#[cfg(target_os = "linux")]
+pub fn x16_idle_herd_child(addr: &str, count: usize) -> ! {
+    use std::io::{BufRead, Write};
+
+    raise_nofile(count as u64 + 4_096);
+    let addr: std::net::SocketAddr = addr.parse().expect("herd addr");
+    let mut herd = Vec::with_capacity(count);
+    for _ in 0..count {
+        match x16_try_connect(addr, 200) {
+            Some(s) => herd.push(s),
+            None => break,
+        }
+    }
+    println!("held {}", herd.len());
+    std::io::stdout().flush().ok();
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    drop(herd);
+    std::process::exit(0);
+}
+
+/// Spawns the idle herd. Preferred path: re-exec the current binary
+/// with `--x16-herd` so the herd's fds live in a child process.
+/// Fallback (binary without the flag, spawn failure): hold the herd
+/// in-process, where each connection costs two fds from one budget.
+#[cfg(target_os = "linux")]
+fn x16_spawn_herd(
+    addr: std::net::SocketAddr,
+    count: usize,
+) -> (usize, Option<std::process::Child>, Vec<std::net::TcpStream>) {
+    use std::io::BufRead;
+    use std::process::{Command, Stdio};
+
+    if let Ok(exe) = std::env::current_exe() {
+        if let Ok(mut child) = Command::new(exe)
+            .arg("--x16-herd")
+            .arg(addr.to_string())
+            .arg(count.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+        {
+            let mut line = String::new();
+            if let Some(out) = child.stdout.take() {
+                let mut r = std::io::BufReader::new(out);
+                if r.read_line(&mut line).is_ok() {
+                    if let Some(n) = line
+                        .trim()
+                        .strip_prefix("held ")
+                        .and_then(|s| s.parse().ok())
+                    {
+                        return (n, Some(child), Vec::new());
+                    }
+                }
+            }
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    let mut herd = Vec::with_capacity(count);
+    for _ in 0..count {
+        match x16_try_connect(addr, 20) {
+            Some(s) => herd.push(s),
+            None => break,
+        }
+    }
+    (herd.len(), None, herd)
+}
+
+/// Reads one `<len>\n<payload>\n` reply frame off a buffered socket.
+fn x16_read_frame(r: &mut impl std::io::BufRead) -> std::io::Result<String> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    let len: usize = header.trim().parse().map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad reply header {header:?}"),
+        )
+    })?;
+    let mut payload = vec![0u8; len + 1];
+    std::io::Read::read_exact(r, &mut payload)?;
+    payload.pop();
+    String::from_utf8(payload)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "reply is not utf-8"))
+}
+
+/// `p`-th percentile of an ascending latency vector, in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Drives `clients` connections through `ops_per_conn` requests each,
+/// from a bounded worker pool (each worker keeps one request in flight
+/// per connection it owns — send-all-then-read-all per round). Every
+/// reply is asserted byte-identical to `expected`. Returns (elapsed
+/// seconds, per-request latencies in nanoseconds).
+fn x16_drive_load(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    ops_per_conn: usize,
+    payload: &str,
+    expected: &str,
+) -> (f64, Vec<u64>) {
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    let workers = clients.min(16).max(1);
+    let frame: Arc<Vec<u8>> = Arc::new(format!("{}\n{}\n", payload.len(), payload).into_bytes());
+    let barrier = Arc::new(Barrier::new(workers + 1));
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let count = clients / workers + usize::from(w < clients % workers);
+        let frame = Arc::clone(&frame);
+        let barrier = Arc::clone(&barrier);
+        let expected = expected.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(count);
+            for _ in 0..count {
+                let stream = x16_connect(addr);
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+                let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                conns.push((stream, reader));
+            }
+            barrier.wait();
+            let mut lat = Vec::with_capacity(count * ops_per_conn);
+            let mut starts = vec![std::time::Instant::now(); count];
+            for _ in 0..ops_per_conn {
+                for (i, (stream, _)) in conns.iter_mut().enumerate() {
+                    starts[i] = std::time::Instant::now();
+                    stream.write_all(&frame).expect("request write");
+                }
+                for (i, (_, reader)) in conns.iter_mut().enumerate() {
+                    let reply = x16_read_frame(reader).expect("reply read");
+                    lat.push(starts[i].elapsed().as_nanos() as u64);
+                    assert_eq!(reply, expected, "reply diverged under load");
+                }
+            }
+            lat
+        }));
+    }
+    barrier.wait();
+    let started = std::time::Instant::now();
+    let mut lat = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("load worker"));
+    }
+    (started.elapsed().as_secs_f64(), lat)
+}
+
+/// X16 — async serving: the epoll reactor vs the thread-per-connection
+/// model over real TCP sockets, plus the reactor's idle-connection
+/// ceiling. The snapshot is small on purpose: the engine answers in
+/// microseconds, so the transport and scheduling — not the miner — are
+/// what the numbers show. Every wire reply is asserted byte-identical
+/// to the engine's in-process answer before it is counted.
+pub fn x16_serve_cells(scale: Scale) -> ServeCells {
+    use plt_rules::RuleConfig;
+    use plt_serve::{serve, Engine, Request, ServerConfig, ServerModel, Snapshot};
+    use std::sync::Arc;
+
+    let db = datasets::sparse_small(2_000);
+    let min_sup = 2;
+    let result = ConditionalMiner::default().mine(&db, min_sup);
+    let build_engine = || {
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).expect("construct");
+        Arc::new(Engine::new(Snapshot::build(
+            1,
+            plt,
+            &result,
+            RuleConfig::default(),
+        )))
+    };
+
+    // Probe query: the highest-support itemset, answered from the index.
+    let probe_items: Vec<Item> = result
+        .iter()
+        .max_by_key(|&(_, support)| support)
+        .map(|(itemset, _)| itemset.items().to_vec())
+        .expect("frequent family");
+    let request = Request::Support {
+        items: probe_items.clone(),
+    };
+    let payload = request.to_json().to_string();
+    let expected = build_engine().handle(&request);
+
+    // Idle-connection ceiling first: it raises RLIMIT_NOFILE for
+    // everything after it.
+    #[cfg(target_os = "linux")]
+    let idle = {
+        let target = scale.pick(2_304, 10_500);
+        // The herd's client ends live in a child process with its own
+        // fd budget; this process only pays one fd per accepted socket.
+        let nofile = raise_nofile(target as u64 + 4_096);
+        let target = target.min(nofile.saturating_sub(2_048) as usize);
+        let reactors = 1;
+        let handle = serve(
+            "127.0.0.1:0",
+            build_engine(),
+            None,
+            ServerConfig {
+                server_model: ServerModel::Reactor,
+                reactors,
+                accept_backlog: 8_192,
+                max_connections: target + 64,
+                read_deadline: Some(Duration::from_secs(600)),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind idle server");
+        let (opened, mut herd_child, herd_local) = x16_spawn_herd(handle.addr(), target);
+        // One live client among the idle herd: wait until the reactor
+        // has registered everyone, then measure query latency with the
+        // full herd resident in the slab.
+        let mut probe = plt_serve::Client::connect(handle.addr()).expect("probe client");
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        let mut active_connections;
+        loop {
+            let stats = probe.stats().expect("stats under idle herd");
+            active_connections = stats
+                .get("reactor")
+                .and_then(|r| r.get("active_connections"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            if active_connections as usize > opened || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let mut lat = Vec::with_capacity(256);
+        for _ in 0..256 {
+            let started = std::time::Instant::now();
+            probe.support(&probe_items).expect("probe under idle herd");
+            lat.push(started.elapsed().as_nanos() as u64);
+        }
+        lat.sort_unstable();
+        let cell = IdleCell {
+            target,
+            opened,
+            active_connections,
+            reactors,
+            nofile,
+            probe_p50_us: percentile_us(&lat, 0.50),
+            probe_p99_us: percentile_us(&lat, 0.99),
+        };
+        drop(probe);
+        drop(herd_local);
+        if let Some(child) = herd_child.as_mut() {
+            drop(child.stdin.take());
+            let _ = child.wait();
+        }
+        handle.shutdown();
+        Some(cell)
+    };
+    #[cfg(not(target_os = "linux"))]
+    let idle: Option<IdleCell> = None;
+
+    // Throughput/latency grid: both models at each client count; the
+    // thread model is the reactor's differential oracle and baseline.
+    let client_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![32, 128],
+        Scale::Full => vec![64, 512, 4_096],
+    };
+    let total_ops = scale.pick(6_400, 65_536);
+    let models: Vec<ServerModel> = if cfg!(target_os = "linux") {
+        vec![ServerModel::Threads, ServerModel::Reactor]
+    } else {
+        vec![ServerModel::Threads]
+    };
+    let mut load = Vec::new();
+    for &clients in &client_counts {
+        for &model in &models {
+            let handle = serve(
+                "127.0.0.1:0",
+                build_engine(),
+                None,
+                ServerConfig {
+                    server_model: model,
+                    accept_backlog: 8_192,
+                    max_connections: clients * 2 + 64,
+                    read_deadline: Some(Duration::from_secs(120)),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind load server");
+            let ops_per_conn = (total_ops / clients).max(4);
+            let (elapsed, mut lat) =
+                x16_drive_load(handle.addr(), clients, ops_per_conn, &payload, &expected);
+            lat.sort_unstable();
+            load.push(ServeLoadCell {
+                model: model.as_str().to_string(),
+                clients,
+                ops: lat.len(),
+                elapsed_secs: elapsed,
+                throughput: lat.len() as f64 / elapsed,
+                p50_us: percentile_us(&lat, 0.50),
+                p99_us: percentile_us(&lat, 0.99),
+            });
+            handle.shutdown();
+        }
+    }
+
+    ServeCells { idle, load }
+}
+
+/// X16 rendered as a table.
+pub fn x16_table(cells: &ServeCells) -> Table {
+    let mut table = Table::new(
+        "X16: async serving — reactor vs thread-per-connection, idle ceiling",
+        &["model", "clients", "ops", "elapsed", "ops/s", "p50", "p99"],
+    );
+    if let Some(idle) = &cells.idle {
+        table.row(vec![
+            "reactor(idle)".into(),
+            idle.opened.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.1}us", idle.probe_p50_us),
+            format!("{:.1}us", idle.probe_p99_us),
+        ]);
+    }
+    for c in &cells.load {
+        table.row(vec![
+            c.model.clone(),
+            c.clients.to_string(),
+            c.ops.to_string(),
+            fmt_duration(Duration::from_secs_f64(c.elapsed_secs)),
+            format!("{:.0}", c.throughput),
+            format!("{:.1}us", c.p50_us),
+            format!("{:.1}us", c.p99_us),
+        ]);
+    }
+    table
+}
+
+/// X16 — async serving (table form, for the binary).
+pub fn x16_async_serve(scale: Scale) -> Table {
+    x16_table(&x16_serve_cells(scale))
+}
+
+/// Machine-readable record of an X16 run (the committed
+/// `BENCH_serve.json`). Hand-rolled JSON, same as [`x13_json`].
+pub fn x16_json(cells: &ServeCells, scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x16_async_serve\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    match &cells.idle {
+        Some(i) => s.push_str(&format!(
+            "  \"idle\": {{\"target\": {}, \"opened\": {}, \
+             \"active_connections\": {}, \"reactors\": {}, \"nofile\": {}, \
+             \"probe_p50_us\": {:.3}, \"probe_p99_us\": {:.3}}},\n",
+            i.target,
+            i.opened,
+            i.active_connections,
+            i.reactors,
+            i.nofile,
+            i.probe_p50_us,
+            i.probe_p99_us,
+        )),
+        None => s.push_str("  \"idle\": null,\n"),
+    }
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.load.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"clients\": {}, \"ops\": {}, \
+             \"elapsed_secs\": {:.6}, \"throughput_ops_s\": {:.1}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            c.model,
+            c.clients,
+            c.ops,
+            c.elapsed_secs,
+            c.throughput,
+            c.p50_us,
+            c.p99_us,
+            if i + 1 < cells.load.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1768,6 +2290,92 @@ mod tests {
         assert_eq!(json.matches("\"dataset\"").count(), 2);
         assert_eq!(json.matches("\"recovery_wal_secs\"").count(), 2);
         assert_eq!(x15_table(&cells).num_rows(), 2);
+    }
+
+    #[test]
+    fn x16_load_driver_agrees_with_the_engine_and_emits_json() {
+        use std::sync::Arc;
+
+        use plt_rules::RuleConfig;
+        use plt_serve::{serve, Engine, Request, ServerConfig, ServerModel, Snapshot};
+
+        // Bounded live smoke: a small herd on each model, every wire
+        // reply asserted against the in-process answer inside the
+        // driver. The full grid (and the idle ceiling) runs via
+        // `experiments --exp x16`; keeping the herd small here keeps
+        // the tier-1 suite fast.
+        let db = datasets::sparse_small(300);
+        let result = ConditionalMiner::default().mine(&db, 2);
+        let plt = construct(&db, 2, ConstructOptions::conditional()).expect("construct");
+        let engine = Arc::new(Engine::new(Snapshot::build(
+            1,
+            plt,
+            &result,
+            RuleConfig::default(),
+        )));
+        let items: Vec<Item> = result
+            .iter()
+            .max_by_key(|&(_, support)| support)
+            .map(|(itemset, _)| itemset.items().to_vec())
+            .expect("frequent family");
+        let request = Request::Support { items };
+        let payload = request.to_json().to_string();
+        let expected = engine.handle(&request);
+
+        let models: Vec<ServerModel> = if cfg!(target_os = "linux") {
+            vec![ServerModel::Threads, ServerModel::Reactor]
+        } else {
+            vec![ServerModel::Threads]
+        };
+        let mut load = Vec::new();
+        for model in models {
+            let handle = serve(
+                "127.0.0.1:0",
+                engine.clone(),
+                None,
+                ServerConfig {
+                    server_model: model,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind");
+            let (elapsed, mut lat) = x16_drive_load(handle.addr(), 8, 4, &payload, &expected);
+            lat.sort_unstable();
+            assert_eq!(lat.len(), 32, "{model:?}: 8 clients x 4 ops");
+            assert!(elapsed > 0.0);
+            load.push(ServeLoadCell {
+                model: model.as_str().to_string(),
+                clients: 8,
+                ops: lat.len(),
+                elapsed_secs: elapsed,
+                throughput: lat.len() as f64 / elapsed,
+                p50_us: percentile_us(&lat, 0.50),
+                p99_us: percentile_us(&lat, 0.99),
+            });
+            handle.shutdown();
+        }
+        for c in &load {
+            assert!(c.throughput > 0.0 && c.p99_us >= c.p50_us, "{}", c.model);
+        }
+
+        let cells = ServeCells {
+            idle: Some(IdleCell {
+                target: 16,
+                opened: 16,
+                active_connections: 17,
+                reactors: 1,
+                nofile: 1_024,
+                probe_p50_us: 1.0,
+                probe_p99_us: 2.0,
+            }),
+            load,
+        };
+        let json = x16_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x16_async_serve\""));
+        assert!(json.contains("\"bench_meta\""));
+        assert!(json.contains("\"active_connections\": 17"));
+        assert_eq!(json.matches("\"model\"").count(), cells.load.len());
+        assert_eq!(x16_table(&cells).num_rows(), cells.load.len() + 1);
     }
 
     #[test]

@@ -296,6 +296,9 @@ pub enum Command {
         /// recovered and the `--input` warmup is only applied on a fresh
         /// one.
         data_dir: Option<String>,
+        /// Serving concurrency model: thread-per-connection or the
+        /// epoll reactor (Linux; falls back to threads elsewhere).
+        server_model: plt_serve::ServerModel,
     },
     /// `store inspect`: dump a durable data directory as JSON (manifest,
     /// WAL record counts, per-segment block-index stats).
@@ -368,6 +371,7 @@ usage:
   plt-mine serve --input <file.dat> --min-sup <frac|count>
                  [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
                  [--fault-seed S] [--deadline-ms MS] [--data-dir <dir>]
+                 [--server-model threads|reactor]
   plt-mine store inspect --data-dir <dir>
   plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
                  [--recommend \"1 2\"] [--stats] [--shutdown]";
@@ -684,6 +688,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let mut min_conf = 0.5;
             let (mut fault_seed, mut deadline_ms) = (None, None);
             let mut data_dir = None;
+            let mut server_model = plt_serve::ServerModel::default();
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
@@ -716,6 +721,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         })?)
                     }
                     "--data-dir" => data_dir = Some(cur.value(flag)?.to_string()),
+                    "--server-model" => {
+                        server_model =
+                            plt_serve::ServerModel::parse(cur.value(flag)?).map_err(ParseError)?
+                    }
                     other => return err(format!("unknown flag {other:?} for serve")),
                 }
             }
@@ -728,6 +737,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 fault_seed,
                 deadline_ms,
                 data_dir,
+                server_model,
             })
         }
         "store" => {
@@ -1021,6 +1031,7 @@ mod tests {
                 fault_seed: None,
                 deadline_ms: None,
                 data_dir: None,
+                server_model: plt_serve::ServerModel::Threads,
             }
         );
         let c = parse(&argv(&[
@@ -1116,6 +1127,49 @@ mod tests {
             "--min-sup",
             "2",
             "--data-dir",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_serve_server_model() {
+        for (spelling, model) in [
+            ("threads", plt_serve::ServerModel::Threads),
+            ("reactor", plt_serve::ServerModel::Reactor),
+        ] {
+            let c = parse(&argv(&[
+                "serve",
+                "--input",
+                "x.dat",
+                "--min-sup",
+                "2",
+                "--server-model",
+                spelling,
+            ]))
+            .unwrap();
+            assert!(matches!(
+                c,
+                Command::Serve { server_model, .. } if server_model == model
+            ));
+        }
+        // Unknown spellings and a missing value are parse errors.
+        assert!(parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--server-model",
+            "fibers",
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "serve",
+            "--input",
+            "x",
+            "--min-sup",
+            "2",
+            "--server-model",
         ]))
         .is_err());
     }

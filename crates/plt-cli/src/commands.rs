@@ -89,6 +89,7 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             fault_seed,
             deadline_ms,
             data_dir,
+            server_model,
         } => serve(
             &input,
             min_sup,
@@ -98,6 +99,7 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             fault_seed,
             deadline_ms,
             data_dir.as_deref(),
+            server_model,
             out,
         ),
         Command::StoreInspect { data_dir } => store_inspect(&data_dir, out),
@@ -122,6 +124,7 @@ fn serve(
     fault_seed: Option<u64>,
     deadline_ms: Option<u64>,
     data_dir: Option<&str>,
+    server_model: plt_serve::ServerModel,
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
@@ -151,6 +154,7 @@ fn serve(
         .map_err(|e| format!("cannot build snapshot: {e}"))?;
     let snapshot = engine.current();
     let mut server_config = plt_serve::ServerConfig {
+        server_model,
         fault: fault.clone(),
         ..plt_serve::ServerConfig::default()
     };
@@ -163,9 +167,10 @@ fn serve(
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     writeln!(
         out,
-        "serving {input} on {}: {} itemsets, {} rules (min_sup = {abs} of {}); \
+        "serving {input} on {} ({} model): {} itemsets, {} rules (min_sup = {abs} of {}); \
          send {{\"op\":\"shutdown\"}} to stop",
         handle.addr(),
+        server_model.as_str(),
         snapshot.num_itemsets(),
         snapshot.num_rules(),
         db.len()

@@ -152,6 +152,13 @@ fn is_idempotent(request: &Request) -> bool {
     !matches!(request, Request::Ingest { .. } | Request::Shutdown)
 }
 
+/// A load-shed refusal (`shed: ...` error frame from admission control)
+/// is an explicit "try again later", not a protocol error — idempotent
+/// requests back off and retry through it.
+fn is_shed(error: &ClientError) -> bool {
+    matches!(error, ClientError::Server(m) if m.starts_with("shed:"))
+}
+
 impl Client {
     /// Connects with the default config (10s deadlines, 3 retries).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
@@ -236,6 +243,15 @@ impl Client {
                     attempt += 1;
                     std::thread::sleep(delay);
                 }
+                Err(e) if is_shed(&e) && retriable && attempt < self.config.retry.max_retries => {
+                    // The server refused us at admission; it closes the
+                    // connection after the shed frame, so re-dial after
+                    // backing off.
+                    self.conn = None;
+                    let delay = self.backoff(attempt);
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                }
                 other => return other,
             }
         }
@@ -278,6 +294,74 @@ impl Client {
                 )),
                 None => Err(ClientError::Malformed("response missing \"ok\"".into())),
             }
+        })();
+        if matches!(result, Err(ClientError::Io(_))) {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Sends `requests` down one connection with up to `window` of them
+    /// in flight, reading responses in order as slots free up — the
+    /// protocol is strict FIFO per connection, so responses pair with
+    /// requests positionally.
+    ///
+    /// Pipelining amortizes round trips: with `window = 1` this is the
+    /// sequential path; with a deeper window a batch of point queries
+    /// costs roughly one round trip per window, not per request. The
+    /// reactor server decodes the whole burst and answers in order; the
+    /// thread server reads frames back-to-back off its buffered socket.
+    ///
+    /// Per-request server errors (`ok: false`) land in the inner
+    /// `Result` — a batch is not aborted by one bad request. Transport
+    /// and framing failures abort the whole call (the outer `Err`),
+    /// poisoning the connection; nothing is retried, because a batch's
+    /// idempotency is the caller's call.
+    pub fn pipeline(
+        &mut self,
+        requests: &[Request],
+        window: usize,
+    ) -> Result<Vec<Result<Json, String>>, ClientError> {
+        let window = window.max(1);
+        let payloads: Vec<String> = requests.iter().map(|r| r.to_json().to_string()).collect();
+        let fault = self.config.fault.clone();
+        let frame_fault = fault.as_deref().map(|plan| (plan, Site::ClientWrite));
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        let conn = self.conn.as_mut().unwrap();
+        let result = (|| -> Result<Vec<Result<Json, String>>, ClientError> {
+            let mut replies = Vec::with_capacity(payloads.len());
+            let mut sent = 0usize;
+            let mut received = 0usize;
+            while received < payloads.len() {
+                // Fill the window, then flush the burst as one write.
+                let burst_end = payloads.len().min(received + window);
+                while sent < burst_end {
+                    write_frame_with(&mut conn.writer, &payloads[sent], frame_fault)?;
+                    sent += 1;
+                }
+                let reply = read_frame(&mut conn.reader)?.ok_or_else(|| {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-pipeline",
+                    ))
+                })?;
+                received += 1;
+                let v = Json::parse(&reply).map_err(|e| ClientError::Malformed(e.to_string()))?;
+                match v.get("ok").and_then(Json::as_bool) {
+                    Some(true) => replies.push(Ok(v)),
+                    Some(false) => replies.push(Err(v
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified")
+                        .to_string())),
+                    None => {
+                        return Err(ClientError::Malformed("response missing \"ok\"".into()));
+                    }
+                }
+            }
+            Ok(replies)
         })();
         if matches!(result, Err(ClientError::Io(_))) {
             self.conn = None;

@@ -1,21 +1,23 @@
 //! The query engine: snapshot swap point, response cache, metrics.
 //!
 //! Readers never block writers and writers never block readers for long:
-//! the current [`Snapshot`] lives behind `RwLock<Arc<Snapshot>>`, and a
-//! reader's critical section is a single `Arc` clone — queries then run
-//! against their own reference with the lock released. Publishing a new
-//! snapshot is one pointer swap plus a cache clear. (With `parking_lot`
-//! unavailable offline, `std::sync::RwLock` is the swap primitive; the
-//! read path holds it for nanoseconds, so contention is negligible.)
+//! the current [`Snapshot`] lives in a generation-aware
+//! [`ReaderPool`] — a request pins one generation for its whole
+//! lifetime (a single `Arc` clone in the critical section) and queries
+//! run against that pin however many rebuild swaps land meanwhile.
+//! Publishing a new snapshot is one pointer swap plus a cache clear;
+//! reactor workers skip even the swap lock on the fast path via a
+//! per-worker [`ReaderCache`].
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::cache::ShardedCache;
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
 use crate::proto::{err_response, ok_response, Request};
+use crate::reader_pool::{ReadGuard, ReaderCache, ReaderPool};
 use crate::snapshot::Snapshot;
 
 /// Degradation state of the serving snapshot. The builder drives the
@@ -62,7 +64,7 @@ impl ServingState {
 /// connection handler.
 #[derive(Debug)]
 pub struct Engine {
-    snapshot: RwLock<Arc<Snapshot>>,
+    snapshot: ReaderPool<Snapshot>,
     cache: ShardedCache,
     metrics: Metrics,
     state: AtomicU8,
@@ -78,11 +80,10 @@ impl Engine {
     /// Wraps an initial snapshot with an explicit cache geometry.
     pub fn with_cache(initial: Snapshot, cache_capacity: usize, shards: usize) -> Engine {
         let metrics = Metrics::default();
-        metrics
-            .generation
-            .store(initial.generation(), Ordering::Relaxed);
+        let generation = initial.generation();
+        metrics.generation.store(generation, Ordering::Relaxed);
         Engine {
-            snapshot: RwLock::new(Arc::new(initial)),
+            snapshot: ReaderPool::new(Arc::new(initial), generation),
             cache: ShardedCache::new(cache_capacity, shards),
             metrics,
             state: AtomicU8::new(ServingState::Fresh.as_u8()),
@@ -91,14 +92,35 @@ impl Engine {
 
     /// The current snapshot. Lock held only for the `Arc` clone.
     pub fn current(&self) -> Arc<Snapshot> {
-        self.snapshot.read().unwrap().clone()
+        self.snapshot.pin().value_arc()
+    }
+
+    /// Pins the current snapshot generation for a request's lifetime:
+    /// the guard keeps answering from the same generation however many
+    /// publishes land while it is held.
+    pub fn pin(&self) -> ReadGuard<Snapshot> {
+        self.snapshot.pin()
+    }
+
+    /// Like [`pin`](Self::pin), but through a per-worker cache — the
+    /// reactor's lock-free fast path (one atomic generation check per
+    /// request unless a publish happened).
+    pub fn pin_with(&self, cache: &mut ReaderCache<Snapshot>) -> ReadGuard<Snapshot> {
+        self.snapshot.pin_with(cache)
+    }
+
+    /// The reader pool itself (swap/pin gauges for `stats` and tests).
+    pub fn reader_pool(&self) -> &ReaderPool<Snapshot> {
+        &self.snapshot
     }
 
     /// Publishes a new snapshot: pointer swap, then cache invalidation
-    /// (cached responses answered for the old generation).
+    /// (cached responses answered for the old generation). In-flight
+    /// requests keep their pinned generation; the old snapshot is freed
+    /// when its last guard releases.
     pub fn publish(&self, snapshot: Arc<Snapshot>) {
         let generation = snapshot.generation();
-        *self.snapshot.write().unwrap() = snapshot;
+        self.snapshot.swap(snapshot, generation);
         self.state
             .store(ServingState::Fresh.as_u8(), Ordering::SeqCst);
         self.cache.clear();
@@ -155,6 +177,20 @@ impl Engine {
     /// always recompute. `ingest`/`shutdown` are handled by the layers
     /// above (builder/server) — here they only get an acknowledgement.
     pub fn handle(&self, request: &Request) -> String {
+        self.handle_inner(request, None)
+    }
+
+    /// Like [`handle`](Self::handle), but pinning the snapshot through a
+    /// per-worker [`ReaderCache`] — the reactor's lock-free fast path.
+    pub fn handle_cached(&self, request: &Request, reader: &mut ReaderCache<Snapshot>) -> String {
+        self.handle_inner(request, Some(reader))
+    }
+
+    fn handle_inner(
+        &self,
+        request: &Request,
+        reader: Option<&mut ReaderCache<Snapshot>>,
+    ) -> String {
         let start = Instant::now();
         let endpoint = endpoint_of(request);
         if let Some(e) = endpoint_cacheable(request) {
@@ -163,22 +199,28 @@ impl Engine {
                 self.metrics.endpoint(e).record(start.elapsed(), Some(true));
                 return hit;
             }
-            let response = self.answer(request).to_string();
+            let response = self.answer(request, reader).to_string();
             self.cache.put(key, response.clone());
             self.metrics
                 .endpoint(e)
                 .record(start.elapsed(), Some(false));
             return response;
         }
-        let response = self.answer(request).to_string();
+        let response = self.answer(request, reader).to_string();
         if let Some(e) = endpoint {
             self.metrics.endpoint(e).record(start.elapsed(), None);
         }
         response
     }
 
-    fn answer(&self, request: &Request) -> Json {
-        let snap = self.current();
+    fn answer(&self, request: &Request, reader: Option<&mut ReaderCache<Snapshot>>) -> Json {
+        // Pin one generation for the whole request: every field of the
+        // response comes from the same snapshot even if a publish lands
+        // mid-answer.
+        let snap = match reader {
+            Some(cache) => self.pin_with(cache),
+            None => self.pin(),
+        };
         // Every query response names its generation and whether that
         // generation is known-stale (last rebuild failed), so clients can
         // tell degraded answers from fresh ones.
@@ -365,6 +407,51 @@ impl Engine {
                                 (
                                     "replayed_records",
                                     Json::from(s.replayed_records.load(Ordering::Relaxed)),
+                                ),
+                            ])
+                        } else {
+                            Json::Null
+                        }
+                    }),
+                    ("reader_pool", {
+                        Json::obj(vec![
+                            ("swaps", Json::from(self.snapshot.swaps())),
+                            ("active_pins", Json::from(self.snapshot.active_pins())),
+                        ])
+                    }),
+                    ("reactor", {
+                        let r = &self.metrics.reactor;
+                        if r.is_enabled() {
+                            Json::obj(vec![
+                                ("reactors", Json::from(r.reactors.load(Ordering::Relaxed))),
+                                ("events", Json::from(r.events.load(Ordering::Relaxed))),
+                                (
+                                    "state_transitions",
+                                    Json::from(r.state_transitions.load(Ordering::Relaxed)),
+                                ),
+                                ("accepted", Json::from(r.accepted.load(Ordering::Relaxed))),
+                                (
+                                    "active_connections",
+                                    Json::from(r.active_connections.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "shed_connections",
+                                    Json::from(r.shed_connections.load(Ordering::Relaxed)),
+                                ),
+                                ("polls", Json::from(r.poll.requests.load(Ordering::Relaxed))),
+                                (
+                                    "poll_p50_us",
+                                    r.poll
+                                        .quantile_micros(0.50)
+                                        .map(Json::from)
+                                        .unwrap_or(Json::Null),
+                                ),
+                                (
+                                    "poll_p99_us",
+                                    r.poll
+                                        .quantile_micros(0.99)
+                                        .map(Json::from)
+                                        .unwrap_or(Json::Null),
                                 ),
                             ])
                         } else {

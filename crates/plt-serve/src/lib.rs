@@ -56,20 +56,26 @@
 pub mod builder;
 pub mod cache;
 pub mod client;
+pub mod decode;
 pub mod engine;
 pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+pub mod reader_pool;
 pub mod server;
 pub mod snapshot;
 
 pub use builder::{bootstrap, BuilderConfig, BuilderHandle, IngestQueue};
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy, SupportReply};
+pub use decode::FrameDecoder;
 pub use engine::{Engine, ServingState};
 pub use fault::{FaultConfig, FaultEvent, FaultPlan, Site};
 pub use proto::Request;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use reader_pool::{ReadGuard, ReaderCache, ReaderPool};
+pub use server::{serve, ServerConfig, ServerHandle, ServerModel};
 pub use snapshot::{Recommendation, Snapshot, SupportAnswer, SupportSource};
 
 #[cfg(test)]

@@ -145,6 +145,46 @@ pub struct Metrics {
     /// Durable-store gauges; all zero (and hidden from `STATS`) when the
     /// service runs without a data directory.
     pub storage: StorageMetrics,
+    /// Reactor counters; all zero (and hidden from `STATS`) under the
+    /// thread-per-connection model.
+    pub reactor: ReactorMetrics,
+}
+
+/// Counters for the epoll reactor server model, following the
+/// [`StorageMetrics`] enabled-flag pattern: `enabled` flips to 1 when a
+/// reactor starts, so `stats` omits the block for the thread model.
+/// Reactor threads accumulate locally and flush here in batches — these
+/// are cheap to read but a beat behind the poll loop.
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    pub enabled: AtomicU64,
+    /// Reactor threads running (gauge).
+    pub reactors: AtomicU64,
+    /// epoll events handled (`reactor.events`).
+    pub events: AtomicU64,
+    /// Connection state-machine transitions (`conn.state_transitions`).
+    pub state_transitions: AtomicU64,
+    /// Connections accepted and dispatched to a reactor.
+    pub accepted: AtomicU64,
+    /// Connections currently registered across all reactors (gauge).
+    pub active_connections: AtomicU64,
+    /// Connections refused with a `shed` response (`shed.count`) —
+    /// reactor budget or accept backlog full. Also counted into
+    /// [`Metrics::rejected_connections`] so both models share one
+    /// refusal counter.
+    pub shed_connections: AtomicU64,
+    /// Poll-loop latency (one sample per `epoll_wait` round trip).
+    pub poll: EndpointStats,
+}
+
+impl ReactorMetrics {
+    pub fn mark_enabled(&self) {
+        self.enabled.store(1, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) != 0
+    }
 }
 
 /// Gauges mirrored from [`plt_store::StoreStats`] after every apply and

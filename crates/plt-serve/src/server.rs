@@ -19,7 +19,7 @@
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -31,13 +31,57 @@ use crate::proto::{
     err_response, ok_response, read_frame_limited, write_frame, write_frame_with, Request,
     MAX_FRAME_BYTES,
 };
+use crate::reader_pool::ReaderCache;
+use crate::snapshot::Snapshot;
+
+/// Which concurrency model serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerModel {
+    /// One handler thread per connection (the original model). Simple,
+    /// portable, and the differential oracle for the reactor.
+    #[default]
+    Threads,
+    /// Epoll reactor threads multiplexing nonblocking connections
+    /// ([`reactor`](crate::reactor)). Linux-only; elsewhere `serve`
+    /// falls back to `Threads`.
+    Reactor,
+}
+
+impl ServerModel {
+    /// Parses the `--server-model` CLI spelling.
+    pub fn parse(s: &str) -> Result<ServerModel, String> {
+        match s {
+            "threads" => Ok(ServerModel::Threads),
+            "reactor" => Ok(ServerModel::Reactor),
+            other => Err(format!(
+                "unknown server model {other:?} (expected \"threads\" or \"reactor\")"
+            )),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServerModel::Threads => "threads",
+            ServerModel::Reactor => "reactor",
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Acceptor threads sharing the listener. Defaults to available
-    /// parallelism, capped at 8 (accept is rarely the bottleneck).
+    /// Concurrency model; see [`ServerModel`].
+    pub server_model: ServerModel,
+    /// Acceptor threads sharing the listener (threads model only; the
+    /// reactor model has one dispatching acceptor). Defaults to
+    /// available parallelism, capped at 8.
     pub acceptors: usize,
+    /// Reactor threads (reactor model only). Defaults to available
+    /// parallelism, capped at 8.
+    pub reactors: usize,
+    /// Accepted-but-unregistered sockets queued per reactor; past it the
+    /// acceptor sheds (reactor model only).
+    pub accept_backlog: usize,
     /// Per-connection read deadline. A peer that sends nothing for this
     /// long is timed out and dropped. `None` blocks forever.
     pub read_deadline: Option<Duration>,
@@ -53,6 +97,9 @@ pub struct ServerConfig {
     /// Deterministic fault injection for the server's own I/O. `None` in
     /// production.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Shared plt-obs recorder; reactor threads merge their span/counter
+    /// batches into it (reactor model only).
+    pub obs: Option<Arc<Mutex<plt_obs::MetricsRecorder>>>,
 }
 
 impl Default for ServerConfig {
@@ -61,12 +108,16 @@ impl Default for ServerConfig {
             .map(|n| n.get())
             .unwrap_or(1);
         ServerConfig {
+            server_model: ServerModel::Threads,
             acceptors: cores.min(8),
+            reactors: cores.min(8),
+            accept_backlog: 256,
             read_deadline: Some(Duration::from_secs(30)),
             write_deadline: Some(Duration::from_secs(10)),
             max_frame: MAX_FRAME_BYTES,
             max_connections: 1024,
             fault: None,
+            obs: None,
         }
     }
 }
@@ -77,7 +128,10 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptors: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Extra wakeups fired on shutdown (reactor eventfds); the acceptor
+    /// dial in [`wake_acceptors`] covers threads parked in `accept`.
+    wake_fns: Vec<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -89,23 +143,40 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 impl ServerHandle {
+    pub(crate) fn from_parts(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        threads: Vec<JoinHandle<()>>,
+        wake_fns: Vec<Box<dyn Fn() + Send + Sync>>,
+    ) -> ServerHandle {
+        ServerHandle {
+            addr,
+            stop,
+            threads,
+            wake_fns,
+        }
+    }
+
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Requests shutdown and waits for the acceptors.
+    /// Requests shutdown and waits for the server threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        wake_acceptors(self.addr, self.acceptors.len());
-        for t in self.acceptors.drain(..) {
+        for wake in &self.wake_fns {
+            wake();
+        }
+        wake_acceptors(self.addr, self.threads.len());
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 
     /// Blocks until the server stops (e.g. a client sent `shutdown`).
     pub fn join(mut self) {
-        for t in self.acceptors.drain(..) {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -140,6 +211,11 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    #[cfg(target_os = "linux")]
+    if config.server_model == ServerModel::Reactor {
+        return crate::reactor::serve_reactor(listener, engine, ingest, config, addr);
+    }
+    // Non-Linux builds have no epoll; the thread model is the fallback.
     let stop = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     let acceptors = (0..config.acceptors.max(1))
@@ -158,7 +234,8 @@ pub fn serve(
     Ok(ServerHandle {
         addr,
         stop,
-        acceptors,
+        threads: acceptors,
+        wake_fns: Vec::new(),
     })
 }
 
@@ -193,7 +270,7 @@ fn acceptor_loop(
                         let mut w = BufWriter::new(stream);
                         let _ = write_frame(
                             &mut w,
-                            &err_response("server at connection capacity").to_string(),
+                            &err_response("shed: server at connection capacity").to_string(),
                         );
                         continue;
                     }
@@ -228,6 +305,75 @@ fn acceptor_loop(
 enum ConnectionOutcome {
     Closed,
     ShutdownRequested,
+}
+
+/// What a dispatched request wants the serving loop to do. Shared by
+/// both server models so their observable behavior cannot drift.
+pub(crate) enum Dispatch {
+    /// Write this response and keep serving.
+    Respond(String),
+    /// Write this response, then stop the whole server.
+    ShutdownRequested(String),
+    /// An `ingest {wait: true}` was submitted; run the blocking
+    /// `IngestQueue::flush` (inline for the threads model, on a waiter
+    /// thread for the reactor) and answer with `accepted` + the
+    /// published generation.
+    AwaitFlush { accepted: u64 },
+}
+
+/// Parses and dispatches one request payload. Everything except the
+/// flush wait and the stop-flag plumbing happens here, identically for
+/// both server models. `reader`, when given, pins snapshots through a
+/// per-worker cache (the reactor's lock-free path).
+pub(crate) fn dispatch_request(
+    payload: &str,
+    engine: &Engine,
+    ingest: Option<&IngestQueue>,
+    reader: Option<&mut ReaderCache<Snapshot>>,
+) -> Dispatch {
+    let request = match Json::parse(payload) {
+        Err(e) => {
+            engine
+                .metrics()
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return Dispatch::Respond(err_response(e.to_string()).to_string());
+        }
+        Ok(v) => match Request::from_json(&v) {
+            Err(e) => {
+                engine
+                    .metrics()
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return Dispatch::Respond(err_response(e).to_string());
+            }
+            Ok(r) => r,
+        },
+    };
+    match request {
+        Request::Shutdown => Dispatch::ShutdownRequested(engine.handle(&Request::Shutdown)),
+        Request::Ingest { transactions, wait } => match ingest {
+            None => {
+                Dispatch::Respond(err_response("this server has no ingest pipeline").to_string())
+            }
+            Some(queue) => {
+                let accepted = transactions.len() as u64;
+                if !queue.ingest(transactions) {
+                    Dispatch::Respond(err_response("snapshot builder has exited").to_string())
+                } else if wait {
+                    Dispatch::AwaitFlush { accepted }
+                } else {
+                    Dispatch::Respond(
+                        ok_response(vec![("accepted", Json::from(accepted))]).to_string(),
+                    )
+                }
+            }
+        },
+        request => Dispatch::Respond(match reader {
+            Some(cache) => engine.handle_cached(&request, cache),
+            None => engine.handle(&request),
+        }),
+    }
 }
 
 /// Is this I/O error a blown read/write deadline?
@@ -300,51 +446,21 @@ fn handle_connection(
                 return ConnectionOutcome::Closed;
             }
         };
-        let response = match Json::parse(&payload) {
-            Err(e) => {
-                engine
-                    .metrics()
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                err_response(e.to_string()).to_string()
+        let response = match dispatch_request(&payload, engine, ingest, None) {
+            Dispatch::Respond(response) => response,
+            Dispatch::ShutdownRequested(response) => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = write_frame_with(&mut writer, &response, frame_fault);
+                return ConnectionOutcome::ShutdownRequested;
             }
-            Ok(v) => match Request::from_json(&v) {
-                Err(e) => {
-                    engine
-                        .metrics()
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    err_response(e).to_string()
-                }
-                Ok(Request::Shutdown) => {
-                    stop.store(true, Ordering::SeqCst);
-                    let response = engine.handle(&Request::Shutdown);
-                    let _ = write_frame_with(&mut writer, &response, frame_fault);
-                    return ConnectionOutcome::ShutdownRequested;
-                }
-                Ok(Request::Ingest { transactions, wait }) => match ingest {
-                    None => err_response("this server has no ingest pipeline").to_string(),
-                    Some(queue) => {
-                        let accepted = transactions.len() as u64;
-                        let submitted = queue.ingest(transactions);
-                        if !submitted {
-                            err_response("snapshot builder has exited").to_string()
-                        } else if wait {
-                            match queue.flush() {
-                                Some(generation) => ok_response(vec![
-                                    ("accepted", Json::from(accepted)),
-                                    ("generation", Json::from(generation)),
-                                    ("stale", Json::Bool(engine.is_stale())),
-                                ])
-                                .to_string(),
-                                None => err_response("snapshot builder has exited").to_string(),
-                            }
-                        } else {
-                            ok_response(vec![("accepted", Json::from(accepted))]).to_string()
-                        }
-                    }
-                },
-                Ok(request) => engine.handle(&request),
+            Dispatch::AwaitFlush { accepted } => match ingest.and_then(|q| q.flush()) {
+                Some(generation) => ok_response(vec![
+                    ("accepted", Json::from(accepted)),
+                    ("generation", Json::from(generation)),
+                    ("stale", Json::Bool(engine.is_stale())),
+                ])
+                .to_string(),
+                None => err_response("snapshot builder has exited").to_string(),
             },
         };
         match write_frame_with(&mut writer, &response, frame_fault) {
@@ -361,7 +477,7 @@ fn handle_connection(
 
 /// Unblocks acceptor threads stuck in `accept` by dialing the listener.
 /// Best effort; `n` connects at most (acceptors count or a few).
-fn wake_acceptors(addr: SocketAddr, n: usize) {
+pub(crate) fn wake_acceptors(addr: SocketAddr, n: usize) {
     for _ in 0..n.min(16) {
         match TcpStream::connect(addr) {
             Ok(_) => {}

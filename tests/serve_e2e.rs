@@ -5,13 +5,25 @@
 
 use plt::core::miner::Miner;
 use plt::data::{BasketConfig, BasketGenerator};
-use plt::serve::{bootstrap, serve, BuilderConfig, Client, Request, ServerConfig};
+use plt::serve::{bootstrap, serve, BuilderConfig, Client, Request, ServerConfig, ServerModel};
 use plt::ConditionalMiner;
+
+/// Both serving models where the platform has them; every test in this
+/// file runs against each — the thread model is the reactor's
+/// differential oracle.
+fn server_models() -> Vec<ServerModel> {
+    if cfg!(target_os = "linux") {
+        vec![ServerModel::Threads, ServerModel::Reactor]
+    } else {
+        vec![ServerModel::Threads]
+    }
+}
 
 /// Start a server over `warmup` and return (handle, builder).
 fn start(
     warmup: &[Vec<u32>],
     min_support: u64,
+    model: ServerModel,
 ) -> (plt::serve::ServerHandle, plt::serve::BuilderHandle) {
     let config = BuilderConfig {
         window_capacity: warmup.len() * 4,
@@ -24,7 +36,9 @@ fn start(
         engine,
         Some(builder.queue()),
         ServerConfig {
+            server_model: model,
             acceptors: 2,
+            reactors: 2,
             ..ServerConfig::default()
         },
     )
@@ -43,41 +57,43 @@ fn wire_answers_match_the_miner() {
     let truth = ConditionalMiner::default().mine(db.transactions(), min_support);
     assert!(!truth.is_empty(), "dataset must have frequent itemsets");
 
-    let (handle, builder) = start(db.transactions(), min_support);
-    let mut client = Client::connect(handle.addr()).expect("connect");
+    for model in server_models() {
+        let (handle, builder) = start(db.transactions(), min_support, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
 
-    // Every mined itemset's support is served exactly, from the index.
-    for (itemset, support) in truth.iter() {
-        let reply = client.support(itemset.items()).expect("support query");
-        assert_eq!(reply.support, support, "support({itemset})");
-        assert!(reply.frequent, "frequent({itemset})");
-        assert_eq!(reply.source, "index", "source({itemset})");
-    }
-
-    // Top-k agrees with the miner's ranking by support.
-    let top = client.top_k(10, 1).expect("top_k");
-    assert!(!top.is_empty());
-    assert!(
-        top.windows(2).all(|w| w[0].1 >= w[1].1),
-        "sorted by support"
-    );
-    for (items, support) in &top {
-        assert_eq!(truth.support(items), Some(*support), "top_k {items:?}");
-    }
-
-    // Recommendations name items outside the basket and carry
-    // confidences achievable from mined supports.
-    let basket = top[0].0.clone();
-    if let Ok(recs) = client.recommend(&basket, 5) {
-        for (item, confidence) in recs {
-            assert!(!basket.contains(&item));
-            assert!((0.0..=1.0).contains(&confidence));
+        // Every mined itemset's support is served exactly, from the index.
+        for (itemset, support) in truth.iter() {
+            let reply = client.support(itemset.items()).expect("support query");
+            assert_eq!(reply.support, support, "{model:?}: support({itemset})");
+            assert!(reply.frequent, "{model:?}: frequent({itemset})");
+            assert_eq!(reply.source, "index", "{model:?}: source({itemset})");
         }
-    }
 
-    client.shutdown().expect("shutdown");
-    handle.join();
-    builder.stop();
+        // Top-k agrees with the miner's ranking by support.
+        let top = client.top_k(10, 1).expect("top_k");
+        assert!(!top.is_empty());
+        assert!(
+            top.windows(2).all(|w| w[0].1 >= w[1].1),
+            "sorted by support"
+        );
+        for (items, support) in &top {
+            assert_eq!(truth.support(items), Some(*support), "top_k {items:?}");
+        }
+
+        // Recommendations name items outside the basket and carry
+        // confidences achievable from mined supports.
+        let basket = top[0].0.clone();
+        if let Ok(recs) = client.recommend(&basket, 5) {
+            for (item, confidence) in recs {
+                assert!(!basket.contains(&item));
+                assert!((0.0..=1.0).contains(&confidence));
+            }
+        }
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
 }
 
 #[test]
@@ -89,122 +105,145 @@ fn cache_hits_show_up_in_stats() {
         vec![2, 3],
         vec![1, 3],
     ];
-    let (handle, builder) = start(&warmup, 2);
-    let mut client = Client::connect(handle.addr()).expect("connect");
+    for model in server_models() {
+        let (handle, builder) = start(&warmup, 2, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
 
-    // Same query three times: one miss, then hits.
-    for _ in 0..3 {
-        client.support(&[1, 2]).expect("support");
+        // Same query three times: one miss, then hits.
+        for _ in 0..3 {
+            client.support(&[1, 2]).expect("support");
+        }
+        let stats = client.stats().expect("stats");
+        let endpoints = stats
+            .get("endpoints")
+            .and_then(|v| v.as_arr())
+            .expect("endpoints array");
+        let support = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").and_then(|v| v.as_str()) == Some("support"))
+            .expect("support endpoint row");
+        let hits = support.get("cache_hits").and_then(|v| v.as_u64()).unwrap();
+        let misses = support
+            .get("cache_misses")
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert_eq!(misses, 1, "{model:?}: first query misses");
+        assert_eq!(hits, 2, "{model:?}: repeats hit the cache");
+        assert!(
+            support.get("p50_us").and_then(|v| v.as_u64()).is_some(),
+            "latency quantiles populated"
+        );
+
+        // The reactor model reports its own gauges in `stats`.
+        if model == ServerModel::Reactor {
+            let reactor = stats.get("reactor").expect("reactor stats block");
+            assert!(
+                reactor.get("reactors").and_then(|v| v.as_u64()).unwrap() >= 1,
+                "reactor threads registered"
+            );
+            assert!(
+                reactor.get("accepted").and_then(|v| v.as_u64()).unwrap() >= 1,
+                "accepted connections counted"
+            );
+            let pool = stats.get("reader_pool").expect("reader_pool stats");
+            assert!(pool.get("active_pins").and_then(|v| v.as_u64()).is_some());
+        }
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
     }
-    let stats = client.stats().expect("stats");
-    let endpoints = stats
-        .get("endpoints")
-        .and_then(|v| v.as_arr())
-        .expect("endpoints array");
-    let support = endpoints
-        .iter()
-        .find(|e| e.get("endpoint").and_then(|v| v.as_str()) == Some("support"))
-        .expect("support endpoint row");
-    let hits = support.get("cache_hits").and_then(|v| v.as_u64()).unwrap();
-    let misses = support
-        .get("cache_misses")
-        .and_then(|v| v.as_u64())
-        .unwrap();
-    assert_eq!(misses, 1, "first query misses");
-    assert_eq!(hits, 2, "repeats hit the cache");
-    assert!(
-        support.get("p50_us").and_then(|v| v.as_u64()).is_some(),
-        "latency quantiles populated"
-    );
-
-    client.shutdown().expect("shutdown");
-    handle.join();
-    builder.stop();
 }
 
 #[test]
 fn ingest_republishes_and_answers_reflect_the_new_window() {
     let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3]];
-    let (handle, builder) = start(&warmup, 2);
-    let mut client = Client::connect(handle.addr()).expect("connect");
+    for model in server_models() {
+        let (handle, builder) = start(&warmup, 2, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
 
-    let g0 = client.ping().expect("ping");
-    assert_eq!(g0, 1);
-    // Item 3 is infrequent in the warmup (1 < min_support), so it holds
-    // no rank in generation 1 and the service reports 0 for it.
-    let before = client.support(&[1, 3]).unwrap();
-    assert_eq!(before.support, 0);
-    assert!(!before.frequent);
+        let g0 = client.ping().expect("ping");
+        assert_eq!(g0, 1);
+        // Item 3 is infrequent in the warmup (1 < min_support), so it holds
+        // no rank in generation 1 and the service reports 0 for it.
+        let before = client.support(&[1, 3]).unwrap();
+        assert_eq!(before.support, 0);
+        assert!(!before.frequent);
 
-    // Stream two more {1,3} transactions and wait for the publish.
-    let g1 = client
-        .ingest(vec![vec![1, 3], vec![1, 3]], true)
-        .expect("ingest")
-        .expect("generation in wait mode");
-    assert!(g1 > g0);
+        // Stream two more {1,3} transactions and wait for the publish.
+        let g1 = client
+            .ingest(vec![vec![1, 3], vec![1, 3]], true)
+            .expect("ingest")
+            .expect("generation in wait mode");
+        assert!(g1 > g0, "{model:?}");
 
-    // The served answers now reflect the grown window...
-    assert_eq!(client.support(&[1, 3]).unwrap().support, 3);
-    // ...and match an offline re-mine of the same transactions.
-    let mut grown = warmup.clone();
-    grown.push(vec![1, 3]);
-    grown.push(vec![1, 3]);
-    let truth = ConditionalMiner::default().mine(&grown, 2);
-    for (itemset, support) in truth.iter() {
-        let reply = client.support(itemset.items()).expect("support");
-        assert_eq!(reply.support, support, "{itemset}");
+        // The served answers now reflect the grown window...
+        assert_eq!(client.support(&[1, 3]).unwrap().support, 3, "{model:?}");
+        // ...and match an offline re-mine of the same transactions.
+        let mut grown = warmup.clone();
+        grown.push(vec![1, 3]);
+        grown.push(vec![1, 3]);
+        let truth = ConditionalMiner::default().mine(&grown, 2);
+        for (itemset, support) in truth.iter() {
+            let reply = client.support(itemset.items()).expect("support");
+            assert_eq!(reply.support, support, "{model:?}: {itemset}");
+        }
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
     }
-
-    client.shutdown().expect("shutdown");
-    handle.join();
-    builder.stop();
 }
 
 #[test]
 fn concurrent_clients_get_consistent_answers() {
     let warmup: Vec<Vec<u32>> = (0..50).map(|i| vec![1, 2, 3 + (i % 3) as u32]).collect();
-    let (handle, builder) = start(&warmup, 2);
-    let addr = handle.addr();
+    for model in server_models() {
+        let (handle, builder) = start(&warmup, 2, model);
+        let addr = handle.addr();
 
-    let threads: Vec<_> = (0..4)
-        .map(|_| {
-            std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                for _ in 0..25 {
-                    let reply = client.support(&[1, 2]).expect("support");
-                    assert_eq!(reply.support, 50);
-                }
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for _ in 0..25 {
+                        let reply = client.support(&[1, 2]).expect("support");
+                        assert_eq!(reply.support, 50);
+                    }
+                })
             })
-        })
-        .collect();
-    for t in threads {
-        t.join().expect("client thread");
-    }
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
 
-    let mut client = Client::connect(addr).expect("connect");
-    client.shutdown().expect("shutdown");
-    handle.join();
-    builder.stop();
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
 }
 
 #[test]
 fn malformed_requests_get_protocol_errors() {
-    let (handle, builder) = start(&[vec![1, 2], vec![1, 2]], 2);
-    let mut client = Client::connect(handle.addr()).expect("connect");
+    for model in server_models() {
+        let (handle, builder) = start(&[vec![1, 2], vec![1, 2]], 2, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
 
-    // Unknown op is a server-reported error, not a dropped connection;
-    // the same connection keeps working afterwards.
-    let err = client.request_raw(r#"{"op":"warp"}"#).unwrap_err();
-    assert!(err.to_string().contains("warp"), "{err}");
-    assert_eq!(client.ping().expect("connection still usable"), 1);
+        // Unknown op is a server-reported error, not a dropped connection;
+        // the same connection keeps working afterwards.
+        let err = client.request_raw(r#"{"op":"warp"}"#).unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        assert_eq!(client.ping().expect("connection still usable"), 1);
 
-    // `Request` round-trips still work via the raw path.
-    let v = client
-        .request_raw(&Request::Support { items: vec![1] }.to_json().to_string())
-        .expect("raw support");
-    assert_eq!(v.get("support").and_then(|s| s.as_u64()), Some(2));
+        // `Request` round-trips still work via the raw path.
+        let v = client
+            .request_raw(&Request::Support { items: vec![1] }.to_json().to_string())
+            .expect("raw support");
+        assert_eq!(v.get("support").and_then(|s| s.as_u64()), Some(2));
 
-    client.shutdown().expect("shutdown");
-    handle.join();
-    builder.stop();
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
 }
