@@ -2157,6 +2157,216 @@ pub fn x16_json(cells: &ServeCells, scale: Scale) -> String {
     s
 }
 
+/// One X17 cell: one query expression over one dataset, the planner's
+/// chosen physical operator timed against a forced naive full scan of
+/// the same query. See [`x17_table`] for the rendered table and
+/// [`x17_json`] for the committed `BENCH_query.json` record.
+#[derive(Debug, Clone)]
+pub struct QueryCell {
+    /// Dataset label, e.g. `T10.I4.D2000`.
+    pub dataset: String,
+    /// The query expression as typed.
+    pub query: String,
+    /// Physical operator the cost-based planner chose.
+    pub plan: String,
+    /// Planner-estimated cost of the chosen plan.
+    pub cost: f64,
+    /// Result rows (identical between plan and naive, asserted).
+    pub rows: usize,
+    /// Frequent itemsets in the source (`N`, the naive scan's domain).
+    pub num_itemsets: usize,
+    /// Best wall time of the planner's choice, microseconds (end to
+    /// end: parse, plan, execute).
+    pub plan_us: f64,
+    /// Best wall time of the forced `full_scan` operator, microseconds.
+    pub naive_us: f64,
+    /// `naive_us / plan_us`.
+    pub speedup: f64,
+    /// Best wall time of every applicable physical operator on this
+    /// query (`full_scan` included), microseconds — the per-plan
+    /// comparison behind the headline speedup.
+    pub ops: Vec<(String, f64)>,
+}
+
+/// X17 — query planner vs naive scan: parses each expression, lets the
+/// cost-based planner choose a physical operator, and times that choice
+/// against the same query forced through the `full_scan` operator. The
+/// two result sets are asserted identical (a live differential check),
+/// so the speedup column measures pure plan quality. Covers all four
+/// specialized operators across sparse/dense/zipf workloads.
+pub fn x17_query_cells(scale: Scale) -> Vec<QueryCell> {
+    use plt_query::{MemSource, PhysOp, Source};
+    use plt_rules::RuleConfig;
+
+    let runs = scale.runs().max(3);
+    let n = scale.pick(2_000, 12_000);
+    let dense_n = scale.pick(600, 3_000);
+    let workloads: Vec<(String, Vec<Vec<Item>>, Support)> = vec![
+        (
+            format!("T10.I4.D{n}"),
+            datasets::sparse(n),
+            ((0.01 * n as f64).ceil() as Support).max(2),
+        ),
+        (
+            format!("DENSE16.D{dense_n}"),
+            datasets::dense(dense_n, 16),
+            // 20%: deep enough that the lattice dwarfs both the vector
+            // count and the conditional-mine cost estimate.
+            ((0.2 * dense_n as f64).ceil() as Support).max(2),
+        ),
+        (
+            format!("ZIPF1.1.D{n}"),
+            datasets::zipf(n, 1.1),
+            ((0.01 * n as f64).ceil() as Support).max(2),
+        ),
+    ];
+
+    let mut cells = Vec::new();
+    for (dataset, db, min_sup) in workloads {
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).expect("construct");
+        let result = ConditionalMiner::default().mine(&db, min_sup);
+        let src = MemSource::build(1, plt, &result, RuleConfig::default());
+        let ranked = src.ranked();
+        assert!(!ranked.is_empty(), "{dataset} must induce frequent sets");
+
+        // A mid-ranked itemset: far enough down that the naive support
+        // scan cannot shortcut, still guaranteed frequent.
+        let mid = &ranked[ranked.len() / 2].0;
+        let mid_items: Vec<String> = mid.items().iter().map(|i| i.to_string()).collect();
+        // The least-frequent root: its supersets sit deep in the ranked
+        // order, so the naive scan walks most of it.
+        let rare_root = src
+            .extensions_of(&[])
+            .last()
+            .map(|&(item, _)| item)
+            .expect("at least one frequent item");
+
+        let queries = vec![
+            format!("SUPPORT OF {{{}}}", mid_items.join(", ")),
+            // Selective conjunct: few rules match, so the timing
+            // difference is scan length (rule_scan stops at the
+            // confidence bound; the naive scan walks every rule).
+            "RULES WHERE confidence >= 0.9 AND support >= 0.02".to_string(),
+            format!("MINE COND {{{rare_root}}} TOP 10"),
+        ];
+
+        for expr in queries {
+            // The planner's end-to-end path: parse, plan, execute.
+            let ((rows, prov), t_plan) = time_best(runs, || {
+                plt_query::run(&expr, &src, &mut plt_obs::Obs::none()).expect("planned query")
+            });
+            // Every applicable physical operator on the same query,
+            // each asserted identical to the planner's answer.
+            let parsed = plt_query::parse(&expr).expect("parse").normalize();
+            let mut ops = Vec::new();
+            let mut naive_us = 0.0;
+            for &op in plt_query::applicable_ops(&parsed) {
+                let ((forced, _), t) = time_best(runs, || {
+                    plt_query::run_forced(&expr, &src, op).expect("forced operator")
+                });
+                assert_eq!(
+                    forced,
+                    rows,
+                    "{} diverged from plan {} on {dataset}: {expr}",
+                    op.as_str(),
+                    prov.plan.op.as_str()
+                );
+                let us = t.as_secs_f64() * 1e6;
+                if op == PhysOp::FullScan {
+                    naive_us = us;
+                }
+                ops.push((op.as_str().to_string(), us));
+            }
+            let plan_us = t_plan.as_secs_f64() * 1e6;
+            cells.push(QueryCell {
+                dataset: dataset.clone(),
+                query: expr,
+                plan: prov.plan.op.as_str().to_string(),
+                cost: prov.plan.cost,
+                rows: rows.len(),
+                num_itemsets: ranked.len(),
+                plan_us,
+                naive_us,
+                speedup: naive_us / plan_us.max(1e-3),
+                ops,
+            });
+        }
+    }
+    cells
+}
+
+/// X17 rendered as a table.
+pub fn x17_table(cells: &[QueryCell]) -> Table {
+    let mut table = Table::new(
+        "X17: query planner vs naive scan — chosen physical operator per cell",
+        &[
+            "dataset", "query", "plan", "rows", "plan", "naive", "speedup",
+        ],
+    );
+    for c in cells {
+        table.row(vec![
+            c.dataset.clone(),
+            c.query.clone(),
+            c.plan.clone(),
+            c.rows.to_string(),
+            format!("{:.1}us", c.plan_us),
+            format!("{:.1}us", c.naive_us),
+            format!("{:.1}x", c.speedup),
+        ]);
+    }
+    table
+}
+
+/// X17 — planner vs naive (table form, for the binary).
+pub fn x17_query(scale: Scale) -> Table {
+    x17_table(&x17_query_cells(scale))
+}
+
+/// Machine-readable record of an X17 run (the committed
+/// `BENCH_query.json`). Hand-rolled JSON, same as [`x15_json`].
+pub fn x17_json(cells: &[QueryCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x17_query\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let ops: Vec<String> = c
+            .ops
+            .iter()
+            .map(|(op, us)| format!("\"{op}\": {us:.3}"))
+            .collect();
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"query\": \"{}\", \"plan\": \"{}\", \
+             \"cost\": {:.3}, \"rows\": {}, \"num_itemsets\": {}, \
+             \"plan_us\": {:.3}, \"naive_us\": {:.3}, \"speedup\": {:.3}, \
+             \"ops\": {{{}}}}}{}\n",
+            c.dataset,
+            c.query,
+            c.plan,
+            c.cost,
+            c.rows,
+            c.num_itemsets,
+            c.plan_us,
+            c.naive_us,
+            c.speedup,
+            ops.join(", "),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2290,6 +2500,49 @@ mod tests {
         assert_eq!(json.matches("\"dataset\"").count(), 2);
         assert_eq!(json.matches("\"recovery_wal_secs\"").count(), 2);
         assert_eq!(x15_table(&cells).num_rows(), 2);
+    }
+
+    #[test]
+    fn x17_planner_wins_every_cell_and_emits_json() {
+        let cells = x17_query_cells(Scale::Quick);
+        // 3 datasets × (support + rules + mine-cond). Result equality
+        // between every applicable operator and the planner's answer is
+        // asserted inside the cell builder.
+        assert_eq!(cells.len(), 9);
+        let plans: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.plan.as_str()).collect();
+        assert!(plans.contains("index_point"), "{plans:?}");
+        assert!(plans.contains("rule_scan"), "{plans:?}");
+        assert!(plans.contains("ext_traverse"), "{plans:?}");
+        // Every physical operator is timed somewhere in the grid, even
+        // where the planner (correctly) avoids it.
+        let timed: std::collections::BTreeSet<&str> = cells
+            .iter()
+            .flat_map(|c| c.ops.iter().map(|(op, _)| op.as_str()))
+            .collect();
+        for op in [
+            "index_point",
+            "ext_traverse",
+            "rule_scan",
+            "cond_mine",
+            "full_scan",
+        ] {
+            assert!(timed.contains(op), "{timed:?} missing {op}");
+        }
+        for c in &cells {
+            assert!(c.plan_us > 0.0 && c.naive_us > 0.0);
+            assert!(c.cost.is_finite() && c.cost >= 0.0);
+            assert_ne!(
+                c.plan, "full_scan",
+                "planner fell back to the scan it is judged against: {} / {}",
+                c.dataset, c.query
+            );
+        }
+        let json = x17_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x17_query\""));
+        assert!(json.contains("\"bench_meta\""));
+        assert_eq!(json.matches("\"speedup\"").count(), cells.len());
+        assert_eq!(x17_table(&cells).num_rows(), cells.len());
     }
 
     #[test]

@@ -316,6 +316,10 @@ pub enum Command {
         top: Option<usize>,
         /// Basket for a `recommend` request.
         recommend: Option<Vec<u32>>,
+        /// Query-language expression for the `query` endpoint.
+        expr: Option<String>,
+        /// Print plan provenance (plan, cost, cache_hit) with `--expr`.
+        explain: bool,
         /// Fetch server metrics.
         stats: bool,
         /// Ask the server to stop.
@@ -374,7 +378,8 @@ usage:
                  [--server-model threads|reactor]
   plt-mine store inspect --data-dir <dir>
   plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
-                 [--recommend \"1 2\"] [--stats] [--shutdown]";
+                 [--recommend \"1 2\"] [--expr <query>] [--explain]
+                 [--stats] [--shutdown]";
 
 fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
@@ -627,8 +632,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "query" => {
             let (mut index, mut addr) = (None, None);
             let mut itemsets: Vec<Vec<u32>> = Vec::new();
-            let (mut top, mut recommend) = (None, None);
-            let (mut stats, mut shutdown) = (false, false);
+            let (mut top, mut recommend, mut expr) = (None, None, None);
+            let (mut explain, mut stats, mut shutdown) = (false, false, false);
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--index" => index = Some(cur.value(flag)?.to_string()),
@@ -641,17 +646,22 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                             })?)
                     }
                     "--recommend" => recommend = Some(parse_itemset(cur.value(flag)?)?),
+                    "--expr" => expr = Some(cur.value(flag)?.to_string()),
+                    "--explain" => explain = true,
                     "--stats" => stats = true,
                     "--shutdown" => shutdown = true,
                     other => return err(format!("unknown flag {other:?} for query")),
                 }
             }
+            if explain && expr.is_none() {
+                return err("--explain requires --expr");
+            }
             match (index, addr) {
                 (Some(_), Some(_)) => err("query takes --index or --addr, not both"),
                 (Some(index), None) => {
-                    if top.is_some() || recommend.is_some() || stats || shutdown {
+                    if top.is_some() || recommend.is_some() || expr.is_some() || stats || shutdown {
                         return err(
-                            "--top/--recommend/--stats/--shutdown require --addr (server mode)",
+                            "--top/--recommend/--expr/--stats/--shutdown require --addr (server mode)",
                         );
                     }
                     if itemsets.is_empty() {
@@ -663,11 +673,12 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     if itemsets.is_empty()
                         && top.is_none()
                         && recommend.is_none()
+                        && expr.is_none()
                         && !stats
                         && !shutdown
                     {
                         return err(
-                            "server query needs at least one of --itemset/--top/--recommend/--stats/--shutdown",
+                            "server query needs at least one of --itemset/--top/--recommend/--expr/--stats/--shutdown",
                         );
                     }
                     Ok(Command::QueryServer {
@@ -675,6 +686,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         itemsets,
                         top,
                         recommend,
+                        expr,
+                        explain,
                         stats,
                         shutdown,
                     })
@@ -1210,12 +1223,40 @@ mod tests {
                 itemsets: vec![vec![1, 2]],
                 top: Some(5),
                 recommend: None,
+                expr: None,
+                explain: false,
                 stats: true,
                 shutdown: false,
             }
         );
+        // A query-language expression with provenance.
+        let c = parse(&argv(&[
+            "query",
+            "--addr",
+            "127.0.0.1:7878",
+            "--expr",
+            "TOP 5 WHERE support >= 0.2",
+            "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::QueryServer {
+                addr: "127.0.0.1:7878".into(),
+                itemsets: vec![],
+                top: None,
+                recommend: None,
+                expr: Some("TOP 5 WHERE support >= 0.2".into()),
+                explain: true,
+                stats: false,
+                shutdown: false,
+            }
+        );
+        // --explain without --expr is meaningless.
+        assert!(parse(&argv(&["query", "--addr", "y", "--explain"])).is_err());
         // Server-only flags without --addr are rejected.
         assert!(parse(&argv(&["query", "--index", "x.pltc", "--top", "5"])).is_err());
+        assert!(parse(&argv(&["query", "--index", "x.pltc", "--expr", "TOP 5"])).is_err());
         // Both sources are rejected.
         assert!(parse(&argv(&[
             "query",

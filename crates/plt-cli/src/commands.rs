@@ -108,9 +108,13 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             itemsets,
             top,
             recommend,
+            expr,
+            explain,
             stats,
             shutdown,
-        } => query_server(&addr, &itemsets, top, recommend, stats, shutdown, out),
+        } => query_server(
+            &addr, &itemsets, top, recommend, expr, explain, stats, shutdown, out,
+        ),
     }
 }
 
@@ -200,6 +204,8 @@ fn query_server(
     itemsets: &[Vec<u32>],
     top: Option<usize>,
     recommend: Option<Vec<u32>>,
+    expr: Option<String>,
+    explain: bool,
     stats: bool,
     shutdown: bool,
     out: &mut dyn Write,
@@ -241,6 +247,87 @@ fn query_server(
             .map_err(|e| format!("recommend query failed: {e}"))?
         {
             writeln!(out, "  {item}  confidence={confidence:.3}").map_err(io_err)?;
+        }
+    }
+    if let Some(expr) = expr {
+        let v = client
+            .query(&expr)
+            .map_err(|e| format!("query failed: {e}"))?;
+        if explain {
+            writeln!(
+                out,
+                "plan={} cost={:.1} cache_hit={} generation={}",
+                v.get("plan")
+                    .and_then(plt_serve::json::Json::as_str)
+                    .unwrap_or("?"),
+                v.get("cost")
+                    .and_then(plt_serve::json::Json::as_f64)
+                    .unwrap_or(f64::NAN),
+                v.get("cache_hit")
+                    .and_then(plt_serve::json::Json::as_bool)
+                    .unwrap_or(false),
+                v.get("generation")
+                    .and_then(plt_serve::json::Json::as_u64)
+                    .unwrap_or(0),
+            )
+            .map_err(io_err)?;
+        }
+        let kind = v
+            .get("row_kind")
+            .and_then(plt_serve::json::Json::as_str)
+            .unwrap_or("");
+        let rows = v
+            .get("rows")
+            .and_then(plt_serve::json::Json::as_arr)
+            .ok_or_else(|| "malformed query response: missing rows".to_string())?;
+        let items_of = |row: &plt_serve::json::Json, field: &str| -> String {
+            let rendered: Vec<String> = row
+                .get(field)
+                .and_then(plt_serve::json::Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(plt_serve::json::Json::as_u64)
+                        .map(|i| i.to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            format!("{{{}}}", rendered.join(","))
+        };
+        for row in rows {
+            let line = match kind {
+                "support" => format!(
+                    "{}  support={} frequent={}",
+                    items_of(row, "items"),
+                    row.get("support")
+                        .and_then(plt_serve::json::Json::as_u64)
+                        .unwrap_or(0),
+                    row.get("frequent")
+                        .and_then(plt_serve::json::Json::as_bool)
+                        .unwrap_or(false),
+                ),
+                "rules" => format!(
+                    "{} => {}  confidence={:.3} lift={:.3} support={}",
+                    items_of(row, "antecedent"),
+                    items_of(row, "consequent"),
+                    row.get("confidence")
+                        .and_then(plt_serve::json::Json::as_f64)
+                        .unwrap_or(f64::NAN),
+                    row.get("lift")
+                        .and_then(plt_serve::json::Json::as_f64)
+                        .unwrap_or(f64::NAN),
+                    row.get("support")
+                        .and_then(plt_serve::json::Json::as_u64)
+                        .unwrap_or(0),
+                ),
+                _ => format!(
+                    "{}  support={}",
+                    items_of(row, "items"),
+                    row.get("support")
+                        .and_then(plt_serve::json::Json::as_u64)
+                        .unwrap_or(0),
+                ),
+            };
+            writeln!(out, "{line}").map_err(io_err)?;
         }
     }
     if stats {

@@ -34,6 +34,15 @@ pub enum PltError {
     /// A removal referenced a transaction whose vector is not stored (it
     /// was never inserted, or already removed).
     NotPresent,
+    /// A query expression was rejected by the query layer (plt-query):
+    /// a lexical/syntax error, a semantic error (wrong field for the
+    /// query kind, unknown item), or a resource limit (overlong
+    /// expression, predicate nesting too deep). The message names the
+    /// offending token or limit.
+    Query {
+        /// Human-readable description of the rejection.
+        message: String,
+    },
     /// A mining result violated the anti-monotone property: a subset of a
     /// frequent itemset was missing, or had a smaller support than its
     /// superset. Produced by [`MiningResult::check_anti_monotone`]
@@ -63,6 +72,7 @@ impl fmt::Display for PltError {
             PltError::UnknownItem { item } => write!(f, "item {item} has no rank"),
             PltError::ZeroMinSupport => write!(f, "minimum support must be at least 1"),
             PltError::NotPresent => write!(f, "transaction vector is not stored in the PLT"),
+            PltError::Query { message } => write!(f, "query: {message}"),
             PltError::AntiMonotoneViolation {
                 subset,
                 superset,
@@ -98,6 +108,11 @@ mod tests {
         assert!(!PltError::Empty.to_string().is_empty());
         assert!(!PltError::UnsortedRanks.to_string().is_empty());
         assert!(!PltError::ZeroMinSupport.to_string().is_empty());
+        let q = PltError::Query {
+            message: "unexpected token `}`".into(),
+        };
+        assert!(q.to_string().starts_with("query: "));
+        assert!(q.to_string().contains("unexpected token"));
         let missing = PltError::AntiMonotoneViolation {
             subset: crate::item::Itemset::from([1u32, 2]),
             superset: crate::item::Itemset::from([1u32, 2, 3]),

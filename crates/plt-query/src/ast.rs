@@ -1,0 +1,452 @@
+//! Query AST, canonical printer, and normalization.
+//!
+//! The printer is the parser's exact inverse (`parse(q.to_string()) ==
+//! q` for every well-formed `q` — property-tested), which makes the
+//! printed form of a [normalized](Query::normalize) AST a stable cache
+//! key: two expressions that differ only in whitespace, keyword case,
+//! item order inside `{…}`, or the order of commutative AND/OR operands
+//! normalize to the same string.
+
+use std::fmt;
+
+use plt_core::item::Item;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `SUPPORT OF {a,b}` — exact support of one itemset.
+    Support { items: Vec<Item> },
+    /// `TOP k [WHERE pred]` — the `k` best frequent itemsets passing the
+    /// filter, in canonical order (support desc, size asc, lex asc).
+    Top { k: usize, filter: Option<Pred> },
+    /// `RULES [WHERE pred] [TOP k]` — association rules passing the
+    /// filter, in standard quality order. `k = None` returns all.
+    Rules {
+        filter: Option<Pred>,
+        k: Option<usize>,
+    },
+    /// `MINE COND {a} [TOP k]` — every frequent superset of the
+    /// condition (including the condition itself), canonical order.
+    MineCond { cond: Vec<Item>, k: Option<usize> },
+}
+
+/// A filter predicate. AND/OR parse left-associative; NOT binds
+/// tightest; parentheses group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+    /// `field op value`, e.g. `support >= 0.01` or `lift > 1.2`.
+    Cmp {
+        field: Field,
+        op: CmpOp,
+        value: Num,
+    },
+    /// `prefix LIKE {a,*}` — positional match against the leading items
+    /// of the (sorted) itemset; `*` matches any single item.
+    PrefixLike(Vec<PatElem>),
+    /// `contains {a,b}` — all listed items are in the itemset.
+    Contains(Vec<Item>),
+}
+
+/// Comparable fields. `support`/`size` apply to itemset queries,
+/// `confidence`/`lift`/`support` to rule queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    Support,
+    Size,
+    Confidence,
+    Lift,
+}
+
+impl Field {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Field::Support => "support",
+            Field::Size => "size",
+            Field::Confidence => "confidence",
+            Field::Lift => "lift",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Eq,
+}
+
+impl CmpOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "=",
+        }
+    }
+
+    /// Applies the comparison.
+    pub fn holds<T: PartialOrd>(self, lhs: T, rhs: T) -> bool {
+        match self {
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+        }
+    }
+}
+
+/// A numeric literal. A literal written with a decimal point is kept as
+/// a fraction: compared against `support` it resolves relative to the
+/// transaction count (`support >= 0.01` ⇒ `support >= ceil(0.01·|D|)`),
+/// mirroring the CLI's `--min-sup` convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    Abs(u64),
+    Frac(f64),
+}
+
+impl Num {
+    /// The literal as a float (for rule-quality fields).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::Abs(n) => n as f64,
+            Num::Frac(f) => f,
+        }
+    }
+
+    /// The literal as an absolute support count: fractions resolve
+    /// against the transaction count, rounding up (a transaction either
+    /// meets the fraction or it does not).
+    pub fn as_support(self, num_transactions: u64) -> u64 {
+        match self {
+            Num::Abs(n) => n,
+            Num::Frac(f) => (f * num_transactions as f64).ceil().max(0.0) as u64,
+        }
+    }
+}
+
+/// One element of a `LIKE` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatElem {
+    Item(Item),
+    Any,
+}
+
+fn fmt_items(items: &[Item], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{item}")?;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Display for Num {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Num::Abs(n) => write!(f, "{n}"),
+            // Rust's shortest-roundtrip float printing; integral fractions
+            // keep an explicit ".0" so they re-lex as fractions.
+            Num::Frac(x) if x.fract() == 0.0 => write!(f, "{x:.1}"),
+            Num::Frac(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Precedence: OR < AND < NOT < atoms.
+fn prec(p: &Pred) -> u8 {
+    match p {
+        Pred::Or(..) => 1,
+        Pred::And(..) => 2,
+        Pred::Not(..) => 3,
+        _ => 4,
+    }
+}
+
+/// Prints `p` as a child of an operator with precedence `parent`,
+/// parenthesizing when precedence demands it — including same-precedence
+/// right children, so left-associative reparsing rebuilds the same tree.
+fn fmt_child(p: &Pred, parent: u8, right: bool, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let needs_parens = prec(p) < parent
+        || (right && prec(p) == parent && matches!(p, Pred::And(..) | Pred::Or(..)));
+    if needs_parens {
+        write!(f, "({p})")
+    } else {
+        write!(f, "{p}")
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Or(a, b) => {
+                fmt_child(a, 1, false, f)?;
+                write!(f, " OR ")?;
+                fmt_child(b, 1, true, f)
+            }
+            Pred::And(a, b) => {
+                fmt_child(a, 2, false, f)?;
+                write!(f, " AND ")?;
+                fmt_child(b, 2, true, f)
+            }
+            Pred::Not(p) => {
+                write!(f, "NOT ")?;
+                fmt_child(p, 3, true, f)
+            }
+            Pred::Cmp { field, op, value } => {
+                write!(f, "{} {} {}", field.as_str(), op.as_str(), value)
+            }
+            Pred::PrefixLike(pattern) => {
+                write!(f, "prefix LIKE {{")?;
+                for (i, e) in pattern.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    match e {
+                        PatElem::Item(item) => write!(f, "{item}")?,
+                        PatElem::Any => write!(f, "*")?,
+                    }
+                }
+                write!(f, "}}")
+            }
+            Pred::Contains(items) => {
+                write!(f, "contains ")?;
+                fmt_items(items, f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Support { items } => {
+                write!(f, "SUPPORT OF ")?;
+                fmt_items(items, f)
+            }
+            Query::Top { k, filter } => {
+                write!(f, "TOP {k}")?;
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Query::Rules { filter, k } => {
+                write!(f, "RULES")?;
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                if let Some(k) = k {
+                    write!(f, " TOP {k}")?;
+                }
+                Ok(())
+            }
+            Query::MineCond { cond, k } => {
+                write!(f, "MINE COND ")?;
+                fmt_items(cond, f)?;
+                if let Some(k) = k {
+                    write!(f, " TOP {k}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Sorts and dedups an itemset literal (queries are about sets; order
+/// and multiplicity in the source text carry no meaning).
+fn normalize_items(items: &mut Vec<Item>) {
+    items.sort_unstable();
+    items.dedup();
+}
+
+fn normalize_pred(p: Pred) -> Pred {
+    match p {
+        Pred::And(..) => rebuild_chain(p, true),
+        Pred::Or(..) => rebuild_chain(p, false),
+        Pred::Not(inner) => Pred::Not(Box::new(normalize_pred(*inner))),
+        Pred::Contains(mut items) => {
+            normalize_items(&mut items);
+            Pred::Contains(items)
+        }
+        atom => atom,
+    }
+}
+
+/// Flattens a chain of one commutative operator, normalizes and sorts
+/// the operands by their printed form, and rebuilds a left-associative
+/// tree — the canonical shape for operand-order-insensitive cache keys.
+fn rebuild_chain(p: Pred, and: bool) -> Pred {
+    let mut operands = Vec::new();
+    flatten_into(p, and, &mut operands);
+    let mut operands: Vec<Pred> = operands.into_iter().map(normalize_pred).collect();
+    operands.sort_by_key(|o| o.to_string());
+    let mut it = operands.into_iter();
+    let first = it.next().expect("chain has at least two operands");
+    it.fold(first, |acc, next| {
+        if and {
+            Pred::And(Box::new(acc), Box::new(next))
+        } else {
+            Pred::Or(Box::new(acc), Box::new(next))
+        }
+    })
+}
+
+fn flatten_into(p: Pred, and: bool, out: &mut Vec<Pred>) {
+    match (p, and) {
+        (Pred::And(a, b), true) => {
+            flatten_into(*a, true, out);
+            flatten_into(*b, true, out);
+        }
+        (Pred::Or(a, b), false) => {
+            flatten_into(*a, false, out);
+            flatten_into(*b, false, out);
+        }
+        (other, _) => out.push(other),
+    }
+}
+
+impl Query {
+    /// The canonical form: itemsets sorted and deduped, commutative
+    /// AND/OR chains flattened and sorted by printed form. Two queries
+    /// with the same meaning up to those symmetries normalize to equal
+    /// ASTs, and [`cache_key`](Self::cache_key) to equal strings.
+    pub fn normalize(self) -> Query {
+        match self {
+            Query::Support { mut items } => {
+                normalize_items(&mut items);
+                Query::Support { items }
+            }
+            Query::Top { k, filter } => Query::Top {
+                k,
+                filter: filter.map(normalize_pred),
+            },
+            Query::Rules { filter, k } => Query::Rules {
+                filter: filter.map(normalize_pred),
+                k,
+            },
+            Query::MineCond { mut cond, k } => {
+                normalize_items(&mut cond);
+                Query::MineCond { cond, k }
+            }
+        }
+    }
+
+    /// The plan-cache key: the printed normalized form.
+    pub fn cache_key(&self) -> String {
+        self.clone().normalize().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printer_emits_the_grammar_examples() {
+        let q = Query::Support { items: vec![1, 2] };
+        assert_eq!(q.to_string(), "SUPPORT OF {1,2}");
+        let q = Query::Top {
+            k: 20,
+            filter: Some(Pred::And(
+                Box::new(Pred::Cmp {
+                    field: Field::Support,
+                    op: CmpOp::Ge,
+                    value: Num::Frac(0.01),
+                }),
+                Box::new(Pred::PrefixLike(vec![PatElem::Item(3), PatElem::Any])),
+            )),
+        };
+        assert_eq!(
+            q.to_string(),
+            "TOP 20 WHERE support >= 0.01 AND prefix LIKE {3,*}"
+        );
+        let q = Query::MineCond {
+            cond: vec![7],
+            k: Some(10),
+        };
+        assert_eq!(q.to_string(), "MINE COND {7} TOP 10");
+    }
+
+    #[test]
+    fn right_nested_chains_print_with_parens() {
+        let a = Pred::Cmp {
+            field: Field::Support,
+            op: CmpOp::Ge,
+            value: Num::Abs(2),
+        };
+        let b = Pred::Cmp {
+            field: Field::Size,
+            op: CmpOp::Ge,
+            value: Num::Abs(2),
+        };
+        let c = Pred::Contains(vec![1]);
+        // And(a, And(b, c)) must not print as the left-associative
+        // "a AND b AND c".
+        let right = Pred::And(
+            Box::new(a.clone()),
+            Box::new(Pred::And(Box::new(b.clone()), Box::new(c.clone()))),
+        );
+        assert_eq!(
+            right.to_string(),
+            "support >= 2 AND (size >= 2 AND contains {1})"
+        );
+        // And over Or needs parens on both sides.
+        let mixed = Pred::And(Box::new(Pred::Or(Box::new(a), Box::new(b))), Box::new(c));
+        assert_eq!(
+            mixed.to_string(),
+            "(support >= 2 OR size >= 2) AND contains {1}"
+        );
+    }
+
+    #[test]
+    fn normalization_sorts_items_and_operands() {
+        let q = Query::Support {
+            items: vec![3, 1, 3, 2],
+        };
+        assert_eq!(
+            q.normalize(),
+            Query::Support {
+                items: vec![1, 2, 3]
+            }
+        );
+
+        let a = Pred::Cmp {
+            field: Field::Support,
+            op: CmpOp::Ge,
+            value: Num::Abs(2),
+        };
+        let b = Pred::Contains(vec![2, 1]);
+        let ab = Query::Top {
+            k: 5,
+            filter: Some(Pred::And(Box::new(a.clone()), Box::new(b.clone()))),
+        };
+        let ba = Query::Top {
+            k: 5,
+            filter: Some(Pred::And(Box::new(b), Box::new(a))),
+        };
+        assert_eq!(ab.cache_key(), ba.cache_key());
+        assert_eq!(
+            ab.cache_key(),
+            "TOP 5 WHERE contains {1,2} AND support >= 2"
+        );
+    }
+
+    #[test]
+    fn integral_fractions_keep_their_decimal_point() {
+        assert_eq!(Num::Frac(1.0).to_string(), "1.0");
+        assert_eq!(Num::Frac(0.25).to_string(), "0.25");
+        assert_eq!(Num::Abs(1).to_string(), "1");
+    }
+}

@@ -1,0 +1,818 @@
+//! Lexer and recursive-descent parser for the query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := SUPPORT OF itemset
+//!           | TOP int [WHERE pred]
+//!           | RULES [WHERE pred] [TOP int]
+//!           | MINE COND itemset [TOP int]
+//! pred     := conj (OR conj)*
+//! conj     := factor (AND factor)*
+//! factor   := NOT factor | '(' pred ')' | atom
+//! atom     := field cmp number
+//!           | prefix LIKE pattern
+//!           | contains itemset
+//! field    := support | size | confidence | lift
+//! cmp      := >= | > | <= | < | =
+//! itemset  := '{' int (',' int)* '}'
+//! pattern  := '{' (int|'*') (',' (int|'*'))* '}'
+//! ```
+//!
+//! Itemset queries (`TOP`, `MINE COND`) accept `support`/`size`/
+//! `prefix`/`contains` atoms; rule queries (`RULES`) accept
+//! `confidence`/`lift`/`support`. Everything else — including empty
+//! `{}` literals, duplicate items, overlong expressions, and predicates
+//! nested past [`MAX_PRED_DEPTH`] — is a typed [`PltError::Query`],
+//! never a panic.
+
+use plt_core::error::{PltError, Result};
+use plt_core::item::Item;
+
+use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query};
+
+/// Expressions longer than this are rejected before lexing.
+pub const MAX_QUERY_BYTES: usize = 4096;
+
+/// Maximum predicate nesting depth (NOT and parentheses both count).
+pub const MAX_PRED_DEPTH: usize = 32;
+
+fn qerr<T>(message: impl Into<String>) -> Result<T> {
+    Err(PltError::Query {
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Int(u64),
+    Frac(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Cmp(CmpOp),
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => format!("`{w}`"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Frac(x) => format!("`{x}`"),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Cmp(op) => format!("`{}`", op.as_str()),
+        }
+    }
+}
+
+fn lex(expr: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            b'(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            b',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            b'*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            b'>' | b'<' | b'=' => {
+                let eq = bytes.get(i + 1) == Some(&b'=');
+                let op = match (c, eq) {
+                    (b'>', true) => CmpOp::Ge,
+                    (b'>', false) => CmpOp::Gt,
+                    (b'<', true) => CmpOp::Le,
+                    (b'<', false) => CmpOp::Lt,
+                    _ => CmpOp::Eq,
+                };
+                // `=` and `==` are the same operator.
+                i += if eq { 2 } else { 1 };
+                toks.push(Tok::Cmp(op));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_frac = bytes.get(i) == Some(&b'.');
+                if is_frac {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(|b| b.is_ascii_digit()) {
+                        return qerr(format!(
+                            "number `{}.` needs digits after the decimal point",
+                            &expr[start..i - 1]
+                        ));
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &expr[start..i];
+                    match text.parse::<f64>() {
+                        Ok(x) if x.is_finite() => toks.push(Tok::Frac(x)),
+                        _ => return qerr(format!("number `{text}` is out of range")),
+                    }
+                } else {
+                    let text = &expr[start..i];
+                    match text.parse::<u64>() {
+                        Ok(n) => toks.push(Tok::Int(n)),
+                        Err(_) => return qerr(format!("number `{text}` is out of range")),
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok::Word(expr[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return qerr(format!(
+                    "unexpected character `{}` at byte {i}",
+                    (other as char).escape_default()
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Which atom vocabulary a predicate may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredContext {
+    /// `TOP` / `MINE COND`: support, size, prefix LIKE, contains.
+    Itemsets,
+    /// `RULES`: confidence, lift, support.
+    Rules,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str, context: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Word(w)) if w == word => Ok(()),
+            Some(t) => qerr(format!(
+                "expected `{}` {context}, found {}",
+                word.to_uppercase(),
+                t.describe()
+            )),
+            None => qerr(format!(
+                "expected `{}` {context}, found end of query",
+                word.to_uppercase()
+            )),
+        }
+    }
+
+    fn expect_int(&mut self, context: &str) -> Result<u64> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(n),
+            Some(t) => qerr(format!(
+                "{context} must be an integer, found {}",
+                t.describe()
+            )),
+            None => qerr(format!("{context} must be an integer, found end of query")),
+        }
+    }
+
+    /// `'{' int (',' int)* '}'` — non-empty, duplicate-free.
+    fn itemset(&mut self, context: &str) -> Result<Vec<Item>> {
+        match self.next() {
+            Some(Tok::LBrace) => {}
+            Some(t) => {
+                return qerr(format!(
+                    "{context} needs an itemset, found {}",
+                    t.describe()
+                ))
+            }
+            None => return qerr(format!("{context} needs an itemset, found end of query")),
+        }
+        if matches!(self.peek(), Some(Tok::RBrace)) {
+            return qerr(format!("{context} itemset must not be empty"));
+        }
+        let mut items: Vec<Item> = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Int(n)) => {
+                    let item = u32::try_from(n).map_err(|_| PltError::Query {
+                        message: format!("item {n} is out of the u32 item range"),
+                    })?;
+                    if items.contains(&item) {
+                        return qerr(format!("duplicate item {item} in {context} itemset"));
+                    }
+                    items.push(item);
+                }
+                Some(t) => {
+                    return qerr(format!(
+                        "{context} itemset expects item ids, found {}",
+                        t.describe()
+                    ))
+                }
+                None => return qerr(format!("{context} itemset is not closed")),
+            }
+            match self.next() {
+                Some(Tok::Comma) => {}
+                Some(Tok::RBrace) => return Ok(items),
+                Some(t) => {
+                    return qerr(format!(
+                        "{context} itemset expects `,` or `}}`, found {}",
+                        t.describe()
+                    ))
+                }
+                None => return qerr(format!("{context} itemset is not closed")),
+            }
+        }
+    }
+
+    /// `'{' (int|'*') (',' (int|'*'))* '}'` — non-empty.
+    fn pattern(&mut self) -> Result<Vec<PatElem>> {
+        match self.next() {
+            Some(Tok::LBrace) => {}
+            Some(t) => return qerr(format!("LIKE needs a pattern, found {}", t.describe())),
+            None => return qerr("LIKE needs a pattern, found end of query"),
+        }
+        if matches!(self.peek(), Some(Tok::RBrace)) {
+            return qerr("LIKE {} matches nothing: patterns must name at least one element");
+        }
+        let mut pattern = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Int(n)) => {
+                    let item = u32::try_from(n).map_err(|_| PltError::Query {
+                        message: format!("item {n} is out of the u32 item range"),
+                    })?;
+                    pattern.push(PatElem::Item(item));
+                }
+                Some(Tok::Star) => pattern.push(PatElem::Any),
+                Some(t) => {
+                    return qerr(format!(
+                        "pattern expects item ids or `*`, found {}",
+                        t.describe()
+                    ))
+                }
+                None => return qerr("pattern is not closed"),
+            }
+            match self.next() {
+                Some(Tok::Comma) => {}
+                Some(Tok::RBrace) => return Ok(pattern),
+                Some(t) => {
+                    return qerr(format!(
+                        "pattern expects `,` or `}}`, found {}",
+                        t.describe()
+                    ))
+                }
+                None => return qerr("pattern is not closed"),
+            }
+        }
+    }
+
+    fn number(&mut self, field: Field) -> Result<Num> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Num::Abs(n)),
+            Some(Tok::Frac(x)) => {
+                if field == Field::Size {
+                    qerr("size takes an integer, not a fraction")
+                } else {
+                    Ok(Num::Frac(x))
+                }
+            }
+            Some(t) => qerr(format!(
+                "{} comparison needs a number, found {}",
+                field.as_str(),
+                t.describe()
+            )),
+            None => qerr(format!(
+                "{} comparison needs a number, found end of query",
+                field.as_str()
+            )),
+        }
+    }
+
+    fn pred(&mut self, ctx: PredContext, depth: usize) -> Result<Pred> {
+        let mut left = self.conj(ctx, depth)?;
+        while self.eat_word("or") {
+            let right = self.conj(ctx, depth)?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conj(&mut self, ctx: PredContext, depth: usize) -> Result<Pred> {
+        let mut left = self.factor(ctx, depth)?;
+        while self.eat_word("and") {
+            let right = self.factor(ctx, depth)?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self, ctx: PredContext, depth: usize) -> Result<Pred> {
+        if depth >= MAX_PRED_DEPTH {
+            return qerr(format!(
+                "predicate nesting exceeds the maximum depth of {MAX_PRED_DEPTH}"
+            ));
+        }
+        if self.eat_word("not") {
+            return Ok(Pred::Not(Box::new(self.factor(ctx, depth + 1)?)));
+        }
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            let inner = self.pred(ctx, depth + 1)?;
+            match self.next() {
+                Some(Tok::RParen) => return Ok(inner),
+                Some(t) => return qerr(format!("expected `)`, found {}", t.describe())),
+                None => return qerr("expected `)`, found end of query"),
+            }
+        }
+        self.atom(ctx)
+    }
+
+    fn atom(&mut self, ctx: PredContext) -> Result<Pred> {
+        let word = match self.next() {
+            Some(Tok::Word(w)) => w,
+            Some(t) => {
+                return qerr(format!(
+                    "expected a predicate (field comparison, `prefix LIKE`, or \
+                     `contains`), found {}",
+                    t.describe()
+                ))
+            }
+            None => return qerr("expected a predicate, found end of query"),
+        };
+        match (word.as_str(), ctx) {
+            ("prefix", PredContext::Itemsets) => {
+                self.expect_word("like", "after `prefix`")?;
+                Ok(Pred::PrefixLike(self.pattern()?))
+            }
+            ("contains", PredContext::Itemsets) => Ok(Pred::Contains(self.itemset("contains")?)),
+            ("prefix" | "contains", PredContext::Rules) => qerr(format!(
+                "`{word}` filters itemsets; RULES predicates use \
+                 confidence/lift/support"
+            )),
+            (name, _) => {
+                let field = match (name, ctx) {
+                    ("support", _) => Field::Support,
+                    ("size", PredContext::Itemsets) => Field::Size,
+                    ("confidence", PredContext::Rules) => Field::Confidence,
+                    ("lift", PredContext::Rules) => Field::Lift,
+                    ("size", PredContext::Rules) => {
+                        return qerr(
+                            "`size` filters itemsets; RULES predicates use \
+                             confidence/lift/support",
+                        )
+                    }
+                    ("confidence" | "lift", PredContext::Itemsets) => {
+                        return qerr(format!(
+                            "`{name}` is a rule field; itemset predicates use \
+                             support/size/prefix/contains"
+                        ))
+                    }
+                    _ => return qerr(format!("unknown predicate field `{name}`")),
+                };
+                let op = match self.next() {
+                    Some(Tok::Cmp(op)) => op,
+                    Some(t) => {
+                        return qerr(format!(
+                            "`{name}` needs a comparison operator, found {}",
+                            t.describe()
+                        ))
+                    }
+                    None => {
+                        return qerr(format!(
+                            "`{name}` needs a comparison operator, found end of query"
+                        ))
+                    }
+                };
+                let value = self.number(field)?;
+                Ok(Pred::Cmp { field, op, value })
+            }
+        }
+    }
+
+    /// Optional `WHERE pred`.
+    fn filter(&mut self, ctx: PredContext) -> Result<Option<Pred>> {
+        if self.eat_word("where") {
+            Ok(Some(self.pred(ctx, 0)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Optional `TOP k`, with `k = 0` rejected (it asks for nothing).
+    fn top_clause(&mut self) -> Result<Option<usize>> {
+        if self.eat_word("top") {
+            let k = self.expect_int("TOP count")?;
+            if k == 0 {
+                return qerr("TOP 0 asks for nothing");
+            }
+            Ok(Some(k as usize))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let head = match self.next() {
+            Some(Tok::Word(w)) => w,
+            Some(t) => {
+                return qerr(format!(
+                    "query must start with SUPPORT, TOP, RULES, or MINE; found {}",
+                    t.describe()
+                ))
+            }
+            None => return qerr("empty query"),
+        };
+        let q = match head.as_str() {
+            "support" => {
+                self.expect_word("of", "after `SUPPORT`")?;
+                Query::Support {
+                    items: self.itemset("SUPPORT OF")?,
+                }
+            }
+            "top" => {
+                let k = self.expect_int("TOP count")?;
+                if k == 0 {
+                    return qerr("TOP 0 asks for nothing");
+                }
+                Query::Top {
+                    k: k as usize,
+                    filter: self.filter(PredContext::Itemsets)?,
+                }
+            }
+            "rules" => Query::Rules {
+                filter: self.filter(PredContext::Rules)?,
+                k: self.top_clause()?,
+            },
+            "mine" => {
+                self.expect_word("cond", "after `MINE`")?;
+                Query::MineCond {
+                    cond: self.itemset("MINE COND")?,
+                    k: self.top_clause()?,
+                }
+            }
+            other => {
+                return qerr(format!(
+                    "query must start with SUPPORT, TOP, RULES, or MINE; found `{other}`"
+                ))
+            }
+        };
+        match self.peek() {
+            None => Ok(q),
+            Some(t) => qerr(format!("trailing {} after the query", t.describe())),
+        }
+    }
+}
+
+/// Parses one query expression. Errors are always typed
+/// [`PltError::Query`] values with a human-readable message.
+pub fn parse(expr: &str) -> Result<Query> {
+    if expr.len() > MAX_QUERY_BYTES {
+        return qerr(format!(
+            "query is {} bytes; the maximum is {MAX_QUERY_BYTES}",
+            expr.len()
+        ));
+    }
+    let toks = lex(expr)?;
+    Parser { toks, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query};
+    use proptest::prelude::*;
+
+    fn p(expr: &str) -> Query {
+        parse(expr).unwrap_or_else(|e| panic!("parse({expr:?}): {e}"))
+    }
+
+    fn perr(expr: &str) -> String {
+        match parse(expr) {
+            Err(PltError::Query { message }) => message,
+            Ok(q) => panic!("parse({expr:?}) unexpectedly succeeded: {q:?}"),
+            Err(other) => panic!("parse({expr:?}) returned a non-Query error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grammar_examples_parse() {
+        assert_eq!(p("SUPPORT OF {1,2}"), Query::Support { items: vec![1, 2] });
+        assert_eq!(
+            p("TOP 20 WHERE support >= 0.01 AND prefix LIKE {3,*}"),
+            Query::Top {
+                k: 20,
+                filter: Some(Pred::And(
+                    Box::new(Pred::Cmp {
+                        field: Field::Support,
+                        op: CmpOp::Ge,
+                        value: Num::Frac(0.01),
+                    }),
+                    Box::new(Pred::PrefixLike(vec![PatElem::Item(3), PatElem::Any])),
+                )),
+            }
+        );
+        assert_eq!(
+            p("RULES WHERE confidence >= 0.8 AND lift > 1.2"),
+            Query::Rules {
+                filter: Some(Pred::And(
+                    Box::new(Pred::Cmp {
+                        field: Field::Confidence,
+                        op: CmpOp::Ge,
+                        value: Num::Frac(0.8),
+                    }),
+                    Box::new(Pred::Cmp {
+                        field: Field::Lift,
+                        op: CmpOp::Gt,
+                        value: Num::Frac(1.2),
+                    }),
+                )),
+                k: None,
+            }
+        );
+        assert_eq!(
+            p("MINE COND {1} TOP 10"),
+            Query::MineCond {
+                cond: vec![1],
+                k: Some(10),
+            }
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_whitespace_is_free() {
+        assert_eq!(p("support of {1}"), p("SUPPORT   OF\t{ 1 }"));
+        assert_eq!(p("top 5 where size >= 2"), p("TOP 5 WHERE SIZE >= 2"));
+        assert_eq!(p("rules where lift = 1.0"), p("RULES WHERE LIFT == 1.0"));
+    }
+
+    #[test]
+    fn precedence_is_not_over_and_over_or() {
+        let q = p("TOP 5 WHERE NOT size > 3 AND support >= 2 OR contains {1}");
+        let Query::Top {
+            filter: Some(Pred::Or(left, _)),
+            ..
+        } = q
+        else {
+            panic!("OR is the top operator");
+        };
+        assert!(matches!(*left, Pred::And(..)));
+    }
+
+    /// The adversarial table from the issue: each malformed input maps
+    /// to a typed error whose message names the problem.
+    #[test]
+    fn adversarial_inputs_yield_typed_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty query"),
+            ("SUPPORT OF {}", "must not be empty"),
+            ("MINE COND {} TOP 5", "must not be empty"),
+            ("TOP 5 WHERE contains {}", "must not be empty"),
+            ("TOP 5 WHERE prefix LIKE {}", "matches nothing"),
+            ("SUPPORT OF {1,1}", "duplicate item 1"),
+            ("SUPPORT OF {1,2", "not closed"),
+            ("TOP 0", "asks for nothing"),
+            ("RULES TOP 0", "asks for nothing"),
+            ("TOP 5 WHERE confidence >= 0.5", "rule field"),
+            ("RULES WHERE size >= 2", "filters itemsets"),
+            ("RULES WHERE prefix LIKE {1}", "filters itemsets"),
+            ("TOP 5 WHERE size >= 0.5", "integer, not a fraction"),
+            ("TOP 5 WHERE frequency > 1", "unknown predicate field"),
+            ("SUPPORT OF {99999999999}", "out of the u32 item range"),
+            ("TOP 5 WHERE support >= ", "needs a number"),
+            ("TOP 5 WHERE support 2", "comparison operator"),
+            ("EXPLAIN TOP 5", "must start with"),
+            ("TOP 5 WHERE (support >= 2", "expected `)`"),
+            ("SUPPORT OF {1} garbage", "trailing"),
+            (
+                "TOP 5 WHERE support >= 1.",
+                "digits after the decimal point",
+            ),
+            ("SUPPORT OF {1} ; DROP", "unexpected character"),
+        ];
+        for (expr, needle) in cases {
+            let msg = perr(expr);
+            assert!(
+                msg.contains(needle),
+                "parse({expr:?}) error {msg:?} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlong_queries_are_rejected_before_lexing() {
+        let long = format!("SUPPORT OF {{1{}}}", ",2".repeat(MAX_QUERY_BYTES));
+        let msg = perr(&long);
+        assert!(msg.contains("maximum"), "{msg}");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let depth = MAX_PRED_DEPTH + 4;
+        let expr = format!(
+            "TOP 5 WHERE {}support >= 2{}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        assert!(perr(&expr).contains("nesting"));
+        let nots = format!("TOP 5 WHERE {} support >= 2", "NOT ".repeat(depth));
+        assert!(perr(&nots).contains("nesting"));
+        // One level under the cap still parses.
+        let ok = format!(
+            "TOP 5 WHERE {}support >= 2{}",
+            "(".repeat(MAX_PRED_DEPTH - 1),
+            ")".repeat(MAX_PRED_DEPTH - 1)
+        );
+        assert!(parse(&ok).is_ok());
+    }
+
+    /// Deterministic AST builder driven by a byte script: turns proptest
+    /// primitives into structurally diverse queries (the vendored
+    /// proptest shim has no recursive strategies).
+    fn build_pred(script: &[u8], depth: usize, rules: bool, i: &mut usize) -> Pred {
+        let b = script.get(*i).copied().unwrap_or(0);
+        *i += 1;
+        let atom = |b: u8| -> Pred {
+            let fields: &[Field] = if rules {
+                &[Field::Support, Field::Confidence, Field::Lift]
+            } else {
+                &[Field::Support, Field::Size]
+            };
+            let field = fields[(b / 16) as usize % fields.len()];
+            let ops = [CmpOp::Ge, CmpOp::Gt, CmpOp::Le, CmpOp::Lt, CmpOp::Eq];
+            let op = ops[(b / 4) as usize % ops.len()];
+            let value = if field == Field::Size {
+                Num::Abs((b % 7) as u64)
+            } else {
+                match b % 3 {
+                    0 => Num::Abs((b % 11) as u64),
+                    1 => Num::Frac((b % 13) as f64 / 8.0),
+                    _ => Num::Frac((b % 9) as f64),
+                }
+            };
+            Pred::Cmp { field, op, value }
+        };
+        if depth >= 6 {
+            return atom(b);
+        }
+        match b % 8 {
+            0 => Pred::And(
+                Box::new(build_pred(script, depth + 1, rules, i)),
+                Box::new(build_pred(script, depth + 1, rules, i)),
+            ),
+            1 => Pred::Or(
+                Box::new(build_pred(script, depth + 1, rules, i)),
+                Box::new(build_pred(script, depth + 1, rules, i)),
+            ),
+            2 => Pred::Not(Box::new(build_pred(script, depth + 1, rules, i))),
+            3 if !rules => {
+                let n = (b / 8) % 3 + 1;
+                Pred::PrefixLike(
+                    (0..n)
+                        .map(|j| {
+                            if (b >> j) & 1 == 1 {
+                                PatElem::Any
+                            } else {
+                                PatElem::Item((j as u32) + (b as u32 % 5))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            4 if !rules => {
+                let n = (b / 8) % 3 + 1;
+                Pred::Contains((0..n).map(|j| j as u32 * 3 + (b as u32 % 7)).collect())
+            }
+            _ => atom(b),
+        }
+    }
+
+    fn build_query(script: &[u8]) -> Query {
+        let head = script.first().copied().unwrap_or(0);
+        let mut i = 1;
+        let items: Vec<u32> = {
+            let n = (head / 4) % 4 + 1;
+            (0..n).map(|j| j as u32 * 2 + (head as u32 % 3)).collect()
+        };
+        let k = (head % 9) as usize + 1;
+        match head % 4 {
+            0 => Query::Support { items },
+            1 => Query::Top {
+                k,
+                filter: if head & 16 != 0 {
+                    Some(build_pred(script, 0, false, &mut i))
+                } else {
+                    None
+                },
+            },
+            2 => Query::Rules {
+                filter: if head & 16 != 0 {
+                    Some(build_pred(script, 0, true, &mut i))
+                } else {
+                    None
+                },
+                k: if head & 32 != 0 { Some(k) } else { None },
+            },
+            _ => Query::MineCond {
+                cond: items,
+                k: if head & 32 != 0 { Some(k) } else { None },
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// `parse(print(ast)) == ast` for structurally diverse ASTs:
+        /// the printer and parser are exact inverses.
+        #[test]
+        fn prop_print_parse_roundtrip(
+            script in proptest::collection::vec(0u8..255, 1..40),
+        ) {
+            let ast = build_query(&script);
+            let printed = ast.to_string();
+            let reparsed = parse(&printed);
+            prop_assert_eq!(
+                reparsed.as_ref().ok(),
+                Some(&ast),
+                "roundtrip of {}: {:?}",
+                printed,
+                reparsed
+            );
+            // Normalization is idempotent and preserved by the roundtrip.
+            let norm = ast.clone().normalize();
+            prop_assert_eq!(norm.clone().normalize(), norm.clone());
+            prop_assert_eq!(parse(&norm.to_string()).unwrap(), norm);
+        }
+
+        /// No input — printable garbage included — panics the parser;
+        /// failures are always typed `PltError::Query`.
+        #[test]
+        fn prop_parser_never_panics(
+            bytes in proptest::collection::vec(32u8..127, 0..120),
+        ) {
+            let expr: String = bytes.into_iter().map(|b| b as char).collect();
+            match parse(&expr) {
+                Ok(_) => {}
+                Err(PltError::Query { message }) => {
+                    prop_assert!(!message.is_empty());
+                }
+                Err(other) => prop_assert!(false, "non-Query error: {:?}", other),
+            }
+        }
+    }
+}

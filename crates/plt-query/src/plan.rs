@@ -1,0 +1,252 @@
+//! The cost-based planner: logical query → physical operator.
+//!
+//! Each query shape admits several physical operators (see the table in
+//! `DESIGN.md` §13); the planner estimates each candidate's cost from
+//! the source's cardinality stats and picks the cheapest, breaking ties
+//! toward the earlier (more specialized) candidate. All candidates
+//! return identical rows — the choice affects time, never results —
+//! which is what lets `tests/query_equivalence.rs` force each operator
+//! in turn and compare.
+
+use plt_core::error::{PltError, Result};
+
+use crate::ast::Query;
+use crate::source::Source;
+
+/// A physical operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhysOp {
+    /// Canonical-key point lookup on the snapshot index (Lemma 4.1.2),
+    /// oracle fallback for infrequent sets. `SUPPORT OF` only.
+    IndexPoint,
+    /// Best-first traversal of the extension index (Lemma 4.1.3) with
+    /// top-k early termination. `TOP` and `MINE COND`.
+    ExtTraverse,
+    /// Ordered scan of the precomputed rule index with confidence-bound
+    /// early termination. `RULES` only.
+    RuleScan,
+    /// On-demand conditional mining of the sub-PLT rooted at the
+    /// condition. `MINE COND` only.
+    CondMine,
+    /// Brute-force scan — the universal fallback and the differential
+    /// oracle.
+    FullScan,
+}
+
+impl PhysOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhysOp::IndexPoint => "index_point",
+            PhysOp::ExtTraverse => "ext_traverse",
+            PhysOp::RuleScan => "rule_scan",
+            PhysOp::CondMine => "cond_mine",
+            PhysOp::FullScan => "full_scan",
+        }
+    }
+}
+
+/// A compiled plan: the chosen operator and its estimated cost (in
+/// abstract "row touches", comparable only within one planning call).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    pub op: PhysOp,
+    pub cost: f64,
+}
+
+/// The physical operators applicable to a query shape, most specialized
+/// first. `FullScan` applies to everything and is always last.
+pub fn applicable_ops(q: &Query) -> &'static [PhysOp] {
+    match q {
+        Query::Support { .. } => &[PhysOp::IndexPoint, PhysOp::FullScan],
+        Query::Top { .. } => &[PhysOp::ExtTraverse, PhysOp::FullScan],
+        Query::Rules { .. } => &[PhysOp::RuleScan, PhysOp::FullScan],
+        Query::MineCond { .. } => &[PhysOp::ExtTraverse, PhysOp::CondMine, PhysOp::FullScan],
+    }
+}
+
+/// Estimated cost of running `op` on `q` against a source with the
+/// given stats. See `DESIGN.md` §13 for the model's derivation.
+fn cost_of(op: PhysOp, q: &Query, src: &dyn Source) -> f64 {
+    let stats = src.stats();
+    let n_sets = stats.num_itemsets as f64;
+    let n_rules = stats.num_rules as f64;
+    let n_vectors = stats.num_vectors as f64;
+    // Average children per traversal node; floor 2 keeps sparse indexes
+    // from looking free.
+    let fanout = (n_sets / (stats.num_roots.max(1) as f64)).max(2.0);
+    match (op, q) {
+        (PhysOp::IndexPoint, Query::Support { items }) => items.len() as f64,
+        (PhysOp::FullScan, Query::Support { .. }) => n_vectors,
+        (PhysOp::ExtTraverse, Query::Top { k, filter }) => {
+            // Filtered traversals expand past non-passing nodes, so a
+            // filter inflates the frontier estimate.
+            let selectivity = if filter.is_some() { 4.0 } else { 1.0 };
+            ((*k as f64) + 1.0) * fanout * selectivity
+        }
+        (PhysOp::FullScan, Query::Top { .. }) => n_sets,
+        (PhysOp::RuleScan, Query::Rules { filter, .. }) => {
+            // A top-level confidence bound c lets the scan stop after
+            // roughly the (1 - c) fraction of the confidence-sorted
+            // index (clamped: even c = 1.0 reads some prefix).
+            match filter.as_ref().and_then(crate::exec::confidence_bound) {
+                Some((c, _)) => n_rules * (1.0 - c).clamp(0.02, 1.0),
+                None => n_rules,
+            }
+        }
+        (PhysOp::FullScan, Query::Rules { .. }) => n_rules,
+        (PhysOp::ExtTraverse, Query::MineCond { k, .. }) => {
+            let k_eff = k.map(|k| k as f64).unwrap_or(n_sets);
+            (k_eff + 1.0) * fanout
+        }
+        (PhysOp::CondMine, Query::MineCond { cond, .. }) => {
+            // Rebuild cost scales with the conditional database size
+            // (= support of the condition), plus a fixed mining setup.
+            let (s_cond, _) = src.support_of(cond);
+            s_cond as f64 * 4.0 + 16.0
+        }
+        (PhysOp::FullScan, Query::MineCond { .. }) => n_sets,
+        // Planner never pairs other combinations; make them unattractive
+        // rather than unrepresentable so the force hook stays simple.
+        _ => f64::INFINITY,
+    }
+}
+
+/// Validates `q` against the source at plan time, so every operator
+/// fails identically on invalid input. Only `MINE COND` conditions are
+/// checked: naming an item the ranking has never seen is a user error
+/// (`SUPPORT OF` an unknown item legitimately answers 0, and filter
+/// items that never match simply select nothing).
+fn validate(q: &Query, src: &dyn Source) -> Result<()> {
+    if let Query::MineCond { cond, .. } = q {
+        let plt = src.plt();
+        for &item in cond {
+            if plt.ranking().rank(item).is_none() {
+                return Err(PltError::Query {
+                    message: format!("unknown item {item} in MINE COND (infrequent or never seen)"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Plans `q` (already normalized) against `src`. With `force`, the
+/// given operator is used if applicable (the test-only override hook);
+/// otherwise the cheapest candidate wins, ties going to the earlier
+/// (more specialized) one.
+pub fn plan(q: &Query, src: &dyn Source, force: Option<PhysOp>) -> Result<Plan> {
+    validate(q, src)?;
+    let candidates = applicable_ops(q);
+    if let Some(op) = force {
+        if !candidates.contains(&op) {
+            return Err(PltError::Query {
+                message: format!("operator {} does not apply to `{q}`", op.as_str()),
+            });
+        }
+        return Ok(Plan {
+            op,
+            cost: cost_of(op, q, src),
+        });
+    }
+    let mut best: Option<Plan> = None;
+    for &op in candidates {
+        let cost = cost_of(op, q, src);
+        // Strict `<`: ties go to the earlier (more specialized) candidate.
+        let improves = match best {
+            Some(b) => cost < b.cost,
+            None => true,
+        };
+        if improves {
+            best = Some(Plan { op, cost });
+        }
+    }
+    Ok(best.expect("every query shape has at least FullScan"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Field, Num, Pred};
+    use crate::source::tests::mem_source;
+
+    #[test]
+    fn planner_prefers_the_specialized_operator() {
+        let src = mem_source(2);
+        let p = plan(&Query::Support { items: vec![0, 1] }, &src, None).unwrap();
+        assert_eq!(p.op, PhysOp::IndexPoint);
+        let p = plan(&Query::Top { k: 3, filter: None }, &src, None).unwrap();
+        // Tiny source: either way is fine, but the cost must be finite
+        // and the op applicable.
+        assert!(p.cost.is_finite());
+        assert!(applicable_ops(&Query::Top { k: 3, filter: None }).contains(&p.op));
+        let p = plan(
+            &Query::Rules {
+                filter: Some(Pred::Cmp {
+                    field: Field::Confidence,
+                    op: CmpOp::Ge,
+                    value: Num::Frac(0.9),
+                }),
+                k: None,
+            },
+            &src,
+            None,
+        )
+        .unwrap();
+        assert_eq!(p.op, PhysOp::RuleScan);
+    }
+
+    #[test]
+    fn confidence_bound_discounts_rule_scan() {
+        let src = mem_source(2);
+        let bounded = plan(
+            &Query::Rules {
+                filter: Some(Pred::Cmp {
+                    field: Field::Confidence,
+                    op: CmpOp::Ge,
+                    value: Num::Frac(0.9),
+                }),
+                k: None,
+            },
+            &src,
+            None,
+        )
+        .unwrap();
+        let unbounded = plan(
+            &Query::Rules {
+                filter: None,
+                k: None,
+            },
+            &src,
+            None,
+        )
+        .unwrap();
+        assert!(bounded.cost < unbounded.cost);
+    }
+
+    #[test]
+    fn force_hook_respects_applicability() {
+        let src = mem_source(2);
+        let q = Query::MineCond {
+            cond: vec![0],
+            k: Some(5),
+        };
+        for op in [PhysOp::ExtTraverse, PhysOp::CondMine, PhysOp::FullScan] {
+            assert_eq!(plan(&q, &src, Some(op)).unwrap().op, op);
+        }
+        let err = plan(&q, &src, Some(PhysOp::RuleScan)).unwrap_err();
+        assert!(err.to_string().contains("does not apply"));
+    }
+
+    #[test]
+    fn unknown_cond_item_is_rejected_at_plan_time() {
+        let src = mem_source(2);
+        let q = Query::MineCond {
+            cond: vec![99],
+            k: None,
+        };
+        for force in [None, Some(PhysOp::ExtTraverse), Some(PhysOp::CondMine)] {
+            let err = plan(&q, &src, force).unwrap_err();
+            assert!(err.to_string().contains("unknown item 99"), "{err}");
+        }
+    }
+}

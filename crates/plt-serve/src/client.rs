@@ -460,6 +460,16 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// `query` endpoint: one query-language expression, answered with
+    /// rows plus plan provenance (`rows`, `row_kind`, `plan`, `cost`,
+    /// `cache_hit`). Returned as raw JSON — the row shape depends on the
+    /// query kind.
+    pub fn query(&mut self, expr: &str) -> Result<Json, ClientError> {
+        self.request(&Request::Query {
+            expr: expr.to_string(),
+        })
+    }
+
     /// `ingest` endpoint; with `wait`, returns the published generation.
     pub fn ingest(
         &mut self,

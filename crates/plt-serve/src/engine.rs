@@ -10,7 +10,7 @@
 //! per-worker [`ReaderCache`].
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::cache::ShardedCache;
@@ -68,6 +68,13 @@ pub struct Engine {
     cache: ShardedCache,
     metrics: Metrics,
     state: AtomicU8,
+    /// Cost-based plans keyed by normalized query text; entries carry the
+    /// generation they were planned against, so a publish invalidates
+    /// them lazily on next lookup.
+    plans: plt_query::PlanCache,
+    /// Optional shared plt-obs recorder; when attached, query executions
+    /// emit `query.*` counters and `query/execute` spans into it.
+    obs: OnceLock<Arc<Mutex<plt_obs::MetricsRecorder>>>,
 }
 
 impl Engine {
@@ -87,7 +94,20 @@ impl Engine {
             cache: ShardedCache::new(cache_capacity, shards),
             metrics,
             state: AtomicU8::new(ServingState::Fresh.as_u8()),
+            plans: plt_query::PlanCache::new(256),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches a shared plt-obs recorder; query executions then emit
+    /// `query.*` counters and spans into it. First attachment wins.
+    pub fn attach_obs(&self, obs: Arc<Mutex<plt_obs::MetricsRecorder>>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// The query-language plan cache (stats and tests).
+    pub fn plan_cache(&self) -> &plt_query::PlanCache {
+        &self.plans
     }
 
     /// The current snapshot. Lock held only for the `Arc` clone.
@@ -308,6 +328,37 @@ impl Engine {
                     ("stale", Json::Bool(stale)),
                 ])
             }
+            Request::Query { expr } => {
+                let result = match self.obs.get() {
+                    Some(shared) => {
+                        let mut recorder = shared.lock().unwrap();
+                        let mut obs = plt_obs::Obs::new(&mut *recorder);
+                        plt_query::run_cached(expr, &*snap, &self.plans, &mut obs)
+                    }
+                    None => {
+                        let mut obs = plt_obs::Obs::none();
+                        plt_query::run_cached(expr, &*snap, &self.plans, &mut obs)
+                    }
+                };
+                match result {
+                    Ok((rows, prov)) => {
+                        self.metrics.query.record(Some(prov.plan.op));
+                        ok_response(vec![
+                            ("row_kind", Json::str(rows.kind())),
+                            ("rows", rows_json(&rows)),
+                            ("plan", Json::str(prov.plan.op.as_str())),
+                            ("cost", Json::from(prov.plan.cost)),
+                            ("cache_hit", Json::Bool(prov.cache_hit)),
+                            ("generation", Json::from(snap.generation())),
+                            ("stale", Json::Bool(stale)),
+                        ])
+                    }
+                    Err(e) => {
+                        self.metrics.query.record(None);
+                        err_response(e.to_string())
+                    }
+                }
+            }
             Request::Stats => {
                 let endpoints = self
                     .metrics
@@ -458,6 +509,40 @@ impl Engine {
                             Json::Null
                         }
                     }),
+                    ("query", {
+                        let q = &self.metrics.query;
+                        if q.is_enabled() {
+                            let counters = self.plans.counters();
+                            Json::obj(vec![
+                                ("requests", Json::from(q.requests.load(Ordering::Relaxed))),
+                                (
+                                    "parse_errors",
+                                    Json::from(q.parse_errors.load(Ordering::Relaxed)),
+                                ),
+                                (
+                                    "plans",
+                                    Json::obj(
+                                        q.plan_report()
+                                            .into_iter()
+                                            .map(|(name, count)| (name, Json::from(count)))
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "plan_cache",
+                                    Json::obj(vec![
+                                        ("entries", Json::from(self.plans.len() as u64)),
+                                        ("hits", Json::from(counters.hits)),
+                                        ("misses", Json::from(counters.misses)),
+                                        ("evictions", Json::from(counters.evictions)),
+                                        ("invalidations", Json::from(counters.invalidations)),
+                                    ]),
+                                ),
+                            ])
+                        } else {
+                            Json::Null
+                        }
+                    }),
                 ])
             }
             Request::Ping => ok_response(vec![
@@ -481,6 +566,7 @@ fn endpoint_of(request: &Request) -> Option<Endpoint> {
         Request::TopK { .. } => Endpoint::TopK,
         Request::Extensions { .. } => Endpoint::Extensions,
         Request::Recommend { .. } => Endpoint::Recommend,
+        Request::Query { .. } => Endpoint::Query,
         Request::Stats => Endpoint::Stats,
         Request::Ingest { .. } => Endpoint::Ingest,
         Request::Ping => Endpoint::Ping,
@@ -496,7 +582,59 @@ fn endpoint_cacheable(request: &Request) -> Option<Endpoint> {
         Request::TopK { .. } => Some(Endpoint::TopK),
         Request::Extensions { .. } => Some(Endpoint::Extensions),
         Request::Recommend { .. } => Some(Endpoint::Recommend),
+        Request::Query { .. } => Some(Endpoint::Query),
         _ => None,
+    }
+}
+
+/// Renders a query result set as the `rows` response field.
+fn rows_json(rows: &plt_query::Rows) -> Json {
+    fn items_json(itemset: &plt_core::item::Itemset) -> Json {
+        Json::Arr(
+            itemset
+                .items()
+                .iter()
+                .map(|&i| Json::from(i as u64))
+                .collect(),
+        )
+    }
+    match rows {
+        plt_query::Rows::Support {
+            items,
+            support,
+            frequent,
+        } => Json::Arr(vec![Json::obj(vec![
+            (
+                "items",
+                Json::Arr(items.iter().map(|&i| Json::from(i as u64)).collect()),
+            ),
+            ("support", Json::from(*support)),
+            ("frequent", Json::Bool(*frequent)),
+        ])]),
+        plt_query::Rows::Itemsets(rows) => Json::Arr(
+            rows.iter()
+                .map(|(itemset, support)| {
+                    Json::obj(vec![
+                        ("items", items_json(itemset)),
+                        ("support", Json::from(*support)),
+                    ])
+                })
+                .collect(),
+        ),
+        plt_query::Rows::Rules(rules) => Json::Arr(
+            rules
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("antecedent", items_json(&r.antecedent)),
+                        ("consequent", items_json(&r.consequent)),
+                        ("support", Json::from(r.support)),
+                        ("confidence", Json::from(r.confidence)),
+                        ("lift", Json::from(r.lift)),
+                    ])
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -654,6 +792,139 @@ mod tests {
         // Failure count is cumulative, not reset by recovery.
         let stats = Json::parse(&engine.handle(&Request::Stats)).unwrap();
         assert_eq!(stats.get("builder_failures").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn query_endpoint_answers_with_plan_provenance() {
+        let engine = engine();
+        let response = engine.handle(&Request::Query {
+            expr: "SUPPORT OF {0, 1, 2}".to_string(),
+        });
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("row_kind").unwrap().as_str(), Some("support"));
+        assert_eq!(v.get("plan").unwrap().as_str(), Some("index_point"));
+        assert_eq!(v.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert!(v.get("cost").unwrap().as_f64().unwrap() > 0.0);
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].get("support").unwrap().as_u64(), Some(3));
+        assert_eq!(rows[0].get("frequent").unwrap().as_bool(), Some(true));
+
+        // A small unfiltered top-k is cheaper via extension traversal
+        // than a full scan, even on this tiny snapshot.
+        let v = Json::parse(&engine.handle(&Request::Query {
+            expr: "TOP 2".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(v.get("plan").unwrap().as_str(), Some("ext_traverse"));
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[0].get("support").unwrap().as_u64() >= rows[1].get("support").unwrap().as_u64()
+        );
+
+        // Rules through the rule index.
+        let v = Json::parse(&engine.handle(&Request::Query {
+            expr: "RULES WHERE confidence >= 0.6 TOP 5".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(v.get("plan").unwrap().as_str(), Some("rule_scan"));
+        assert_eq!(v.get("row_kind").unwrap().as_str(), Some("rules"));
+        for row in v.get("rows").unwrap().as_arr().unwrap() {
+            assert!(row.get("confidence").unwrap().as_f64().unwrap() >= 0.6);
+        }
+    }
+
+    #[test]
+    fn query_errors_are_typed_and_counted() {
+        let engine = engine();
+        let v = Json::parse(&engine.handle(&Request::Query {
+            expr: "SUPPORT OF {}".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert!(v
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("query:"));
+        assert_eq!(
+            engine.metrics().query.parse_errors.load(Ordering::Relaxed),
+            1
+        );
+        // The engine still answers afterwards.
+        let v = Json::parse(&engine.handle(&Request::Query {
+            expr: "SUPPORT OF {0}".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn query_plan_cache_hits_on_normalized_equivalents_and_publish_invalidates() {
+        let engine = engine();
+        let first = Json::parse(&engine.handle(&Request::Query {
+            expr: "TOP 4 WHERE support >= 2 AND size >= 2".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(first.get("cache_hit").unwrap().as_bool(), Some(false));
+        // Different spelling, same normalized AST — and a different
+        // response-cache key, so this exercises the *plan* cache.
+        let second = Json::parse(&engine.handle(&Request::Query {
+            expr: "top 4 where size >= 2 and support >= 2".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(second.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            first.get("rows").unwrap().to_string(),
+            second.get("rows").unwrap().to_string()
+        );
+        assert_eq!(engine.plan_cache().counters().hits, 1);
+
+        // A publish moves the generation; the cached plan is stale.
+        let db = vec![vec![0, 1], vec![0, 1], vec![0, 2]];
+        let plt = construct(&db, 2, ConstructOptions::conditional()).unwrap();
+        let result = ConditionalMiner::default().mine(&db, 2);
+        engine.publish(Arc::new(Snapshot::build(
+            2,
+            plt,
+            &result,
+            RuleConfig::default(),
+        )));
+        let third = Json::parse(&engine.handle(&Request::Query {
+            expr: "TOP 4 WHERE support >= 2 AND size >= 2".to_string(),
+        }))
+        .unwrap();
+        assert_eq!(third.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(third.get("generation").unwrap().as_u64(), Some(2));
+        assert_eq!(engine.plan_cache().counters().invalidations, 1);
+    }
+
+    #[test]
+    fn stats_surface_query_block_after_first_query() {
+        let engine = engine();
+        // Before any query the block is hidden.
+        let stats = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        assert!(matches!(stats.get("query"), Some(Json::Null)));
+
+        engine.handle(&Request::Query {
+            expr: "MINE COND {3} TOP 2".to_string(),
+        });
+        engine.handle(&Request::Query {
+            expr: "nonsense".to_string(),
+        });
+        let stats = Json::parse(&engine.handle(&Request::Stats)).unwrap();
+        let q = stats.get("query").unwrap();
+        assert_eq!(q.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(q.get("parse_errors").unwrap().as_u64(), Some(1));
+        let plans = q.get("plans").unwrap();
+        let mined: u64 = plans.get("ext_traverse").unwrap().as_u64().unwrap()
+            + plans.get("cond_mine").unwrap().as_u64().unwrap();
+        assert_eq!(mined, 1);
+        let cache = q.get("plan_cache").unwrap();
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("entries").unwrap().as_u64(), Some(1));
     }
 
     #[test]

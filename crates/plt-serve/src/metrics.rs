@@ -77,17 +77,19 @@ pub enum Endpoint {
     TopK,
     Extensions,
     Recommend,
+    Query,
     Stats,
     Ingest,
     Ping,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Support,
         Endpoint::TopK,
         Endpoint::Extensions,
         Endpoint::Recommend,
+        Endpoint::Query,
         Endpoint::Stats,
         Endpoint::Ingest,
         Endpoint::Ping,
@@ -99,6 +101,7 @@ impl Endpoint {
             Endpoint::TopK => "top_k",
             Endpoint::Extensions => "extensions",
             Endpoint::Recommend => "recommend",
+            Endpoint::Query => "query",
             Endpoint::Stats => "stats",
             Endpoint::Ingest => "ingest",
             Endpoint::Ping => "ping",
@@ -113,7 +116,7 @@ pub type EndpointReport = (&'static str, u64, u64, u64, Option<u64>, Option<u64>
 
 #[derive(Debug, Default)]
 pub struct Metrics {
-    endpoints: [EndpointStats; 7],
+    endpoints: [EndpointStats; 8],
     /// Current snapshot generation (gauge, set on publish).
     pub generation: AtomicU64,
     /// Snapshots published over the service lifetime.
@@ -148,6 +151,76 @@ pub struct Metrics {
     /// Reactor counters; all zero (and hidden from `STATS`) under the
     /// thread-per-connection model.
     pub reactor: ReactorMetrics,
+    /// Query-language counters; all zero (and hidden from `STATS`) until
+    /// the first `query` request.
+    pub query: QueryStats,
+}
+
+/// Counters for the query endpoint, following the [`StorageMetrics`]
+/// enabled-flag pattern: `enabled` flips to 1 on the first query, so
+/// `stats` omits the block for services that never see one. Plan-cache
+/// hit/miss/eviction/invalidation counts live in the plan cache itself
+/// (`plt_query::PlanCache::counters`) and are merged into the same
+/// `stats` block by the engine.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    pub enabled: AtomicU64,
+    /// Query requests answered (parse errors included).
+    pub requests: AtomicU64,
+    /// Expressions rejected by the parser/validator.
+    pub parse_errors: AtomicU64,
+    /// Chosen-plan counters, indexed like
+    /// [`plt_query::PhysOp`]: index_point, ext_traverse, rule_scan,
+    /// cond_mine, full_scan.
+    pub plans: [AtomicU64; 5],
+}
+
+impl QueryStats {
+    /// Records one answered query and the plan that served it
+    /// (`None` = the expression never reached planning).
+    pub fn record(&self, plan: Option<plt_query::PhysOp>) {
+        self.enabled.store(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match plan {
+            Some(op) => {
+                self.plans[Self::plan_index(op)].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.parse_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn plan_index(op: plt_query::PhysOp) -> usize {
+        match op {
+            plt_query::PhysOp::IndexPoint => 0,
+            plt_query::PhysOp::ExtTraverse => 1,
+            plt_query::PhysOp::RuleScan => 2,
+            plt_query::PhysOp::CondMine => 3,
+            plt_query::PhysOp::FullScan => 4,
+        }
+    }
+
+    /// `(name, count)` rows for the `stats` endpoint's plan breakdown.
+    pub fn plan_report(&self) -> [(&'static str, u64); 5] {
+        let ops = [
+            plt_query::PhysOp::IndexPoint,
+            plt_query::PhysOp::ExtTraverse,
+            plt_query::PhysOp::RuleScan,
+            plt_query::PhysOp::CondMine,
+            plt_query::PhysOp::FullScan,
+        ];
+        ops.map(|op| {
+            (
+                op.as_str(),
+                self.plans[Self::plan_index(op)].load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) != 0
+    }
 }
 
 /// Counters for the epoll reactor server model, following the
@@ -235,9 +308,10 @@ impl Metrics {
             Endpoint::TopK => 1,
             Endpoint::Extensions => 2,
             Endpoint::Recommend => 3,
-            Endpoint::Stats => 4,
-            Endpoint::Ingest => 5,
-            Endpoint::Ping => 6,
+            Endpoint::Query => 4,
+            Endpoint::Stats => 5,
+            Endpoint::Ingest => 6,
+            Endpoint::Ping => 7,
         }]
     }
 
@@ -396,6 +470,29 @@ mod tests {
         assert_eq!(m.timeouts.load(Ordering::Relaxed), 0);
         assert_eq!(m.rejected_connections.load(Ordering::Relaxed), 0);
         assert_eq!(m.rebuild_report(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn query_stats_flip_enabled_and_count_plans() {
+        let m = Metrics::default();
+        assert!(!m.query.is_enabled());
+        m.query.record(Some(plt_query::PhysOp::IndexPoint));
+        m.query.record(Some(plt_query::PhysOp::IndexPoint));
+        m.query.record(Some(plt_query::PhysOp::CondMine));
+        m.query.record(None); // parse error
+        assert!(m.query.is_enabled());
+        assert_eq!(m.query.requests.load(Ordering::Relaxed), 4);
+        assert_eq!(m.query.parse_errors.load(Ordering::Relaxed), 1);
+        let report = m.query.plan_report();
+        assert_eq!(report[0], ("index_point", 2));
+        assert_eq!(report[3], ("cond_mine", 1));
+        assert_eq!(report[4], ("full_scan", 0));
+        // The query endpoint has latency stats like any other.
+        m.endpoint(Endpoint::Query)
+            .record(Duration::from_micros(3), Some(false));
+        let r = m.report();
+        let q = r.iter().find(|r| r.0 == "query").unwrap();
+        assert_eq!((q.1, q.2, q.3), (1, 0, 1));
     }
 
     #[test]

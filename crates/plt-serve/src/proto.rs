@@ -36,6 +36,9 @@ pub enum Request {
     Extensions { items: Vec<Item>, k: usize },
     /// Rule-backed recommendations for a basket.
     Recommend { items: Vec<Item>, k: usize },
+    /// A query-language expression (see `plt-query`), planned and
+    /// executed with plan provenance in the response.
+    Query { expr: String },
     /// Service metrics.
     Stats,
     /// Append transactions to the stream behind the snapshot builder.
@@ -101,6 +104,15 @@ impl Request {
                 items: items("items")?,
                 k: k(5)?,
             }),
+            "query" => {
+                let expr = v
+                    .get("expr")
+                    .and_then(Json::as_str)
+                    .ok_or("\"expr\" must be a string")?;
+                Ok(Request::Query {
+                    expr: expr.to_string(),
+                })
+            }
             "stats" => Ok(Request::Stats),
             "ingest" => {
                 let arr = v
@@ -149,6 +161,10 @@ impl Request {
                 ("op", Json::str("recommend")),
                 ("items", items_json(items)),
                 ("k", Json::from(*k as u64)),
+            ]),
+            Request::Query { expr } => Json::obj(vec![
+                ("op", Json::str("query")),
+                ("expr", Json::Str(expr.clone())),
             ]),
             Request::Stats => Json::obj(vec![("op", Json::str("stats"))]),
             Request::Ingest { transactions, wait } => Json::obj(vec![
@@ -373,6 +389,9 @@ mod tests {
                 items: vec![],
                 k: 5,
             },
+            Request::Query {
+                expr: "TOP 5 WHERE support >= 0.2".to_string(),
+            },
             Request::Stats,
             Request::Ingest {
                 transactions: vec![vec![1, 2], vec![3]],
@@ -413,6 +432,10 @@ mod tests {
         assert!(Request::from_json(&v).unwrap_err().contains("op"));
         let v = Json::parse(r#"{"op":"support","items":[-1]}"#).unwrap();
         assert!(Request::from_json(&v).is_err());
+        let v = Json::parse(r#"{"op":"query","expr":7}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap_err().contains("expr"));
+        let v = Json::parse(r#"{"op":"query"}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap_err().contains("expr"));
     }
 
     #[test]

@@ -211,6 +211,12 @@ pub fn serve(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    // Query executions emit `query.*` counters into the shared recorder
+    // under either server model (the reactor additionally merges its
+    // per-thread span batches into it).
+    if let Some(obs) = &config.obs {
+        engine.attach_obs(obs.clone());
+    }
     #[cfg(target_os = "linux")]
     if config.server_model == ServerModel::Reactor {
         return crate::reactor::serve_reactor(listener, engine, ingest, config, addr);

@@ -308,6 +308,56 @@ impl Snapshot {
     pub fn plt(&self) -> &Plt {
         &self.plt
     }
+
+    /// All frequent itemsets in canonical order (support desc, size
+    /// asc, lexicographic asc).
+    pub fn ranked(&self) -> &[(Itemset, Support)] {
+        &self.ranked
+    }
+
+    /// All precomputed rules in standard quality order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+}
+
+/// A snapshot is directly queryable by the plt-query planner/executor:
+/// its canonical-key index answers point lookups, its inverted
+/// Lemma 4.1.3 index answers extension traversal, and its sorted
+/// itemset/rule arrays are the scan surfaces.
+impl plt_query::Source for Snapshot {
+    fn stats(&self) -> plt_query::SourceStats {
+        plt_query::SourceStats {
+            generation: self.generation,
+            num_transactions: self.plt.num_transactions(),
+            min_support: self.plt.min_support(),
+            num_itemsets: self.ranked.len(),
+            num_rules: self.rules.len(),
+            num_vectors: self.plt.num_vectors(),
+            num_roots: self.roots.len(),
+        }
+    }
+
+    fn support_of(&self, items: &[Item]) -> (Support, bool) {
+        let a = self.support(items);
+        (a.support, a.frequent)
+    }
+
+    fn ranked(&self) -> &[(Itemset, Support)] {
+        &self.ranked
+    }
+
+    fn extensions_of(&self, items: &[Item]) -> Vec<(Item, Support)> {
+        self.extensions(items, usize::MAX)
+    }
+
+    fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    fn plt(&self) -> &Plt {
+        &self.plt
+    }
 }
 
 /// The rank present in `superset_ranks` but missing from `sub` — the

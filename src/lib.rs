@@ -6,8 +6,9 @@
 //! ([`compress`]), association-rule generation ([`rules`]),
 //! closed/maximal mining ([`closed`]), streaming maintenance
 //! ([`stream`]), sharded incremental mining ([`shard`]), durable
-//! segmented storage ([`store`]), the online query service ([`serve`])
-//! and the observability layer ([`obs`]).
+//! segmented storage ([`store`]), the online query service ([`serve`]),
+//! the query language and planner ([`query`]) and the observability
+//! layer ([`obs`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -19,6 +20,7 @@ pub use plt_core as core;
 pub use plt_data as data;
 pub use plt_obs as obs;
 pub use plt_parallel as parallel;
+pub use plt_query as query;
 pub use plt_rules as rules;
 pub use plt_serve as serve;
 pub use plt_shard as shard;

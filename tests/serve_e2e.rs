@@ -225,6 +225,159 @@ fn concurrent_clients_get_consistent_answers() {
 }
 
 #[test]
+fn query_endpoint_answers_over_the_wire_with_provenance() {
+    // Large enough that the PLT holds many distinct vectors: the cost
+    // model must prefer the index operators over the full scan.
+    let db = BasketGenerator::new(BasketConfig {
+        num_baskets: 400,
+        ..Default::default()
+    })
+    .generate();
+    let min_support = db.absolute_support(0.05);
+    for model in server_models() {
+        let (handle, builder) = start(db.transactions(), min_support, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let top = client.top_k(1, 1).expect("top_k");
+        let probe = top[0].0.clone();
+        let probe_expr = probe
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+
+        // Point lookup: provenance names the index operator and the
+        // answer matches the dedicated support endpoint exactly.
+        let v = client
+            .query(&format!("SUPPORT OF {{{probe_expr}}}"))
+            .expect("query");
+        assert_eq!(v.get("row_kind").and_then(|x| x.as_str()), Some("support"));
+        assert_eq!(
+            v.get("plan").and_then(|x| x.as_str()),
+            Some("index_point"),
+            "{model:?}"
+        );
+        assert_eq!(v.get("cache_hit").and_then(|x| x.as_bool()), Some(false));
+        assert_eq!(v.get("generation").and_then(|x| x.as_u64()), Some(1));
+        assert!(v.get("cost").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+        let rows = v.get("rows").and_then(|x| x.as_arr()).expect("rows");
+        assert_eq!(rows.len(), 1);
+        let support = rows[0].get("support").and_then(|x| x.as_u64()).unwrap();
+        assert_eq!(support, client.support(&probe).unwrap().support);
+
+        // Top-k rides the extension index and rows come back in
+        // canonical support-descending order.
+        let v = client.query("TOP 3").expect("query");
+        assert_eq!(
+            v.get("plan").and_then(|x| x.as_str()),
+            Some("ext_traverse"),
+            "{model:?}"
+        );
+        let rows = v.get("rows").and_then(|x| x.as_arr()).expect("rows");
+        assert_eq!(rows.len(), 3);
+        let sups: Vec<u64> = rows
+            .iter()
+            .map(|r| r.get("support").and_then(|x| x.as_u64()).unwrap())
+            .collect();
+        assert!(sups.windows(2).all(|w| w[0] >= w[1]), "{sups:?}");
+
+        // Rules and on-demand conditional mining answer too.
+        let v = client
+            .query("RULES WHERE confidence >= 0.5 TOP 4")
+            .expect("query");
+        assert_eq!(v.get("row_kind").and_then(|x| x.as_str()), Some("rules"));
+        assert_eq!(v.get("plan").and_then(|x| x.as_str()), Some("rule_scan"));
+        let v = client
+            .query(&format!("MINE COND {{{}}} TOP 2", probe[0]))
+            .expect("query");
+        assert_eq!(v.get("row_kind").and_then(|x| x.as_str()), Some("itemsets"));
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
+}
+
+#[test]
+fn query_plan_cache_hits_and_publish_invalidation_over_the_wire() {
+    let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![2, 3]];
+    for model in server_models() {
+        let (handle, builder) = start(&warmup, 2, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        // First spelling plans fresh; a *different* spelling with the
+        // same normal form must hit the plan cache (distinct response
+        // cache keys, so the plan layer really answers both).
+        let v1 = client
+            .query("TOP 3 WHERE support >= 2 AND size >= 1")
+            .expect("query");
+        assert_eq!(v1.get("cache_hit").and_then(|x| x.as_bool()), Some(false));
+        let v2 = client
+            .query("top 3 WHERE size >= 1 and SUPPORT >= 2")
+            .expect("query");
+        assert_eq!(
+            v2.get("cache_hit").and_then(|x| x.as_bool()),
+            Some(true),
+            "{model:?}: normalized spellings share one plan"
+        );
+        assert_eq!(
+            v1.get("rows").map(|r| r.to_string()),
+            v2.get("rows").map(|r| r.to_string()),
+            "{model:?}: cached plan returns identical rows"
+        );
+
+        // Publishing a new generation invalidates the cached plan: the
+        // same normalized query re-plans against the new snapshot.
+        let g = client
+            .ingest(vec![vec![1, 3], vec![1, 3]], true)
+            .expect("ingest")
+            .expect("generation");
+        let v3 = client
+            .query("TOP 3 WHERE support >= 2 AND size >= 1")
+            .expect("query");
+        assert_eq!(v3.get("generation").and_then(|x| x.as_u64()), Some(g));
+        assert_eq!(
+            v3.get("cache_hit").and_then(|x| x.as_bool()),
+            Some(false),
+            "{model:?}: publish invalidates cached plans"
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
+}
+
+#[test]
+fn malformed_queries_are_typed_errors_and_leave_the_connection_usable() {
+    for model in server_models() {
+        let (handle, builder) = start(&[vec![1, 2], vec![1, 2], vec![2, 3]], 2, model);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        for bad in [
+            "TOP",
+            "SUPPORT OF {}",
+            "RULES WHERE size >= 2",
+            "MINE COND {1,1}",
+            "gibberish",
+        ] {
+            let err = client.query(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("query:"),
+                "{model:?}: `{bad}` should be a typed query error, got {err}"
+            );
+        }
+        // The connection survives every rejected expression.
+        assert_eq!(client.ping().expect("connection still usable"), 1);
+        let v = client.query("TOP 1").expect("good query still answers");
+        assert_eq!(v.get("row_kind").and_then(|x| x.as_str()), Some("itemsets"));
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
+}
+
+#[test]
 fn malformed_requests_get_protocol_errors() {
     for model in server_models() {
         let (handle, builder) = start(&[vec![1, 2], vec![1, 2]], 2, model);

@@ -550,6 +550,205 @@ fn slowloris_one_byte_writes_still_get_exact_answers() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Query endpoint under chaos: fault-injected disconnects mid-query and
+// read-deadline expiry during a MINE COND frame degrade per DESIGN.md
+// §7 — visible transport errors and dropped peers, never a hang and
+// never a wrong answer.
+// ---------------------------------------------------------------------------
+
+/// Offline ground truth for an itemsets query: the same expression run
+/// through plt-query against a source built directly from the window.
+fn offline_itemset_rows(db: &[Vec<u32>], min_support: u64, expr: &str) -> Vec<(Vec<u32>, u64)> {
+    use plt::core::construct::{construct, ConstructOptions};
+    let tree = construct(db, min_support, ConstructOptions::conditional()).unwrap();
+    let result = ConditionalMiner::default().mine(db, min_support);
+    let src = plt::query::MemSource::build(1, tree, &result, plt::rules::RuleConfig::default());
+    let (rows, _) = plt::query::run(expr, &src, &mut plt::obs::Obs::none()).unwrap();
+    match rows {
+        plt::query::Rows::Itemsets(v) => v
+            .into_iter()
+            .map(|(set, sup)| (set.items().to_vec(), sup))
+            .collect(),
+        other => panic!("expected itemset rows for `{expr}`, got {other:?}"),
+    }
+}
+
+/// Decodes the wire `rows` array of an itemsets answer.
+fn wire_itemset_rows(v: &plt::serve::json::Json) -> Vec<(Vec<u32>, u64)> {
+    v.get("rows")
+        .and_then(|x| x.as_arr())
+        .expect("rows array")
+        .iter()
+        .map(|r| {
+            (
+                r.get("items").and_then(|x| x.as_items()).expect("items"),
+                r.get("support").and_then(|x| x.as_u64()).expect("support"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fault_injected_queries_disconnect_cleanly_never_wrongly() {
+    let db = warmup_db();
+    let min_support = 6;
+    let exprs = ["TOP 5", "MINE COND {1} TOP 5", "MINE COND {2}"];
+    let expected: Vec<Vec<(Vec<u32>, u64)>> = exprs
+        .iter()
+        .map(|e| offline_itemset_rows(&db, min_support, e))
+        .collect();
+    assert!(expected.iter().any(|rows| !rows.is_empty()));
+
+    for (seed, model) in CHAOS_SEEDS
+        .iter()
+        .flat_map(|&s| server_models().into_iter().map(move |m| (s, m)))
+    {
+        let server_plan = FaultPlan::shared(FaultConfig::chaos(seed));
+        let client_plan = FaultPlan::shared(FaultConfig::chaos(seed.wrapping_add(1)));
+        let (handle, builder, _engine) =
+            start(&db, min_support, Some(server_plan.clone()), None, model);
+        let addr = handle.addr();
+
+        // A burst of peers that send a complete query frame and hang up
+        // without ever reading the answer — the write side hits a dead
+        // socket mid-response.
+        let query_frame = {
+            let req = plt::serve::Request::Query {
+                expr: "MINE COND {1} TOP 5".into(),
+            }
+            .to_json()
+            .to_string();
+            format!("{}\n{}\n", req.len(), req)
+        };
+        for cut in [query_frame.len(), query_frame.len() / 2, 3] {
+            for _ in 0..4 {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.write_all(&query_frame.as_bytes()[..cut]).expect("write");
+                drop(s); // disconnect mid-query
+            }
+        }
+
+        // A chaos-faulted client hammers the query endpoint: exhausted
+        // retries are visible errors, but every Ok answer is exact.
+        let mut client = Client::with_config(
+            addr,
+            ClientConfig {
+                retry: RetryPolicy {
+                    max_retries: 8,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(20),
+                    jitter_seed: seed,
+                },
+                fault: Some(client_plan),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect");
+        let mut answered = 0usize;
+        for round in 0..12 {
+            let i = round % exprs.len();
+            if let Ok(v) = client.query(exprs[i]) {
+                assert_eq!(
+                    wire_itemset_rows(&v),
+                    expected[i],
+                    "seed {seed:#x} {model:?}: wrong answer for `{}`",
+                    exprs[i]
+                );
+                answered += 1;
+            }
+        }
+        assert!(
+            answered >= 4,
+            "seed {seed:#x} {model:?}: chaos starved the query client ({answered}/12)"
+        );
+
+        // The server survived every disconnect and fault.
+        let mut probe = Client::with_config(
+            addr,
+            ClientConfig {
+                retry: RetryPolicy {
+                    max_retries: 8,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(20),
+                    jitter_seed: seed.wrapping_add(2),
+                },
+                ..ClientConfig::default()
+            },
+        )
+        .expect("clean connect");
+        assert_eq!(probe.ping().expect("ping after chaos"), 1);
+        handle.shutdown();
+        builder.stop();
+    }
+}
+
+#[test]
+fn deadline_expiry_during_mine_cond_drops_the_peer_not_the_server() {
+    let db = warmup_db();
+    let min_support = 6;
+    let expected = offline_itemset_rows(&db, min_support, "MINE COND {1} TOP 5");
+    for model in server_models() {
+        let config = BuilderConfig {
+            window_capacity: db.len() * 2,
+            min_support,
+            ..BuilderConfig::default()
+        };
+        let (engine, builder) = bootstrap(&db, config).expect("bootstrap");
+        let handle = serve(
+            "127.0.0.1:0",
+            engine.clone(),
+            None,
+            ServerConfig {
+                server_model: model,
+                acceptors: 1,
+                reactors: 1,
+                read_deadline: Some(Duration::from_millis(100)),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+
+        // Half a MINE COND frame, then silence: the read deadline must
+        // fire mid-query and close the connection — not park a handler.
+        let req = plt::serve::Request::Query {
+            expr: "MINE COND {1} TOP 5".into(),
+        }
+        .to_json()
+        .to_string();
+        let framed = format!("{}\n{}\n", req.len(), req);
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(&framed.as_bytes()[..framed.len() / 2])
+            .expect("half frame");
+        let mut buf = [0u8; 64];
+        let n = (&stream)
+            .read(&mut buf)
+            .expect("read until server closes the stalled query");
+        assert_eq!(n, 0, "{model:?}: stalled MINE COND must be dropped");
+        assert!(
+            engine
+                .metrics()
+                .timeouts
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1,
+            "{model:?}: deadline expiry must be counted"
+        );
+
+        // Degraded for that peer only: a fresh client gets the exact
+        // mined answer immediately.
+        let mut client = Client::connect(handle.addr()).expect("server still up");
+        let v = client.query("MINE COND {1} TOP 5").expect("query");
+        assert_eq!(wire_itemset_rows(&v), expected, "{model:?}");
+
+        handle.shutdown();
+        builder.stop();
+    }
+}
+
 #[test]
 fn mid_frame_disconnects_leave_the_server_healthy() {
     let db = warmup_db();
