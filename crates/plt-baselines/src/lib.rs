@@ -45,4 +45,4 @@ pub use eclat::{EclatMiner, TidRepr};
 pub use fpgrowth::FpGrowthMiner;
 pub use hmine::HMineMiner;
 pub use partition::PartitionMiner;
-pub use sampling::SamplingMiner;
+pub use sampling::{negative_border, SamplingMiner, SamplingOutcome};

@@ -9,9 +9,9 @@
 //! exact global supports of `S ∪ Bd⁻(S)`; if *no* border itemset turns
 //! out frequent, the frequent candidates are exactly the global answer.
 //! If one does, the sample missed something — this implementation retries
-//! with a larger sample and more slack, and after `max_attempts` falls
-//! back to an exact miner, so the result is always exact (the sampling is
-//! a performance gamble, never a correctness one).
+//! with a larger sample, and after `max_attempts` falls back to an exact
+//! miner, so the result is always exact (the sampling is a performance
+//! gamble, never a correctness one).
 
 use plt_core::hash::FxHashSet;
 use plt_core::item::{Item, Itemset, Support};
@@ -46,25 +46,66 @@ impl Default for SamplingMiner {
     }
 }
 
+/// How a [`SamplingMiner::mine_with_outcome`] run actually went — the
+/// result is always exact either way; this reports which path produced
+/// it so callers (the serving rebuild path, tests) can observe the
+/// gamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingOutcome {
+    /// Sample-and-verify attempts made (0 when the small-database
+    /// short-circuit skipped sampling entirely).
+    pub attempts: usize,
+    /// Attempts falsified by a frequent negative-border itemset.
+    pub border_violations: usize,
+    /// Whether the run gave up on sampling and re-mined exactly.
+    pub fell_back: bool,
+}
+
 impl Miner for SamplingMiner {
     fn name(&self) -> &'static str {
         "sampling-toivonen"
     }
 
     fn mine(&self, transactions: &[Vec<Item>], min_support: Support) -> MiningResult {
+        self.mine_with_outcome(transactions, min_support).0
+    }
+}
+
+impl SamplingMiner {
+    /// [`Miner::mine`] plus the [`SamplingOutcome`] describing whether a
+    /// verified sample or the exact fallback produced the answer.
+    pub fn mine_with_outcome(
+        &self,
+        transactions: &[Vec<Item>],
+        min_support: Support,
+    ) -> (MiningResult, SamplingOutcome) {
         assert!(min_support >= 1, "minimum support must be at least 1");
         assert!((0.0..=1.0).contains(&self.sample_fraction));
         assert!((0.0..1.0).contains(&self.support_slack));
         let n = transactions.len();
+        let mut outcome = SamplingOutcome {
+            attempts: 0,
+            border_violations: 0,
+            fell_back: false,
+        };
         // Sampling tiny databases is pointless; go exact.
         if n < 40 {
-            return EclatMiner::default().mine(transactions, min_support);
+            outcome.fell_back = true;
+            return (
+                EclatMiner::default().mine(transactions, min_support),
+                outcome,
+            );
         }
         let rel = min_support as f64 / n as f64;
 
+        // The verification index is attempt-invariant: build it once.
+        let db = TransactionDb::from_sorted(transactions.to_vec());
+        let vertical = VerticalDb::from_horizontal(&db);
+
         let mut fraction = self.sample_fraction;
-        let mut slack = self.support_slack;
+        let slack = self.support_slack;
         for attempt in 0..self.max_attempts {
+            outcome.attempts = attempt + 1;
             let sample = deterministic_sample(
                 transactions,
                 ((fraction * n as f64).ceil() as usize).clamp(1, n),
@@ -73,31 +114,38 @@ impl Miner for SamplingMiner {
             let lowered = (((rel * (1.0 - slack)) * sample.len() as f64).floor() as Support).max(1);
             let local = EclatMiner::default().mine(&sample, lowered);
             let candidates: Vec<Itemset> = local.iter().map(|(s, _)| s.clone()).collect();
-            if let Some(result) = self.verify(transactions, min_support, &candidates) {
-                return result;
+            if let Some(result) =
+                self.verify(&db, &vertical, transactions.len(), min_support, &candidates)
+            {
+                return (result, outcome);
             }
-            // Border failure: widen the net and retry.
+            // Border failure: draw a larger sample and retry. The slack
+            // stays put — lowering the threshold further inflates the
+            // candidate set (and its border) combinatorially, while a
+            // bigger sample shrinks the miss probability directly; this
+            // is Toivonen's own escalation.
+            outcome.border_violations += 1;
             fraction = (fraction * 2.0).min(1.0);
-            slack = (slack + (1.0 - slack) / 2.0).min(0.9);
         }
-        EclatMiner::default().mine(transactions, min_support)
+        outcome.fell_back = true;
+        (
+            EclatMiner::default().mine(transactions, min_support),
+            outcome,
+        )
     }
-}
-
-impl SamplingMiner {
     /// Counts `candidates ∪ Bd⁻(candidates)` exactly; returns the final
     /// result when no border itemset is frequent, `None` on a miss.
     fn verify(
         &self,
-        transactions: &[Vec<Item>],
+        db: &TransactionDb,
+        vertical: &VerticalDb,
+        num_transactions: usize,
         min_support: Support,
         candidates: &[Itemset],
     ) -> Option<MiningResult> {
-        let db = TransactionDb::from_sorted(transactions.to_vec());
-        let vertical = VerticalDb::from_horizontal(&db);
         let candidate_set: FxHashSet<&Itemset> = candidates.iter().collect();
 
-        let border = negative_border(candidates, &candidate_set, &db);
+        let border = negative_border(candidates, &candidate_set, db);
 
         let count = |itemset: &Itemset| -> Support {
             let mut items = itemset.items().iter();
@@ -118,7 +166,7 @@ impl SamplingMiner {
                 return None;
             }
         }
-        let mut result = MiningResult::new(min_support, transactions.len() as u64);
+        let mut result = MiningResult::new(min_support, num_transactions as u64);
         for c in candidates {
             let support = count(c);
             if support >= min_support {
@@ -156,8 +204,9 @@ fn deterministic_sample(transactions: &[Vec<Item>], size: usize, seed: u64) -> V
 
 /// `Bd⁻(S)`: itemsets not in `S` whose immediate subsets are all in `S`.
 /// Level 1 is every database item missing from `S`; level `k ≥ 2` comes
-/// from the Apriori join of `S_{k−1}`.
-fn negative_border(
+/// from the Apriori join of `S_{k−1}`. Public so the approximate-serving
+/// layer can exhibit and test border violations directly.
+pub fn negative_border(
     candidates: &[Itemset],
     candidate_set: &FxHashSet<&Itemset>,
     db: &TransactionDb,
@@ -295,6 +344,33 @@ mod tests {
                 Itemset::from_sorted(vec![4])
             ]
         );
+    }
+
+    #[test]
+    fn outcome_reports_the_path_taken() {
+        // Healthy parameters: a verified sample, no fallback.
+        let db = structured_db(500);
+        let (got, outcome) = SamplingMiner::default().mine_with_outcome(&db, 25);
+        assert_eq!(got.sorted(), BruteForceMiner.mine(&db, 25).sorted());
+        assert!(outcome.attempts >= 1);
+        assert!(!outcome.fell_back);
+        // Hostile parameters: border violations force the exact fallback.
+        let miner = SamplingMiner {
+            sample_fraction: 0.02,
+            support_slack: 0.0,
+            seed: 3,
+            max_attempts: 1,
+        };
+        let (got, outcome) = miner.mine_with_outcome(&db, 2);
+        assert_eq!(got.sorted(), BruteForceMiner.mine(&db, 2).sorted());
+        if outcome.fell_back {
+            assert_eq!(outcome.border_violations, outcome.attempts);
+        }
+        // Small databases short-circuit and say so.
+        let tiny = vec![vec![1, 2], vec![2, 3]];
+        let (_, outcome) = SamplingMiner::default().mine_with_outcome(&tiny, 1);
+        assert!(outcome.fell_back);
+        assert_eq!(outcome.attempts, 0);
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! ```text
 //! experiments [--exp <id>[,<id>…]] [--full] [--json-out <path>]
 //!
-//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x12 x13 x14 x15 x16 x17 paper all
+//!   ids: t1 f1 f2 f3 f4 f5 x1 x2 x3 x4 x5 x6 x7 x8 x9 x10 x12 x13 x14 x15 x16 x17 x18 paper all
 //!        (default: paper — the exhibits that come straight from the text)
 //!   --full: evaluation-scale workloads instead of the quick ones
-//!   --json-out: also write x12..x17's machine-readable record to this path
+//!   --json-out: also write x12..x18's machine-readable record to this path
 //! ```
 
 use std::io::Write;
@@ -67,7 +67,7 @@ fn main() {
             "all" => expanded.extend(
                 [
                     "t1", "f1", "f2", "f3", "f4", "f5", "x1", "x2", "x3", "x4", "x5", "x6", "x7",
-                    "x8", "x9", "x10", "x12", "x13", "x14", "x15", "x16", "x17",
+                    "x8", "x9", "x10", "x12", "x13", "x14", "x15", "x16", "x17", "x18",
                 ]
                 .map(str::to_owned),
             ),
@@ -85,7 +85,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [--exp t1|f1..f5|x1..x10|x12..x17|paper|all[,..]] [--full] \
+        "usage: experiments [--exp t1|f1..f5|x1..x10|x12..x18|paper|all[,..]] [--full] \
          [--json-out <path>]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -203,6 +203,20 @@ fn run_one(out: &mut impl Write, id: &str, scale: Scale, json_out: Option<&str>)
             writeln!(out, "{}", experiments::x17_table(&cells)).unwrap();
             if let Some(path) = json_out {
                 let json = experiments::x17_json(&cells, scale);
+                match plt_bench::write_json_out(path, &json) {
+                    Ok(()) => writeln!(out, "wrote {path}").unwrap(),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "x18" => {
+            let cells = experiments::x18_approx_cells(scale);
+            writeln!(out, "{}", experiments::x18_table(&cells)).unwrap();
+            if let Some(path) = json_out {
+                let json = experiments::x18_json(&cells, scale);
                 match plt_bench::write_json_out(path, &json) {
                     Ok(()) => writeln!(out, "wrote {path}").unwrap(),
                     Err(e) => {

@@ -1871,7 +1871,7 @@ fn x16_drive_load(
     use std::net::TcpStream;
     use std::sync::{Arc, Barrier};
 
-    let workers = clients.min(16).max(1);
+    let workers = clients.clamp(1, 16);
     let frame: Arc<Vec<u8>> = Arc::new(format!("{}\n{}\n", payload.len(), payload).into_bytes());
     let barrier = Arc::new(Barrier::new(workers + 1));
     let mut handles = Vec::new();
@@ -2367,6 +2367,381 @@ pub fn x17_json(cells: &[QueryCell], scale: Scale) -> String {
     s
 }
 
+/// One X18 measurement: the approximate answering tier on one dataset
+/// cell — the indicator sketch against exact answering, and the
+/// Toivonen sampled rebuild against the exact conditional re-mine it
+/// replaces. Every sketch estimate is asserted within its stated error
+/// bound before any number is reported (a live correctness check, like
+/// the miner-agreement assertions in the sweep cells).
+#[derive(Debug, Clone)]
+pub struct ApproxCell {
+    /// Dataset label, e.g. `T10.I4.D4000`.
+    pub dataset: String,
+    /// Window size the sketch mirrors.
+    pub transactions: usize,
+    /// Absolute minimum support of the mined generation.
+    pub min_sup: Support,
+    /// Configured sketch ε (guarantee: within `±⌈ε·N⌉`, prob `1 − δ`).
+    pub epsilon: f64,
+    /// Configured sketch δ.
+    pub delta: f64,
+    /// Transactions the sketch retained (≈ the Hoeffding target).
+    pub kept_samples: usize,
+    /// Sketch memory, bytes.
+    pub sketch_bytes: usize,
+    /// Bytes of the raw window the exact paths hold.
+    pub window_bytes: usize,
+    /// `sketch_bytes / window_bytes` — the memory the tier saves.
+    pub memory_fraction: f64,
+    /// Bound-checked probes (frequent, infrequent, out-of-vocabulary).
+    pub probes: usize,
+    /// Worst `|estimate − exact|` across the bound-checked probes.
+    pub max_abs_error: u64,
+    /// Worst stated bound across the same probes.
+    pub max_bound: u64,
+    /// Mean microseconds per `APPROX` probe through the sketch operator
+    /// (parse, plan, and the O(sample) scan included).
+    pub sketch_us: f64,
+    /// Mean microseconds per exact answer *at the same freshness*: a
+    /// subset-count scan of the raw window, which is what the exact
+    /// tier costs whenever the published snapshot cannot cover the
+    /// probe (mid-rebuild, or arrivals newer than the generation).
+    pub exact_us: f64,
+    /// Mean microseconds per `EXACT` probe through the published
+    /// snapshot's postings oracle — reported for context, not raced:
+    /// that path answers a *stale* generation and carries the full
+    /// window in memory.
+    pub oracle_us: f64,
+    /// `exact_us / sketch_us`.
+    pub speedup: f64,
+    /// Best wall time of one Toivonen sampled rebuild (always exact).
+    pub sampled_rebuild_secs: f64,
+    /// Best wall time of the exact conditional re-mine it replaces.
+    pub exact_rebuild_secs: f64,
+    /// `exact_rebuild_secs / sampled_rebuild_secs`.
+    pub rebuild_speedup: f64,
+    /// Whether the timed sampled rebuild lost the gamble and fell back.
+    pub sampled_fell_back: bool,
+}
+
+/// X18 — the approximate tier: sketch memory and probe latency vs the
+/// exact paths, across the sparse/dense/zipf workloads. The raced
+/// comparison holds freshness fixed: the sketch answers in O(sample)
+/// from the live arrival stream, and the exact answer at that same
+/// freshness is a subset-count scan of the raw window. The published
+/// snapshot's postings oracle is timed alongside for context — it is
+/// faster on point probes but answers a stale generation and keeps the
+/// whole window resident, which is exactly what the tier avoids. See
+/// [`x18_table`] for the rendered table and [`x18_json`] for the
+/// committed `BENCH_approx.json` record.
+pub fn x18_approx_cells(scale: Scale) -> Vec<ApproxCell> {
+    use plt_approx::{IndicatorSketch, SampledRebuild, SketchConfig};
+    use plt_query::{MemSource, PhysOp, Rows, Source, SupportSketch};
+    use plt_rules::RuleConfig;
+
+    let runs = scale.runs().max(3);
+    let n = scale.pick(4_000, 20_000);
+    let dense_n = scale.pick(1_500, 6_000);
+    let (epsilon, delta) = (0.1, 0.01);
+    let workloads: Vec<(String, Vec<Vec<Item>>, Support)> = vec![
+        (
+            format!("T10.I4.D{n}"),
+            datasets::sparse(n),
+            ((0.01 * n as f64).ceil() as Support).max(2),
+        ),
+        (
+            format!("DENSE16.D{dense_n}"),
+            datasets::dense(dense_n, 16),
+            ((0.3 * dense_n as f64).ceil() as Support).max(2),
+        ),
+        (
+            format!("ZIPF1.1.D{n}"),
+            datasets::zipf(n, 1.1),
+            ((0.01 * n as f64).ceil() as Support).max(2),
+        ),
+    ];
+
+    let join = |probe: &[Item]| {
+        probe
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let mut cells = Vec::new();
+    for (dataset, db, min_sup) in workloads {
+        let plt = construct(&db, min_sup, ConstructOptions::conditional()).expect("construct");
+        let result = ConditionalMiner::default().mine(&db, min_sup);
+        let mut sketch = IndicatorSketch::new(SketchConfig {
+            epsilon,
+            delta,
+            capacity: db.len(),
+            seed: 0x18_c0de,
+        });
+        for t in &db {
+            sketch.observe(t);
+        }
+        assert!(
+            !sketch.is_exhaustive(),
+            "{dataset}: the window must be large enough that the sketch samples"
+        );
+        let kept_samples = sketch.kept_len();
+        let sketch_bytes = sketch.memory_bytes();
+        let window_bytes: usize = db
+            .iter()
+            .map(|t| std::mem::size_of_val(t.as_slice()) + std::mem::size_of::<Vec<Item>>())
+            .sum();
+        let src =
+            MemSource::build(1, plt, &result, RuleConfig::default()).with_sketch(Box::new(sketch));
+
+        let ranked = src.ranked();
+        assert!(!ranked.is_empty(), "{dataset} must induce frequent sets");
+        let items: Vec<Item> = src.extensions_of(&[]).iter().map(|&(i, _)| i).collect();
+
+        // Infrequent probes: small combinations of frequent items that
+        // did not make the index, found by a deterministic stride scan.
+        let mut infrequent: Vec<Vec<Item>> = Vec::new();
+        'search: for width in 2..=4usize {
+            let stride = (items.len() / width).max(1);
+            for start in 0..items.len() {
+                let mut probe: Vec<Item> = (0..width)
+                    .map(|k| items[(start + k * stride) % items.len()])
+                    .collect();
+                probe.sort_unstable();
+                probe.dedup();
+                if probe.len() == width
+                    && src.support_of(&probe).0 < min_sup
+                    && !infrequent.contains(&probe)
+                {
+                    infrequent.push(probe);
+                    if infrequent.len() == 8 {
+                        break 'search;
+                    }
+                }
+            }
+        }
+        assert!(
+            !infrequent.is_empty(),
+            "{dataset}: no infrequent probe found — widen the search"
+        );
+
+        // Live bound check over frequent, infrequent, and
+        // out-of-vocabulary probes: every estimate must honor the bound
+        // it states.
+        let mut bound_probes: Vec<Vec<Item>> = vec![
+            ranked[0].0.items().to_vec(),
+            ranked[ranked.len() / 2].0.items().to_vec(),
+            ranked[ranked.len() - 1].0.items().to_vec(),
+        ];
+        bound_probes.extend(infrequent.iter().cloned());
+        bound_probes.push(vec![Item::MAX - 1]);
+        let mut max_abs_error = 0u64;
+        let mut max_bound = 0u64;
+        for probe in &bound_probes {
+            let exact = db
+                .iter()
+                .filter(|t| probe.iter().all(|i| t.contains(i)))
+                .count() as u64;
+            let expr = format!("SUPPORT OF {{{}}} APPROX", join(probe));
+            let (rows, prov) =
+                plt_query::run_forced(&expr, &src, PhysOp::SketchProbe).expect("sketch probe");
+            let est = match rows {
+                Rows::Support { support, .. } => support,
+                other => panic!("support probe returned {other:?}"),
+            };
+            let bound = prov.error_bound.expect("sketch answers state a bound");
+            assert!(
+                est.abs_diff(exact) <= bound,
+                "{dataset}: |{est} - {exact}| > {bound} on {probe:?}"
+            );
+            max_abs_error = max_abs_error.max(est.abs_diff(exact));
+            max_bound = max_bound.max(bound);
+        }
+
+        // Latency: the same infrequent probes through the sketch
+        // operator, through an exact scan of the raw window (the
+        // equal-freshness baseline), and through the snapshot oracle.
+        let approx_exprs: Vec<String> = infrequent
+            .iter()
+            .map(|p| format!("SUPPORT OF {{{}}} APPROX", join(p)))
+            .collect();
+        let exact_exprs: Vec<String> = infrequent
+            .iter()
+            .map(|p| format!("SUPPORT OF {{{}}}", join(p)))
+            .collect();
+        let (_, t_sketch) = time_best(runs, || {
+            approx_exprs
+                .iter()
+                .map(|e| {
+                    match plt_query::run_forced(e, &src, PhysOp::SketchProbe)
+                        .expect("sketch probe")
+                        .0
+                    {
+                        Rows::Support { support, .. } => support,
+                        _ => unreachable!(),
+                    }
+                })
+                .sum::<u64>()
+        });
+        let (_, t_exact) = time_best(runs, || {
+            infrequent
+                .iter()
+                .map(|probe| {
+                    db.iter()
+                        .filter(|t| probe.iter().all(|i| t.contains(i)))
+                        .count() as u64
+                })
+                .sum::<u64>()
+        });
+        let (_, t_oracle) = time_best(runs, || {
+            exact_exprs
+                .iter()
+                .map(|e| {
+                    match plt_query::run(e, &src, &mut plt_obs::Obs::none())
+                        .expect("exact probe")
+                        .0
+                    {
+                        Rows::Support { support, .. } => support,
+                        _ => unreachable!(),
+                    }
+                })
+                .sum::<u64>()
+        });
+        let sketch_us = t_sketch.as_secs_f64() * 1e6 / approx_exprs.len() as f64;
+        let exact_us = t_exact.as_secs_f64() * 1e6 / infrequent.len() as f64;
+        let oracle_us = t_oracle.as_secs_f64() * 1e6 / exact_exprs.len() as f64;
+
+        // Rebuild: the Toivonen gamble vs the exact re-mine, answers
+        // asserted identical (the sampled path is always exact).
+        let sampler = SampledRebuild::default();
+        let ((sampled_result, outcome), t_sampled) =
+            time_best(runs, || sampler.mine(&db, min_sup, 1));
+        let (exact_result, t_exact_rebuild) =
+            time_best(runs, || ConditionalMiner::default().mine(&db, min_sup));
+        assert_eq!(
+            sampled_result.sorted(),
+            exact_result.sorted(),
+            "{dataset}: sampled rebuild must stay exact"
+        );
+
+        cells.push(ApproxCell {
+            dataset,
+            transactions: db.len(),
+            min_sup,
+            epsilon,
+            delta,
+            kept_samples,
+            sketch_bytes,
+            window_bytes,
+            memory_fraction: sketch_bytes as f64 / window_bytes as f64,
+            probes: bound_probes.len(),
+            max_abs_error,
+            max_bound,
+            sketch_us,
+            exact_us,
+            oracle_us,
+            speedup: exact_us / sketch_us.max(1e-3),
+            sampled_rebuild_secs: t_sampled.as_secs_f64(),
+            exact_rebuild_secs: t_exact_rebuild.as_secs_f64(),
+            rebuild_speedup: t_exact_rebuild.as_secs_f64() / t_sampled.as_secs_f64().max(1e-9),
+            sampled_fell_back: outcome.fell_back,
+        });
+    }
+    cells
+}
+
+/// X18 rendered as a table.
+pub fn x18_table(cells: &[ApproxCell]) -> Table {
+    let mut table = Table::new(
+        "X18: approximate tier — sketch memory & latency vs exact, sampled rebuild vs re-mine",
+        &[
+            "dataset",
+            "kept",
+            "memory",
+            "err/bound",
+            "sketch",
+            "exact",
+            "oracle",
+            "speedup",
+            "rebuild",
+        ],
+    );
+    for c in cells {
+        table.row(vec![
+            c.dataset.clone(),
+            format!("{}/{}", c.kept_samples, c.transactions),
+            format!("{:.1}%", c.memory_fraction * 100.0),
+            format!("{}/{}", c.max_abs_error, c.max_bound),
+            format!("{:.1}us", c.sketch_us),
+            format!("{:.1}us", c.exact_us),
+            format!("{:.1}us", c.oracle_us),
+            format!("{:.1}x", c.speedup),
+            format!("{:.2}x", c.rebuild_speedup),
+        ]);
+    }
+    table
+}
+
+/// X18 — approximate tier (table form, for the binary).
+pub fn x18_approx(scale: Scale) -> Table {
+    x18_table(&x18_approx_cells(scale))
+}
+
+/// Machine-readable record of an X18 run (the committed
+/// `BENCH_approx.json`). Hand-rolled JSON, same as [`x17_json`].
+pub fn x18_json(cells: &[ApproxCell], scale: Scale) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"x18_approx\",\n");
+    s.push_str(&format!(
+        "  \"bench_meta\": {},\n",
+        crate::bench_meta_json()
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"transactions\": {}, \"min_sup\": {}, \
+             \"epsilon\": {:.3}, \"delta\": {:.3}, \"kept_samples\": {}, \
+             \"sketch_bytes\": {}, \"window_bytes\": {}, \"memory_fraction\": {:.4}, \
+             \"probes\": {}, \"max_abs_error\": {}, \"max_bound\": {}, \
+             \"sketch_us\": {:.3}, \"exact_us\": {:.3}, \"oracle_us\": {:.3}, \
+             \"speedup\": {:.3}, \
+             \"sampled_rebuild_secs\": {:.6}, \"exact_rebuild_secs\": {:.6}, \
+             \"rebuild_speedup\": {:.3}, \"sampled_fell_back\": {}}}{}\n",
+            c.dataset,
+            c.transactions,
+            c.min_sup,
+            c.epsilon,
+            c.delta,
+            c.kept_samples,
+            c.sketch_bytes,
+            c.window_bytes,
+            c.memory_fraction,
+            c.probes,
+            c.max_abs_error,
+            c.max_bound,
+            c.sketch_us,
+            c.exact_us,
+            c.oracle_us,
+            c.speedup,
+            c.sampled_rebuild_secs,
+            c.exact_rebuild_secs,
+            c.rebuild_speedup,
+            c.sampled_fell_back,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2543,6 +2918,44 @@ mod tests {
         assert!(json.contains("\"bench_meta\""));
         assert_eq!(json.matches("\"speedup\"").count(), cells.len());
         assert_eq!(x17_table(&cells).num_rows(), cells.len());
+    }
+
+    #[test]
+    fn x18_sketch_stays_bounded_cheap_and_small_and_emits_json() {
+        let cells = x18_approx_cells(Scale::Quick);
+        // One cell per workload; within-bound, sampled-rebuild-exactness,
+        // and sketch-actually-sampling are asserted inside the builder.
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(
+                c.kept_samples < c.transactions,
+                "{}: sketch kept the whole window",
+                c.dataset
+            );
+            assert!(
+                c.memory_fraction < 0.35,
+                "{}: sketch holds {:.1}% of the window — no memory win",
+                c.dataset,
+                c.memory_fraction * 100.0
+            );
+            assert!(c.max_abs_error <= c.max_bound, "{}", c.dataset);
+            assert!(
+                c.speedup > 1.0,
+                "{}: sketch probe ({:.1}us) slower than the equal-freshness \
+                 exact window scan ({:.1}us)",
+                c.dataset,
+                c.sketch_us,
+                c.exact_us
+            );
+            assert!(c.oracle_us > 0.0);
+            assert!(c.sampled_rebuild_secs > 0.0 && c.exact_rebuild_secs > 0.0);
+        }
+        let json = x18_json(&cells, Scale::Quick);
+        assert!(json.contains("\"experiment\": \"x18_approx\""));
+        assert!(json.contains("\"bench_meta\""));
+        assert_eq!(json.matches("\"memory_fraction\"").count(), cells.len());
+        assert_eq!(json.matches("\"speedup\"").count(), cells.len());
+        assert_eq!(x18_table(&cells).num_rows(), cells.len());
     }
 
     #[test]

@@ -299,6 +299,14 @@ pub enum Command {
         /// Serving concurrency model: thread-per-connection or the
         /// epoll reactor (Linux; falls back to threads elsewhere).
         server_model: plt_serve::ServerModel,
+        /// Snapshot rebuild mode: incremental shard re-mine (default)
+        /// or Toivonen-style sampled re-mine with exact fallback.
+        rebuild_mode: plt_serve::RebuildMode,
+        /// Indicator-sketch error rate ε; attaches an approximate
+        /// `SUPPORT OF` tier to every snapshot. `None` disables it.
+        sketch_eps: Option<f64>,
+        /// Sketch failure probability δ (used with `--sketch-eps`).
+        sketch_delta: f64,
     },
     /// `store inspect`: dump a durable data directory as JSON (manifest,
     /// WAL record counts, per-segment block-index stats).
@@ -324,6 +332,9 @@ pub enum Command {
         stats: bool,
         /// Ask the server to stop.
         shutdown: bool,
+        /// Response-envelope version to negotiate (1 = legacy flat
+        /// replies, 2 = versioned envelope).
+        protocol_version: u64,
     },
     /// `gen`: write a synthetic dataset.
     Gen {
@@ -376,10 +387,12 @@ usage:
                  [--addr 127.0.0.1:7878] [--min-conf <frac>] [--window N]
                  [--fault-seed S] [--deadline-ms MS] [--data-dir <dir>]
                  [--server-model threads|reactor]
+                 [--rebuild-mode incremental|sampled]
+                 [--sketch-eps E [--sketch-delta D]]
   plt-mine store inspect --data-dir <dir>
   plt-mine query --addr <host:port> [--itemset \"1 2 3\" ...] [--top N]
                  [--recommend \"1 2\"] [--expr <query>] [--explain]
-                 [--stats] [--shutdown]";
+                 [--stats] [--shutdown] [--protocol-version 1|2]";
 
 fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
@@ -634,6 +647,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let mut itemsets: Vec<Vec<u32>> = Vec::new();
             let (mut top, mut recommend, mut expr) = (None, None, None);
             let (mut explain, mut stats, mut shutdown) = (false, false, false);
+            let mut protocol_version = 1u64;
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--index" => index = Some(cur.value(flag)?.to_string()),
@@ -650,6 +664,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--explain" => explain = true,
                     "--stats" => stats = true,
                     "--shutdown" => shutdown = true,
+                    "--protocol-version" => {
+                        let v: u64 = cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--protocol-version must be an integer: {e}"))
+                        })?;
+                        if !(1..=plt_serve::MAX_PROTOCOL_VERSION).contains(&v) {
+                            return err(format!(
+                                "--protocol-version must be between 1 and {}",
+                                plt_serve::MAX_PROTOCOL_VERSION
+                            ));
+                        }
+                        protocol_version = v;
+                    }
                     other => return err(format!("unknown flag {other:?} for query")),
                 }
             }
@@ -659,9 +685,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             match (index, addr) {
                 (Some(_), Some(_)) => err("query takes --index or --addr, not both"),
                 (Some(index), None) => {
-                    if top.is_some() || recommend.is_some() || expr.is_some() || stats || shutdown {
+                    if top.is_some()
+                        || recommend.is_some()
+                        || expr.is_some()
+                        || stats
+                        || shutdown
+                        || protocol_version != 1
+                    {
                         return err(
-                            "--top/--recommend/--expr/--stats/--shutdown require --addr (server mode)",
+                            "--top/--recommend/--expr/--stats/--shutdown/--protocol-version require --addr (server mode)",
                         );
                     }
                     if itemsets.is_empty() {
@@ -690,6 +722,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         explain,
                         stats,
                         shutdown,
+                        protocol_version,
                     })
                 }
                 (None, None) => err("query requires --index or --addr"),
@@ -702,6 +735,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             let (mut fault_seed, mut deadline_ms) = (None, None);
             let mut data_dir = None;
             let mut server_model = plt_serve::ServerModel::default();
+            let mut rebuild_mode = plt_serve::RebuildMode::default();
+            let (mut sketch_eps, mut sketch_delta) = (None, 0.01);
             while let Some(flag) = cur.next_flag() {
                 match flag {
                     "--input" => input = Some(cur.value(flag)?.to_string()),
@@ -738,8 +773,32 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         server_model =
                             plt_serve::ServerModel::parse(cur.value(flag)?).map_err(ParseError)?
                     }
+                    "--rebuild-mode" => {
+                        rebuild_mode = cur.value(flag)?.parse().map_err(ParseError)?
+                    }
+                    "--sketch-eps" => {
+                        let v: f64 = cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--sketch-eps must be a number: {e}"))
+                        })?;
+                        if !(v > 0.0 && v < 1.0) {
+                            return err("--sketch-eps must be in (0,1)");
+                        }
+                        sketch_eps = Some(v);
+                    }
+                    "--sketch-delta" => {
+                        let v: f64 = cur.value(flag)?.parse().map_err(|e| {
+                            ParseError(format!("--sketch-delta must be a number: {e}"))
+                        })?;
+                        if !(v > 0.0 && v < 1.0) {
+                            return err("--sketch-delta must be in (0,1)");
+                        }
+                        sketch_delta = v;
+                    }
                     other => return err(format!("unknown flag {other:?} for serve")),
                 }
+            }
+            if sketch_eps.is_none() && sketch_delta != 0.01 {
+                return err("--sketch-delta requires --sketch-eps");
             }
             Ok(Command::Serve {
                 input: input.ok_or(ParseError("serve requires --input".into()))?,
@@ -751,6 +810,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 deadline_ms,
                 data_dir,
                 server_model,
+                rebuild_mode,
+                sketch_eps,
+                sketch_delta,
             })
         }
         "store" => {
@@ -1045,6 +1107,9 @@ mod tests {
                 deadline_ms: None,
                 data_dir: None,
                 server_model: plt_serve::ServerModel::Threads,
+                rebuild_mode: plt_serve::RebuildMode::Incremental,
+                sketch_eps: None,
+                sketch_delta: 0.01,
             }
         );
         let c = parse(&argv(&[
@@ -1188,6 +1253,100 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_approx_flags() {
+        let c = parse(&argv(&[
+            "serve",
+            "--input",
+            "x.dat",
+            "--min-sup",
+            "2",
+            "--rebuild-mode",
+            "sampled",
+            "--sketch-eps",
+            "0.05",
+            "--sketch-delta",
+            "0.001",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                rebuild_mode,
+                sketch_eps,
+                sketch_delta,
+                ..
+            } => {
+                assert_eq!(
+                    rebuild_mode,
+                    plt_serve::RebuildMode::Sampled(plt_serve::SampledRebuild::default())
+                );
+                assert_eq!(sketch_eps, Some(0.05));
+                assert_eq!(sketch_delta, 0.001);
+            }
+            _ => panic!(),
+        }
+        // Bad mode, out-of-range epsilon, and a dangling delta all fail.
+        for bad in [
+            vec!["--rebuild-mode", "psychic"],
+            vec!["--sketch-eps", "0"],
+            vec!["--sketch-eps", "1.5"],
+            vec!["--sketch-delta", "0.1"],
+        ] {
+            let mut args = vec!["serve", "--input", "x", "--min-sup", "2"];
+            args.extend(bad.iter().copied());
+            assert!(parse(&argv(&args)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_query_protocol_version() {
+        let c = parse(&argv(&[
+            "query",
+            "--addr",
+            "127.0.0.1:7878",
+            "--stats",
+            "--protocol-version",
+            "2",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::QueryServer {
+                protocol_version: 2,
+                ..
+            }
+        ));
+        // Unsupported versions and index mode are rejected.
+        assert!(parse(&argv(&[
+            "query",
+            "--addr",
+            "y",
+            "--stats",
+            "--protocol-version",
+            "3"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "query",
+            "--addr",
+            "y",
+            "--stats",
+            "--protocol-version",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "query",
+            "--index",
+            "x.pltc",
+            "--itemset",
+            "1",
+            "--protocol-version",
+            "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn parses_store_inspect() {
         let c = parse(&argv(&["store", "inspect", "--data-dir", "/tmp/d"])).unwrap();
         assert_eq!(
@@ -1227,6 +1386,7 @@ mod tests {
                 explain: false,
                 stats: true,
                 shutdown: false,
+                protocol_version: 1,
             }
         );
         // A query-language expression with provenance.
@@ -1250,6 +1410,7 @@ mod tests {
                 explain: true,
                 stats: false,
                 shutdown: false,
+                protocol_version: 1,
             }
         );
         // --explain without --expr is meaningless.

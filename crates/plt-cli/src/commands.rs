@@ -90,6 +90,9 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             deadline_ms,
             data_dir,
             server_model,
+            rebuild_mode,
+            sketch_eps,
+            sketch_delta,
         } => serve(
             &input,
             min_sup,
@@ -100,6 +103,9 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             deadline_ms,
             data_dir.as_deref(),
             server_model,
+            rebuild_mode,
+            sketch_eps,
+            sketch_delta,
             out,
         ),
         Command::StoreInspect { data_dir } => store_inspect(&data_dir, out),
@@ -112,8 +118,18 @@ pub fn execute(command: Command, out: &mut dyn Write) -> CmdResult {
             explain,
             stats,
             shutdown,
+            protocol_version,
         } => query_server(
-            &addr, &itemsets, top, recommend, expr, explain, stats, shutdown, out,
+            &addr,
+            &itemsets,
+            top,
+            recommend,
+            expr,
+            explain,
+            stats,
+            shutdown,
+            protocol_version,
+            out,
         ),
     }
 }
@@ -129,6 +145,9 @@ fn serve(
     deadline_ms: Option<u64>,
     data_dir: Option<&str>,
     server_model: plt_serve::ServerModel,
+    rebuild_mode: plt_serve::RebuildMode,
+    sketch_eps: Option<f64>,
+    sketch_delta: f64,
     out: &mut dyn Write,
 ) -> CmdResult {
     let db = load(input)?;
@@ -153,6 +172,12 @@ fn serve(
         fault: fault.clone(),
         data_dir: data_dir.map(std::path::PathBuf::from),
         durable: plt_store::DurableOptions::default(),
+        rebuild_mode,
+        sketch: sketch_eps.map(|epsilon| plt_serve::SketchConfig {
+            epsilon,
+            delta: sketch_delta,
+            ..plt_serve::SketchConfig::default()
+        }),
     };
     let (engine, builder) = plt_serve::bootstrap(db.transactions(), config)
         .map_err(|e| format!("cannot build snapshot: {e}"))?;
@@ -183,6 +208,17 @@ fn serve(
     if let Some(seed) = fault_seed {
         writeln!(out, "fault injection active (seed {seed})").map_err(|e| e.to_string())?;
     }
+    if let Some(eps) = sketch_eps {
+        writeln!(
+            out,
+            "approximate tier active: sketch eps={eps} delta={sketch_delta} (query with APPROX)"
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if rebuild_mode != plt_serve::RebuildMode::Incremental {
+        writeln!(out, "sampled rebuilds active (Toivonen, exact fallback)")
+            .map_err(|e| e.to_string())?;
+    }
     out.flush().map_err(|e| e.to_string())?;
     handle.join();
     builder.stop();
@@ -208,10 +244,15 @@ fn query_server(
     explain: bool,
     stats: bool,
     shutdown: bool,
+    protocol_version: u64,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let mut client =
-        plt_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let config = plt_serve::ClientConfig {
+        protocol_version,
+        ..plt_serve::ClientConfig::default()
+    };
+    let mut client = plt_serve::Client::with_config(addr, config)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let io_err = |e: std::io::Error| e.to_string();
     for items in itemsets {
         let reply = client
@@ -254,9 +295,14 @@ fn query_server(
             .query(&expr)
             .map_err(|e| format!("query failed: {e}"))?;
         if explain {
+            let bound = v
+                .get("error_bound")
+                .and_then(plt_serve::json::Json::as_u64)
+                .map(|b| format!(" error_bound={b}"))
+                .unwrap_or_default();
             writeln!(
                 out,
-                "plan={} cost={:.1} cache_hit={} generation={}",
+                "plan={} cost={:.1} cache_hit={} approx={}{bound} generation={}",
                 v.get("plan")
                     .and_then(plt_serve::json::Json::as_str)
                     .unwrap_or("?"),
@@ -264,6 +310,9 @@ fn query_server(
                     .and_then(plt_serve::json::Json::as_f64)
                     .unwrap_or(f64::NAN),
                 v.get("cache_hit")
+                    .and_then(plt_serve::json::Json::as_bool)
+                    .unwrap_or(false),
+                v.get("approx")
                     .and_then(plt_serve::json::Json::as_bool)
                     .unwrap_or(false),
                 v.get("generation")

@@ -11,9 +11,60 @@ use std::fmt;
 
 use plt_core::item::Item;
 
-/// A parsed query.
+/// The answering tier of a query. `Exact` is the default; `APPROX`
+/// additionally admits sketch-backed operators that trade bounded error
+/// for not touching the snapshot. The tier is part of the normalized
+/// printed form, so plan-cache keys distinguish tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tier {
+    /// Only operators that return exact rows may run.
+    Exact,
+    /// `APPROX [WITHIN eps]` — approximate operators allowed. `eps`
+    /// caps the acceptable absolute error at `⌈eps·N⌉` transactions;
+    /// `None` accepts whatever bound the sketch guarantees.
+    Approx { eps: Option<f64> },
+}
+
+impl Tier {
+    pub fn is_approx(self) -> bool {
+        matches!(self, Tier::Approx { .. })
+    }
+}
+
+/// A parsed query: the shape plus the answering tier.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Query {
+pub struct Query {
+    pub kind: QueryKind,
+    pub tier: Tier,
+}
+
+impl Query {
+    /// An exact-tier query (the default tier).
+    pub fn exact(kind: QueryKind) -> Query {
+        Query {
+            kind,
+            tier: Tier::Exact,
+        }
+    }
+
+    /// An approximate-tier query with an optional error cap.
+    pub fn approx(kind: QueryKind, eps: Option<f64>) -> Query {
+        Query {
+            kind,
+            tier: Tier::Approx { eps },
+        }
+    }
+}
+
+impl From<QueryKind> for Query {
+    fn from(kind: QueryKind) -> Query {
+        Query::exact(kind)
+    }
+}
+
+/// A query shape (tier-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
     /// `SUPPORT OF {a,b}` — exact support of one itemset.
     Support { items: Vec<Item> },
     /// `TOP k [WHERE pred]` — the `k` best frequent itemsets passing the
@@ -228,21 +279,21 @@ impl fmt::Display for Pred {
     }
 }
 
-impl fmt::Display for Query {
+impl fmt::Display for QueryKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Query::Support { items } => {
+            QueryKind::Support { items } => {
                 write!(f, "SUPPORT OF ")?;
                 fmt_items(items, f)
             }
-            Query::Top { k, filter } => {
+            QueryKind::Top { k, filter } => {
                 write!(f, "TOP {k}")?;
                 if let Some(p) = filter {
                     write!(f, " WHERE {p}")?;
                 }
                 Ok(())
             }
-            Query::Rules { filter, k } => {
+            QueryKind::Rules { filter, k } => {
                 write!(f, "RULES")?;
                 if let Some(p) = filter {
                     write!(f, " WHERE {p}")?;
@@ -252,7 +303,7 @@ impl fmt::Display for Query {
                 }
                 Ok(())
             }
-            Query::MineCond { cond, k } => {
+            QueryKind::MineCond { cond, k } => {
                 write!(f, "MINE COND ")?;
                 fmt_items(cond, f)?;
                 if let Some(k) = k {
@@ -260,6 +311,21 @@ impl fmt::Display for Query {
                 }
                 Ok(())
             }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        match self.tier {
+            // Exact is the default: printing nothing keeps every
+            // pre-tier expression's normal form (and cache key) stable.
+            Tier::Exact => Ok(()),
+            Tier::Approx { eps: None } => write!(f, " APPROX"),
+            // Reuse Num's fraction formatting so the printed form
+            // re-lexes as a fraction and roundtrips.
+            Tier::Approx { eps: Some(e) } => write!(f, " APPROX WITHIN {}", Num::Frac(e)),
         }
     }
 }
@@ -317,29 +383,43 @@ fn flatten_into(p: Pred, and: bool, out: &mut Vec<Pred>) {
     }
 }
 
-impl Query {
+impl QueryKind {
     /// The canonical form: itemsets sorted and deduped, commutative
-    /// AND/OR chains flattened and sorted by printed form. Two queries
-    /// with the same meaning up to those symmetries normalize to equal
-    /// ASTs, and [`cache_key`](Self::cache_key) to equal strings.
-    pub fn normalize(self) -> Query {
+    /// AND/OR chains flattened and sorted by printed form.
+    pub fn normalize(self) -> QueryKind {
         match self {
-            Query::Support { mut items } => {
+            QueryKind::Support { mut items } => {
                 normalize_items(&mut items);
-                Query::Support { items }
+                QueryKind::Support { items }
             }
-            Query::Top { k, filter } => Query::Top {
+            QueryKind::Top { k, filter } => QueryKind::Top {
                 k,
                 filter: filter.map(normalize_pred),
             },
-            Query::Rules { filter, k } => Query::Rules {
+            QueryKind::Rules { filter, k } => QueryKind::Rules {
                 filter: filter.map(normalize_pred),
                 k,
             },
-            Query::MineCond { mut cond, k } => {
+            QueryKind::MineCond { mut cond, k } => {
                 normalize_items(&mut cond);
-                Query::MineCond { cond, k }
+                QueryKind::MineCond { cond, k }
             }
+        }
+    }
+}
+
+impl Query {
+    /// The canonical form: the shape normalized (itemsets sorted and
+    /// deduped, commutative AND/OR chains flattened and sorted by
+    /// printed form), the tier untouched (it has no symmetries — the
+    /// parser already folds an explicit `EXACT` into the default). Two
+    /// queries with the same meaning up to those symmetries normalize
+    /// to equal ASTs, and [`cache_key`](Self::cache_key) to equal
+    /// strings; queries differing only in tier do **not**.
+    pub fn normalize(self) -> Query {
+        Query {
+            kind: self.kind.normalize(),
+            tier: self.tier,
         }
     }
 
@@ -355,9 +435,9 @@ mod tests {
 
     #[test]
     fn printer_emits_the_grammar_examples() {
-        let q = Query::Support { items: vec![1, 2] };
+        let q = Query::exact(QueryKind::Support { items: vec![1, 2] });
         assert_eq!(q.to_string(), "SUPPORT OF {1,2}");
-        let q = Query::Top {
+        let q = Query::exact(QueryKind::Top {
             k: 20,
             filter: Some(Pred::And(
                 Box::new(Pred::Cmp {
@@ -367,16 +447,34 @@ mod tests {
                 }),
                 Box::new(Pred::PrefixLike(vec![PatElem::Item(3), PatElem::Any])),
             )),
-        };
+        });
         assert_eq!(
             q.to_string(),
             "TOP 20 WHERE support >= 0.01 AND prefix LIKE {3,*}"
         );
-        let q = Query::MineCond {
+        let q = Query::exact(QueryKind::MineCond {
             cond: vec![7],
             k: Some(10),
-        };
+        });
         assert_eq!(q.to_string(), "MINE COND {7} TOP 10");
+    }
+
+    #[test]
+    fn tiers_print_as_suffixes_and_key_the_cache_separately() {
+        let kind = QueryKind::Support { items: vec![1, 2] };
+        let exact = Query::exact(kind.clone());
+        let approx = Query::approx(kind.clone(), None);
+        let within = Query::approx(kind, Some(0.05));
+        assert_eq!(exact.to_string(), "SUPPORT OF {1,2}");
+        assert_eq!(approx.to_string(), "SUPPORT OF {1,2} APPROX");
+        assert_eq!(within.to_string(), "SUPPORT OF {1,2} APPROX WITHIN 0.05");
+        // Integral eps keeps its decimal point so it re-lexes as a fraction.
+        let one = Query::approx(QueryKind::Support { items: vec![1] }, Some(1.0));
+        assert_eq!(one.to_string(), "SUPPORT OF {1} APPROX WITHIN 1.0");
+        // Same shape, different tier: distinct cache keys.
+        assert_ne!(exact.cache_key(), approx.cache_key());
+        assert_ne!(approx.cache_key(), within.cache_key());
+        assert!(within.tier.is_approx() && !exact.tier.is_approx());
     }
 
     #[test]
@@ -412,14 +510,14 @@ mod tests {
 
     #[test]
     fn normalization_sorts_items_and_operands() {
-        let q = Query::Support {
+        let q = Query::exact(QueryKind::Support {
             items: vec![3, 1, 3, 2],
-        };
+        });
         assert_eq!(
             q.normalize(),
-            Query::Support {
+            Query::exact(QueryKind::Support {
                 items: vec![1, 2, 3]
-            }
+            })
         );
 
         let a = Pred::Cmp {
@@ -428,14 +526,14 @@ mod tests {
             value: Num::Abs(2),
         };
         let b = Pred::Contains(vec![2, 1]);
-        let ab = Query::Top {
+        let ab = Query::exact(QueryKind::Top {
             k: 5,
             filter: Some(Pred::And(Box::new(a.clone()), Box::new(b.clone()))),
-        };
-        let ba = Query::Top {
+        });
+        let ba = Query::exact(QueryKind::Top {
             k: 5,
             filter: Some(Pred::And(Box::new(b), Box::new(a))),
-        };
+        });
         assert_eq!(ab.cache_key(), ba.cache_key());
         assert_eq!(
             ab.cache_key(),

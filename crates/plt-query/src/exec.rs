@@ -18,9 +18,18 @@ use plt_core::item::{Item, Itemset, Support};
 use plt_rules::Rule;
 use plt_shard::MinerBuilder;
 
-use crate::ast::{CmpOp, Field, PatElem, Pred, Query};
+use crate::ast::{CmpOp, Field, PatElem, Pred, Query, QueryKind};
 use crate::plan::PhysOp;
 use crate::source::Source;
+
+/// Metadata accompanying an approximate answer: the executed operator
+/// guarantees the reported support is within `error_bound` of truth.
+/// Exact operators return `None` in its place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxMeta {
+    /// Guaranteed absolute error bound, in transactions.
+    pub error_bound: Support,
+}
 
 /// Result rows of one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,8 +135,8 @@ impl NaiveExecutor {
     /// Runs `q` (already normalized) against `src` by exhaustive scan.
     pub fn run(src: &dyn Source, q: &Query) -> Rows {
         let n = src.stats().num_transactions;
-        match q {
-            Query::Support { items } => {
+        match &q.kind {
+            QueryKind::Support { items } => {
                 // Count matching vectors directly off the PLT: the sum of
                 // frequencies of vectors whose rank sets cover the items.
                 let plt = src.plt();
@@ -150,7 +159,7 @@ impl NaiveExecutor {
                     frequent: support >= src.stats().min_support && !items.is_empty(),
                 }
             }
-            Query::Top { k, filter } => {
+            QueryKind::Top { k, filter } => {
                 let rows = src
                     .ranked()
                     .iter()
@@ -163,7 +172,7 @@ impl NaiveExecutor {
                     .collect();
                 Rows::Itemsets(rows)
             }
-            Query::Rules { filter, k } => {
+            QueryKind::Rules { filter, k } => {
                 let rows = src
                     .rules()
                     .iter()
@@ -176,7 +185,7 @@ impl NaiveExecutor {
                     .collect();
                 Rows::Rules(rows)
             }
-            Query::MineCond { cond, k } => {
+            QueryKind::MineCond { cond, k } => {
                 let rows = src
                     .ranked()
                     .iter()
@@ -191,55 +200,74 @@ impl NaiveExecutor {
 }
 
 /// Executes `q` (already normalized) with the given physical operator.
+/// Returns the rows plus, for approximate operators, the metadata
+/// stating the guaranteed error bound (`None` from exact operators).
 ///
 /// Returns `PltError::Query` if the operator does not apply to this
 /// query shape (the planner never produces such a pairing; the error
 /// protects the test-only force hook).
-pub fn execute(op: PhysOp, q: &Query, src: &dyn Source) -> Result<Rows> {
-    match (op, q) {
-        (PhysOp::FullScan, _) => Ok(NaiveExecutor::run(src, q)),
-        (PhysOp::IndexPoint, Query::Support { items }) => {
+pub fn execute(op: PhysOp, q: &Query, src: &dyn Source) -> Result<(Rows, Option<ApproxMeta>)> {
+    let exact = |rows: Rows| (rows, None);
+    match (op, &q.kind) {
+        (PhysOp::FullScan, _) => Ok(exact(NaiveExecutor::run(src, q))),
+        (PhysOp::IndexPoint, QueryKind::Support { items }) => {
             let (support, frequent) = src.support_of(items);
-            Ok(Rows::Support {
+            Ok(exact(Rows::Support {
                 items: items.clone(),
                 support,
                 frequent,
-            })
+            }))
         }
-        (PhysOp::ExtTraverse, Query::Top { k, filter }) => {
+        (PhysOp::SketchProbe, QueryKind::Support { items }) => {
+            let Some(sketch) = src.sketch() else {
+                return Err(PltError::Query {
+                    message: "sketch_probe needs a source with an attached sketch".into(),
+                });
+            };
+            let (support, error_bound) = sketch.estimate(items);
+            Ok((
+                Rows::Support {
+                    items: items.clone(),
+                    support,
+                    frequent: support >= src.stats().min_support && !items.is_empty(),
+                },
+                Some(ApproxMeta { error_bound }),
+            ))
+        }
+        (PhysOp::ExtTraverse, QueryKind::Top { k, filter }) => {
             let seeds: Vec<(Itemset, Support)> = src
                 .extensions_of(&[])
                 .into_iter()
                 .map(|(item, sup)| (Itemset::from_sorted(vec![item]), sup))
                 .collect();
-            Ok(Rows::Itemsets(ext_traverse(
+            Ok(exact(Rows::Itemsets(ext_traverse(
                 src,
                 seeds,
                 filter.as_ref(),
                 *k,
-            )))
+            ))))
         }
-        (PhysOp::ExtTraverse, Query::MineCond { cond, k }) => {
+        (PhysOp::ExtTraverse, QueryKind::MineCond { cond, k }) => {
             let (support, frequent) = src.support_of(cond);
             if !frequent {
                 // Anti-monotone: no frequent superset of an infrequent set.
-                return Ok(Rows::Itemsets(Vec::new()));
+                return Ok(exact(Rows::Itemsets(Vec::new())));
             }
             let seed = (Itemset::new(cond.clone()), support);
-            Ok(Rows::Itemsets(ext_traverse(
+            Ok(exact(Rows::Itemsets(ext_traverse(
                 src,
                 vec![seed],
                 None,
                 k.unwrap_or(usize::MAX),
-            )))
+            ))))
         }
-        (PhysOp::RuleScan, Query::Rules { filter, k }) => {
-            Ok(Rows::Rules(rule_scan(src, filter.as_ref(), *k)))
+        (PhysOp::RuleScan, QueryKind::Rules { filter, k }) => {
+            Ok(exact(Rows::Rules(rule_scan(src, filter.as_ref(), *k))))
         }
-        (PhysOp::CondMine, Query::MineCond { cond, k }) => {
-            Ok(Rows::Itemsets(cond_mine(src, cond, *k)?))
+        (PhysOp::CondMine, QueryKind::MineCond { cond, k }) => {
+            Ok(exact(Rows::Itemsets(cond_mine(src, cond, *k)?)))
         }
-        (op, q) => Err(PltError::Query {
+        (op, _) => Err(PltError::Query {
             message: format!("operator {} does not apply to `{q}`", op.as_str()),
         }),
     }
@@ -414,21 +442,52 @@ fn cond_mine(src: &dyn Source, cond: &[Item], k: Option<usize>) -> Result<Vec<(I
 mod tests {
     use super::*;
     use crate::ast::Num;
-    use crate::source::tests::mem_source;
+    use crate::source::tests::{mem_source, mem_source_with_sketch};
 
     fn assert_op_matches_naive(src: &dyn Source, q: &Query, op: PhysOp) {
         let naive = NaiveExecutor::run(src, q);
-        let got = execute(op, q, src).unwrap();
+        let (got, meta) = execute(op, q, src).unwrap();
         assert_eq!(got, naive, "{} disagrees with naive on `{q}`", op.as_str());
+        assert_eq!(meta, None, "exact operator {} returned meta", op.as_str());
     }
 
     #[test]
     fn index_point_matches_naive_support() {
         let src = mem_source(2);
         for items in [vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 2, 3], vec![99]] {
-            let q = Query::Support { items };
+            let q = Query::exact(QueryKind::Support { items });
             assert_op_matches_naive(&src, &q, PhysOp::IndexPoint);
         }
+    }
+
+    #[test]
+    fn sketch_probe_answers_within_its_stated_bound() {
+        let src = mem_source_with_sketch(2, 8, 0.2);
+        for items in [vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 2, 3], vec![99]] {
+            let q = Query::approx(QueryKind::Support { items }, None);
+            let naive = NaiveExecutor::run(&src, &q);
+            let (got, meta) = execute(PhysOp::SketchProbe, &q, &src).unwrap();
+            let meta = meta.expect("sketch probe must state a bound");
+            let (
+                Rows::Support { support: exact, .. },
+                Rows::Support {
+                    support: approx, ..
+                },
+            ) = (&naive, &got)
+            else {
+                panic!("support rows expected");
+            };
+            assert!(
+                exact.abs_diff(*approx) <= meta.error_bound,
+                "estimate {approx} of {exact} exceeds bound {}",
+                meta.error_bound
+            );
+        }
+        // No sketch attached → typed error, not a panic.
+        let bare = mem_source(2);
+        let q = Query::approx(QueryKind::Support { items: vec![0] }, None);
+        let err = execute(PhysOp::SketchProbe, &q, &bare).unwrap_err();
+        assert!(err.to_string().contains("attached sketch"));
     }
 
     #[test]
@@ -454,10 +513,10 @@ mod tests {
         ];
         for k in [1, 2, 3, 10, 100] {
             for filter in &filters {
-                let q = Query::Top {
+                let q = Query::exact(QueryKind::Top {
                     k,
                     filter: filter.clone(),
-                };
+                });
                 assert_op_matches_naive(&src, &q, PhysOp::ExtTraverse);
             }
         }
@@ -468,10 +527,10 @@ mod tests {
         let src = mem_source(2);
         for cond in [vec![0], vec![1], vec![0, 1], vec![2, 3], vec![5], vec![99]] {
             for k in [None, Some(1), Some(3), Some(100)] {
-                let q = Query::MineCond {
+                let q = Query::exact(QueryKind::MineCond {
                     cond: cond.clone(),
                     k,
-                };
+                });
                 assert_op_matches_naive(&src, &q, PhysOp::ExtTraverse);
                 assert_op_matches_naive(&src, &q, PhysOp::CondMine);
             }
@@ -516,10 +575,10 @@ mod tests {
         ];
         for k in [None, Some(1), Some(2), Some(50)] {
             for filter in &filters {
-                let q = Query::Rules {
+                let q = Query::exact(QueryKind::Rules {
                     filter: filter.clone(),
                     k,
-                };
+                });
                 assert_op_matches_naive(&src, &q, PhysOp::RuleScan);
             }
         }
@@ -528,7 +587,7 @@ mod tests {
     #[test]
     fn mismatched_operator_is_a_typed_error() {
         let src = mem_source(2);
-        let q = Query::Support { items: vec![0] };
+        let q = Query::exact(QueryKind::Support { items: vec![0] });
         let err = execute(PhysOp::RuleScan, &q, &src).unwrap_err();
         assert!(err.to_string().contains("does not apply"));
     }

@@ -44,12 +44,12 @@ pub mod parse;
 pub mod plan;
 pub mod source;
 
-pub use ast::{CmpOp, Field, Num, PatElem, Pred, Query};
+pub use ast::{CmpOp, Field, Num, PatElem, Pred, Query, QueryKind, Tier};
 pub use cache::{CacheCounters, PlanCache};
-pub use exec::{NaiveExecutor, Rows};
+pub use exec::{ApproxMeta, NaiveExecutor, Rows};
 pub use parse::{parse, MAX_PRED_DEPTH, MAX_QUERY_BYTES};
 pub use plan::{applicable_ops, PhysOp, Plan};
-pub use source::{MemSource, Source, SourceStats};
+pub use source::{MemSource, Source, SourceStats, SupportSketch};
 
 use plt_core::error::Result;
 use plt_obs::Obs;
@@ -61,6 +61,15 @@ pub struct Provenance {
     pub plan: Plan,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
+    /// Whether the query *asked* for the approximate tier (`APPROX`),
+    /// regardless of whether a sketch ended up answering it.
+    pub approx_requested: bool,
+    /// Whether the answer is approximate. An `APPROX`-tier query whose
+    /// planner still picked an exact operator reports `false` (the
+    /// answer is trivially within any bound).
+    pub approx: bool,
+    /// The guaranteed absolute error bound when `approx` is true.
+    pub error_bound: Option<plt_core::item::Support>,
 }
 
 /// The obs counter name for a chosen operator.
@@ -71,6 +80,7 @@ fn plan_counter(op: PhysOp) -> &'static str {
         PhysOp::RuleScan => "query.plan.rule_scan",
         PhysOp::CondMine => "query.plan.cond_mine",
         PhysOp::FullScan => "query.plan.full_scan",
+        PhysOp::SketchProbe => "query.plan.sketch_probe",
     }
 }
 
@@ -93,10 +103,29 @@ fn execute_planned(
     obs: &mut Obs,
 ) -> Result<(Rows, Provenance)> {
     obs.counter(plan_counter(plan.op), 1);
+    if q.tier.is_approx() {
+        obs.counter("approx.requests", 1);
+    }
     let t = obs.start();
-    let rows = exec::execute(plan.op, q, src)?;
+    let (rows, meta) = exec::execute(plan.op, q, src)?;
     obs.stop("query/execute", t);
-    Ok((rows, Provenance { plan, cache_hit }))
+    match meta {
+        Some(_) => obs.counter("approx.sketch_answers", 1),
+        // An APPROX-tier request answered by an exact operator: count
+        // the honest fallback so operators can see sketch coverage.
+        None if q.tier.is_approx() => obs.counter("approx.exact_fallbacks", 1),
+        None => {}
+    }
+    Ok((
+        rows,
+        Provenance {
+            plan,
+            cache_hit,
+            approx_requested: q.tier.is_approx(),
+            approx: meta.is_some(),
+            error_bound: meta.map(|m| m.error_bound),
+        },
+    ))
 }
 
 /// Parses, plans, and executes one expression. The one-stop entry point
@@ -199,6 +228,45 @@ mod tests {
         assert_eq!(p1.plan, p2.plan);
         assert_eq!(rows1, rows2);
         assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn approx_tier_reports_provenance_and_counters() {
+        use crate::source::tests::mem_source_with_sketch;
+        // Sketch attached, probe forced: approximate provenance.
+        let src = mem_source_with_sketch(2, 8, 0.2);
+        let (rows, prov) =
+            run_forced("SUPPORT OF {0,1} APPROX", &src, PhysOp::SketchProbe).unwrap();
+        assert_eq!(rows.kind(), "support");
+        assert!(prov.approx);
+        assert!(prov.error_bound.is_some());
+        // No sketch: the APPROX request falls back to an exact operator
+        // and says so, both in provenance and in the counters.
+        let bare = mem_source(2);
+        let mut rec = MetricsRecorder::new();
+        let (_, prov) = run("SUPPORT OF {0,1} APPROX", &bare, &mut Obs::new(&mut rec)).unwrap();
+        assert!(!prov.approx);
+        assert_eq!(prov.error_bound, None);
+        assert_eq!(rec.counter_value("approx.requests"), 1);
+        assert_eq!(rec.counter_value("approx.exact_fallbacks"), 1);
+        assert_eq!(rec.counter_value("approx.sketch_answers"), 0);
+    }
+
+    #[test]
+    fn tiers_key_the_plan_cache_separately() {
+        let src = mem_source(2);
+        let cache = PlanCache::new(8);
+        let mut obs = Obs::none();
+        let (_, p1) = run_cached("SUPPORT OF {0,1}", &src, &cache, &mut obs).unwrap();
+        assert!(!p1.cache_hit);
+        // Same shape under APPROX: distinct cache entry, not a hit.
+        let (_, p2) = run_cached("SUPPORT OF {0,1} APPROX", &src, &cache, &mut obs).unwrap();
+        assert!(!p2.cache_hit);
+        // Re-running each spelling hits its own entry.
+        let (_, p3) = run_cached("support of {1,0} approx", &src, &cache, &mut obs).unwrap();
+        assert!(p3.cache_hit);
+        let (_, p4) = run_cached("SUPPORT OF {0,1} EXACT", &src, &cache, &mut obs).unwrap();
+        assert!(p4.cache_hit);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query    := SUPPORT OF itemset
+//! query    := shape [tier]
+//! shape    := SUPPORT OF itemset
 //!           | TOP int [WHERE pred]
 //!           | RULES [WHERE pred] [TOP int]
 //!           | MINE COND itemset [TOP int]
+//! tier     := EXACT | APPROX [WITHIN number]
 //! pred     := conj (OR conj)*
 //! conj     := factor (AND factor)*
 //! factor   := NOT factor | '(' pred ')' | atom
@@ -29,7 +31,7 @@
 use plt_core::error::{PltError, Result};
 use plt_core::item::Item;
 
-use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query};
+use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query, QueryKind, Tier};
 
 /// Expressions longer than this are rejected before lexing.
 pub const MAX_QUERY_BYTES: usize = 4096;
@@ -466,6 +468,38 @@ impl Parser {
         }
     }
 
+    /// Optional trailing tier modifier: `APPROX [WITHIN number]`, or the
+    /// explicit default `EXACT` (accepted, folds into the default so the
+    /// two spellings share a normal form).
+    fn tier(&mut self) -> Result<Tier> {
+        if self.eat_word("exact") {
+            return Ok(Tier::Exact);
+        }
+        if !self.eat_word("approx") {
+            return Ok(Tier::Exact);
+        }
+        if !self.eat_word("within") {
+            return Ok(Tier::Approx { eps: None });
+        }
+        let eps = match self.next() {
+            Some(Tok::Frac(x)) => x,
+            Some(Tok::Int(n)) => n as f64,
+            Some(t) => {
+                return qerr(format!(
+                    "WITHIN needs an error bound, found {}",
+                    t.describe()
+                ))
+            }
+            None => return qerr("WITHIN needs an error bound, found end of query"),
+        };
+        if !(eps > 0.0 && eps <= 1.0) {
+            return qerr(format!(
+                "APPROX WITHIN bound must be in (0, 1], found {eps}"
+            ));
+        }
+        Ok(Tier::Approx { eps: Some(eps) })
+    }
+
     fn query(&mut self) -> Result<Query> {
         let head = match self.next() {
             Some(Tok::Word(w)) => w,
@@ -477,10 +511,10 @@ impl Parser {
             }
             None => return qerr("empty query"),
         };
-        let q = match head.as_str() {
+        let kind = match head.as_str() {
             "support" => {
                 self.expect_word("of", "after `SUPPORT`")?;
-                Query::Support {
+                QueryKind::Support {
                     items: self.itemset("SUPPORT OF")?,
                 }
             }
@@ -489,18 +523,18 @@ impl Parser {
                 if k == 0 {
                     return qerr("TOP 0 asks for nothing");
                 }
-                Query::Top {
+                QueryKind::Top {
                     k: k as usize,
                     filter: self.filter(PredContext::Itemsets)?,
                 }
             }
-            "rules" => Query::Rules {
+            "rules" => QueryKind::Rules {
                 filter: self.filter(PredContext::Rules)?,
                 k: self.top_clause()?,
             },
             "mine" => {
                 self.expect_word("cond", "after `MINE`")?;
-                Query::MineCond {
+                QueryKind::MineCond {
                     cond: self.itemset("MINE COND")?,
                     k: self.top_clause()?,
                 }
@@ -511,8 +545,9 @@ impl Parser {
                 ))
             }
         };
+        let tier = self.tier()?;
         match self.peek() {
-            None => Ok(q),
+            None => Ok(Query { kind, tier }),
             Some(t) => qerr(format!("trailing {} after the query", t.describe())),
         }
     }
@@ -534,7 +569,7 @@ pub fn parse(expr: &str) -> Result<Query> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query};
+    use crate::ast::{CmpOp, Field, Num, PatElem, Pred, Query, QueryKind, Tier};
     use proptest::prelude::*;
 
     fn p(expr: &str) -> Query {
@@ -551,10 +586,13 @@ mod tests {
 
     #[test]
     fn grammar_examples_parse() {
-        assert_eq!(p("SUPPORT OF {1,2}"), Query::Support { items: vec![1, 2] });
+        assert_eq!(
+            p("SUPPORT OF {1,2}"),
+            Query::exact(QueryKind::Support { items: vec![1, 2] })
+        );
         assert_eq!(
             p("TOP 20 WHERE support >= 0.01 AND prefix LIKE {3,*}"),
-            Query::Top {
+            Query::exact(QueryKind::Top {
                 k: 20,
                 filter: Some(Pred::And(
                     Box::new(Pred::Cmp {
@@ -564,11 +602,11 @@ mod tests {
                     }),
                     Box::new(Pred::PrefixLike(vec![PatElem::Item(3), PatElem::Any])),
                 )),
-            }
+            })
         );
         assert_eq!(
             p("RULES WHERE confidence >= 0.8 AND lift > 1.2"),
-            Query::Rules {
+            Query::exact(QueryKind::Rules {
                 filter: Some(Pred::And(
                     Box::new(Pred::Cmp {
                         field: Field::Confidence,
@@ -582,15 +620,43 @@ mod tests {
                     }),
                 )),
                 k: None,
-            }
+            })
         );
         assert_eq!(
             p("MINE COND {1} TOP 10"),
-            Query::MineCond {
+            Query::exact(QueryKind::MineCond {
                 cond: vec![1],
                 k: Some(10),
-            }
+            })
         );
+    }
+
+    #[test]
+    fn tier_modifiers_parse() {
+        let kind = QueryKind::Support { items: vec![1, 2] };
+        assert_eq!(
+            p("SUPPORT OF {1,2} APPROX"),
+            Query::approx(kind.clone(), None)
+        );
+        assert_eq!(
+            p("SUPPORT OF {1,2} approx within 0.05"),
+            Query::approx(kind.clone(), Some(0.05))
+        );
+        // An integer bound lexes as Int and is accepted as a fraction.
+        assert_eq!(
+            p("SUPPORT OF {1,2} APPROX WITHIN 1"),
+            Query::approx(kind.clone(), Some(1.0))
+        );
+        // Explicit EXACT folds into the default: same AST, same cache key.
+        assert_eq!(p("SUPPORT OF {1,2} EXACT"), Query::exact(kind));
+        assert_eq!(
+            p("SUPPORT OF {1,2} EXACT").cache_key(),
+            p("support of {2,1}").cache_key()
+        );
+        // Every shape takes the modifier.
+        assert!(p("TOP 5 WHERE support >= 2 APPROX").tier.is_approx());
+        assert!(p("RULES TOP 3 APPROX").tier.is_approx());
+        assert!(p("MINE COND {1} APPROX WITHIN 0.1").tier.is_approx());
     }
 
     #[test]
@@ -603,10 +669,10 @@ mod tests {
     #[test]
     fn precedence_is_not_over_and_over_or() {
         let q = p("TOP 5 WHERE NOT size > 3 AND support >= 2 OR contains {1}");
-        let Query::Top {
+        let QueryKind::Top {
             filter: Some(Pred::Or(left, _)),
             ..
-        } = q
+        } = q.kind
         else {
             panic!("OR is the top operator");
         };
@@ -643,6 +709,11 @@ mod tests {
                 "digits after the decimal point",
             ),
             ("SUPPORT OF {1} ; DROP", "unexpected character"),
+            ("SUPPORT OF {1} APPROX WITHIN", "needs an error bound"),
+            ("SUPPORT OF {1} APPROX WITHIN 0", "must be in (0, 1]"),
+            ("SUPPORT OF {1} APPROX WITHIN 1.5", "must be in (0, 1]"),
+            ("SUPPORT OF {1} EXACT APPROX", "trailing"),
+            ("TOP 5 APPROX APPROX", "trailing"),
         ];
         for (expr, needle) in cases {
             let msg = perr(expr);
@@ -749,9 +820,9 @@ mod tests {
             (0..n).map(|j| j as u32 * 2 + (head as u32 % 3)).collect()
         };
         let k = (head % 9) as usize + 1;
-        match head % 4 {
-            0 => Query::Support { items },
-            1 => Query::Top {
+        let kind = match head % 4 {
+            0 => QueryKind::Support { items },
+            1 => QueryKind::Top {
                 k,
                 filter: if head & 16 != 0 {
                     Some(build_pred(script, 0, false, &mut i))
@@ -759,7 +830,7 @@ mod tests {
                     None
                 },
             },
-            2 => Query::Rules {
+            2 => QueryKind::Rules {
                 filter: if head & 16 != 0 {
                     Some(build_pred(script, 0, true, &mut i))
                 } else {
@@ -767,11 +838,22 @@ mod tests {
                 },
                 k: if head & 32 != 0 { Some(k) } else { None },
             },
-            _ => Query::MineCond {
+            _ => QueryKind::MineCond {
                 cond: items,
                 k: if head & 32 != 0 { Some(k) } else { None },
             },
-        }
+        };
+        // The tier comes from the byte after the predicate script so it
+        // varies independently of the shape.
+        let t = script.get(i).copied().unwrap_or(0);
+        let tier = match t % 4 {
+            0 | 1 => Tier::Exact,
+            2 => Tier::Approx { eps: None },
+            _ => Tier::Approx {
+                eps: Some(((t / 4) % 20 + 1) as f64 / 20.0),
+            },
+        };
+        Query { kind, tier }
     }
 
     proptest! {

@@ -10,7 +10,7 @@
 
 use plt_core::error::{PltError, Result};
 
-use crate::ast::Query;
+use crate::ast::{Query, QueryKind, Tier};
 use crate::source::Source;
 
 /// A physical operator.
@@ -31,6 +31,11 @@ pub enum PhysOp {
     /// Brute-force scan — the universal fallback and the differential
     /// oracle.
     FullScan,
+    /// Bounded-error probe of the source's attached indicator sketch.
+    /// `SUPPORT OF` under the `APPROX` tier only — never a candidate
+    /// for exact-tier queries, so the all-operators-agree invariant is
+    /// untouched.
+    SketchProbe,
 }
 
 impl PhysOp {
@@ -41,6 +46,7 @@ impl PhysOp {
             PhysOp::RuleScan => "rule_scan",
             PhysOp::CondMine => "cond_mine",
             PhysOp::FullScan => "full_scan",
+            PhysOp::SketchProbe => "sketch_probe",
         }
     }
 }
@@ -53,14 +59,23 @@ pub struct Plan {
     pub cost: f64,
 }
 
-/// The physical operators applicable to a query shape, most specialized
+/// The physical operators applicable to a query, most specialized
 /// first. `FullScan` applies to everything and is always last.
+/// `SketchProbe` joins the candidate set only for `SUPPORT OF` under
+/// the `APPROX` tier; every other shape answers exactly even when the
+/// tier permits approximation (the response then honestly reports
+/// `approx: false`).
 pub fn applicable_ops(q: &Query) -> &'static [PhysOp] {
-    match q {
-        Query::Support { .. } => &[PhysOp::IndexPoint, PhysOp::FullScan],
-        Query::Top { .. } => &[PhysOp::ExtTraverse, PhysOp::FullScan],
-        Query::Rules { .. } => &[PhysOp::RuleScan, PhysOp::FullScan],
-        Query::MineCond { .. } => &[PhysOp::ExtTraverse, PhysOp::CondMine, PhysOp::FullScan],
+    match (&q.kind, q.tier.is_approx()) {
+        (QueryKind::Support { .. }, true) => {
+            &[PhysOp::SketchProbe, PhysOp::IndexPoint, PhysOp::FullScan]
+        }
+        (QueryKind::Support { .. }, false) => &[PhysOp::IndexPoint, PhysOp::FullScan],
+        (QueryKind::Top { .. }, _) => &[PhysOp::ExtTraverse, PhysOp::FullScan],
+        (QueryKind::Rules { .. }, _) => &[PhysOp::RuleScan, PhysOp::FullScan],
+        (QueryKind::MineCond { .. }, _) => {
+            &[PhysOp::ExtTraverse, PhysOp::CondMine, PhysOp::FullScan]
+        }
     }
 }
 
@@ -74,17 +89,38 @@ fn cost_of(op: PhysOp, q: &Query, src: &dyn Source) -> f64 {
     // Average children per traversal node; floor 2 keeps sparse indexes
     // from looking free.
     let fanout = (n_sets / (stats.num_roots.max(1) as f64)).max(2.0);
-    match (op, q) {
-        (PhysOp::IndexPoint, Query::Support { items }) => items.len() as f64,
-        (PhysOp::FullScan, Query::Support { .. }) => n_vectors,
-        (PhysOp::ExtTraverse, Query::Top { k, filter }) => {
+    match (op, &q.kind) {
+        (PhysOp::SketchProbe, QueryKind::Support { .. }) => match src.sketch() {
+            // The probe scans the retained sample once. Unusable when no
+            // sketch is attached, or when the query demands a tighter
+            // bound than the sketch guarantees.
+            Some(sketch) => match q.tier {
+                Tier::Approx { eps: Some(e) } if sketch.epsilon() > e => f64::INFINITY,
+                _ => sketch.cost() as f64,
+            },
+            None => f64::INFINITY,
+        },
+        (PhysOp::IndexPoint, QueryKind::Support { items }) => {
+            if q.tier.is_approx() {
+                // Under APPROX the point lookup competes with the sketch.
+                // Its hash probe is near-free on index hits, but misses
+                // fall back to a full oracle scan of the PLT vectors;
+                // without membership knowledge, charge the expectation at
+                // even odds so large snapshots prefer the sketch.
+                items.len() as f64 + 0.5 * n_vectors
+            } else {
+                items.len() as f64
+            }
+        }
+        (PhysOp::FullScan, QueryKind::Support { .. }) => n_vectors,
+        (PhysOp::ExtTraverse, QueryKind::Top { k, filter }) => {
             // Filtered traversals expand past non-passing nodes, so a
             // filter inflates the frontier estimate.
             let selectivity = if filter.is_some() { 4.0 } else { 1.0 };
             ((*k as f64) + 1.0) * fanout * selectivity
         }
-        (PhysOp::FullScan, Query::Top { .. }) => n_sets,
-        (PhysOp::RuleScan, Query::Rules { filter, .. }) => {
+        (PhysOp::FullScan, QueryKind::Top { .. }) => n_sets,
+        (PhysOp::RuleScan, QueryKind::Rules { filter, .. }) => {
             // A top-level confidence bound c lets the scan stop after
             // roughly the (1 - c) fraction of the confidence-sorted
             // index (clamped: even c = 1.0 reads some prefix).
@@ -93,18 +129,18 @@ fn cost_of(op: PhysOp, q: &Query, src: &dyn Source) -> f64 {
                 None => n_rules,
             }
         }
-        (PhysOp::FullScan, Query::Rules { .. }) => n_rules,
-        (PhysOp::ExtTraverse, Query::MineCond { k, .. }) => {
+        (PhysOp::FullScan, QueryKind::Rules { .. }) => n_rules,
+        (PhysOp::ExtTraverse, QueryKind::MineCond { k, .. }) => {
             let k_eff = k.map(|k| k as f64).unwrap_or(n_sets);
             (k_eff + 1.0) * fanout
         }
-        (PhysOp::CondMine, Query::MineCond { cond, .. }) => {
+        (PhysOp::CondMine, QueryKind::MineCond { cond, .. }) => {
             // Rebuild cost scales with the conditional database size
             // (= support of the condition), plus a fixed mining setup.
             let (s_cond, _) = src.support_of(cond);
             s_cond as f64 * 4.0 + 16.0
         }
-        (PhysOp::FullScan, Query::MineCond { .. }) => n_sets,
+        (PhysOp::FullScan, QueryKind::MineCond { .. }) => n_sets,
         // Planner never pairs other combinations; make them unattractive
         // rather than unrepresentable so the force hook stays simple.
         _ => f64::INFINITY,
@@ -117,7 +153,7 @@ fn cost_of(op: PhysOp, q: &Query, src: &dyn Source) -> f64 {
 /// (`SUPPORT OF` an unknown item legitimately answers 0, and filter
 /// items that never match simply select nothing).
 fn validate(q: &Query, src: &dyn Source) -> Result<()> {
-    if let Query::MineCond { cond, .. } = q {
+    if let QueryKind::MineCond { cond, .. } = &q.kind {
         let plt = src.plt();
         for &item in cond {
             if plt.ranking().rank(item).is_none() {
@@ -172,22 +208,28 @@ mod tests {
     #[test]
     fn planner_prefers_the_specialized_operator() {
         let src = mem_source(2);
-        let p = plan(&Query::Support { items: vec![0, 1] }, &src, None).unwrap();
+        let p = plan(
+            &Query::exact(QueryKind::Support { items: vec![0, 1] }),
+            &src,
+            None,
+        )
+        .unwrap();
         assert_eq!(p.op, PhysOp::IndexPoint);
-        let p = plan(&Query::Top { k: 3, filter: None }, &src, None).unwrap();
+        let top = Query::exact(QueryKind::Top { k: 3, filter: None });
+        let p = plan(&top, &src, None).unwrap();
         // Tiny source: either way is fine, but the cost must be finite
         // and the op applicable.
         assert!(p.cost.is_finite());
-        assert!(applicable_ops(&Query::Top { k: 3, filter: None }).contains(&p.op));
+        assert!(applicable_ops(&top).contains(&p.op));
         let p = plan(
-            &Query::Rules {
+            &Query::exact(QueryKind::Rules {
                 filter: Some(Pred::Cmp {
                     field: Field::Confidence,
                     op: CmpOp::Ge,
                     value: Num::Frac(0.9),
                 }),
                 k: None,
-            },
+            }),
             &src,
             None,
         )
@@ -199,23 +241,23 @@ mod tests {
     fn confidence_bound_discounts_rule_scan() {
         let src = mem_source(2);
         let bounded = plan(
-            &Query::Rules {
+            &Query::exact(QueryKind::Rules {
                 filter: Some(Pred::Cmp {
                     field: Field::Confidence,
                     op: CmpOp::Ge,
                     value: Num::Frac(0.9),
                 }),
                 k: None,
-            },
+            }),
             &src,
             None,
         )
         .unwrap();
         let unbounded = plan(
-            &Query::Rules {
+            &Query::exact(QueryKind::Rules {
                 filter: None,
                 k: None,
-            },
+            }),
             &src,
             None,
         )
@@ -226,10 +268,10 @@ mod tests {
     #[test]
     fn force_hook_respects_applicability() {
         let src = mem_source(2);
-        let q = Query::MineCond {
+        let q = Query::exact(QueryKind::MineCond {
             cond: vec![0],
             k: Some(5),
-        };
+        });
         for op in [PhysOp::ExtTraverse, PhysOp::CondMine, PhysOp::FullScan] {
             assert_eq!(plan(&q, &src, Some(op)).unwrap().op, op);
         }
@@ -240,13 +282,56 @@ mod tests {
     #[test]
     fn unknown_cond_item_is_rejected_at_plan_time() {
         let src = mem_source(2);
-        let q = Query::MineCond {
+        let q = Query::exact(QueryKind::MineCond {
             cond: vec![99],
             k: None,
-        };
+        });
         for force in [None, Some(PhysOp::ExtTraverse), Some(PhysOp::CondMine)] {
             let err = plan(&q, &src, force).unwrap_err();
             assert!(err.to_string().contains("unknown item 99"), "{err}");
         }
+    }
+
+    #[test]
+    fn sketch_probe_is_approx_tier_only() {
+        let src = mem_source(2);
+        let kind = QueryKind::Support { items: vec![0, 1] };
+        let exact = Query::exact(kind.clone());
+        assert!(!applicable_ops(&exact).contains(&PhysOp::SketchProbe));
+        let approx = Query::approx(kind.clone(), None);
+        assert!(applicable_ops(&approx).contains(&PhysOp::SketchProbe));
+        // Forcing the probe on an exact-tier query is a typed error.
+        let err = plan(&exact, &src, Some(PhysOp::SketchProbe)).unwrap_err();
+        assert!(err.to_string().contains("does not apply"));
+        // Without an attached sketch the probe costs infinity, so the
+        // planner falls back to an exact operator even under APPROX.
+        let p = plan(&approx, &src, None).unwrap();
+        assert_ne!(p.op, PhysOp::SketchProbe);
+        assert!(p.cost.is_finite());
+    }
+
+    #[test]
+    fn sketch_probe_wins_on_large_sources_and_respects_eps() {
+        use crate::source::tests::mem_source_with_sketch;
+        // Sketch of 8 rows, epsilon 0.1, against a source whose oracle
+        // fallback dwarfs it.
+        let src = mem_source_with_sketch(2, 8, 0.1);
+        let kind = QueryKind::Support { items: vec![0, 1] };
+        let p = plan(&Query::approx(kind.clone(), None), &src, None).unwrap();
+        // Tiny table: index_point may still win on cost; the probe must
+        // at least be plannable via force.
+        assert!(applicable_ops(&Query::approx(kind.clone(), None)).contains(&PhysOp::SketchProbe));
+        assert!(p.cost.is_finite());
+        let forced = plan(
+            &Query::approx(kind.clone(), None),
+            &src,
+            Some(PhysOp::SketchProbe),
+        )
+        .unwrap();
+        assert_eq!(forced.op, PhysOp::SketchProbe);
+        // A bound tighter than the sketch guarantees prices it out.
+        let tight = Query::approx(kind, Some(0.01));
+        let p = plan(&tight, &src, None).unwrap();
+        assert_ne!(p.op, PhysOp::SketchProbe);
     }
 }

@@ -33,6 +33,29 @@ pub struct SourceStats {
     pub num_roots: usize,
 }
 
+/// An approximate support sketch a [`Source`] may attach. The
+/// `SketchProbe` physical operator answers `SUPPORT OF` through this
+/// trait in O(sketch) without touching the snapshot index or PLT.
+/// `plt-approx` provides the production implementation.
+pub trait SupportSketch: std::fmt::Debug + Send + Sync {
+    /// `(estimate, bound)`: the estimated support of `items` and the
+    /// guaranteed absolute error bound, both in transactions —
+    /// `|estimate − true| ≤ bound` with the sketch's configured
+    /// confidence.
+    fn estimate(&self, items: &[Item]) -> (Support, Support);
+
+    /// The guaranteed error fraction of the window size (per-answer
+    /// bounds are `⌈epsilon·N⌉` or tighter). The planner prices the
+    /// probe out of `APPROX WITHIN e` queries with `e < epsilon`.
+    fn epsilon(&self) -> f64;
+
+    /// Rows one probe touches — the planner's cost proxy.
+    fn cost(&self) -> usize;
+
+    /// Resident memory in bytes (stats and bench reporting).
+    fn memory_bytes(&self) -> usize;
+}
+
 /// A mined generation the query layer can execute against.
 ///
 /// Implementations must uphold the canonical orders the executor relies
@@ -61,6 +84,13 @@ pub trait Source {
 
     /// The underlying PLT (drives on-demand conditional mining).
     fn plt(&self) -> &Plt;
+
+    /// The attached approximate sketch, if any (drives the
+    /// `SketchProbe` operator). Sources without one plan exact
+    /// operators only, even under the `APPROX` tier.
+    fn sketch(&self) -> Option<&dyn SupportSketch> {
+        None
+    }
 }
 
 /// In-memory reference [`Source`] built directly from a PLT and its
@@ -77,6 +107,7 @@ pub struct MemSource {
     roots: Vec<(Item, Support)>,
     ranked: Vec<(Itemset, Support)>,
     rules: Vec<Rule>,
+    sketch: Option<Box<dyn SupportSketch>>,
 }
 
 impl MemSource {
@@ -140,7 +171,15 @@ impl MemSource {
             roots,
             ranked,
             rules,
+            sketch: None,
         }
+    }
+
+    /// Attaches an approximate sketch, making `SketchProbe` plannable
+    /// against this source.
+    pub fn with_sketch(mut self, sketch: Box<dyn SupportSketch>) -> MemSource {
+        self.sketch = Some(sketch);
+        self
     }
 }
 
@@ -188,6 +227,10 @@ impl Source for MemSource {
     fn plt(&self) -> &Plt {
         &self.plt
     }
+
+    fn sketch(&self) -> Option<&dyn SupportSketch> {
+        self.sketch.as_deref()
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +256,54 @@ pub(crate) mod tests {
         let plt = construct(&db, min_support, ConstructOptions::conditional()).unwrap();
         let result = ConditionalMiner::default().mine(&db, min_support);
         MemSource::build(1, plt, &result, RuleConfig::default())
+    }
+
+    /// A deterministic test sketch: counts exactly over a held copy of
+    /// the database, then undercounts by one (capped at the stated
+    /// bound) so approximate answers are distinguishable from exact
+    /// ones while staying within the bound.
+    #[derive(Debug)]
+    pub(crate) struct TestSketch {
+        pub db: Vec<Vec<Item>>,
+        pub cost: usize,
+        pub epsilon: f64,
+    }
+
+    impl SupportSketch for TestSketch {
+        fn estimate(&self, items: &[Item]) -> (Support, Support) {
+            let n = self.db.len() as u64;
+            let truth = self
+                .db
+                .iter()
+                .filter(|t| items.iter().all(|i| t.contains(i)))
+                .count() as u64;
+            let bound = (self.epsilon * n as f64).ceil() as u64;
+            (truth.saturating_sub(bound.min(1)), bound)
+        }
+
+        fn epsilon(&self) -> f64 {
+            self.epsilon
+        }
+
+        fn cost(&self) -> usize {
+            self.cost
+        }
+
+        fn memory_bytes(&self) -> usize {
+            self.db.iter().map(|t| t.len() * 4).sum()
+        }
+    }
+
+    pub(crate) fn mem_source_with_sketch(
+        min_support: Support,
+        cost: usize,
+        epsilon: f64,
+    ) -> MemSource {
+        mem_source(min_support).with_sketch(Box::new(TestSketch {
+            db: table1(),
+            cost,
+            epsilon,
+        }))
     }
 
     #[test]

@@ -23,8 +23,9 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use plt_approx::{IndicatorSketch, SampledRebuild, SketchConfig};
 use plt_core::item::{Item, Support};
-use plt_core::RankPolicy;
+use plt_core::{Plt, RankPolicy};
 use plt_rules::RuleConfig;
 use plt_shard::{Delta, RebuildReport, ShardConfig, ShardedPipeline, DEFAULT_SHARD_COUNT};
 use plt_store::{DurableOptions, DurablePipeline, StoreError};
@@ -32,6 +33,36 @@ use plt_store::{DurableOptions, DurablePipeline, StoreError};
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
 use crate::snapshot::Snapshot;
+
+/// How each publish turns the applied window into a snapshot index.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum RebuildMode {
+    /// Incremental shard re-mine (the default): only dirty rank-range
+    /// shards are re-mined and clean fragments reused.
+    #[default]
+    Incremental,
+    /// Toivonen-style sampled re-mine of the whole window: mine a
+    /// sample at a slacked threshold, verify the negative border against
+    /// the full window, and fall back to an exact re-mine on a border
+    /// violation — so the published snapshot is exact either way. The
+    /// attempt/violation/fallback tally lands in
+    /// [`Metrics::sampled_report`](crate::metrics::Metrics::sampled_report).
+    Sampled(SampledRebuild),
+}
+
+impl std::str::FromStr for RebuildMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<RebuildMode, String> {
+        match s {
+            "incremental" => Ok(RebuildMode::Incremental),
+            "sampled" => Ok(RebuildMode::Sampled(SampledRebuild::default())),
+            other => Err(format!(
+                "unknown rebuild mode {other:?} (expected \"incremental\" or \"sampled\")"
+            )),
+        }
+    }
+}
 
 /// Builder configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +91,16 @@ pub struct BuilderConfig {
     /// Durable-store policy (fsync batching, resident-shard budget,
     /// checkpoint cadence). Ignored unless `data_dir` is set.
     pub durable: DurableOptions,
+    /// How publishes re-mine the window (incremental shard re-mine, or
+    /// Toivonen-style sampled re-mine with exact fallback).
+    pub rebuild_mode: RebuildMode,
+    /// When set, the builder maintains an [`IndicatorSketch`] alongside
+    /// the window and attaches it to every published snapshot, giving
+    /// the query planner an `APPROX`-tier support path that never
+    /// touches the index. The sketch's `capacity` is overridden with
+    /// [`window_capacity`](BuilderConfig::window_capacity) so its FIFO
+    /// eviction mirrors the pipeline's sliding window.
+    pub sketch: Option<SketchConfig>,
 }
 
 impl Default for BuilderConfig {
@@ -73,6 +114,8 @@ impl Default for BuilderConfig {
             fault: None,
             data_dir: None,
             durable: DurableOptions::default(),
+            rebuild_mode: RebuildMode::default(),
+            sketch: None,
         }
     }
 }
@@ -106,6 +149,22 @@ impl Pipe {
                 p.result(),
                 rule_config,
             ),
+        }
+    }
+
+    /// The sliding window as owned transactions — the sampled rebuild
+    /// and sketch warmup both need to walk it.
+    fn window_vec(&self) -> Vec<Vec<Item>> {
+        match self {
+            Pipe::Memory(p) => p.window().map(<[Item]>::to_vec).collect(),
+            Pipe::Durable(p) => p.pipeline().window().map(<[Item]>::to_vec).collect(),
+        }
+    }
+
+    fn plt_clone(&self) -> Plt {
+        match self {
+            Pipe::Memory(p) => p.plt().clone(),
+            Pipe::Durable(p) => p.pipeline().plt().clone(),
         }
     }
 
@@ -241,7 +300,21 @@ pub fn bootstrap(
         }
         None => Pipe::Memory(Box::new(ShardedPipeline::new(warmup, shard_config)?)),
     };
-    let snapshot = pipeline.snapshot(1, config.rule_config);
+    // Warm the sketch from the pipeline's own window, not from `warmup`:
+    // on a durable restart the recovered window is the authoritative
+    // state, and the sketch must mirror it transaction for transaction.
+    let mut sketch = config.sketch.map(|mut sketch_config| {
+        sketch_config.capacity = config.window_capacity;
+        let mut sk = IndicatorSketch::new(sketch_config);
+        for t in pipeline.window_vec() {
+            sk.observe(&t);
+        }
+        sk
+    });
+    let mut snapshot = pipeline.snapshot(1, config.rule_config);
+    if let Some(sk) = &sketch {
+        snapshot = snapshot.with_sketch(Box::new(sk.clone()));
+    }
     let engine = Arc::new(Engine::new(snapshot));
     pipeline.record_storage(&engine);
     if let Pipe::Durable(p) = &pipeline {
@@ -261,6 +334,8 @@ pub fn bootstrap(
     let (tx, rx) = mpsc::channel::<Msg>();
     let engine_for_thread = engine.clone();
     let rule_config = config.rule_config;
+    let rebuild_mode = config.rebuild_mode;
+    let min_support = config.min_support;
     let fault = config.fault.clone();
     let thread = std::thread::Builder::new()
         .name("plt-snapshot-builder".into())
@@ -281,6 +356,9 @@ pub fn bootstrap(
                                         std::mem::take(&mut batch),
                                         generation,
                                         rule_config,
+                                        rebuild_mode,
+                                        min_support,
+                                        &mut sketch,
                                         fault.as_deref(),
                                     );
                                     let _ = ack.send(generation);
@@ -298,6 +376,9 @@ pub fn bootstrap(
                                 batch,
                                 generation,
                                 rule_config,
+                                rebuild_mode,
+                                min_support,
+                                &mut sketch,
                                 fault.as_deref(),
                             );
                         }
@@ -309,6 +390,9 @@ pub fn bootstrap(
                             Vec::new(),
                             generation,
                             rule_config,
+                            rebuild_mode,
+                            min_support,
+                            &mut sketch,
                             fault.as_deref(),
                         );
                         let _ = ack.send(generation);
@@ -336,16 +420,27 @@ pub fn bootstrap(
 /// if the rebuild panicked, in which case the engine is marked stale and
 /// keeps serving the last good snapshot. The pipeline retains the applied
 /// batch either way, so a later successful rebuild still covers it.
+#[allow(clippy::too_many_arguments)]
 fn ingest_and_publish(
     pipeline: &mut Pipe,
     engine: &Engine,
     batch: Vec<Vec<Item>>,
     generation: u64,
     rule_config: RuleConfig,
+    rebuild_mode: RebuildMode,
+    min_support: Support,
+    sketch: &mut Option<IndicatorSketch>,
     fault: Option<&FaultPlan>,
 ) -> u64 {
     let started = std::time::Instant::now();
     engine.mark_rebuilding();
+    // The sketch consumes the batch before the pipeline does, so its
+    // FIFO window slides in lockstep with the pipeline's.
+    if let Some(sk) = sketch.as_mut() {
+        for t in &batch {
+            sk.observe(t);
+        }
+    }
     // Incremental update: the delta dirties only the shards whose rank
     // ranges it touches; clean fragments are reused, and a vocabulary
     // drift falls back to a full re-rank + re-mine inside `apply`. On the
@@ -375,7 +470,19 @@ fn ingest_and_publish(
         if let Some(plan) = fault {
             plan.maybe_builder_panic();
         }
-        pipeline.snapshot(next, rule_config)
+        match rebuild_mode {
+            RebuildMode::Incremental => pipeline.snapshot(next, rule_config),
+            // Sampled fast path: re-mine the whole window from a sample,
+            // verifying the negative border (exact fallback on a
+            // violation), so the snapshot's contents match what the
+            // incremental path would publish.
+            RebuildMode::Sampled(sampler) => {
+                let window = pipeline.window_vec();
+                let (result, outcome) = sampler.mine(&window, min_support, next);
+                engine.metrics().record_sampled(&outcome);
+                Snapshot::build(next, pipeline.plt_clone(), &result, rule_config)
+            }
+        }
     }));
     let total = started.elapsed();
     // Phase durations feed the metrics registry whether the rebuild
@@ -389,7 +496,10 @@ fn ingest_and_publish(
         total,
     );
     match rebuilt {
-        Ok(snapshot) => {
+        Ok(mut snapshot) => {
+            if let Some(sk) = sketch.as_ref() {
+                snapshot = snapshot.with_sketch(Box::new(sk.clone()));
+            }
             engine.publish(Arc::new(snapshot));
             next
         }

@@ -16,7 +16,7 @@ use std::time::Instant;
 use crate::cache::ShardedCache;
 use crate::json::Json;
 use crate::metrics::{Endpoint, Metrics};
-use crate::proto::{err_response, ok_response, Request};
+use crate::proto::{err_response, negotiate_version, ok_response, Request};
 use crate::reader_pool::{ReadGuard, ReaderCache, ReaderPool};
 use crate::snapshot::Snapshot;
 
@@ -217,6 +217,14 @@ impl Engine {
             let key = request.cache_key();
             if let Some(hit) = self.cache.get(&key) {
                 self.metrics.endpoint(e).record(start.elapsed(), Some(true));
+                // A cached `query` payload froze the provenance of its
+                // original (fresh) run; flip `cache_hit` so `--explain`
+                // reports this serve truthfully while keeping the frozen
+                // plan/cost (the cache is generation-scoped, so the plan
+                // is still the one that would be chosen).
+                if matches!(e, Endpoint::Query) {
+                    return mark_response_cache_hit(hit);
+                }
                 return hit;
             }
             let response = self.answer(request, reader).to_string();
@@ -343,12 +351,20 @@ impl Engine {
                 match result {
                     Ok((rows, prov)) => {
                         self.metrics.query.record(Some(prov.plan.op));
+                        if prov.approx_requested {
+                            self.metrics.query.record_approx(prov.approx);
+                        }
                         ok_response(vec![
                             ("row_kind", Json::str(rows.kind())),
                             ("rows", rows_json(&rows)),
                             ("plan", Json::str(prov.plan.op.as_str())),
                             ("cost", Json::from(prov.plan.cost)),
                             ("cache_hit", Json::Bool(prov.cache_hit)),
+                            ("approx", Json::Bool(prov.approx)),
+                            (
+                                "error_bound",
+                                prov.error_bound.map(Json::from).unwrap_or(Json::Null),
+                            ),
                             ("generation", Json::from(snap.generation())),
                             ("stale", Json::Bool(stale)),
                         ])
@@ -421,7 +437,27 @@ impl Engine {
                                 "shard_count",
                                 Json::from(self.metrics.shard_count.load(Ordering::Relaxed)),
                             ),
+                            ("sampled", {
+                                let (sampled, attempts, violations, fallbacks) =
+                                    self.metrics.sampled_report();
+                                Json::obj(vec![
+                                    ("rebuilds", Json::from(sampled)),
+                                    ("attempts", Json::from(attempts)),
+                                    ("border_violations", Json::from(violations)),
+                                    ("exact_fallbacks", Json::from(fallbacks)),
+                                ])
+                            }),
                         ])
+                    }),
+                    ("sketch", {
+                        match plt_query::Source::sketch(&*snap) {
+                            Some(sk) => Json::obj(vec![
+                                ("epsilon", Json::from(sk.epsilon())),
+                                ("cost", Json::from(sk.cost() as u64)),
+                                ("memory_bytes", Json::from(sk.memory_bytes() as u64)),
+                            ]),
+                            None => Json::Null,
+                        }
                     }),
                     ("endpoints", Json::Arr(endpoints)),
                     ("storage", {
@@ -538,6 +574,15 @@ impl Engine {
                                         ("invalidations", Json::from(counters.invalidations)),
                                     ]),
                                 ),
+                                ("approx", {
+                                    let (requests, sketch_answers, exact_fallbacks) =
+                                        q.approx_report();
+                                    Json::obj(vec![
+                                        ("requests", Json::from(requests)),
+                                        ("sketch_answers", Json::from(sketch_answers)),
+                                        ("exact_fallbacks", Json::from(exact_fallbacks)),
+                                    ])
+                                }),
                             ])
                         } else {
                             Json::Null
@@ -545,6 +590,11 @@ impl Engine {
                     }),
                 ])
             }
+            Request::Hello { version } => ok_response(vec![
+                ("version", Json::from(negotiate_version(*version))),
+                ("generation", Json::from(snap.generation())),
+                ("stale", Json::Bool(stale)),
+            ]),
             Request::Ping => ok_response(vec![
                 ("pong", Json::Bool(true)),
                 ("generation", Json::from(snap.generation())),
@@ -570,12 +620,27 @@ fn endpoint_of(request: &Request) -> Option<Endpoint> {
         Request::Stats => Endpoint::Stats,
         Request::Ingest { .. } => Endpoint::Ingest,
         Request::Ping => Endpoint::Ping,
-        Request::Shutdown => return None,
+        Request::Hello { .. } | Request::Shutdown => return None,
     })
 }
 
 /// Which endpoint, if the request's response may be cached. Cacheable ⇔
 /// a pure function of (generation, request).
+/// Rewrites `cache_hit` to `true` in a cached `query` payload.
+fn mark_response_cache_hit(payload: String) -> String {
+    match Json::parse(&payload) {
+        Ok(Json::Obj(mut pairs)) => {
+            for (key, value) in &mut pairs {
+                if key == "cache_hit" {
+                    *value = Json::Bool(true);
+                }
+            }
+            Json::Obj(pairs).to_string()
+        }
+        _ => payload,
+    }
+}
+
 fn endpoint_cacheable(request: &Request) -> Option<Endpoint> {
     match request {
         Request::Support { .. } => Some(Endpoint::Support),
@@ -899,6 +964,29 @@ mod tests {
         assert_eq!(third.get("cache_hit").unwrap().as_bool(), Some(false));
         assert_eq!(third.get("generation").unwrap().as_u64(), Some(2));
         assert_eq!(engine.plan_cache().counters().invalidations, 1);
+    }
+
+    #[test]
+    fn query_response_cache_hits_keep_provenance_and_flip_cache_hit() {
+        let engine = engine();
+        let req = Request::Query {
+            expr: "SUPPORT OF {0, 1, 2}".to_string(),
+        };
+        let first = Json::parse(&engine.handle(&req)).unwrap();
+        assert_eq!(first.get("cache_hit").unwrap().as_bool(), Some(false));
+        // Same spelling again: served from the response cache, which
+        // must still carry the plan provenance — and admit the hit.
+        let second = Json::parse(&engine.handle(&req)).unwrap();
+        assert_eq!(second.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            second.get("plan").unwrap().as_str(),
+            first.get("plan").unwrap().as_str()
+        );
+        assert!(second.get("cost").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            second.get("rows").unwrap().to_string(),
+            first.get("rows").unwrap().to_string()
+        );
     }
 
     #[test]

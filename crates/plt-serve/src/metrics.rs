@@ -143,6 +143,17 @@ pub struct Metrics {
     /// Cumulative dirty shards re-mined across all incremental rebuilds
     /// (divide by `rebuilds` for the mean dirty fraction).
     pub shards_remined: AtomicU64,
+    /// Rebuilds answered by the sampled (Toivonen) fast path without
+    /// falling back to an exact re-mine.
+    pub sampled_rebuilds: AtomicU64,
+    /// Sampling attempts across all sampled rebuilds (≥ 1 per rebuild).
+    pub sampled_attempts: AtomicU64,
+    /// Negative-border violations observed during sampled rebuilds
+    /// (each forces a retry or the exact fallback).
+    pub sampled_border_violations: AtomicU64,
+    /// Sampled rebuilds that exhausted their attempts and fell back to
+    /// the exact miner.
+    pub sampled_fallbacks: AtomicU64,
     /// Current shard count of the incremental pipeline (gauge).
     pub shard_count: AtomicU64,
     /// Durable-store gauges; all zero (and hidden from `STATS`) when the
@@ -171,8 +182,15 @@ pub struct QueryStats {
     pub parse_errors: AtomicU64,
     /// Chosen-plan counters, indexed like
     /// [`plt_query::PhysOp`]: index_point, ext_traverse, rule_scan,
-    /// cond_mine, full_scan.
-    pub plans: [AtomicU64; 5],
+    /// cond_mine, full_scan, sketch_probe.
+    pub plans: [AtomicU64; 6],
+    /// `APPROX`-tier requests received (`approx.requests`).
+    pub approx_requests: AtomicU64,
+    /// Approximate answers served from a sketch (`approx.sketch_answers`).
+    pub approx_sketch_answers: AtomicU64,
+    /// `APPROX`-tier requests honestly answered by an exact operator
+    /// (`approx.exact_fallbacks`).
+    pub approx_exact_fallbacks: AtomicU64,
 }
 
 impl QueryStats {
@@ -191,6 +209,26 @@ impl QueryStats {
         }
     }
 
+    /// Records an `APPROX`-tier request and whether a sketch answered
+    /// it (mirrors the `approx.*` obs counters in `plt_query`).
+    pub fn record_approx(&self, sketch_answered: bool) {
+        self.approx_requests.fetch_add(1, Ordering::Relaxed);
+        if sketch_answered {
+            self.approx_sketch_answers.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.approx_exact_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(requests, sketch_answers, exact_fallbacks)` for `stats`.
+    pub fn approx_report(&self) -> (u64, u64, u64) {
+        (
+            self.approx_requests.load(Ordering::Relaxed),
+            self.approx_sketch_answers.load(Ordering::Relaxed),
+            self.approx_exact_fallbacks.load(Ordering::Relaxed),
+        )
+    }
+
     fn plan_index(op: plt_query::PhysOp) -> usize {
         match op {
             plt_query::PhysOp::IndexPoint => 0,
@@ -198,17 +236,19 @@ impl QueryStats {
             plt_query::PhysOp::RuleScan => 2,
             plt_query::PhysOp::CondMine => 3,
             plt_query::PhysOp::FullScan => 4,
+            plt_query::PhysOp::SketchProbe => 5,
         }
     }
 
     /// `(name, count)` rows for the `stats` endpoint's plan breakdown.
-    pub fn plan_report(&self) -> [(&'static str, u64); 5] {
+    pub fn plan_report(&self) -> [(&'static str, u64); 6] {
         let ops = [
             plt_query::PhysOp::IndexPoint,
             plt_query::PhysOp::ExtTraverse,
             plt_query::PhysOp::RuleScan,
             plt_query::PhysOp::CondMine,
             plt_query::PhysOp::FullScan,
+            plt_query::PhysOp::SketchProbe,
         ];
         ops.map(|op| {
             (
@@ -334,6 +374,29 @@ impl Metrics {
             .fetch_add(snapshot.as_micros() as u64, Ordering::Relaxed);
         self.rebuild_total_us
             .fetch_add(total.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one sampled (Toivonen) rebuild.
+    pub fn record_sampled(&self, outcome: &plt_approx::SamplingOutcome) {
+        self.sampled_attempts
+            .fetch_add(outcome.attempts as u64, Ordering::Relaxed);
+        self.sampled_border_violations
+            .fetch_add(outcome.border_violations as u64, Ordering::Relaxed);
+        if outcome.fell_back {
+            self.sampled_fallbacks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sampled_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(sampled_rebuilds, attempts, border_violations, fallbacks)`.
+    pub fn sampled_report(&self) -> (u64, u64, u64, u64) {
+        (
+            self.sampled_rebuilds.load(Ordering::Relaxed),
+            self.sampled_attempts.load(Ordering::Relaxed),
+            self.sampled_border_violations.load(Ordering::Relaxed),
+            self.sampled_fallbacks.load(Ordering::Relaxed),
+        )
     }
 
     /// Records the dirty-shard work of one incremental rebuild.

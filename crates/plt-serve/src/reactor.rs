@@ -50,7 +50,7 @@ use crate::decode::{encode_frame, encode_frame_with, FrameDecoder};
 use crate::engine::Engine;
 use crate::fault::{IoFault, Site};
 use crate::json::Json;
-use crate::proto::{err_response, ok_response};
+use crate::proto::{err_response, ok_response, render_response};
 use crate::reader_pool::ReaderCache;
 use crate::server::{dispatch_request, wake_acceptors, Dispatch, ServerConfig, ServerHandle};
 use crate::snapshot::Snapshot;
@@ -208,6 +208,8 @@ struct Conn {
     close_after_flush: bool,
     /// Currently registered epoll interest mask.
     interest: u32,
+    /// Envelope version negotiated by `hello` (1 until then).
+    version: u64,
 }
 
 /// Job for the waiter thread: run the blocking flush for a connection.
@@ -215,6 +217,8 @@ struct FlushJob {
     token: usize,
     epoch: u64,
     accepted: u64,
+    /// Envelope version of the submitting connection at dispatch time.
+    version: u64,
 }
 
 /// Completion from the waiter thread.
@@ -290,6 +294,7 @@ impl Reactor {
             read_closed: false,
             close_after_flush: false,
             interest,
+            version: 1,
         };
         if self
             .epoll
@@ -477,7 +482,8 @@ impl Reactor {
             .fetch_add(1, Ordering::Relaxed);
         let conn = self.conn(idx);
         if conn.pending_error.is_none() {
-            conn.pending_error = Some(err_response(message).to_string());
+            let version = conn.version;
+            conn.pending_error = Some(render_response(&err_response(message), version));
         }
     }
 
@@ -520,12 +526,18 @@ impl Reactor {
 
     fn dispatch_one(&mut self, idx: usize, payload: &str) {
         let ingest = self.ingest.clone();
+        // Copy the connection's negotiated version out, dispatch (a
+        // `hello` may update it), then write it back — the Conn borrow
+        // cannot be held across the dispatch call.
+        let mut version = self.conn(idx).version;
         let dispatch = dispatch_request(
             payload,
             &self.engine,
             ingest.as_ref(),
             Some(&mut self.reader),
+            &mut version,
         );
+        self.conn(idx).version = version;
         match dispatch {
             Dispatch::Respond(response) => self.queue_response(idx, &response),
             Dispatch::ShutdownRequested(response) => {
@@ -546,13 +558,14 @@ impl Reactor {
                         token: idx,
                         epoch,
                         accepted,
+                        version,
                     })
                     .is_err()
                 {
                     self.transition(idx, ConnState::Writing);
                     self.queue_response(
                         idx,
-                        &err_response("snapshot builder has exited").to_string(),
+                        &render_response(&err_response("snapshot builder has exited"), version),
                     );
                 }
             }
@@ -712,8 +725,8 @@ impl Reactor {
             let n = self.epoll.wait(&mut events, POLL_TIMEOUT);
             let handle_start = Instant::now();
             let mut handled = 0u64;
-            for i in 0..n {
-                let (data, revents) = (events[i].data, events[i].events);
+            for event in events.iter().take(n) {
+                let (data, revents) = (event.data, event.events);
                 handled += 1;
                 if data == WAKE_TOKEN {
                     self.waker.drain();
@@ -737,7 +750,7 @@ impl Reactor {
                 r.events.fetch_add(handled, Ordering::Relaxed);
                 r.poll.record(elapsed, None);
             }
-            if polls % OBS_FLUSH_EVERY == 0 {
+            if polls.is_multiple_of(OBS_FLUSH_EVERY) {
                 self.flush_obs(&shared_obs);
             }
         }
@@ -773,13 +786,15 @@ fn waiter_loop(
 ) {
     while let Ok(job) = jobs.recv() {
         let response = match ingest.as_ref().and_then(|q| q.flush()) {
-            Some(generation) => ok_response(vec![
-                ("accepted", Json::from(job.accepted)),
-                ("generation", Json::from(generation)),
-                ("stale", Json::Bool(engine.is_stale())),
-            ])
-            .to_string(),
-            None => err_response("snapshot builder has exited").to_string(),
+            Some(generation) => render_response(
+                &ok_response(vec![
+                    ("accepted", Json::from(job.accepted)),
+                    ("generation", Json::from(generation)),
+                    ("stale", Json::Bool(engine.is_stale())),
+                ]),
+                job.version,
+            ),
+            None => render_response(&err_response("snapshot builder has exited"), job.version),
         };
         if done
             .send(FlushDone {

@@ -88,6 +88,10 @@ pub struct Snapshot {
     ranked: Vec<(Itemset, Support)>,
     /// Association rules sorted by the standard quality order.
     rules: Vec<Rule>,
+    /// Optional approximate-tier sketch over the same window; when
+    /// attached, the plt-query planner's `sketch_probe` operator becomes
+    /// eligible for `APPROX`-tier support queries.
+    sketch: Option<Box<dyn plt_query::SupportSketch>>,
 }
 
 impl Snapshot {
@@ -152,7 +156,20 @@ impl Snapshot {
             roots,
             ranked,
             rules,
+            sketch: None,
         }
+    }
+
+    /// Attaches an approximate-tier sketch (builder side; the sketch
+    /// must mirror the window this snapshot was mined from).
+    pub fn with_sketch(mut self, sketch: Box<dyn plt_query::SupportSketch>) -> Snapshot {
+        self.sketch = Some(sketch);
+        self
+    }
+
+    /// The attached sketch, if any.
+    pub fn sketch(&self) -> Option<&dyn plt_query::SupportSketch> {
+        self.sketch.as_deref()
     }
 
     /// Publish generation of this snapshot.
@@ -357,6 +374,10 @@ impl plt_query::Source for Snapshot {
 
     fn plt(&self) -> &Plt {
         &self.plt
+    }
+
+    fn sketch(&self) -> Option<&dyn plt_query::SupportSketch> {
+        self.sketch.as_deref()
     }
 }
 

@@ -7,12 +7,13 @@
 //! closed/maximal mining ([`closed`]), streaming maintenance
 //! ([`stream`]), sharded incremental mining ([`shard`]), durable
 //! segmented storage ([`store`]), the online query service ([`serve`]),
-//! the query language and planner ([`query`]) and the observability
-//! layer ([`obs`]).
+//! the query language and planner ([`query`]), the approximate
+//! answering tier ([`approx`]) and the observability layer ([`obs`]).
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
 
+pub use plt_approx as approx;
 pub use plt_baselines as baselines;
 pub use plt_closed as closed;
 pub use plt_compress as compress;

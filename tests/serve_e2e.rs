@@ -5,7 +5,10 @@
 
 use plt::core::miner::Miner;
 use plt::data::{BasketConfig, BasketGenerator};
-use plt::serve::{bootstrap, serve, BuilderConfig, Client, Request, ServerConfig, ServerModel};
+use plt::serve::{
+    bootstrap, serve, BuilderConfig, Client, ClientConfig, RebuildMode, Request, SampledRebuild,
+    ServerConfig, ServerModel, SketchConfig,
+};
 use plt::ConditionalMiner;
 
 /// Both serving models where the platform has them; every test in this
@@ -17,6 +20,32 @@ fn server_models() -> Vec<ServerModel> {
     } else {
         vec![ServerModel::Threads]
     }
+}
+
+/// Cross-product of serving models and response-envelope versions: the
+/// whole file runs once per cell, so a v1 client and a v2 client see
+/// identical answers from every model.
+fn cases() -> Vec<(ServerModel, u64)> {
+    let mut v = Vec::new();
+    for model in server_models() {
+        for version in [1u64, 2] {
+            v.push((model, version));
+        }
+    }
+    v
+}
+
+/// Connect a client speaking the requested envelope version (v2 clients
+/// negotiate via `hello` before the first request).
+fn connect(addr: std::net::SocketAddr, version: u64) -> Client {
+    Client::with_config(
+        addr,
+        ClientConfig {
+            protocol_version: version,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect")
 }
 
 /// Start a server over `warmup` and return (handle, builder).
@@ -57,9 +86,9 @@ fn wire_answers_match_the_miner() {
     let truth = ConditionalMiner::default().mine(db.transactions(), min_support);
     assert!(!truth.is_empty(), "dataset must have frequent itemsets");
 
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(db.transactions(), min_support, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         // Every mined itemset's support is served exactly, from the index.
         for (itemset, support) in truth.iter() {
@@ -105,9 +134,9 @@ fn cache_hits_show_up_in_stats() {
         vec![2, 3],
         vec![1, 3],
     ];
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&warmup, 2, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         // Same query three times: one miss, then hits.
         for _ in 0..3 {
@@ -158,9 +187,9 @@ fn cache_hits_show_up_in_stats() {
 #[test]
 fn ingest_republishes_and_answers_reflect_the_new_window() {
     let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3]];
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&warmup, 2, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         let g0 = client.ping().expect("ping");
         assert_eq!(g0, 1);
@@ -198,14 +227,14 @@ fn ingest_republishes_and_answers_reflect_the_new_window() {
 #[test]
 fn concurrent_clients_get_consistent_answers() {
     let warmup: Vec<Vec<u32>> = (0..50).map(|i| vec![1, 2, 3 + (i % 3) as u32]).collect();
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&warmup, 2, model);
         let addr = handle.addr();
 
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 std::thread::spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
+                    let mut client = connect(addr, version);
                     for _ in 0..25 {
                         let reply = client.support(&[1, 2]).expect("support");
                         assert_eq!(reply.support, 50);
@@ -217,7 +246,7 @@ fn concurrent_clients_get_consistent_answers() {
             t.join().expect("client thread");
         }
 
-        let mut client = Client::connect(addr).expect("connect");
+        let mut client = connect(addr, version);
         client.shutdown().expect("shutdown");
         handle.join();
         builder.stop();
@@ -234,9 +263,9 @@ fn query_endpoint_answers_over_the_wire_with_provenance() {
     })
     .generate();
     let min_support = db.absolute_support(0.05);
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(db.transactions(), min_support, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
         let top = client.top_k(1, 1).expect("top_k");
         let probe = top[0].0.clone();
         let probe_expr = probe
@@ -300,9 +329,9 @@ fn query_endpoint_answers_over_the_wire_with_provenance() {
 #[test]
 fn query_plan_cache_hits_and_publish_invalidation_over_the_wire() {
     let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![2, 3]];
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&warmup, 2, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         // First spelling plans fresh; a *different* spelling with the
         // same normal form must hit the plan cache (distinct response
@@ -349,9 +378,9 @@ fn query_plan_cache_hits_and_publish_invalidation_over_the_wire() {
 
 #[test]
 fn malformed_queries_are_typed_errors_and_leave_the_connection_usable() {
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&[vec![1, 2], vec![1, 2], vec![2, 3]], 2, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         for bad in [
             "TOP",
@@ -378,10 +407,148 @@ fn malformed_queries_are_typed_errors_and_leave_the_connection_usable() {
 }
 
 #[test]
+fn approx_tier_serves_bounded_answers_and_sampled_rebuilds_stay_exact() {
+    let db = BasketGenerator::new(BasketConfig {
+        num_baskets: 400,
+        ..Default::default()
+    })
+    .generate();
+    let min_support = db.absolute_support(0.05);
+    for (model, version) in cases() {
+        let config = BuilderConfig {
+            window_capacity: db.transactions().len() * 4,
+            min_support,
+            rebuild_mode: RebuildMode::Sampled(SampledRebuild::default()),
+            sketch: Some(SketchConfig {
+                epsilon: 0.05,
+                delta: 0.01,
+                ..SketchConfig::default()
+            }),
+            ..BuilderConfig::default()
+        };
+        let (engine, builder) = bootstrap(db.transactions(), config).expect("bootstrap");
+        let handle = serve(
+            "127.0.0.1:0",
+            engine,
+            Some(builder.queue()),
+            ServerConfig {
+                server_model: model,
+                acceptors: 2,
+                reactors: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let mut client = connect(handle.addr(), version);
+
+        // Every APPROX answer honors its stated contract: when a sketch
+        // answers, the estimate is within the advertised error bound of
+        // the exact support; when the planner falls back, the answer is
+        // exact and flagged as such.
+        let top = client.top_k(3, 1).expect("top_k");
+        for (items, exact) in &top {
+            let expr = items
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let v = client
+                .query(&format!("SUPPORT OF {{{expr}}} APPROX"))
+                .expect("approx query");
+            let approx = v
+                .get("approx")
+                .and_then(|x| x.as_bool())
+                .expect("approx flag on every query response");
+            let rows = v.get("rows").and_then(|x| x.as_arr()).expect("rows");
+            let est = rows[0].get("support").and_then(|x| x.as_u64()).unwrap();
+            if approx {
+                let bound = v
+                    .get("error_bound")
+                    .and_then(|x| x.as_u64())
+                    .expect("approx answers state their bound");
+                assert!(
+                    est.abs_diff(*exact) <= bound,
+                    "{model:?} v{version}: |{est} - {exact}| > {bound} for {items:?}"
+                );
+            } else {
+                assert_eq!(est, *exact, "{model:?} v{version}: exact fallback");
+            }
+        }
+
+        // The default tier stays EXACT: no approx flag, answers match
+        // the dedicated support endpoint.
+        let expr = top[0]
+            .0
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let v = client
+            .query(&format!("SUPPORT OF {{{expr}}}"))
+            .expect("exact query");
+        assert_eq!(v.get("approx").and_then(|x| x.as_bool()), Some(false));
+        let rows = v.get("rows").and_then(|x| x.as_arr()).expect("rows");
+        assert_eq!(
+            rows[0].get("support").and_then(|x| x.as_u64()),
+            Some(top[0].1)
+        );
+
+        // An ingest triggers a sampled (Toivonen) rebuild; the published
+        // answers still match an offline exact re-mine of the window.
+        let extra = vec![db.transactions()[0].clone(), db.transactions()[1].clone()];
+        client
+            .ingest(extra.clone(), true)
+            .expect("ingest")
+            .expect("generation");
+        let mut grown = db.transactions().to_vec();
+        grown.extend(extra);
+        let truth = ConditionalMiner::default().mine(&grown, min_support);
+        for (itemset, support) in truth.iter().take(20) {
+            let reply = client.support(itemset.items()).expect("support");
+            assert_eq!(
+                reply.support, support,
+                "{model:?} v{version}: sampled rebuild must stay exact for {itemset}"
+            );
+        }
+
+        // Stats surface the approximate tier: sketch gauges, approx
+        // counters, and the sampled-rebuild block.
+        let stats = client.stats().expect("stats");
+        let sketch = stats.get("sketch").expect("sketch stats block");
+        assert!(sketch.get("epsilon").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        assert!(sketch.get("memory_bytes").and_then(|x| x.as_u64()).unwrap() > 0);
+        let approx_stats = stats
+            .get("query")
+            .and_then(|q| q.get("approx"))
+            .expect("approx counters");
+        assert!(
+            approx_stats
+                .get("requests")
+                .and_then(|x| x.as_u64())
+                .unwrap()
+                >= top.len() as u64,
+            "{model:?} v{version}: APPROX requests counted"
+        );
+        let sampled = stats
+            .get("rebuild")
+            .and_then(|r| r.get("sampled"))
+            .expect("sampled rebuild stats");
+        assert!(
+            sampled.get("attempts").and_then(|x| x.as_u64()).unwrap() >= 1,
+            "{model:?} v{version}: ingest drove a sampled rebuild"
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join();
+        builder.stop();
+    }
+}
+
+#[test]
 fn malformed_requests_get_protocol_errors() {
-    for model in server_models() {
+    for (model, version) in cases() {
         let (handle, builder) = start(&[vec![1, 2], vec![1, 2]], 2, model);
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut client = connect(handle.addr(), version);
 
         // Unknown op is a server-reported error, not a dropped connection;
         // the same connection keeps working afterwards.

@@ -271,3 +271,113 @@ fn both_server_models_emit_identical_error_frames() {
         "threads and reactor answered malformed input differently"
     );
 }
+
+/// The same differential, run per envelope version: a v2 connection
+/// (negotiated via `hello`) gets its protocol errors wrapped in the v2
+/// envelope, byte-identically across server models, while v1
+/// connections keep the flat frames.
+#[cfg(target_os = "linux")]
+#[test]
+fn error_frames_agree_across_models_for_both_envelope_versions() {
+    use std::io::Write;
+
+    use plt::serve::json::Json;
+    use plt::serve::{bootstrap, serve, BuilderConfig, ServerConfig, ServerModel};
+
+    fn write_frame(s: &mut std::net::TcpStream, payload: &str) {
+        s.write_all(format!("{}\n{}\n", payload.len(), payload).as_bytes())
+            .expect("write frame");
+    }
+
+    fn read_frame(r: &mut impl BufRead) -> Option<String> {
+        let mut line = String::new();
+        if r.read_line(&mut line).unwrap_or(0) == 0 {
+            return None;
+        }
+        let len: usize = line.trim().parse().expect("response header");
+        let mut payload = vec![0u8; len + 1];
+        std::io::Read::read_exact(r, &mut payload).expect("response payload");
+        payload.pop();
+        Some(String::from_utf8(payload).expect("utf-8 response"))
+    }
+
+    let warmup = vec![vec![1, 2], vec![1, 2], vec![1, 3]];
+    // Malformed *requests* only (valid frames): framing violations kill
+    // the connection before version negotiation can matter.
+    let cases = [
+        r#"{"op":"warp"}"#,
+        r#"{"op":"query","expr":"TOP"}"#,
+        r#"not json"#,
+    ];
+
+    for version in [1u64, 2] {
+        let mut per_model = Vec::new();
+        for model in [ServerModel::Threads, ServerModel::Reactor] {
+            let config = BuilderConfig {
+                window_capacity: 64,
+                min_support: 2,
+                ..BuilderConfig::default()
+            };
+            let (engine, builder) = bootstrap(&warmup, config).expect("bootstrap");
+            let handle = serve(
+                "127.0.0.1:0",
+                engine,
+                Some(builder.queue()),
+                ServerConfig {
+                    server_model: model,
+                    acceptors: 1,
+                    reactors: 1,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind");
+
+            let mut replies = Vec::new();
+            for case in &cases {
+                let mut s = std::net::TcpStream::connect(handle.addr()).expect("connect");
+                s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                    .unwrap();
+                if version >= 2 {
+                    write_frame(&mut s, &format!(r#"{{"op":"hello","version":{version}}}"#));
+                }
+                write_frame(&mut s, case);
+                let mut r = std::io::BufReader::new(s);
+                if version >= 2 {
+                    read_frame(&mut r).expect("hello ack");
+                }
+                let reply = read_frame(&mut r).unwrap_or_else(|| String::from("<closed>"));
+                replies.push(reply);
+            }
+            handle.shutdown();
+            builder.stop();
+            per_model.push(replies);
+        }
+        assert_eq!(
+            per_model[0], per_model[1],
+            "v{version}: threads and reactor answered malformed requests differently"
+        );
+
+        // Every reply carries the shape its version promises.
+        for reply in &per_model[0] {
+            let v = Json::parse(reply).expect("error replies are JSON");
+            if version >= 2 {
+                assert_eq!(v.get("v").and_then(Json::as_u64), Some(2), "{reply}");
+                assert_eq!(
+                    v.get("status").and_then(Json::as_str),
+                    Some("error"),
+                    "{reply}"
+                );
+                assert!(
+                    v.get("data")
+                        .and_then(|d| d.get("error"))
+                        .and_then(Json::as_str)
+                        .is_some(),
+                    "{reply}"
+                );
+            } else {
+                assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{reply}");
+                assert!(v.get("v").is_none(), "v1 frames stay flat: {reply}");
+            }
+        }
+    }
+}
